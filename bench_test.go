@@ -1,0 +1,221 @@
+// Package-level benchmarks: one per figure/table of the paper's
+// evaluation. Each benchmark runs the corresponding experiment driver
+// and reports the reproduced headline values as custom metrics, so
+// `go test -bench=. -benchmem` regenerates the paper's results.
+//
+// Benchmarks run at the reduced Quick scale by default so the whole
+// suite completes in minutes; run cmd/experiments for the full-scale
+// figures.
+package main
+
+import (
+	"sync"
+	"testing"
+
+	"jumpstart/internal/experiments"
+)
+
+var (
+	benchOnce sync.Once
+	benchLab  *experiments.Lab
+	benchErr  error
+)
+
+func lab(b *testing.B) *experiments.Lab {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchLab, benchErr = experiments.NewLab(experiments.Quick())
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchLab
+}
+
+// BenchmarkFig1CodeSizeOverTime regenerates Figure 1: JITed code size
+// over time without Jump-Start, with the A/C/D landmarks.
+func BenchmarkFig1CodeSizeOverTime(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		res, err := l.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Final)/(1<<20), "code_MB")
+		b.ReportMetric(res.PointA, "pointA_s")
+		b.ReportMetric(res.PointC, "pointC_s")
+		b.ReportMetric(res.PointD, "pointD_s")
+	}
+}
+
+// BenchmarkFig2CapacityLoss regenerates Figure 2: the capacity lost to
+// a restart+warmup without Jump-Start.
+func BenchmarkFig2CapacityLoss(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		res, err := l.Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.CapacityLoss*100, "capacity_loss_pct")
+	}
+}
+
+// BenchmarkFig4aLatency regenerates Figure 4a: early-warmup latency
+// ratio between no-Jump-Start and Jump-Start (paper: ~3×).
+func BenchmarkFig4aLatency(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		res, err := l.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.EarlyLatencyRatio, "early_latency_ratio")
+	}
+}
+
+// BenchmarkFig4bRPS regenerates Figure 4b and the paper's headline:
+// capacity-loss reduction from Jump-Start (paper: 54.9%).
+func BenchmarkFig4bRPS(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		res, err := l.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.JumpStart.CapacityLoss*100, "loss_js_pct")
+		b.ReportMetric(res.NoJumpStart.CapacityLoss*100, "loss_nojs_pct")
+		b.ReportMetric(res.LossReduction*100, "loss_reduction_pct")
+	}
+}
+
+// BenchmarkFig5SteadyState regenerates Figure 5: steady-state speedup
+// (paper: 5.4%) and micro-architectural miss reductions.
+func BenchmarkFig5SteadyState(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		res, err := l.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SpeedupPct, "speedup_pct")
+		b.ReportMetric(res.BranchMR, "branch_mr_pct")
+		b.ReportMetric(res.L1IMR, "icache_mr_pct")
+		b.ReportMetric(res.ITLBMR, "itlb_mr_pct")
+		b.ReportMetric(res.L1DMR, "dcache_mr_pct")
+		b.ReportMetric(res.LLCMR, "llc_mr_pct")
+	}
+}
+
+// BenchmarkFig6Ablations regenerates Figure 6: each Section V
+// optimization measured independently over plain Jump-Start.
+func BenchmarkFig6Ablations(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		res, err := l.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.NoJumpStartPct, "no_jumpstart_pct")
+		b.ReportMetric(res.BBLayoutPct, "bb_layout_pct")
+		b.ReportMetric(res.FuncLayoutPct, "func_layout_pct")
+		b.ReportMetric(res.PropReorderPct, "prop_reorder_pct")
+	}
+}
+
+// BenchmarkLifespanFractions regenerates the Section II-B scalars: the
+// fraction of a server's lifespan spent warming (paper: 13% to decent
+// performance, 32% to peak).
+func BenchmarkLifespanFractions(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		res, err := l.Lifespan()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ToDecent*100, "to_decent_pct")
+		b.ReportMetric(res.ToPeak*100, "to_peak_pct")
+	}
+}
+
+// BenchmarkReliability regenerates the Section VI experiment:
+// defective packages crash consumers, randomized re-picks and the
+// no-Jump-Start fallback decay the crashes, and the fleet converges.
+func BenchmarkReliability(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		res, err := l.Reliability()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Crashes), "crashes")
+		b.ReportMetric(float64(res.Fallbacks), "fallbacks")
+		b.ReportMetric(res.FinalCap*100, "final_capacity_pct")
+	}
+}
+
+// BenchmarkFleetDeploy regenerates the fleet-wide C1/C2/C3 deployment
+// comparison.
+func BenchmarkFleetDeploy(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		lossJS, lossNoJS, err := l.FleetDeploy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lossJS*100, "fleet_loss_js_pct")
+		b.ReportMetric(lossNoJS*100, "fleet_loss_nojs_pct")
+	}
+}
+
+// BenchmarkFuncSortAblation compares C3, Pettis-Hansen and unsorted
+// function placement (the Section V-B design-choice ablation).
+func BenchmarkFuncSortAblation(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		res, err := l.FuncSort()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.C3RPS, "c3_rps")
+		b.ReportMetric(res.PHRPS, "ph_rps")
+		b.ReportMetric(res.NoneRPS, "unsorted_rps")
+		b.ReportMetric(res.C3ITLB*100, "c3_itlb_pct")
+		b.ReportMetric(res.NoneITLB*100, "unsorted_itlb_pct")
+	}
+}
+
+// BenchmarkPropLayoutAblation compares declared, hotness (V-C) and
+// affinity (V-C future work, implemented as an extension) object
+// layouts.
+func BenchmarkPropLayoutAblation(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		res, err := l.PropLayout()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.DeclaredRPS, "declared_rps")
+		b.ReportMetric(res.HotnessRPS, "hotness_rps")
+		b.ReportMetric(res.AffinityRPS, "affinity_rps")
+		b.ReportMetric(res.DeclaredL1D*100, "declared_l1d_pct")
+		b.ReportMetric(res.HotnessL1D*100, "hotness_l1d_pct")
+		b.ReportMetric(res.AffinityL1D*100, "affinity_l1d_pct")
+	}
+}
+
+// BenchmarkBlockLayoutAblation compares Ext-TSP weight sources
+// (bytecode-derived vs measured Vasm counters — Section V-A).
+func BenchmarkBlockLayoutAblation(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		res, err := l.BlockLayout()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.BytecodeRPS, "bytecode_weights_rps")
+		b.ReportMetric(res.VasmRPS, "vasm_counters_rps")
+		b.ReportMetric(res.BytecodeBranch*100, "bytecode_branch_pct")
+		b.ReportMetric(res.VasmBranch*100, "vasm_branch_pct")
+	}
+}

@@ -1,0 +1,75 @@
+// Command fleetsim simulates a fleet-wide continuous-deployment push
+// (C1 → C2 → C3) with or without Jump-Start, printing the fleet
+// capacity time series and the capacity-loss summary, plus an optional
+// defective-package reliability injection (Section VI).
+//
+// Usage:
+//
+//	fleetsim                        # one push with Jump-Start
+//	fleetsim -nojumpstart           # one push without
+//	fleetsim -defects 0.5           # inject defective packages
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jumpstart/internal/cluster"
+	"jumpstart/internal/experiments"
+)
+
+func main() {
+	noJS := flag.Bool("nojumpstart", false, "disable Jump-Start fleet-wide")
+	defects := flag.Float64("defects", 0, "probability a seeder produces a crash-inducing package")
+	quick := flag.Bool("quick", true, "use the reduced-scale measurement configuration")
+	seconds := flag.Float64("seconds", 0, "fleet-sim duration (0 = 6x warmup horizon)")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	fmt.Println("# measuring single-server warmup curves (detailed simulation)...")
+	lab, err := experiments.NewLab(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	jsCurve, noCurve, err := lab.FleetCurves()
+	if err != nil {
+		fatal(err)
+	}
+
+	fcfg := cfg.FleetCfg
+	fcfg.CurveJumpStart = jsCurve
+	fcfg.CurveNoJumpStart = noCurve
+	fcfg.JumpStartEnabled = !*noJS
+	fcfg.DefectRate = *defects
+	fleet, err := cluster.NewFleet(fcfg)
+	if err != nil {
+		fatal(err)
+	}
+	dur := *seconds
+	if dur == 0 {
+		dur = 6 * cfg.Horizon
+	}
+	fmt.Printf("# fleet: %d servers (%d regions x %d buckets), jumpstart=%v, defects=%.2f\n",
+		fleet.Servers(), fcfg.Regions, fcfg.Buckets, !*noJS, *defects)
+	fleet.StartDeployment()
+	ticks := fleet.Run(dur)
+	fmt.Println("t_seconds,capacity,down,warming,phase,packages,crashes,fallbacks")
+	for i, tk := range ticks {
+		if i%4 == 0 || i == len(ticks)-1 {
+			fmt.Printf("%.0f,%.3f,%d,%d,%d,%d,%d,%d\n",
+				tk.T, tk.Capacity, tk.Down, tk.Warming, tk.Phase,
+				tk.PkgsAvail, tk.Crashes, tk.Fallbacks)
+		}
+	}
+	fmt.Printf("# capacity loss over push window = %.2f%%; crashes = %d; fallbacks = %d\n",
+		cluster.CapacityLoss(ticks, fcfg.TickSeconds)*100, fleet.Crashes(), fleet.Fallbacks())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fleetsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Command hackc compiles MiniHack source files to MiniHack bytecode
+// and prints the disassembly — the offline half of the VM's pipeline
+// (the paper's repo-authoritative build).
+//
+// Usage:
+//
+//	hackc [-O] [-run fn] file1.mh [file2.mh ...]
+//
+// Flags:
+//
+//	-O       enable the offline optimizer (constant folding, DCE, ...)
+//	-run fn  after compiling, execute free function fn() and print the result
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jumpstart/internal/hackc"
+	"jumpstart/internal/interp"
+	"jumpstart/internal/object"
+)
+
+func main() {
+	optimize := flag.Bool("O", false, "enable the offline bytecode optimizer")
+	run := flag.String("run", "", "execute this zero-argument function after compiling")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: hackc [-O] [-run fn] file.mh ...")
+		os.Exit(2)
+	}
+	sources := map[string]string{}
+	var names []string
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		sources[path] = string(data)
+		names = append(names, path)
+	}
+	prog, err := hackc.CompileSources(sources, names, hackc.Options{Optimize: *optimize})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(prog.Disasm())
+	fmt.Printf("; %d functions, %d classes, %d bytecode bytes\n",
+		len(prog.Funcs), len(prog.Classes), prog.TotalBytecodeSize())
+
+	if *run != "" {
+		reg, err := object.NewRegistry(prog, nil)
+		if err != nil {
+			fatal(err)
+		}
+		ip := interp.New(prog, reg, interp.Config{Out: os.Stdout})
+		v, err := ip.CallByName(*run)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s() = %s\n", *run, v.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hackc:", err)
+	os.Exit(1)
+}

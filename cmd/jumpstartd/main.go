@@ -1,0 +1,104 @@
+// Command jumpstartd runs one simulated HHVM web server against the
+// synthetic website, in any of the three Figure 3 modes, printing the
+// per-tick time series (time, RPS, latency, code size, phase).
+//
+// Usage:
+//
+//	jumpstartd -mode nojumpstart -seconds 600
+//	jumpstartd -mode seeder -package /tmp/profile.pkg         # write a package
+//	jumpstartd -mode consumer -package /tmp/profile.pkg       # read a package
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jumpstart/internal/prof"
+	"jumpstart/internal/server"
+	"jumpstart/internal/workload"
+)
+
+func main() {
+	mode := flag.String("mode", "nojumpstart", "nojumpstart | seeder | consumer")
+	seconds := flag.Float64("seconds", 600, "virtual seconds to simulate")
+	pkgPath := flag.String("package", "", "profile package path (written by seeder, read by consumer)")
+	region := flag.Int("region", 0, "data-center region")
+	bucket := flag.Int("bucket", 0, "semantic bucket")
+	seed := flag.Uint64("seed", 1, "traffic seed")
+	rps := flag.Float64("rps", 0, "offered RPS (0 = default)")
+	flag.Parse()
+
+	site, err := workload.GenerateSite(workload.DefaultSiteConfig())
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := server.DefaultConfig()
+	cfg.Region, cfg.Bucket, cfg.Seed = *region, *bucket, *seed
+	if *rps > 0 {
+		cfg.OfferedRPS = *rps
+	}
+	switch *mode {
+	case "nojumpstart":
+		cfg.Mode = server.ModeNoJumpStart
+	case "seeder":
+		cfg.Mode = server.ModeSeeder
+		cfg.JITOpts.InstrumentOptimized = true
+	case "consumer":
+		cfg.Mode = server.ModeConsumer
+		if *pkgPath == "" {
+			fatal(fmt.Errorf("consumer mode requires -package"))
+		}
+		data, err := os.ReadFile(*pkgPath)
+		if err != nil {
+			fatal(err)
+		}
+		pkg, err := prof.Decode(data)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Package = pkg
+		cfg.UsePropertyOrder = true
+		cfg.JITOpts.UseVasmCounters = true
+		cfg.JITOpts.UseSeededCallGraph = true
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	s, err := server.New(site, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# %s server, region %d bucket %d, offered %.0f RPS\n",
+		*mode, *region, *bucket, cfg.OfferedRPS)
+	fmt.Println("t_seconds,completed,avg_latency_ms,code_bytes,phase,faults")
+	for _, tk := range s.Run(*seconds) {
+		fmt.Printf("%.0f,%d,%.1f,%d,%s,%d\n",
+			tk.T, tk.Completed, tk.AvgLatencyMS, tk.CodeBytes, tk.Phase, tk.Faults)
+		if s.Phase() == server.PhaseExited {
+			break
+		}
+	}
+
+	if *mode == "seeder" {
+		pkg, ok := s.SeederPackage()
+		if !ok {
+			fatal(fmt.Errorf("seeder did not finish within %v virtual seconds", *seconds))
+		}
+		c := pkg.Coverage()
+		fmt.Printf("# package: %d funcs, %d hot blocks, %d requests profiled\n",
+			c.Funcs, c.Blocks, c.RequestCount)
+		if *pkgPath != "" {
+			if err := os.WriteFile(*pkgPath, pkg.Encode(), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("# wrote %s (%d bytes)\n", *pkgPath, len(pkg.Encode()))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jumpstartd:", err)
+	os.Exit(1)
+}

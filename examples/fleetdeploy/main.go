@@ -1,0 +1,71 @@
+// Fleet deploy: a continuous-deployment push across a simulated fleet
+// with the C1/C2/C3 phases, including a reliability injection — a
+// fraction of seeder packages are crash-inducing, and the Section VI
+// protections (validation, randomized selection, automatic fallback)
+// keep the site up while crashes decay away.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jumpstart/internal/cluster"
+)
+
+func main() {
+	// Warmup curves shaped like the paper's Figure 4b (these can also
+	// be measured from the detailed server simulation; see
+	// cmd/fleetsim for that flow).
+	jsCurve := cluster.WarmupCurve{
+		Times:  []float64{0, 30, 60, 100, 150},
+		Values: []float64{0.3, 0.6, 0.85, 0.95, 1.0},
+	}
+	noCurve := cluster.WarmupCurve{
+		Times:  []float64{0, 60, 150, 300, 450, 600},
+		Values: []float64{0.05, 0.2, 0.45, 0.7, 0.9, 1.0},
+	}
+
+	cfg := cluster.DefaultConfig()
+	cfg.CurveJumpStart = jsCurve
+	cfg.CurveNoJumpStart = noCurve
+	cfg.DefectRate = 0.4          // 40% of packages are bad...
+	cfg.ValidationCatchRate = 0.8 // ...validation stops most of them
+	cfg.CrashDelay = 45
+	fleet, err := cluster.NewFleet(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet: %d servers across %d regions x %d semantic buckets\n",
+		fleet.Servers(), cfg.Regions, cfg.Buckets)
+
+	fleet.StartDeployment()
+	ticks := fleet.Run(2400)
+
+	fmt.Println("\nt_sec  capacity  down  warming  phase  pkgs  crashes  fallbacks")
+	for i, tk := range ticks {
+		if i%12 == 0 || (i > 0 && tk.Crashes != ticks[i-1].Crashes) {
+			fmt.Printf("%5.0f  %8.3f  %4d  %7d  %5d  %4d  %7d  %9d\n",
+				tk.T, tk.Capacity, tk.Down, tk.Warming, tk.Phase,
+				tk.PkgsAvail, tk.Crashes, tk.Fallbacks)
+		}
+	}
+	loss := cluster.CapacityLoss(ticks, cfg.TickSeconds)
+	fmt.Printf("\npush complete: capacity loss %.2f%%, %d crashes (all recovered), %d fallback boots\n",
+		loss*100, fleet.Crashes(), fleet.Fallbacks())
+	final := ticks[len(ticks)-1]
+	fmt.Printf("final fleet capacity: %.1f%%\n", final.Capacity*100)
+
+	// Compare against a push with Jump-Start disabled fleet-wide.
+	cfg2 := cfg
+	cfg2.JumpStartEnabled = false
+	cfg2.DefectRate = 0
+	fleet2, err := cluster.NewFleet(cfg2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleet2.StartDeployment()
+	ticks2 := fleet2.Run(2400)
+	loss2 := cluster.CapacityLoss(ticks2, cfg.TickSeconds)
+	fmt.Printf("\nwithout Jump-Start the same push loses %.2f%% capacity (%.1fx more)\n",
+		loss2*100, loss2/loss)
+}

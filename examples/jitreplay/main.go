@@ -1,0 +1,121 @@
+// JIT replay: the Section III(4) debugging workflow. A profile-data
+// package that triggers a JIT problem can be saved and replayed
+// offline: deserialize it, re-run the exact compilation the consumer
+// would perform, and inspect every translation — without a server or
+// production traffic.
+//
+// Here we simulate the workflow end to end: collect a package, corrupt
+// a copy (the kind of artifact that would be quarantined in
+// production), show that the consumer-side decoder rejects it cleanly,
+// then replay the good package through the JIT and dump diagnostics
+// for the hottest translation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"jumpstart/internal/jit"
+	"jumpstart/internal/prof"
+	"jumpstart/internal/server"
+	"jumpstart/internal/vasm"
+	"jumpstart/internal/workload"
+)
+
+func main() {
+	// Collect a package the usual way.
+	siteCfg := workload.DefaultSiteConfig()
+	siteCfg.Units = 6
+	site, err := workload.GenerateSite(siteCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := server.DefaultConfig()
+	cfg.Mode = server.ModeSeeder
+	cfg.ProfileWindow = 3000
+	cfg.SeederCollectWindow = 1500
+	cfg.JITOpts.InstrumentOptimized = true
+	seeder, err := server.New(site, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := seeder.WarmToServing(7200); err != nil {
+		log.Fatal(err)
+	}
+	pkg, _ := seeder.SeederPackage()
+	data := pkg.Encode()
+	fmt.Printf("collected package: %d bytes\n", len(data))
+
+	// A corrupted package must be rejected, never crash the decoder.
+	bad := append([]byte{}, data...)
+	bad[len(bad)/3] ^= 0x40
+	if _, err := prof.Decode(bad); err != nil {
+		fmt.Printf("corrupted copy rejected cleanly: %v\n", err)
+	} else {
+		log.Fatal("corrupted package accepted!")
+	}
+
+	// Replay: decode and re-run the consumer's compilation pipeline
+	// under full control.
+	replayed, err := prof.Decode(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := jit.DefaultOptions()
+	opts.UseVasmCounters = true
+	j := jit.New(site.Prog, opts, jit.NewCodeCache(jit.DefaultCacheConfig()))
+
+	type compiled struct {
+		name string
+		tr   *jit.Translation
+	}
+	var results []compiled
+	for _, name := range replayed.HotFunctions() {
+		fn, ok := site.Prog.FuncByName(name)
+		if !ok {
+			continue
+		}
+		tr, err := j.CompileOptimized(fn, replayed)
+		if err != nil {
+			// This is the moment a compiler engineer would set a
+			// breakpoint: the exact profile that broke the JIT.
+			fmt.Printf("REPRO: %s failed to compile: %v\n", name, err)
+			continue
+		}
+		results = append(results, compiled{name, tr})
+	}
+	fmt.Printf("replayed optimized compilation of %d functions\n", len(results))
+
+	// Dump diagnostics for the three hottest translations.
+	sort.Slice(results, func(i, k int) bool {
+		return replayed.Funcs[results[i].name].EntryCount >
+			replayed.Funcs[results[k].name].EntryCount
+	})
+	for i := 0; i < 3 && i < len(results); i++ {
+		r := results[i]
+		fp := replayed.Funcs[r.name]
+		guards := 0
+		for b := range r.tr.CFG.Blocks {
+			if r.tr.CFG.Blocks[b].Kind == vasm.KindGuardExit {
+				guards++
+			}
+		}
+		fmt.Printf("\n%s (entries=%d, checksum=%x)\n", r.name, fp.EntryCount, fp.Checksum)
+		fmt.Printf("  vasm blocks=%d (guards=%d) inlines=%d specialized=%d devirt=%d\n",
+			len(r.tr.CFG.Blocks), guards, len(r.tr.Inlines),
+			len(r.tr.SpecTypes), len(r.tr.Devirt))
+		fmt.Printf("  layout: hot %dB + cold %dB, %d/%d blocks hot\n",
+			r.tr.HotSize, r.tr.ColdSize, r.tr.HotCount, len(r.tr.Order))
+		if len(fp.VasmCounts) > 0 {
+			var mx uint64
+			for _, c := range fp.VasmCounts {
+				if c > mx {
+					mx = c
+				}
+			}
+			fmt.Printf("  measured vasm counters: %d blocks, max count %d\n",
+				len(fp.VasmCounts), mx)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Seeder/consumer: the complete Jump-Start cycle on one machine —
+// calibrate the load to the site, run a seeder server (Figure 3b),
+// serialize its profile-data package, validate it (Section VI-A1),
+// then boot a consumer from it (Figure 3c) and compare warmup against
+// a server without Jump-Start.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jumpstart/internal/core"
+	"jumpstart/internal/jumpstart"
+	"jumpstart/internal/prof"
+	"jumpstart/internal/server"
+	"jumpstart/internal/workload"
+)
+
+func main() {
+	siteCfg := workload.DefaultSiteConfig()
+	siteCfg.Units = 8
+	sc, err := core.NewScenario(siteCfg, server.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("site: %d functions, %d classes, %d endpoints\n",
+		len(sc.Site.Prog.Funcs), len(sc.Site.Prog.Classes), len(sc.Site.Endpoints))
+
+	// Calibrate the offered load to this site (the paper's servers
+	// take "typical production load": saturated while warming, barely
+	// not when warm).
+	capacity, err := sc.Calibrate(0.95, 600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibrated: warm capacity %.0f RPS, offered %.0f RPS, profile window %d\n",
+		capacity, sc.ServerCfg.OfferedRPS, sc.ServerCfg.ProfileWindow)
+
+	// --- Seeder phase (the paper's C2 servers).
+	pkg, err := sc.SeedPackage()
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := pkg.Encode()
+	cov := pkg.Coverage()
+	fmt.Printf("seeder package: %d bytes, %d funcs, %d hot blocks, %d units preload, %d call pairs\n",
+		len(data), cov.Funcs, cov.Blocks, len(pkg.Units), len(pkg.CallPairs))
+
+	// --- Validation before publishing (Section VI-A1).
+	store := jumpstart.NewStore()
+	validator := &jumpstart.Validator{
+		Site:           sc.Site,
+		ConsumerConfig: sc.ServerCfg,
+		Requests:       400,
+		MaxFaultRate:   0.01,
+		Thresholds:     prof.Thresholds{MinFuncs: 20, MinBlocks: 50, MinRequests: 500},
+	}
+	if err := validator.Validate(data); err != nil {
+		log.Fatalf("validation failed: %v", err)
+	}
+	id := store.Publish(0, 0, data)
+	fmt.Printf("validated and published as package %d; %s\n", id, store)
+
+	// --- Consumer boot with randomized selection + fallback.
+	srv, info, err := jumpstart.BootConsumer(sc.Site, store, jumpstart.BootConfig{Server: fullJS(sc.ServerCfg)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consumer boot: jumpstart=%v package=%d attempts=%d\n",
+		info.UsedJumpStart, info.PackageID, info.Attempts)
+
+	// --- Warmup comparison over 10 minutes of virtual time.
+	consTicks := srv.Run(600)
+	noJS, err := sc.ServerFor(core.Variant{}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	noTicks := noJS.Run(600)
+
+	steady := sc.ServerCfg.OfferedRPS
+	lossJS := server.CapacityLoss(consTicks, steady)
+	lossNo := server.CapacityLoss(noTicks, steady)
+	fmt.Printf("\nwarmup capacity loss over 600s:\n")
+	fmt.Printf("  with Jump-Start:    %5.1f%%\n", lossJS*100)
+	fmt.Printf("  without Jump-Start: %5.1f%%\n", lossNo*100)
+	if lossNo > 0 {
+		fmt.Printf("  reduction:          %5.1f%%  (paper: 54.9%%)\n", (1-lossJS/lossNo)*100)
+	}
+}
+
+// fullJS enables every Jump-Start optimization on the consumer config
+// (BootConsumer manages Mode and Package itself).
+func fullJS(cfg server.Config) server.Config {
+	cfg.JITOpts.UseVasmCounters = true
+	cfg.JITOpts.UseSeededCallGraph = true
+	cfg.UsePropertyOrder = true
+	return cfg
+}

@@ -1,0 +1,3 @@
+module jumpstart
+
+go 1.22

@@ -1,0 +1,120 @@
+package bytecode
+
+// Block is a bytecode-level basic block: a maximal straight-line span
+// of instructions. Blocks are the granularity at which the tier-1 JIT
+// inserts profiling counters and at which type profiles are keyed, so
+// they must be computed identically by seeders and consumers.
+type Block struct {
+	ID    int
+	Start int // first instruction index (inclusive)
+	End   int // last instruction index (exclusive)
+	// Succs lists successor block IDs in a canonical order:
+	// fall-through / not-taken first, then the taken target.
+	Succs []int
+}
+
+// Len returns the number of instructions in the block.
+func (b Block) Len() int { return b.End - b.Start }
+
+// Blocks returns the function's basic blocks, computing and caching
+// them on first use.
+func (f *Function) Blocks() []Block {
+	if f.blocks == nil {
+		f.blocks = computeBlocks(f.Code)
+	}
+	return f.blocks
+}
+
+// BlockAt returns the ID of the block containing instruction pc, or -1.
+func (f *Function) BlockAt(pc int) int {
+	blocks := f.Blocks()
+	lo, hi := 0, len(blocks)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		b := blocks[mid]
+		switch {
+		case pc < b.Start:
+			hi = mid - 1
+		case pc >= b.End:
+			lo = mid + 1
+		default:
+			return mid
+		}
+	}
+	return -1
+}
+
+// computeBlocks performs classic leader analysis.
+func computeBlocks(code []Instr) []Block {
+	if len(code) == 0 {
+		return nil
+	}
+	leader := make([]bool, len(code)+1)
+	leader[0] = true
+	for pc, in := range code {
+		switch {
+		case in.Op.IsJump():
+			leader[in.A] = true
+			leader[pc+1] = true
+		case in.Op == OpIterInit || in.Op == OpIterNext:
+			leader[in.B] = true
+			leader[pc+1] = true
+		case in.Op == OpRet || in.Op == OpFatal:
+			leader[pc+1] = true
+		case in.Op.IsCall():
+			// Calls end blocks so that the JIT can splice inlined
+			// callee CFGs at block boundaries.
+			leader[pc+1] = true
+		}
+	}
+
+	var blocks []Block
+	startAt := make(map[int]int) // instruction index -> block id
+	start := 0
+	for pc := 1; pc <= len(code); pc++ {
+		if pc == len(code) || leader[pc] {
+			id := len(blocks)
+			blocks = append(blocks, Block{ID: id, Start: start, End: pc})
+			startAt[start] = id
+			start = pc
+		}
+	}
+
+	for i := range blocks {
+		b := &blocks[i]
+		last := code[b.End-1]
+		addSucc := func(pc int) {
+			if id, ok := startAt[pc]; ok {
+				b.Succs = append(b.Succs, id)
+			}
+		}
+		switch {
+		case last.Op == OpJmp:
+			addSucc(int(last.A))
+		case last.Op == OpJmpZ || last.Op == OpJmpNZ:
+			addSucc(b.End) // fall-through first
+			addSucc(int(last.A))
+		case last.Op == OpIterInit || last.Op == OpIterNext:
+			addSucc(b.End)
+			addSucc(int(last.B))
+		case last.Op == OpRet || last.Op == OpFatal:
+			// no successors
+		default:
+			addSucc(b.End)
+		}
+	}
+	return blocks
+}
+
+// CallSites returns the instruction indices of every call instruction
+// in the function, in order. The JIT uses these to key call-target
+// profiles and inlining decisions.
+func (f *Function) CallSites() []int {
+	var sites []int
+	for pc, in := range f.Code {
+		if in.Op.IsCall() {
+			sites = append(sites, pc)
+		}
+	}
+	return sites
+}

@@ -1,0 +1,173 @@
+package bytecode
+
+import (
+	"fmt"
+
+	"jumpstart/internal/value"
+)
+
+// Label is a forward-patchable jump target handed out by FuncBuilder.
+type Label int
+
+// FuncBuilder incrementally assembles one Function. It is the
+// compiler's back end interface: emit instructions, create and bind
+// labels, declare locals, and Finish.
+type FuncBuilder struct {
+	fn          *Function
+	unit        *Unit
+	labels      []int   // label -> bound pc, -1 if unbound
+	patches     [][]int // label -> pcs whose A awaits binding
+	iterPatches [][]int // label -> pcs whose B awaits binding
+	locals      map[string]int
+}
+
+// NewFuncBuilder starts building a function with the given qualified
+// name inside unit. Parameters are declared immediately, in order.
+func NewFuncBuilder(unit *Unit, name string, params []string) *FuncBuilder {
+	b := &FuncBuilder{
+		fn:     &Function{Name: name, Class: NoClass, Unit: unit},
+		unit:   unit,
+		locals: make(map[string]int),
+	}
+	for _, p := range params {
+		b.DeclareLocal(p)
+	}
+	b.fn.NumParams = len(params)
+	return b
+}
+
+// SetClass marks the function as a method of class id.
+func (b *FuncBuilder) SetClass(id ClassID) { b.fn.Class = id }
+
+// DeclareLocal returns the slot for name, allocating it if new.
+func (b *FuncBuilder) DeclareLocal(name string) int {
+	if slot, ok := b.locals[name]; ok {
+		return slot
+	}
+	slot := b.fn.NumLocals
+	b.locals[name] = slot
+	b.fn.NumLocals++
+	return slot
+}
+
+// LookupLocal returns the slot for name if declared.
+func (b *FuncBuilder) LookupLocal(name string) (int, bool) {
+	slot, ok := b.locals[name]
+	return slot, ok
+}
+
+// TempLocal allocates an anonymous local slot (for desugaring).
+func (b *FuncBuilder) TempLocal() int {
+	slot := b.fn.NumLocals
+	b.fn.NumLocals++
+	return slot
+}
+
+// NewIter allocates an iterator slot.
+func (b *FuncBuilder) NewIter() int {
+	it := b.fn.NumIters
+	b.fn.NumIters++
+	return it
+}
+
+// Emit appends an instruction and returns its pc.
+func (b *FuncBuilder) Emit(op Op, a, c int32) int {
+	b.fn.Code = append(b.fn.Code, Instr{Op: op, A: a, B: c})
+	return len(b.fn.Code) - 1
+}
+
+// EmitLit pushes literal v via the unit pool, using the compact OpInt
+// form for int32-range integers.
+func (b *FuncBuilder) EmitLit(v value.Value) int {
+	if v.Kind() == value.KindInt {
+		i := v.AsInt()
+		if i >= -1<<31 && i < 1<<31 {
+			return b.Emit(OpInt, int32(i), 0)
+		}
+	}
+	switch v.Kind() {
+	case value.KindNull:
+		return b.Emit(OpNull, 0, 0)
+	case value.KindBool:
+		if v.AsBool() {
+			return b.Emit(OpTrue, 0, 0)
+		}
+		return b.Emit(OpFalse, 0, 0)
+	}
+	return b.Emit(OpLit, b.unit.AddLiteral(v), 0)
+}
+
+// LitIdx interns v in the unit literal pool and returns its index
+// without emitting an instruction (used for name operands).
+func (b *FuncBuilder) LitIdx(v value.Value) int32 { return b.unit.AddLiteral(v) }
+
+// NewLabel creates an unbound label.
+func (b *FuncBuilder) NewLabel() Label {
+	b.labels = append(b.labels, -1)
+	b.patches = append(b.patches, nil)
+	b.iterPatches = append(b.iterPatches, nil)
+	return Label(len(b.labels) - 1)
+}
+
+// Bind attaches l to the next emitted instruction and back-patches any
+// pending jumps.
+func (b *FuncBuilder) Bind(l Label) {
+	pc := len(b.fn.Code)
+	b.labels[l] = pc
+	for _, p := range b.patches[l] {
+		b.fn.Code[p].A = int32(pc)
+	}
+	b.patches[l] = nil
+	for _, p := range b.iterPatches[l] {
+		b.fn.Code[p].B = int32(pc)
+	}
+	b.iterPatches[l] = nil
+}
+
+// Jump emits an unconditional or conditional jump to l.
+func (b *FuncBuilder) Jump(op Op, l Label) {
+	pc := b.Emit(op, 0, 0)
+	if b.labels[l] >= 0 {
+		b.fn.Code[pc].A = int32(b.labels[l])
+	} else {
+		b.patches[l] = append(b.patches[l], pc)
+	}
+}
+
+// EmitIter emits an OpIterInit/OpIterNext whose B operand targets l.
+func (b *FuncBuilder) EmitIter(op Op, iter int, l Label) {
+	pc := b.Emit(op, int32(iter), 0)
+	if b.labels[l] >= 0 {
+		b.fn.Code[pc].B = int32(b.labels[l])
+	} else {
+		b.iterPatches[l] = append(b.iterPatches[l], pc)
+	}
+}
+
+// PC returns the index of the next instruction to be emitted.
+func (b *FuncBuilder) PC() int { return len(b.fn.Code) }
+
+// LastOp returns the opcode of the most recently emitted instruction,
+// or OpNop if none.
+func (b *FuncBuilder) LastOp() Op {
+	if len(b.fn.Code) == 0 {
+		return OpNop
+	}
+	return b.fn.Code[len(b.fn.Code)-1].Op
+}
+
+// Finish validates that every label was bound and returns the function.
+// If the body can fall off the end, an implicit `return null` is added.
+func (b *FuncBuilder) Finish() (*Function, error) {
+	for l, pc := range b.labels {
+		if pc < 0 && (len(b.patches[l]) > 0 || len(b.iterPatches[l]) > 0) {
+			return nil, fmt.Errorf("bytecode: unbound label %d in %s", l, b.fn.Name)
+		}
+	}
+	if len(b.fn.Code) == 0 || (!b.LastOp().IsTerminal()) {
+		b.Emit(OpNull, 0, 0)
+		b.Emit(OpRet, 0, 0)
+	}
+	b.fn.BytecodeSize = len(b.fn.Code) * 6
+	return b.fn, nil
+}

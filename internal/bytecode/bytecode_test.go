@@ -1,0 +1,532 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+
+	"jumpstart/internal/value"
+)
+
+// buildAbs builds: fun abs(x) { if (x < 0) return -x; return x; }
+func buildAbs(t *testing.T, u *Unit) *Function {
+	t.Helper()
+	b := NewFuncBuilder(u, "abs", []string{"x"})
+	elseL := b.NewLabel()
+	b.Emit(OpCGetL, 0, 0)
+	b.EmitLit(value.Int(0))
+	b.Emit(OpCmpLt, 0, 0)
+	b.Jump(OpJmpZ, elseL)
+	b.Emit(OpCGetL, 0, 0)
+	b.Emit(OpNeg, 0, 0)
+	b.Emit(OpRet, 0, 0)
+	b.Bind(elseL)
+	b.Emit(OpCGetL, 0, 0)
+	b.Emit(OpRet, 0, 0)
+	f, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return f
+}
+
+func TestBuilderLabelsAndFinish(t *testing.T) {
+	u := &Unit{Name: "t"}
+	f := buildAbs(t, u)
+	if f.NumParams != 1 || f.NumLocals != 1 {
+		t.Fatalf("params/locals = %d/%d", f.NumParams, f.NumLocals)
+	}
+	// JmpZ target patched to the Bind point.
+	var jmp *Instr
+	for i := range f.Code {
+		if f.Code[i].Op == OpJmpZ {
+			jmp = &f.Code[i]
+		}
+	}
+	if jmp == nil || int(jmp.A) != 7 {
+		t.Fatalf("JmpZ target = %v", jmp)
+	}
+}
+
+func TestBuilderImplicitReturn(t *testing.T) {
+	u := &Unit{Name: "t"}
+	b := NewFuncBuilder(u, "f", nil)
+	b.EmitLit(value.Int(1))
+	b.Emit(OpPopC, 0, 0)
+	f, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(f.Code)
+	if f.Code[n-1].Op != OpRet || f.Code[n-2].Op != OpNull {
+		t.Fatalf("missing implicit return: %v", f.Code)
+	}
+}
+
+func TestBuilderUnboundLabel(t *testing.T) {
+	u := &Unit{Name: "t"}
+	b := NewFuncBuilder(u, "f", nil)
+	l := b.NewLabel()
+	b.Emit(OpTrue, 0, 0)
+	b.Jump(OpJmpNZ, l)
+	b.Emit(OpNull, 0, 0)
+	b.Emit(OpRet, 0, 0)
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("unbound label should fail Finish")
+	}
+}
+
+func TestBuilderEmitLitForms(t *testing.T) {
+	u := &Unit{Name: "t"}
+	b := NewFuncBuilder(u, "f", nil)
+	b.EmitLit(value.Int(5))
+	b.EmitLit(value.Int(1 << 40))
+	b.EmitLit(value.Null)
+	b.EmitLit(value.Bool(true))
+	b.EmitLit(value.Bool(false))
+	b.EmitLit(value.Str("s"))
+	code := b.fn.Code
+	wantOps := []Op{OpInt, OpLit, OpNull, OpTrue, OpFalse, OpLit}
+	for i, op := range wantOps {
+		if code[i].Op != op {
+			t.Errorf("instr %d = %v, want %v", i, code[i].Op, op)
+		}
+	}
+	if len(u.Literals) != 2 {
+		t.Fatalf("literal pool = %v", u.Literals)
+	}
+}
+
+func TestUnitLiteralInterning(t *testing.T) {
+	u := &Unit{Name: "t"}
+	a := u.AddLiteral(value.Str("x"))
+	b := u.AddLiteral(value.Str("x"))
+	c := u.AddLiteral(value.Str("y"))
+	if a != b || a == c {
+		t.Fatalf("interning: %d %d %d", a, b, c)
+	}
+	if u.Literal(-1).Kind() != value.KindNull || u.Literal(99).Kind() != value.KindNull {
+		t.Fatal("out-of-range literal should be null")
+	}
+}
+
+func linkOne(t *testing.T, u *Unit) *Program {
+	t.Helper()
+	p, err := NewProgram(u)
+	if err != nil {
+		t.Fatalf("NewProgram: %v", err)
+	}
+	return p
+}
+
+func TestProgramLinkAndResolve(t *testing.T) {
+	u := &Unit{Name: "t"}
+	callee := buildAbs(t, u)
+	b := NewFuncBuilder(u, "main", nil)
+	b.EmitLit(value.Int(-3))
+	nameIdx := u.AddLiteral(value.Str("abs"))
+	b.Emit(OpFCall, nameIdx, 1)
+	b.Emit(OpRet, 0, 0)
+	caller, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Funcs = []*Function{callee, caller}
+	p := linkOne(t, u)
+
+	f, ok := p.FuncByName("main")
+	if !ok {
+		t.Fatal("main not found")
+	}
+	// FCall resolved to FCallD with the callee's id.
+	var call *Instr
+	for i := range f.Code {
+		if f.Code[i].Op == OpFCallD {
+			call = &f.Code[i]
+		}
+	}
+	if call == nil {
+		t.Fatalf("call not resolved: %s", f.Disasm())
+	}
+	if FuncID(call.A) != callee.ID {
+		t.Fatalf("resolved to %d, want %d", call.A, callee.ID)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestProgramDuplicateFunc(t *testing.T) {
+	u := &Unit{Name: "t"}
+	f1 := buildAbs(t, u)
+	f2 := buildAbs(t, u)
+	u.Funcs = []*Function{f1, f2}
+	if _, err := NewProgram(u); err == nil {
+		t.Fatal("duplicate function should fail link")
+	}
+}
+
+func makeClassProgram(t *testing.T) *Program {
+	t.Helper()
+	u := &Unit{Name: "t"}
+	base := &Class{
+		Name:    "Base",
+		Parent:  NoClass,
+		Props:   []PropDef{{Name: "a", DefaultLit: -1}, {Name: "b", DefaultLit: -1}},
+		Methods: map[string]*Function{},
+		Unit:    u,
+	}
+	derived := &Class{
+		Name:    "Derived",
+		Parent:  0, // Base gets id 0
+		Props:   []PropDef{{Name: "c", DefaultLit: -1}},
+		Methods: map[string]*Function{},
+		Unit:    u,
+	}
+	// Base::get, overridden by Derived::get.
+	bg := NewFuncBuilder(u, "Base::get", nil)
+	bg.EmitLit(value.Int(1))
+	bg.Emit(OpRet, 0, 0)
+	bgf, _ := bg.Finish()
+	dg := NewFuncBuilder(u, "Derived::get", nil)
+	dg.EmitLit(value.Int(2))
+	dg.Emit(OpRet, 0, 0)
+	dgf, _ := dg.Finish()
+	u.Funcs = []*Function{bgf, dgf}
+	u.Classes = []*Class{base, derived}
+	base.Methods["get"] = bgf
+	derived.Methods["get"] = dgf
+	p, err := NewProgram(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestClassFlattening(t *testing.T) {
+	p := makeClassProgram(t)
+	d, ok := p.ClassByName("Derived")
+	if !ok {
+		t.Fatal("Derived missing")
+	}
+	fp := d.FlatProps()
+	if len(fp) != 3 || fp[0].Name != "a" || fp[1].Name != "b" || fp[2].Name != "c" {
+		t.Fatalf("flat props = %v", fp)
+	}
+	id, ok := d.LookupMethod("get")
+	if !ok {
+		t.Fatal("method get missing")
+	}
+	if p.Funcs[id].Name != "Derived::get" {
+		t.Fatalf("override lost: %s", p.Funcs[id].Name)
+	}
+	b, _ := p.ClassByName("Base")
+	id, _ = b.LookupMethod("get")
+	if p.Funcs[id].Name != "Base::get" {
+		t.Fatalf("base method = %s", p.Funcs[id].Name)
+	}
+}
+
+func TestClassInheritanceCycle(t *testing.T) {
+	u := &Unit{Name: "t"}
+	a := &Class{Name: "A", Parent: 1, Methods: map[string]*Function{}, Unit: u}
+	b := &Class{Name: "B", Parent: 0, Methods: map[string]*Function{}, Unit: u}
+	u.Classes = []*Class{a, b}
+	if _, err := NewProgram(u); err == nil {
+		t.Fatal("cycle should fail link")
+	}
+}
+
+func TestClassPropertyRedeclaration(t *testing.T) {
+	u := &Unit{Name: "t"}
+	a := &Class{Name: "A", Parent: NoClass,
+		Props: []PropDef{{Name: "x", DefaultLit: -1}}, Methods: map[string]*Function{}, Unit: u}
+	b := &Class{Name: "B", Parent: 0,
+		Props: []PropDef{{Name: "x", DefaultLit: -1}}, Methods: map[string]*Function{}, Unit: u}
+	u.Classes = []*Class{a, b}
+	if _, err := NewProgram(u); err == nil {
+		t.Fatal("property redeclaration should fail link")
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	u := &Unit{Name: "t"}
+	f := buildAbs(t, u)
+	u.Funcs = []*Function{f}
+	linkOne(t, u)
+	blocks := f.Blocks()
+	// abs: b0 = compare+branch, b1 = negate+ret, b2 = ret.
+	if len(blocks) != 3 {
+		t.Fatalf("blocks = %d: %s", len(blocks), f.Disasm())
+	}
+	if len(blocks[0].Succs) != 2 {
+		t.Fatalf("entry succs = %v", blocks[0].Succs)
+	}
+	if len(blocks[1].Succs) != 0 || len(blocks[2].Succs) != 0 {
+		t.Fatal("ret blocks must have no successors")
+	}
+	// BlockAt maps each pc into its block.
+	for pc := range f.Code {
+		id := f.BlockAt(pc)
+		if id < 0 || pc < blocks[id].Start || pc >= blocks[id].End {
+			t.Fatalf("BlockAt(%d) = %d", pc, id)
+		}
+	}
+	if f.BlockAt(-1) != -1 || f.BlockAt(len(f.Code)) != -1 {
+		t.Fatal("out-of-range BlockAt should be -1")
+	}
+}
+
+func TestCallSites(t *testing.T) {
+	u := &Unit{Name: "t"}
+	b := NewFuncBuilder(u, "f", nil)
+	b.EmitLit(value.Int(1))
+	b.Emit(OpFCallD, 0, 1)
+	b.Emit(OpPopC, 0, 0)
+	b.Emit(OpBuiltin, int32(BLen), 1) // builtins are not call sites
+	b.Emit(OpRet, 0, 0)
+	f, _ := b.Finish()
+	sites := f.CallSites()
+	if len(sites) != 1 || sites[0] != 1 {
+		t.Fatalf("call sites = %v", sites)
+	}
+}
+
+func TestVerifyCatchesBadBytecode(t *testing.T) {
+	mk := func(mutate func(*Function, *Unit)) error {
+		u := &Unit{Name: "t"}
+		f := buildAbs(t, u)
+		u.Funcs = []*Function{f}
+		p, err := NewProgram(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(f, u)
+		f.blocks = nil
+		return p.Verify()
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Function, *Unit)
+	}{
+		{"bad local", func(f *Function, u *Unit) { f.Code[0].A = 99 }},
+		{"bad jump", func(f *Function, u *Unit) {
+			for i := range f.Code {
+				if f.Code[i].Op == OpJmpZ {
+					f.Code[i].A = 1000
+				}
+			}
+		}},
+		{"underflow", func(f *Function, u *Unit) { f.Code[0] = Instr{Op: OpAdd} }},
+		{"falls off end", func(f *Function, u *Unit) { f.Code[len(f.Code)-1] = Instr{Op: OpNop} }},
+		{"depth mismatch", func(f *Function, u *Unit) {
+			// Make the two Ret paths join with different depths by
+			// replacing Neg with a push.
+			for i := range f.Code {
+				if f.Code[i].Op == OpNeg {
+					f.Code[i] = Instr{Op: OpDup}
+				}
+			}
+		}},
+	}
+	for _, c := range cases {
+		if err := mk(c.mutate); err == nil {
+			t.Errorf("%s: verify should fail", c.name)
+		} else if _, ok := err.(*VerifyError); !ok {
+			t.Errorf("%s: want *VerifyError, got %T", c.name, err)
+		}
+	}
+}
+
+func TestVerifyGoodProgram(t *testing.T) {
+	p := makeClassProgram(t)
+	if err := p.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestDisasmStable(t *testing.T) {
+	u := &Unit{Name: "t"}
+	f := buildAbs(t, u)
+	u.Funcs = []*Function{f}
+	p := linkOne(t, u)
+	d := p.Disasm()
+	for _, want := range []string{".function abs", "CmpLt", "JmpZ 7", "b0:", "succs=[1 2]"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disasm missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestOpMetadata(t *testing.T) {
+	if !OpJmp.IsJump() || OpRet.IsJump() {
+		t.Error("IsJump")
+	}
+	if !OpJmpZ.IsConditional() || OpJmp.IsConditional() {
+		t.Error("IsConditional")
+	}
+	if !OpRet.IsTerminal() || OpJmpZ.IsTerminal() {
+		t.Error("IsTerminal")
+	}
+	if !OpFCallD.IsCall() || OpBuiltin.IsCall() {
+		t.Error("IsCall")
+	}
+	if OpNewObjL.String() != "NewObjL" {
+		t.Errorf("op name = %s", OpNewObjL)
+	}
+	if Op(200).String() != "Op(200)" {
+		t.Error("unknown op name")
+	}
+}
+
+func TestStackEffects(t *testing.T) {
+	cases := []struct {
+		op           Op
+		a, b         int32
+		pops, pushes int
+	}{
+		{OpAdd, 0, 0, 2, 1},
+		{OpFCallD, 0, 3, 3, 1},
+		{OpFCallM, 0, 2, 3, 1},
+		{OpNewVec, 4, 0, 4, 1},
+		{OpNewDict, 2, 0, 4, 1},
+		{OpIdxSet, 0, 0, 3, 1},
+		{OpSetL, 0, 0, 1, 1},
+		{OpIterInit, 0, 5, 1, 0},
+	}
+	for _, c := range cases {
+		pops, pushes := c.op.StackEffect(c.a, c.b)
+		if pops != c.pops || pushes != c.pushes {
+			t.Errorf("%v effect = %d,%d want %d,%d", c.op, pops, pushes, c.pops, c.pushes)
+		}
+	}
+}
+
+func TestBuiltinNames(t *testing.T) {
+	id, ok := BuiltinByName("sqrt")
+	if !ok || id != BSqrt {
+		t.Fatalf("sqrt -> %v %v", id, ok)
+	}
+	if _, ok := BuiltinByName("nope"); ok {
+		t.Fatal("unknown builtin resolved")
+	}
+	if BPrint.String() != "print" {
+		t.Error("builtin name")
+	}
+}
+
+func TestTotalBytecodeSize(t *testing.T) {
+	u := &Unit{Name: "t"}
+	f := buildAbs(t, u)
+	u.Funcs = []*Function{f}
+	p := linkOne(t, u)
+	if p.TotalBytecodeSize() != len(f.Code)*6 {
+		t.Fatalf("size = %d", p.TotalBytecodeSize())
+	}
+}
+
+func TestProgramDisasmWithClasses(t *testing.T) {
+	p := makeClassProgram(t)
+	d := p.Disasm()
+	for _, want := range []string{
+		".class Base", ".class Derived extends Base",
+		".prop a", ".method get ->",
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("program disasm missing %q", want)
+		}
+	}
+	base, _ := p.ClassByName("Base")
+	if names := base.MethodNames(); len(names) != 1 || names[0] != "get" {
+		t.Fatalf("method names = %v", names)
+	}
+}
+
+func TestBuilderHelpers(t *testing.T) {
+	u := &Unit{Name: "t"}
+	b := NewFuncBuilder(u, "f", []string{"a"})
+	if slot, ok := b.LookupLocal("a"); !ok || slot != 0 {
+		t.Fatal("LookupLocal param")
+	}
+	if _, ok := b.LookupLocal("zz"); ok {
+		t.Fatal("LookupLocal unknown")
+	}
+	if tmp := b.TempLocal(); tmp != 1 {
+		t.Fatalf("temp = %d", tmp)
+	}
+	if it := b.NewIter(); it != 0 {
+		t.Fatalf("iter = %d", it)
+	}
+	if b.PC() != 0 {
+		t.Fatal("PC")
+	}
+	idx := b.LitIdx(value.Str("s"))
+	if u.Literal(idx).AsStr() != "s" {
+		t.Fatal("LitIdx")
+	}
+	b.SetClass(3)
+	b.Emit(OpNull, 0, 0)
+	b.Emit(OpRet, 0, 0)
+	fn, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn.Class != 3 {
+		t.Fatal("SetClass lost")
+	}
+	if fn.Blocks()[0].Len() != 2 {
+		t.Fatal("block Len")
+	}
+}
+
+func TestSetCodeInvalidatesCaches(t *testing.T) {
+	u := &Unit{Name: "t"}
+	f := buildAbs(t, u)
+	u.Funcs = []*Function{f}
+	linkOne(t, u)
+	before := len(f.Blocks())
+	f.SetCode([]Instr{{Op: OpNull}, {Op: OpRet}})
+	if len(f.Blocks()) == before {
+		t.Fatal("blocks cache not invalidated")
+	}
+	if f.BytecodeSize != 12 {
+		t.Fatalf("size = %d", f.BytecodeSize)
+	}
+}
+
+func TestVerifyErrorMessage(t *testing.T) {
+	e := &VerifyError{Func: "f", PC: 3, Msg: "boom"}
+	if !strings.Contains(e.Error(), "f @3: boom") {
+		t.Fatalf("msg = %q", e.Error())
+	}
+}
+
+func TestEmitIterBindsForwardLabels(t *testing.T) {
+	u := &Unit{Name: "t"}
+	b := NewFuncBuilder(u, "f", []string{"a"})
+	it := b.NewIter()
+	end := b.NewLabel()
+	body := b.NewLabel()
+	b.Emit(OpCGetL, 0, 0)
+	b.EmitIter(OpIterInit, it, end) // forward iterator label
+	b.Bind(body)
+	b.Emit(OpIterVal, int32(it), 0)
+	b.Emit(OpPopC, 0, 0)
+	b.EmitIter(OpIterNext, it, body) // backward iterator label
+	b.Bind(end)
+	b.Emit(OpNull, 0, 0)
+	b.Emit(OpRet, 0, 0)
+	fn, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IterInit's forward B operand was patched to the Bind point, and
+	// IterNext's backward B resolved immediately.
+	for _, in := range fn.Code {
+		if in.Op == OpIterInit && int(in.B) != 5 {
+			t.Fatalf("IterInit target = %d", in.B)
+		}
+		if in.Op == OpIterNext && int(in.B) != 2 {
+			t.Fatalf("IterNext target = %d", in.B)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+
+	"jumpstart/internal/value"
+)
+
+// Disasm renders a human-readable disassembly of the function,
+// annotating literal operands with their values and block boundaries
+// with block IDs. The format is stable enough for golden tests.
+func (f *Function) Disasm() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".function %s (params=%d locals=%d iters=%d)\n",
+		f.Name, f.NumParams, f.NumLocals, f.NumIters)
+	blocks := f.Blocks()
+	next := 0
+	for pc, in := range f.Code {
+		if next < len(blocks) && blocks[next].Start == pc {
+			fmt.Fprintf(&b, "  b%d:", blocks[next].ID)
+			if len(blocks[next].Succs) > 0 {
+				fmt.Fprintf(&b, " ; succs=%v", blocks[next].Succs)
+			}
+			b.WriteByte('\n')
+			next++
+		}
+		fmt.Fprintf(&b, "    %4d  %s%s\n", pc, in.String(), f.annotate(in))
+	}
+	return b.String()
+}
+
+// annotate returns a comment describing literal operands.
+func (f *Function) annotate(in Instr) string {
+	if f.Unit == nil {
+		return ""
+	}
+	switch in.Op {
+	case OpLit, OpFCall, OpFCallM, OpNewObjL, OpPropGet, OpPropSet:
+		v := f.Unit.Literal(in.A)
+		if v.Kind() == value.KindNull && in.Op == OpLit {
+			return ""
+		}
+		return "  ; " + v.String()
+	case OpBuiltin:
+		return "  ; " + Builtin(in.A).String()
+	default:
+		return ""
+	}
+}
+
+// Disasm renders the whole program: every class then every function.
+func (p *Program) Disasm() string {
+	var b strings.Builder
+	for _, c := range p.Classes {
+		fmt.Fprintf(&b, ".class %s", c.Name)
+		if c.Parent != NoClass {
+			fmt.Fprintf(&b, " extends %s", p.Classes[c.Parent].Name)
+		}
+		b.WriteByte('\n')
+		for _, pd := range c.Props {
+			fmt.Fprintf(&b, "  .prop %s\n", pd.Name)
+		}
+		for _, m := range c.MethodNames() {
+			if id, ok := c.LookupMethod(m); ok {
+				fmt.Fprintf(&b, "  .method %s -> #%d\n", m, id)
+			}
+		}
+	}
+	for _, f := range p.Funcs {
+		b.WriteString(f.Disasm())
+	}
+	return b.String()
+}

@@ -1,0 +1,287 @@
+// Package bytecode defines the MiniHack virtual machine's untyped
+// bytecode: the instruction set, functions, classes, units and the
+// linked whole-program representation ("the repo" in HHVM terms).
+//
+// Like HHBC, the bytecode is deliberately untyped — every operand
+// position accepts any runtime Kind — which is what makes profile-guided
+// type specialization in the simulated JIT worthwhile. Source code is
+// compiled to this representation offline (internal/hackc) and deployed
+// as a Program; the server never mutates it at runtime.
+package bytecode
+
+import "fmt"
+
+// Op is a bytecode opcode.
+type Op uint8
+
+// The MiniHack instruction set. Operand meanings:
+//
+//	A, B — int32 immediates whose interpretation depends on the opcode
+//	       (literal-pool index, local slot, jump target, function id,
+//	       argument count, ...).
+const (
+	OpNop Op = iota
+
+	// Constants / stack.
+	OpNull  // push null
+	OpTrue  // push true
+	OpFalse // push false
+	OpInt   // push int(A)
+	OpLit   // push literal pool entry A (big ints, floats, strings)
+	OpDup   // duplicate top of stack
+	OpPopC  // pop and discard
+
+	// Locals.
+	OpCGetL // push local A
+	OpSetL  // local A = top (value stays on stack, PHP-style assignment expr)
+	OpPushL // move local A onto the stack, leaving the local null
+
+	// Arithmetic / logic. All pop two and push one unless noted.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpConcat
+	OpNeg // unary
+	OpNot // unary
+	OpBitAnd
+	OpBitOr
+	OpBitXor
+	OpShl
+	OpShr
+
+	// Comparisons.
+	OpCmpEq
+	OpCmpNeq
+	OpCmpSame
+	OpCmpNSame
+	OpCmpLt
+	OpCmpLte
+	OpCmpGt
+	OpCmpGte
+
+	// Control flow. Jump targets are instruction indices within the
+	// function (resolved by the builder from labels).
+	OpJmp   // goto A
+	OpJmpZ  // pop; if falsy goto A
+	OpJmpNZ // pop; if truthy goto A
+	OpRet   // pop; return value
+	OpFatal // pop; raise a runtime fault with the popped message
+
+	// Calls. Arguments are pushed left to right; the callee sees them
+	// as locals 0..argc-1.
+	OpFCall   // call function named by literal A with B args (late-bound)
+	OpFCallD  // call function id A with B args (resolved by the linker)
+	OpFCallM  // pop B args then receiver; call method named literal A
+	OpBuiltin // call builtin id A with B args
+	OpNewObj  // instantiate class id A, calling its constructor with B args
+	OpNewObjL // instantiate class named by literal A (late-bound), B args
+	OpThis    // push the current receiver
+
+	// Properties.
+	OpPropGet // pop obj; push obj->{literal A}
+	OpPropSet // pop value, obj; obj->{literal A} = value; push value
+
+	// Arrays.
+	OpNewVec  // pop A elements; push vector-style array
+	OpNewDict // pop A (key,value) pairs; push dict-style array
+	OpIdxGet  // pop key, base; push base[key] (null + notice when absent)
+	OpIdxSet  // pop value, key, base; base[key] = value; push value
+	OpIdxApp  // pop value, base; base[] = value; push value
+
+	// Iteration support (compiled from foreach).
+	OpIterInit // pop array; init iterator A; if empty goto B
+	OpIterNext // advance iterator A; if more goto B
+	OpIterKey  // push current key of iterator A
+	OpIterVal  // push current value of iterator A
+
+	NumOps = int(OpIterVal) + 1
+)
+
+var opNames = [NumOps]string{
+	OpNop: "Nop", OpNull: "Null", OpTrue: "True", OpFalse: "False",
+	OpInt: "Int", OpLit: "Lit", OpDup: "Dup", OpPopC: "PopC",
+	OpCGetL: "CGetL", OpSetL: "SetL", OpPushL: "PushL",
+	OpAdd: "Add", OpSub: "Sub", OpMul: "Mul", OpDiv: "Div", OpMod: "Mod",
+	OpConcat: "Concat", OpNeg: "Neg", OpNot: "Not",
+	OpBitAnd: "BitAnd", OpBitOr: "BitOr", OpBitXor: "BitXor",
+	OpShl: "Shl", OpShr: "Shr",
+	OpCmpEq: "CmpEq", OpCmpNeq: "CmpNeq", OpCmpSame: "CmpSame",
+	OpCmpNSame: "CmpNSame", OpCmpLt: "CmpLt", OpCmpLte: "CmpLte",
+	OpCmpGt: "CmpGt", OpCmpGte: "CmpGte",
+	OpJmp: "Jmp", OpJmpZ: "JmpZ", OpJmpNZ: "JmpNZ", OpRet: "Ret",
+	OpFatal: "Fatal",
+	OpFCall: "FCall", OpFCallD: "FCallD", OpFCallM: "FCallM",
+	OpBuiltin: "Builtin", OpNewObj: "NewObj", OpNewObjL: "NewObjL",
+	OpThis:    "This",
+	OpPropGet: "PropGet", OpPropSet: "PropSet",
+	OpNewVec: "NewVec", OpNewDict: "NewDict",
+	OpIdxGet: "IdxGet", OpIdxSet: "IdxSet", OpIdxApp: "IdxApp",
+	OpIterInit: "IterInit", OpIterNext: "IterNext",
+	OpIterKey: "IterKey", OpIterVal: "IterVal",
+}
+
+// String returns the opcode mnemonic.
+func (op Op) String() string {
+	if int(op) < NumOps && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// IsJump reports whether the opcode transfers control to operand A.
+func (op Op) IsJump() bool {
+	switch op {
+	case OpJmp, OpJmpZ, OpJmpNZ:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsConditional reports whether the instruction may either jump or fall
+// through (conditional branches and iterator steps).
+func (op Op) IsConditional() bool {
+	switch op {
+	case OpJmpZ, OpJmpNZ, OpIterInit, OpIterNext:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsTerminal reports whether control never falls through to the next
+// instruction.
+func (op Op) IsTerminal() bool {
+	switch op {
+	case OpJmp, OpRet, OpFatal:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsCall reports whether the opcode invokes another MiniHack function
+// (builtins excluded: they never enter the JIT's call graph).
+func (op Op) IsCall() bool {
+	switch op {
+	case OpFCall, OpFCallD, OpFCallM, OpNewObj, OpNewObjL:
+		return true
+	default:
+		return false
+	}
+}
+
+// StackEffect returns how many values the instruction pops and pushes.
+// For variable-arity instructions the counts depend on the operands.
+func (op Op) StackEffect(a, b int32) (pops, pushes int) {
+	switch op {
+	case OpNop, OpJmp:
+		return 0, 0
+	case OpNull, OpTrue, OpFalse, OpInt, OpLit, OpCGetL, OpPushL, OpThis:
+		return 0, 1
+	case OpDup:
+		return 1, 2
+	case OpPopC, OpJmpZ, OpJmpNZ, OpRet, OpFatal, OpIterInit:
+		return 1, 0
+	case OpSetL:
+		return 1, 1
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpConcat,
+		OpBitAnd, OpBitOr, OpBitXor, OpShl, OpShr,
+		OpCmpEq, OpCmpNeq, OpCmpSame, OpCmpNSame,
+		OpCmpLt, OpCmpLte, OpCmpGt, OpCmpGte:
+		return 2, 1
+	case OpNeg, OpNot:
+		return 1, 1
+	case OpFCall, OpFCallD, OpBuiltin:
+		return int(b), 1
+	case OpFCallM:
+		return int(b) + 1, 1 // args + receiver
+	case OpNewObj, OpNewObjL:
+		return int(b), 1
+	case OpPropGet:
+		return 1, 1
+	case OpPropSet:
+		return 2, 1
+	case OpNewVec:
+		return int(a), 1
+	case OpNewDict:
+		return 2 * int(a), 1
+	case OpIdxGet:
+		return 2, 1
+	case OpIdxSet:
+		return 3, 1
+	case OpIdxApp:
+		return 2, 1
+	case OpIterNext:
+		return 0, 0
+	case OpIterKey, OpIterVal:
+		return 0, 1
+	default:
+		return 0, 0
+	}
+}
+
+// Builtin identifies an intrinsic function implemented by the runtime.
+type Builtin int32
+
+// The builtin function set. These model HHVM's HNI builtins: they are
+// executed natively, never JITed, and never profiled as call targets.
+const (
+	BPrint Builtin = iota
+	BLen
+	BPush
+	BKeys
+	BVals
+	BSqrt
+	BAbs
+	BMin
+	BMax
+	BPow
+	BFloor
+	BCeil
+	BStrlen
+	BSubstr
+	BOrd
+	BChr
+	BIntVal
+	BFloatVal
+	BStrVal
+	BIsNull
+	BIsInt
+	BIsStr
+	BIsArr
+	BIsObj
+	BHash // deterministic 64-bit string hash, used by workloads
+
+	NumBuiltins = int(BHash) + 1
+)
+
+var builtinNames = [NumBuiltins]string{
+	BPrint: "print", BLen: "len", BPush: "push", BKeys: "keys",
+	BVals: "vals", BSqrt: "sqrt", BAbs: "abs", BMin: "min", BMax: "max",
+	BPow: "pow", BFloor: "floor", BCeil: "ceil",
+	BStrlen: "strlen", BSubstr: "substr", BOrd: "ord", BChr: "chr",
+	BIntVal: "intval", BFloatVal: "floatval", BStrVal: "strval",
+	BIsNull: "is_null", BIsInt: "is_int", BIsStr: "is_string",
+	BIsArr: "is_array", BIsObj: "is_object", BHash: "hash",
+}
+
+// String returns the builtin's source-level name.
+func (b Builtin) String() string {
+	if int(b) < NumBuiltins {
+		return builtinNames[b]
+	}
+	return fmt.Sprintf("builtin(%d)", int32(b))
+}
+
+// BuiltinByName resolves a source-level name to a Builtin id.
+func BuiltinByName(name string) (Builtin, bool) {
+	for i, n := range builtinNames {
+		if n == name {
+			return Builtin(i), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,317 @@
+package bytecode
+
+import (
+	"fmt"
+	"sort"
+
+	"jumpstart/internal/value"
+)
+
+// Instr is one fixed-width bytecode instruction.
+type Instr struct {
+	Op   Op
+	A, B int32
+}
+
+// String renders the instruction for disassembly.
+func (in Instr) String() string {
+	switch {
+	case in.Op == OpNop || in.Op == OpNull || in.Op == OpTrue ||
+		in.Op == OpFalse || in.Op == OpDup || in.Op == OpPopC ||
+		in.Op == OpRet || in.Op == OpFatal || in.Op == OpThis ||
+		(in.Op >= OpAdd && in.Op <= OpCmpGte) ||
+		in.Op == OpIdxGet || in.Op == OpIdxSet || in.Op == OpIdxApp:
+		return in.Op.String()
+	case in.Op == OpFCall || in.Op == OpFCallD || in.Op == OpFCallM ||
+		in.Op == OpBuiltin || in.Op == OpNewObj || in.Op == OpNewObjL ||
+		in.Op == OpIterInit || in.Op == OpIterNext:
+		return fmt.Sprintf("%s %d %d", in.Op, in.A, in.B)
+	default:
+		return fmt.Sprintf("%s %d", in.Op, in.A)
+	}
+}
+
+// FuncID identifies a function in a linked Program. IDs are dense
+// indices into Program.Funcs; NoFunc marks "absent".
+type FuncID int32
+
+// NoFunc is the absent-function sentinel.
+const NoFunc FuncID = -1
+
+// ClassID identifies a class in a linked Program.
+type ClassID int32
+
+// NoClass is the absent-class sentinel (free functions, root parents).
+const NoClass ClassID = -1
+
+// PropDef declares one object property in source order. The declared
+// order is observable in MiniHack (objects iterate their properties in
+// declaration order), which is the constraint Section V-C's property
+// reordering must respect via an index-translation table.
+type PropDef struct {
+	Name string
+	// DefaultLit indexes the unit literal pool, or -1 for null.
+	DefaultLit int32
+}
+
+// Function holds the bytecode and metadata of one MiniHack function or
+// method.
+type Function struct {
+	ID        FuncID
+	Name      string  // qualified: "f" or "Cls::m"
+	Class     ClassID // NoClass for free functions
+	NumParams int
+	NumLocals int // params + declared locals
+	NumIters  int // iterator slots used by foreach
+	Code      []Instr
+	Unit      *Unit // owning unit (literal pool)
+
+	// BytecodeSize is the simulated encoded size in bytes; the real VM
+	// tracks this for code-cache budgeting and Figure 1's curve.
+	BytecodeSize int
+
+	blocks []Block // lazily computed basic blocks
+}
+
+// SetCode replaces the function body, invalidating cached analyses and
+// refreshing the simulated encoded size. The offline optimizer uses it.
+func (f *Function) SetCode(code []Instr) {
+	f.Code = code
+	f.blocks = nil
+	f.BytecodeSize = len(code) * 6
+}
+
+// Class describes a MiniHack class.
+type Class struct {
+	ID      ClassID
+	Name    string
+	Parent  ClassID
+	Props   []PropDef            // own (non-inherited) properties, declared order
+	Methods map[string]*Function // own methods by bare name
+	Unit    *Unit
+
+	// flat caches, filled by Program.Link.
+	flatProps   []PropDef // inherited-first, declared order within layers
+	flatMethods map[string]FuncID
+}
+
+// Unit is one compiled source file: a literal pool plus the functions
+// and classes it defines. Units are the granularity at which HHVM
+// preloads "repo global data" on Jump-Start consumers.
+type Unit struct {
+	Name     string
+	Literals []value.Value
+	Funcs    []*Function
+	Classes  []*Class
+}
+
+// AddLiteral interns v in the unit literal pool and returns its index.
+func (u *Unit) AddLiteral(v value.Value) int32 {
+	for i, l := range u.Literals {
+		if value.Identical(l, v) {
+			return int32(i)
+		}
+	}
+	u.Literals = append(u.Literals, v)
+	return int32(len(u.Literals) - 1)
+}
+
+// Literal fetches pool entry i, or null if out of range.
+func (u *Unit) Literal(i int32) value.Value {
+	if i < 0 || int(i) >= len(u.Literals) {
+		return value.Null
+	}
+	return u.Literals[i]
+}
+
+// Program is the linked whole-program bytecode repo: every unit merged,
+// every function and class assigned a dense ID, and name-based calls
+// resolved to direct IDs where the target is statically known.
+type Program struct {
+	Units   []*Unit
+	Funcs   []*Function
+	Classes []*Class
+
+	funcByName  map[string]FuncID
+	classByName map[string]ClassID
+}
+
+// NewProgram links the given units into a Program. Linking assigns IDs,
+// resolves OpFCall → OpFCallD and OpNewObjL → OpNewObj when targets are
+// unique, flattens class hierarchies, and validates inheritance.
+func NewProgram(units ...*Unit) (*Program, error) {
+	p := &Program{
+		Units:       units,
+		funcByName:  make(map[string]FuncID),
+		classByName: make(map[string]ClassID),
+	}
+	for _, u := range units {
+		for _, c := range u.Classes {
+			if _, dup := p.classByName[c.Name]; dup {
+				return nil, fmt.Errorf("bytecode: duplicate class %q", c.Name)
+			}
+			c.ID = ClassID(len(p.Classes))
+			p.Classes = append(p.Classes, c)
+			p.classByName[c.Name] = c.ID
+		}
+	}
+	for _, u := range units {
+		for _, f := range u.Funcs {
+			if _, dup := p.funcByName[f.Name]; dup {
+				return nil, fmt.Errorf("bytecode: duplicate function %q", f.Name)
+			}
+			f.ID = FuncID(len(p.Funcs))
+			f.Unit = u
+			p.Funcs = append(p.Funcs, f)
+			p.funcByName[f.Name] = f.ID
+			if f.BytecodeSize == 0 {
+				f.BytecodeSize = len(f.Code) * 6 // opcode + 2 operands, varint-ish
+			}
+		}
+	}
+	if err := p.flattenClasses(); err != nil {
+		return nil, err
+	}
+	p.resolveCalls()
+	return p, nil
+}
+
+// flattenClasses validates the hierarchy and computes flattened
+// property and method tables.
+func (p *Program) flattenClasses() error {
+	state := make([]int, len(p.Classes)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(c *Class) error
+	visit = func(c *Class) error {
+		switch state[c.ID] {
+		case 2:
+			return nil
+		case 1:
+			return fmt.Errorf("bytecode: inheritance cycle through %q", c.Name)
+		}
+		state[c.ID] = 1
+		var parentProps []PropDef
+		var parentMethods map[string]FuncID
+		if c.Parent != NoClass {
+			pc := p.Classes[c.Parent]
+			if err := visit(pc); err != nil {
+				return err
+			}
+			parentProps = pc.flatProps
+			parentMethods = pc.flatMethods
+		}
+		seen := map[string]bool{}
+		for _, pd := range parentProps {
+			seen[pd.Name] = true
+		}
+		c.flatProps = append([]PropDef{}, parentProps...)
+		for _, pd := range c.Props {
+			if seen[pd.Name] {
+				return fmt.Errorf("bytecode: class %q redeclares property %q", c.Name, pd.Name)
+			}
+			seen[pd.Name] = true
+			c.flatProps = append(c.flatProps, pd)
+		}
+		c.flatMethods = make(map[string]FuncID, len(parentMethods)+len(c.Methods))
+		for name, id := range parentMethods {
+			c.flatMethods[name] = id
+		}
+		for name, fn := range c.Methods {
+			if int(fn.ID) < 0 || int(fn.ID) >= len(p.Funcs) || p.Funcs[fn.ID] != fn {
+				return fmt.Errorf("bytecode: method %s::%s not registered in its unit", c.Name, name)
+			}
+			fn.Class = c.ID
+			c.flatMethods[name] = fn.ID // override
+		}
+		state[c.ID] = 2
+		return nil
+	}
+	for _, c := range p.Classes {
+		if c.Parent != NoClass && (int(c.Parent) < 0 || int(c.Parent) >= len(p.Classes)) {
+			return fmt.Errorf("bytecode: class %q has invalid parent id %d", c.Name, c.Parent)
+		}
+		if err := visit(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolveCalls rewrites late-bound calls whose targets are statically
+// known, mirroring HHVM's offline whole-program optimization: with a
+// repo-authoritative build, function names resolve at deploy time.
+func (p *Program) resolveCalls() {
+	for _, f := range p.Funcs {
+		for i := range f.Code {
+			in := &f.Code[i]
+			switch in.Op {
+			case OpFCall:
+				name := f.Unit.Literal(in.A)
+				if name.Kind() == value.KindStr {
+					if id, ok := p.funcByName[name.AsStr()]; ok {
+						in.Op = OpFCallD
+						in.A = int32(id)
+					}
+				}
+			case OpNewObjL:
+				name := f.Unit.Literal(in.A)
+				if name.Kind() == value.KindStr {
+					if id, ok := p.classByName[name.AsStr()]; ok {
+						in.Op = OpNewObj
+						in.A = int32(id)
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuncByName resolves a qualified function name.
+func (p *Program) FuncByName(name string) (*Function, bool) {
+	id, ok := p.funcByName[name]
+	if !ok {
+		return nil, false
+	}
+	return p.Funcs[id], true
+}
+
+// ClassByName resolves a class name.
+func (p *Program) ClassByName(name string) (*Class, bool) {
+	id, ok := p.classByName[name]
+	if !ok {
+		return nil, false
+	}
+	return p.Classes[id], true
+}
+
+// FlatProps returns the class's full property list: inherited layers
+// first, each layer in declared order. Positions in this slice are the
+// *declared indices* that the object-layout optimization must keep
+// observable.
+func (c *Class) FlatProps() []PropDef { return c.flatProps }
+
+// LookupMethod resolves a bare method name through the flattened
+// hierarchy.
+func (c *Class) LookupMethod(name string) (FuncID, bool) {
+	id, ok := c.flatMethods[name]
+	return id, ok
+}
+
+// MethodNames returns the flattened method names in sorted order
+// (deterministic iteration for tools and tests).
+func (c *Class) MethodNames() []string {
+	names := make([]string, 0, len(c.flatMethods))
+	for n := range c.flatMethods {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalBytecodeSize sums the simulated encoded size of all functions.
+func (p *Program) TotalBytecodeSize() int {
+	total := 0
+	for _, f := range p.Funcs {
+		total += f.BytecodeSize
+	}
+	return total
+}

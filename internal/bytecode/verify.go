@@ -1,0 +1,149 @@
+package bytecode
+
+import "fmt"
+
+// VerifyError describes a bytecode verification failure.
+type VerifyError struct {
+	Func string
+	PC   int
+	Msg  string
+}
+
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("bytecode: verify %s @%d: %s", e.Func, e.PC, e.Msg)
+}
+
+// Verify checks a whole Program. Every function must pass VerifyFunc.
+func (p *Program) Verify() error {
+	for _, f := range p.Funcs {
+		if err := p.VerifyFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyFunc checks the structural well-formedness of one function:
+// jump targets in range, operand indices valid, terminating control
+// flow, and a consistent stack depth at every program point (computed
+// by abstract interpretation over the CFG). HHVM runs the analogous
+// verifier when loading units; Jump-Start consumers additionally rely
+// on it to reject profile packages referencing malformed bytecode.
+func (p *Program) VerifyFunc(f *Function) error {
+	fail := func(pc int, format string, args ...interface{}) error {
+		return &VerifyError{Func: f.Name, PC: pc, Msg: fmt.Sprintf(format, args...)}
+	}
+	if len(f.Code) == 0 {
+		return fail(0, "empty function body")
+	}
+	if f.NumParams > f.NumLocals {
+		return fail(0, "params (%d) exceed locals (%d)", f.NumParams, f.NumLocals)
+	}
+
+	for pc, in := range f.Code {
+		switch in.Op {
+		case OpCGetL, OpSetL, OpPushL:
+			if in.A < 0 || int(in.A) >= f.NumLocals {
+				return fail(pc, "local %d out of range [0,%d)", in.A, f.NumLocals)
+			}
+		case OpLit, OpPropGet, OpPropSet, OpFCall, OpFCallM, OpNewObjL:
+			if in.A < 0 || int(in.A) >= len(f.Unit.Literals) {
+				return fail(pc, "literal %d out of range", in.A)
+			}
+		case OpFCallD:
+			if in.A < 0 || int(in.A) >= len(p.Funcs) {
+				return fail(pc, "function id %d out of range", in.A)
+			}
+			if int(in.B) != p.Funcs[in.A].NumParams {
+				return fail(pc, "call to %s with %d args, want %d",
+					p.Funcs[in.A].Name, in.B, p.Funcs[in.A].NumParams)
+			}
+		case OpNewObj:
+			if in.A < 0 || int(in.A) >= len(p.Classes) {
+				return fail(pc, "class id %d out of range", in.A)
+			}
+		case OpBuiltin:
+			if in.A < 0 || int(in.A) >= NumBuiltins {
+				return fail(pc, "builtin id %d out of range", in.A)
+			}
+		case OpJmp, OpJmpZ, OpJmpNZ:
+			if in.A < 0 || int(in.A) >= len(f.Code) {
+				return fail(pc, "jump target %d out of range", in.A)
+			}
+		case OpIterInit, OpIterNext, OpIterKey, OpIterVal:
+			if in.A < 0 || int(in.A) >= f.NumIters {
+				return fail(pc, "iterator %d out of range [0,%d)", in.A, f.NumIters)
+			}
+			if in.Op == OpIterInit || in.Op == OpIterNext {
+				if in.B < 0 || int(in.B) >= len(f.Code) {
+					return fail(pc, "iterator jump target %d out of range", in.B)
+				}
+			}
+		case OpThis:
+			if f.Class == NoClass {
+				return fail(pc, "This outside a method")
+			}
+		}
+		if in.Op.IsCall() && in.B < 0 {
+			return fail(pc, "negative arg count")
+		}
+	}
+
+	// Last instruction must not fall off the end.
+	last := f.Code[len(f.Code)-1]
+	if !last.Op.IsTerminal() && !last.Op.IsConditional() {
+		return fail(len(f.Code)-1, "control falls off function end")
+	}
+	if last.Op.IsConditional() {
+		return fail(len(f.Code)-1, "conditional branch at function end")
+	}
+
+	// Stack-depth abstract interpretation across the CFG.
+	depth := make([]int, len(f.Code))
+	for i := range depth {
+		depth[i] = -1 // unknown
+	}
+	type workItem struct{ pc, d int }
+	work := []workItem{{0, 0}}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		pc, d := it.pc, it.d
+		for {
+			if depth[pc] >= 0 {
+				if depth[pc] != d {
+					return fail(pc, "inconsistent stack depth: %d vs %d", depth[pc], d)
+				}
+				break
+			}
+			depth[pc] = d
+			in := f.Code[pc]
+			pops, pushes := in.Op.StackEffect(in.A, in.B)
+			if d < pops {
+				return fail(pc, "stack underflow: depth %d, pops %d", d, pops)
+			}
+			d = d - pops + pushes
+			switch {
+			case in.Op == OpJmp:
+				pc = int(in.A)
+				continue
+			case in.Op == OpJmpZ || in.Op == OpJmpNZ:
+				work = append(work, workItem{int(in.A), d})
+			case in.Op == OpIterInit || in.Op == OpIterNext:
+				work = append(work, workItem{int(in.B), d})
+			case in.Op == OpRet || in.Op == OpFatal:
+				if d != 0 {
+					return fail(pc, "return with nonzero stack depth %d", d)
+				}
+			}
+			if in.Op == OpRet || in.Op == OpFatal {
+				break
+			}
+			pc++
+			if pc >= len(f.Code) {
+				break
+			}
+		}
+	}
+	return nil
+}

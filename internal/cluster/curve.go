@@ -1,0 +1,113 @@
+// Package cluster simulates the fleet-scale side of the paper: data
+// centers with semantic buckets, the C1/C2/C3 phased continuous
+// deployment, capacity-loss accounting during pushes, and the
+// Section VI reliability dynamics (defective packages, crash loops,
+// randomized package selection, no-Jump-Start fallback).
+//
+// The fleet simulator does not execute bytecode; each server replays a
+// *warmup curve* measured by the detailed single-server simulation
+// (internal/server), which keeps thousand-server deployments cheap
+// while grounding their behaviour in the mechanism-level model.
+package cluster
+
+import (
+	"sort"
+
+	"jumpstart/internal/server"
+)
+
+// WarmupCurve maps server uptime (seconds) to normalized serving
+// capacity in [0, 1]. Curves are piecewise linear and monotone time
+// grids; values may dip and rise (real warmups are not monotone).
+type WarmupCurve struct {
+	Times  []float64
+	Values []float64
+}
+
+// At interpolates the capacity at the given uptime; before the first
+// point it is 0, after the last it holds the final value.
+func (c WarmupCurve) At(uptime float64) float64 {
+	n := len(c.Times)
+	if n == 0 {
+		return 1 // no curve: instant capacity
+	}
+	if uptime <= c.Times[0] {
+		if uptime < c.Times[0] {
+			return 0
+		}
+		return c.Values[0]
+	}
+	if uptime >= c.Times[n-1] {
+		return c.Values[n-1]
+	}
+	i := sort.SearchFloat64s(c.Times, uptime)
+	// c.Times[i-1] < uptime <= c.Times[i]
+	t0, t1 := c.Times[i-1], c.Times[i]
+	v0, v1 := c.Values[i-1], c.Values[i]
+	frac := (uptime - t0) / (t1 - t0)
+	return v0 + frac*(v1-v0)
+}
+
+// SteadyValue returns the curve's final capacity.
+func (c WarmupCurve) SteadyValue() float64 {
+	if len(c.Values) == 0 {
+		return 1
+	}
+	return c.Values[len(c.Values)-1]
+}
+
+// TimeToFraction returns the first uptime at which capacity reaches
+// frac of the steady value, or the last time if never.
+func (c WarmupCurve) TimeToFraction(frac float64) float64 {
+	target := frac * c.SteadyValue()
+	for i, v := range c.Values {
+		if v >= target {
+			return c.Times[i]
+		}
+	}
+	if len(c.Times) == 0 {
+		return 0
+	}
+	return c.Times[len(c.Times)-1]
+}
+
+// CurveFromTicks converts a detailed-server tick series into a warmup
+// curve normalized to steadyRPS.
+func CurveFromTicks(ticks []server.TickStats, steadyRPS float64) WarmupCurve {
+	c := WarmupCurve{}
+	prev := 0.0
+	for _, t := range ticks {
+		dt := t.T - prev
+		prev = t.T
+		if dt <= 0 || steadyRPS <= 0 {
+			continue
+		}
+		v := float64(t.Completed) / dt / steadyRPS
+		if v > 1 {
+			v = 1
+		}
+		c.Times = append(c.Times, t.T)
+		c.Values = append(c.Values, v)
+	}
+	return c
+}
+
+// LifespanFractions computes the Section II-B statistics: with a
+// continuous-deployment push every pushInterval seconds, the fraction
+// of a server's lifespan spent before reaching 90% capacity ("until
+// optimized code was produced and decent performance was reached") and
+// before reaching ~99% ("until reaching peak performance").
+func LifespanFractions(c WarmupCurve, pushInterval float64) (toDecent, toPeak float64) {
+	if pushInterval <= 0 {
+		return 0, 0
+	}
+	toDecent = c.TimeToFraction(0.90) / pushInterval
+	toPeak = c.TimeToFraction(0.99) / pushInterval
+	if toDecent > 1 {
+		toDecent = 1
+	}
+	if toPeak > 1 {
+		toPeak = 1
+	}
+	return toDecent, toPeak
+}

@@ -1,0 +1,461 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config sizes the simulated fleet and its deployment behaviour.
+type Config struct {
+	Regions          int
+	Buckets          int // semantic buckets per region (paper: 10)
+	ServersPerBucket int
+	TickSeconds      float64
+	Seed             uint64
+
+	// Warmup curves by boot flavour, measured by internal/server.
+	CurveJumpStart   WarmupCurve
+	CurveNoJumpStart WarmupCurve
+
+	// Deployment plan. Fractions of the fleet restarted per phase;
+	// holds are the soak times before the next phase starts.
+	C1Fraction float64 // employee servers
+	C2Fraction float64 // profile-collecting servers (paper: 2%)
+	C1Hold     float64
+	C2Hold     float64 // must cover seeding+validation (~30 min scaled)
+
+	// C3Waves splits the C3 phase into rolling waves (the fleet-wide
+	// restart is rate-limited in practice); C3WaveInterval spaces them.
+	C3Waves        int
+	C3WaveInterval float64
+
+	// SeederDuration is how long a C2 server takes to produce and
+	// validate a package after restart.
+	SeederDuration float64
+	// RestartDowntime is the gap between a server stopping and its
+	// replacement process starting.
+	RestartDowntime float64
+
+	// Reliability model (Section VI). DefectRate is the probability a
+	// seeder produces a crash-inducing package; ValidationCatchRate is
+	// the fraction of defects caught before publishing; CrashDelay is
+	// how long a consumer survives on a defective package before
+	// crashing; MaxJSAttempts is the fallback threshold (VI-A3).
+	DefectRate          float64
+	ValidationCatchRate float64
+	CrashDelay          float64
+	MaxJSAttempts       int
+
+	// JumpStartEnabled selects whether C3 servers consume packages or
+	// warm up on their own (the paper's fleet-wide kill switch).
+	JumpStartEnabled bool
+}
+
+// DefaultConfig returns a modest fleet (3 regions × 10 buckets × 24
+// servers = 720 servers).
+func DefaultConfig() Config {
+	return Config{
+		Regions:          3,
+		Buckets:          10,
+		ServersPerBucket: 24,
+		TickSeconds:      5,
+		Seed:             1,
+
+		C1Fraction: 0.005,
+		C2Fraction: 0.02,
+		C1Hold:     60,
+		C2Hold:     240,
+
+		C3Waves:        6,
+		C3WaveInterval: 60,
+
+		SeederDuration:  180,
+		RestartDowntime: 10,
+
+		DefectRate:          0,
+		ValidationCatchRate: 0.95,
+		CrashDelay:          60,
+		MaxJSAttempts:       3,
+
+		JumpStartEnabled: true,
+	}
+}
+
+type srvState int
+
+const (
+	stRunning srvState = iota
+	stDown             // restart gap
+	stWarming          // running its warmup curve
+	stSeeding          // C2 seeder collecting a package
+)
+
+type simServer struct {
+	region, bucket int
+	group          int // 1, 2, 3 = deployment phase
+	state          srvState
+	stateT         float64 // time the state was entered
+	curve          *WarmupCurve
+
+	// Reliability.
+	pkg        int // index into the bucket's package list, -1 none
+	attempts   int
+	crashAt    float64 // absolute time of impending crash, 0 = none
+	usedJS     bool
+	fellBack   bool
+	everCrashd int
+}
+
+type pkgInfo struct {
+	defective bool
+}
+
+// Fleet is the running simulation.
+type Fleet struct {
+	cfg     Config
+	servers []simServer
+	// packages per (region, bucket).
+	packages map[[2]int][]pkgInfo
+	now      float64
+	rng      uint64
+
+	// Deployment schedule state.
+	deploying  bool
+	phase      int // 0 idle, 1..3 = C1..C3
+	phaseStart float64
+	c3Wave     int
+
+	// Counters.
+	crashes   int
+	fallbacks int
+}
+
+// NewFleet builds the fleet with all servers warm.
+func NewFleet(cfg Config) (*Fleet, error) {
+	if cfg.Regions <= 0 || cfg.Buckets <= 0 || cfg.ServersPerBucket <= 0 {
+		return nil, fmt.Errorf("cluster: invalid fleet dimensions")
+	}
+	f := &Fleet{
+		cfg:      cfg,
+		packages: make(map[[2]int][]pkgInfo),
+		rng:      cfg.Seed*2862933555777941757 + 3037000493,
+	}
+	total := cfg.Regions * cfg.Buckets * cfg.ServersPerBucket
+	n1 := int(math.Ceil(cfg.C1Fraction * float64(total)))
+	n2 := int(math.Ceil(cfg.C2Fraction * float64(total)))
+	if n1 < 1 {
+		n1 = 1
+	}
+	if n2 < cfg.Regions*cfg.Buckets {
+		// At least one seeder per (region, bucket) pair.
+		n2 = cfg.Regions * cfg.Buckets
+	}
+	idx := 0
+	for r := 0; r < cfg.Regions; r++ {
+		for b := 0; b < cfg.Buckets; b++ {
+			for k := 0; k < cfg.ServersPerBucket; k++ {
+				s := simServer{region: r, bucket: b, state: stRunning, pkg: -1}
+				switch {
+				case idx < n1:
+					s.group = 1
+				case idx < n1+n2 || k == 0:
+					s.group = 2
+				default:
+					s.group = 3
+				}
+				f.servers = append(f.servers, s)
+				idx++
+			}
+		}
+	}
+	return f, nil
+}
+
+func (f *Fleet) rand() uint64 {
+	f.rng ^= f.rng << 13
+	f.rng ^= f.rng >> 7
+	f.rng ^= f.rng << 17
+	return f.rng
+}
+
+func (f *Fleet) randFloat() float64 {
+	return float64(f.rand()>>11) / (1 << 53)
+}
+
+// StartDeployment begins a C1→C2→C3 push of a new revision.
+func (f *Fleet) StartDeployment() {
+	f.deploying = true
+	f.phase = 0
+	f.phaseStart = f.now
+	// A new revision invalidates all existing packages.
+	f.packages = make(map[[2]int][]pkgInfo)
+}
+
+// FleetTick is one sample of the fleet time series.
+type FleetTick struct {
+	T          float64
+	Capacity   float64 // fraction of fleet steady capacity, 0..1
+	Down       int     // servers not serving at all
+	Warming    int
+	Crashes    int // cumulative
+	Fallbacks  int // cumulative no-Jump-Start fallbacks
+	Phase      int
+	PkgsAvail  int
+	Deployment bool
+}
+
+// Tick advances the fleet one step.
+func (f *Fleet) Tick() FleetTick {
+	dt := f.cfg.TickSeconds
+	f.now += dt
+
+	f.advanceDeployment()
+
+	capacity := 0.0
+	down, warming := 0, 0
+	for i := range f.servers {
+		s := &f.servers[i]
+		// Defective-package crash (Section VI-A2's failure mode): a
+		// bad package can take the server down whether it is still
+		// warming or already at full capacity.
+		if (s.state == stWarming || s.state == stRunning) &&
+			s.crashAt > 0 && f.now >= s.crashAt {
+			f.crashes++
+			s.everCrashd++
+			s.crashAt = 0
+			s.state = stDown
+			s.stateT = f.now
+			down++
+			continue
+		}
+		switch s.state {
+		case stRunning:
+			capacity += 1
+		case stDown:
+			down++
+			if f.now-s.stateT >= f.cfg.RestartDowntime {
+				f.bootServer(s)
+			}
+		case stSeeding:
+			// Seeders serve while collecting (they run the normal
+			// no-JS warmup curve), then publish.
+			capacity += s.curve.At(f.now - s.stateT)
+			if f.now-s.stateT >= f.cfg.SeederDuration {
+				f.publishFrom(s)
+				s.state = stWarming // continue warming as usual
+			} else {
+				warming++
+			}
+		case stWarming:
+			v := s.curve.At(f.now - s.stateT)
+			capacity += v
+			if v >= s.curve.SteadyValue()-1e-9 {
+				s.state = stRunning
+			} else {
+				warming++
+			}
+		}
+	}
+
+	total := float64(len(f.servers))
+	pkgs := 0
+	for _, list := range f.packages {
+		pkgs += len(list)
+	}
+	return FleetTick{
+		T:          f.now,
+		Capacity:   capacity / total,
+		Down:       down,
+		Warming:    warming,
+		Crashes:    f.crashes,
+		Fallbacks:  f.fallbacks,
+		Phase:      f.phase,
+		PkgsAvail:  pkgs,
+		Deployment: f.deploying,
+	}
+}
+
+// advanceDeployment moves the push through its phases.
+func (f *Fleet) advanceDeployment() {
+	if !f.deploying {
+		return
+	}
+	switch f.phase {
+	case 0:
+		f.restartGroup(1)
+		f.phase = 1
+		f.phaseStart = f.now
+	case 1:
+		if f.now-f.phaseStart >= f.cfg.C1Hold {
+			f.restartGroup(2)
+			f.phase = 2
+			f.phaseStart = f.now
+		}
+	case 2:
+		if f.now-f.phaseStart >= f.cfg.C2Hold {
+			f.phase = 3
+			f.phaseStart = f.now
+			f.c3Wave = 0
+			f.restartC3Wave()
+		}
+	case 3:
+		waves := f.cfg.C3Waves
+		if waves < 1 {
+			waves = 1
+		}
+		if f.c3Wave < waves &&
+			f.now-f.phaseStart >= float64(f.c3Wave)*f.cfg.C3WaveInterval {
+			f.restartC3Wave()
+		}
+		if f.c3Wave < waves {
+			return
+		}
+		// Deployment completes when everyone is running again.
+		done := true
+		for i := range f.servers {
+			if f.servers[i].state != stRunning {
+				done = false
+				break
+			}
+		}
+		if done {
+			f.deploying = false
+			f.phase = 0
+		}
+	}
+}
+
+// restartC3Wave restarts the next slice of group-3 servers.
+func (f *Fleet) restartC3Wave() {
+	waves := f.cfg.C3Waves
+	if waves < 1 {
+		waves = 1
+	}
+	var members []int
+	for i := range f.servers {
+		if f.servers[i].group == 3 {
+			members = append(members, i)
+		}
+	}
+	per := (len(members) + waves - 1) / waves
+	lo := f.c3Wave * per
+	hi := lo + per
+	if hi > len(members) {
+		hi = len(members)
+	}
+	for _, idx := range members[lo:hi] {
+		s := &f.servers[idx]
+		s.state = stDown
+		s.stateT = f.now
+		s.pkg = -1
+		s.attempts = 0
+		s.crashAt = 0
+	}
+	f.c3Wave++
+}
+
+func (f *Fleet) restartGroup(group int) {
+	for i := range f.servers {
+		s := &f.servers[i]
+		if s.group != group {
+			continue
+		}
+		s.state = stDown
+		s.stateT = f.now
+		s.pkg = -1
+		s.attempts = 0
+		s.crashAt = 0
+	}
+}
+
+// bootServer starts a stopped server: C2 servers come up as seeders;
+// others consume a package when Jump-Start is on and one is available,
+// with the randomized-selection + fallback protections.
+func (f *Fleet) bootServer(s *simServer) {
+	s.stateT = f.now
+	if s.group == 2 {
+		s.state = stSeeding
+		s.curve = &f.cfg.CurveNoJumpStart
+		s.usedJS = false
+		return
+	}
+	if f.cfg.JumpStartEnabled {
+		key := [2]int{s.region, s.bucket}
+		list := f.packages[key]
+		if len(list) > 0 && s.attempts < f.cfg.MaxJSAttempts {
+			// Random pick, avoiding the exact package that just
+			// crashed us when alternatives exist.
+			idx := int(f.rand() % uint64(len(list)))
+			if idx == s.pkg && len(list) > 1 {
+				idx = (idx + 1) % len(list)
+			}
+			s.pkg = idx
+			s.attempts++
+			s.usedJS = true
+			s.state = stWarming
+			s.curve = &f.cfg.CurveJumpStart
+			if list[idx].defective {
+				s.crashAt = f.now + f.cfg.CrashDelay
+			}
+			return
+		}
+		if len(list) > 0 && s.attempts >= f.cfg.MaxJSAttempts {
+			f.fallbacks++
+			s.fellBack = true
+		}
+	}
+	// No-Jump-Start boot (disabled, no package, or fallback).
+	s.usedJS = false
+	s.state = stWarming
+	s.curve = &f.cfg.CurveNoJumpStart
+	s.pkg = -1
+}
+
+// publishFrom records the package a seeder collected, applying the
+// defect/validation model.
+func (f *Fleet) publishFrom(s *simServer) {
+	defective := f.randFloat() < f.cfg.DefectRate
+	if defective && f.randFloat() < f.cfg.ValidationCatchRate {
+		// Caught by validation: the seeder retries; model as a
+		// successful (non-defective) package published after the
+		// extra soak already covered by SeederDuration.
+		defective = false
+	}
+	key := [2]int{s.region, s.bucket}
+	f.packages[key] = append(f.packages[key], pkgInfo{defective: defective})
+}
+
+// Run advances the fleet for the given duration.
+func (f *Fleet) Run(seconds float64) []FleetTick {
+	n := int(seconds / f.cfg.TickSeconds)
+	out := make([]FleetTick, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, f.Tick())
+	}
+	return out
+}
+
+// Deploying reports whether a push is in flight.
+func (f *Fleet) Deploying() bool { return f.deploying }
+
+// Crashes returns cumulative consumer crashes.
+func (f *Fleet) Crashes() int { return f.crashes }
+
+// Fallbacks returns cumulative no-Jump-Start fallbacks.
+func (f *Fleet) Fallbacks() int { return f.fallbacks }
+
+// Servers returns the fleet size.
+func (f *Fleet) Servers() int { return len(f.servers) }
+
+// CapacityLoss integrates (1 - capacity) over a tick series, returning
+// lost server-seconds divided by total server-seconds.
+func CapacityLoss(ticks []FleetTick, dt float64) float64 {
+	if len(ticks) == 0 {
+		return 0
+	}
+	lost := 0.0
+	for _, t := range ticks {
+		lost += (1 - t.Capacity) * dt
+	}
+	return lost / (float64(len(ticks)) * dt)
+}

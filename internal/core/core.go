@@ -1,0 +1,206 @@
+// Package core is the high-level entry point of the Jump-Start
+// reproduction: a small facade over the MiniHack VM (compile and run
+// source code through the tiered JIT) and over the scenario plumbing
+// that the examples, commands and benchmarks share (seed a profile
+// package, boot consumers, measure steady state).
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"jumpstart/internal/hackc"
+	"jumpstart/internal/interp"
+	"jumpstart/internal/jumpstart"
+	"jumpstart/internal/object"
+	"jumpstart/internal/prof"
+	"jumpstart/internal/server"
+	"jumpstart/internal/value"
+	"jumpstart/internal/workload"
+)
+
+// VM is a ready-to-run MiniHack virtual machine for one compiled
+// program (the quickstart-level API).
+type VM struct {
+	ip *interp.Interp
+}
+
+// NewVM compiles the given sources (file name → MiniHack code, in
+// order) with the offline optimizer and returns a VM. out receives
+// print() output; nil discards it.
+func NewVM(sources map[string]string, order []string, out io.Writer) (*VM, error) {
+	prog, err := hackc.CompileSources(sources, order, hackc.Options{Optimize: true})
+	if err != nil {
+		return nil, err
+	}
+	reg, err := object.NewRegistry(prog, nil)
+	if err != nil {
+		return nil, err
+	}
+	ip := interp.New(prog, reg, interp.Config{Out: out})
+	return &VM{ip: ip}, nil
+}
+
+// Call invokes a free function by name.
+func (vm *VM) Call(fn string, args ...value.Value) (value.Value, error) {
+	return vm.ip.CallByName(fn, args...)
+}
+
+// Disasm returns the program's disassembly.
+func (vm *VM) Disasm() string { return vm.ip.Program().Disasm() }
+
+// Interp exposes the underlying interpreter for advanced use (tracer
+// installation, registry access).
+func (vm *VM) Interp() *interp.Interp { return vm.ip }
+
+// Scenario bundles a generated website with a base server
+// configuration, providing the seeder→consumer workflow in a few
+// calls.
+type Scenario struct {
+	Site      *workload.Site
+	ServerCfg server.Config
+}
+
+// NewScenario generates a site and pairs it with cfg.
+func NewScenario(siteCfg workload.SiteConfig, serverCfg server.Config) (*Scenario, error) {
+	site, err := workload.GenerateSite(siteCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{Site: site, ServerCfg: serverCfg}, nil
+}
+
+// SeedPackage runs a seeder server to completion and returns the
+// collected profile package (Figure 3b).
+func (sc *Scenario) SeedPackage() (*prof.Profile, error) {
+	cfg := sc.ServerCfg
+	cfg.Mode = server.ModeSeeder
+	cfg.JITOpts.InstrumentOptimized = true
+	s, err := server.New(sc.Site, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.WarmToServing(7200); err != nil {
+		return nil, err
+	}
+	pkg, ok := s.SeederPackage()
+	if !ok {
+		return nil, fmt.Errorf("core: seeder produced no package")
+	}
+	return pkg, nil
+}
+
+// Variant selects the Jump-Start features for a server boot, mapping
+// directly onto the paper's Figure 6 ablations.
+type Variant struct {
+	JumpStart       bool // consume a package at all
+	VasmCounters    bool // Section V-A: seeded Vasm block counters
+	SeededCallGraph bool // Section V-B: accurate tier-2 call graph
+	PropertyOrder   bool // Section V-C: hotness-ordered object layout
+}
+
+// FullJumpStart enables everything (the paper's production setup).
+func FullJumpStart() Variant {
+	return Variant{JumpStart: true, VasmCounters: true, SeededCallGraph: true, PropertyOrder: true}
+}
+
+// ServerFor builds a server for the variant. pkg may be nil when
+// JumpStart is false.
+func (sc *Scenario) ServerFor(v Variant, pkg *prof.Profile) (*server.Server, error) {
+	cfg := sc.ServerCfg
+	if v.JumpStart {
+		if pkg == nil {
+			return nil, fmt.Errorf("core: variant requires a package")
+		}
+		cfg.Mode = server.ModeConsumer
+		cfg.Package = pkg
+		cfg.JITOpts.UseVasmCounters = v.VasmCounters
+		cfg.JITOpts.UseSeededCallGraph = v.SeededCallGraph
+		cfg.UsePropertyOrder = v.PropertyOrder
+	} else {
+		cfg.Mode = server.ModeNoJumpStart
+		cfg.Package = nil
+	}
+	return server.New(sc.Site, cfg)
+}
+
+// WarmupRun boots a server for the variant and runs it for the given
+// horizon, returning the tick series.
+func (sc *Scenario) WarmupRun(v Variant, pkg *prof.Profile, horizon float64) ([]server.TickStats, error) {
+	s, err := sc.ServerFor(v, pkg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(horizon), nil
+}
+
+// SteadyState boots a server for the variant, warms it, and measures n
+// steady-state requests.
+func (sc *Scenario) SteadyState(v Variant, pkg *prof.Profile, n int) (server.SteadyStats, error) {
+	s, err := sc.ServerFor(v, pkg)
+	if err != nil {
+		return server.SteadyStats{}, err
+	}
+	if err := s.WarmToServing(14400); err != nil {
+		return server.SteadyStats{}, err
+	}
+	return s.MeasureSteady(n), nil
+}
+
+// Calibrate sizes the scenario's load to the site: it measures the
+// fully-warm no-Jump-Start capacity, sets OfferedRPS to frac of it
+// (the paper's servers run near "typical production load", which
+// saturates them while warming but not when warm), and sizes
+// ProfileWindow so the profiling phase spans roughly half of horizon —
+// reproducing the long warmup the paper's Figure 2/4 curves show.
+// It returns the measured warm capacity.
+//
+// Rationale for the load point: tier-1 profiling code runs at roughly
+// half the optimized throughput (instrumented, unspecialized), so an
+// offered load of ~0.85× warm capacity saturates the server during
+// the whole interpret/profile period and releases it once optimized
+// code is in place.
+func (sc *Scenario) Calibrate(frac, horizon float64) (float64, error) {
+	probeCfg := sc.ServerCfg
+	probeCfg.Mode = server.ModeNoJumpStart
+	probeCfg.ProfileWindow = 2000 // fast warm for the probe
+	probe, err := server.New(sc.Site, probeCfg)
+	if err != nil {
+		return 0, err
+	}
+	if err := probe.WarmToServing(14400); err != nil {
+		return 0, err
+	}
+	capacity := probe.MeasureSteady(800).CapacityRPS
+	offered := frac * capacity
+	sc.ServerCfg.OfferedRPS = offered
+	// Completed rate while profiling ≈ tier-1 capacity ≈ 0.55×offered;
+	// size the window so point A lands near half the horizon.
+	sc.ServerCfg.ProfileWindow = int(0.55 * offered * 0.5 * horizon)
+	if sc.ServerCfg.ProfileWindow < 1000 {
+		sc.ServerCfg.ProfileWindow = 1000
+	}
+	sc.ServerCfg.SeederCollectWindow = sc.ServerCfg.ProfileWindow / 3
+	// Functions below ~0.25% request share are "insufficiently
+	// profiled": they stay on the live-JIT path after point C (both
+	// for the no-Jump-Start server and for consumers), reproducing the
+	// C→D tail at this site scale.
+	sc.ServerCfg.OptimizeMinEntries = sc.ServerCfg.ProfileWindow / 400
+	if sc.ServerCfg.OptimizeMinEntries < 20 {
+		sc.ServerCfg.OptimizeMinEntries = 20
+	}
+	return capacity, nil
+}
+
+// PublishValidated seeds a package, validates it (Section VI-A1) and
+// publishes it to the store, returning the result.
+func (sc *Scenario) PublishValidated(store *jumpstart.Store, thresholds prof.Thresholds) (jumpstart.SeedResult, error) {
+	v := &jumpstart.Validator{
+		Site:           sc.Site,
+		ConsumerConfig: sc.ServerCfg,
+		Requests:       300,
+		MaxFaultRate:   0.01,
+		Thresholds:     thresholds,
+	}
+	return jumpstart.SeedAndPublish(sc.Site, sc.ServerCfg, v, store, 3)
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"jumpstart/internal/core"
+	"jumpstart/internal/jit"
+	"jumpstart/internal/server"
+)
+
+// FuncSortAblation compares the function-sorting algorithms the layout
+// package implements — C3 (the paper's choice, Ottoni & Maher),
+// Pettis-Hansen, and no sorting — on steady-state capacity, all with
+// the seeded tier-2 call graph. This is the ablation DESIGN.md calls
+// out for the Section V-B design choice.
+type FuncSortAblation struct {
+	C3RPS, PHRPS, NoneRPS float64
+	// ITLB miss rates per variant (function placement's main lever).
+	C3ITLB, PHITLB, NoneITLB float64
+}
+
+// FuncSort runs the function-sorting ablation.
+func (l *Lab) FuncSort() (FuncSortAblation, error) {
+	measure := func(sort jit.FunctionSort) (server.SteadyStats, error) {
+		cfg := l.Cfg.ServerCfg
+		cfg.Mode = server.ModeConsumer
+		cfg.Package = l.clonePkg()
+		cfg.JITOpts.UseSeededCallGraph = true
+		cfg.JITOpts.FuncSort = sort
+		// The package's precomputed order was built with C3; force
+		// consumers to re-sort with their configured algorithm.
+		cfg.Package.FuncOrder = nil
+		s, err := server.New(l.Scenario.Site, cfg)
+		if err != nil {
+			return server.SteadyStats{}, err
+		}
+		if err := s.WarmToServing(14400); err != nil {
+			return server.SteadyStats{}, err
+		}
+		return s.MeasureSteady(l.Cfg.SteadyRequests), nil
+	}
+	c3, err := measure(jit.SortC3)
+	if err != nil {
+		return FuncSortAblation{}, err
+	}
+	ph, err := measure(jit.SortPH)
+	if err != nil {
+		return FuncSortAblation{}, err
+	}
+	none, err := measure(jit.SortNone)
+	if err != nil {
+		return FuncSortAblation{}, err
+	}
+	return FuncSortAblation{
+		C3RPS: c3.CapacityRPS, PHRPS: ph.CapacityRPS, NoneRPS: none.CapacityRPS,
+		C3ITLB:   c3.Mem.ITLBMissRate(),
+		PHITLB:   ph.Mem.ITLBMissRate(),
+		NoneITLB: none.Mem.ITLBMissRate(),
+	}, nil
+}
+
+// PropLayoutAblation compares the three object-layout policies:
+// declared order (baseline), hotness order (the paper's Section V-C),
+// and affinity order (the paper's stated future work, implemented
+// here as an extension).
+type PropLayoutAblation struct {
+	DeclaredRPS, HotnessRPS, AffinityRPS float64
+	DeclaredL1D, HotnessL1D, AffinityL1D float64
+}
+
+// PropLayout runs the property-layout ablation.
+func (l *Lab) PropLayout() (PropLayoutAblation, error) {
+	measure := func(hotness, affinity bool) (server.SteadyStats, error) {
+		cfg := l.Cfg.ServerCfg
+		cfg.Mode = server.ModeConsumer
+		cfg.Package = l.clonePkg()
+		cfg.UsePropertyOrder = hotness
+		cfg.UseAffinityOrder = affinity
+		s, err := server.New(l.Scenario.Site, cfg)
+		if err != nil {
+			return server.SteadyStats{}, err
+		}
+		if err := s.WarmToServing(14400); err != nil {
+			return server.SteadyStats{}, err
+		}
+		return s.MeasureSteady(l.Cfg.SteadyRequests), nil
+	}
+	decl, err := measure(false, false)
+	if err != nil {
+		return PropLayoutAblation{}, err
+	}
+	hot, err := measure(true, false)
+	if err != nil {
+		return PropLayoutAblation{}, err
+	}
+	aff, err := measure(false, true)
+	if err != nil {
+		return PropLayoutAblation{}, err
+	}
+	return PropLayoutAblation{
+		DeclaredRPS: decl.CapacityRPS, HotnessRPS: hot.CapacityRPS, AffinityRPS: aff.CapacityRPS,
+		DeclaredL1D: decl.Mem.L1DMissRate(),
+		HotnessL1D:  hot.Mem.L1DMissRate(),
+		AffinityL1D: aff.Mem.L1DMissRate(),
+	}, nil
+}
+
+// BlockLayoutAblation compares Ext-TSP block layout quality under the
+// two weight sources of Section V-A (bytecode-derived vs measured Vasm
+// counters), reporting hot-section bytes and branch/I-cache rates.
+type BlockLayoutAblation struct {
+	BytecodeRPS, VasmRPS       float64
+	BytecodeL1I, VasmL1I       float64
+	BytecodeBranch, VasmBranch float64
+}
+
+// BlockLayout runs the V-A weight-source ablation.
+func (l *Lab) BlockLayout() (BlockLayoutAblation, error) {
+	measure := func(useVasm bool) (server.SteadyStats, error) {
+		v := core.Variant{JumpStart: true, VasmCounters: useVasm}
+		return l.Scenario.SteadyState(v, l.clonePkg(), l.Cfg.SteadyRequests)
+	}
+	bc, err := measure(false)
+	if err != nil {
+		return BlockLayoutAblation{}, err
+	}
+	vm, err := measure(true)
+	if err != nil {
+		return BlockLayoutAblation{}, err
+	}
+	return BlockLayoutAblation{
+		BytecodeRPS: bc.CapacityRPS, VasmRPS: vm.CapacityRPS,
+		BytecodeL1I: bc.Mem.L1IMissRate(), VasmL1I: vm.Mem.L1IMissRate(),
+		BytecodeBranch: bc.Mem.BranchMissRate(), VasmBranch: vm.Mem.BranchMissRate(),
+	}, nil
+}

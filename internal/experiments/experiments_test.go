@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+)
+
+var (
+	labOnce sync.Once
+	lab     *Lab
+	labErr  error
+)
+
+func quickLab(t testing.TB) *Lab {
+	t.Helper()
+	labOnce.Do(func() {
+		lab, labErr = NewLab(Quick())
+	})
+	if labErr != nil {
+		t.Fatal(labErr)
+	}
+	return lab
+}
+
+func TestFig1Shape(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final == 0 {
+		t.Fatal("no code produced")
+	}
+	if res.PointA <= 0 {
+		t.Fatal("point A not found")
+	}
+	if res.PointC < res.PointA {
+		t.Fatalf("C (%f) before A (%f)", res.PointC, res.PointA)
+	}
+	if res.PointD < res.PointC {
+		t.Fatalf("D (%f) before C (%f)", res.PointD, res.PointC)
+	}
+	// Monotone growth.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].CodeBytes < res.Points[i-1].CodeBytes {
+			t.Fatal("code size shrank")
+		}
+	}
+	t.Logf("Fig1: A=%.0fs C=%.0fs D=%.0fs final=%s",
+		res.PointA, res.PointC, res.PointD, FormatBytesMB(res.Final))
+}
+
+func TestFig2Shape(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CapacityLoss <= 0 || res.CapacityLoss >= 1 {
+		t.Fatalf("capacity loss = %f", res.CapacityLoss)
+	}
+	// The curve starts at 0 (restart) and ends near 1.
+	first := res.Normalized[0]
+	last := res.Normalized[len(res.Normalized)-1]
+	if first[1] > 0.3 {
+		t.Fatalf("curve starts at %f", first[1])
+	}
+	if last[1] < 0.9 {
+		t.Fatalf("curve ends at %f", last[1])
+	}
+	t.Logf("Fig2: capacity loss over %vs = %.1f%%", l.Cfg.LongHorizon, res.CapacityLoss*100)
+}
+
+func TestFig4HeadlineDirection(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LossReduction <= 0 {
+		t.Fatalf("Jump-Start did not reduce capacity loss: %.3f", res.LossReduction)
+	}
+	if res.EarlyLatencyRatio <= 1 {
+		t.Fatalf("no early latency win: ratio %.2f", res.EarlyLatencyRatio)
+	}
+	t.Logf("Fig4: loss JS=%.1f%% noJS=%.1f%% reduction=%.1f%% (paper 54.9%%); early latency ratio=%.1fx (paper ~3x)",
+		res.JumpStart.CapacityLoss*100, res.NoJumpStart.CapacityLoss*100,
+		res.LossReduction*100, res.EarlyLatencyRatio)
+}
+
+func TestFig5Direction(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Fig5: speedup=%.2f%% (paper +5.4%%)", res.SpeedupPct)
+	t.Logf("  branch MR=%.1f%% (6.8) L1I MR=%.1f%% (6.2) ITLB MR=%.1f%% (20.8)",
+		res.BranchMR, res.L1IMR, res.ITLBMR)
+	t.Logf("  L1D MR=%.1f%% (1.4) DTLB MR=%.1f%% (12.1) LLC MR=%.1f%% (3.5)",
+		res.L1DMR, res.DTLBMR, res.LLCMR)
+	if res.SpeedupPct < 0 {
+		t.Errorf("Jump-Start slower at steady state: %.2f%%", res.SpeedupPct)
+	}
+	if res.JumpStart.Faults > 0 || res.NoJumpStart.Faults > 0 {
+		t.Error("faults during steady state")
+	}
+}
+
+func TestFig6Directions(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Fig6: noJS=%.2f%% (−0.2) bb=%.2f%% (+3.8) func=%.2f%% (+0.75) prop=%.2f%% (+0.8)",
+		res.NoJumpStartPct, res.BBLayoutPct, res.FuncLayoutPct, res.PropReorderPct)
+	if res.BaselineRPS <= 0 {
+		t.Fatal("no baseline")
+	}
+}
+
+func TestLifespan(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Lifespan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ToDecent <= 0 || res.ToPeak < res.ToDecent || res.ToPeak > 1 {
+		t.Fatalf("lifespan = %+v", res)
+	}
+	t.Logf("Lifespan: toDecent=%.1f%% (paper 13%%) toPeak=%.1f%% (paper 32%%)",
+		res.ToDecent*100, res.ToPeak*100)
+}
+
+func TestReliabilityAndFleet(t *testing.T) {
+	l := quickLab(t)
+	rel, err := l.Reliability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.FinalCap < 0.99 {
+		t.Fatalf("fleet stuck at %.3f", rel.FinalCap)
+	}
+	if rel.Crashes == 0 {
+		t.Fatal("defect injection inert")
+	}
+	t.Logf("Reliability: crashes=%d fallbacks=%d loss(clean)=%.2f%% loss(defects)=%.2f%%",
+		rel.Crashes, rel.Fallbacks, rel.LossNoDefect*100, rel.LossDefect*100)
+
+	lossJS, lossNoJS, err := l.FleetDeploy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossJS >= lossNoJS {
+		t.Fatalf("fleet deploy: JS loss %.4f ≥ noJS %.4f", lossJS, lossNoJS)
+	}
+	t.Logf("FleetDeploy: loss JS=%.2f%% noJS=%.2f%% reduction=%.1f%%",
+		lossJS*100, lossNoJS*100, (1-lossJS/lossNoJS)*100)
+}

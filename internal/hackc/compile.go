@@ -1,0 +1,699 @@
+// Package hackc compiles MiniHack ASTs to MiniHack bytecode and applies
+// the offline whole-program optimizations that HHVM's repo-authoritative
+// deployment mode performs before the code ever reaches a server:
+// constant folding, jump threading and dead-code elimination, plus
+// link-time resolution of call targets (done by bytecode.NewProgram).
+package hackc
+
+import (
+	"fmt"
+
+	"jumpstart/internal/bytecode"
+	"jumpstart/internal/lang"
+	"jumpstart/internal/value"
+)
+
+// CtorName is the method invoked by `new C(...)`.
+const CtorName = "__construct"
+
+// Options controls compilation.
+type Options struct {
+	// Optimize enables the offline bytecode optimizer (on for
+	// production deployment, off for debug builds).
+	Optimize bool
+}
+
+// CompileFile compiles one parsed file into a bytecode unit.
+func CompileFile(f *lang.File, opts Options) (*bytecode.Unit, error) {
+	u := &bytecode.Unit{Name: f.Name}
+	// Classes first: methods reference class names during compilation
+	// only via literals, so ordering is only about registration.
+	type pendingMethod struct {
+		class *bytecode.Class
+		decl  *lang.FuncDecl
+	}
+	var methods []pendingMethod
+	for _, cd := range f.Classes {
+		c := &bytecode.Class{
+			Name:    cd.Name,
+			Parent:  bytecode.NoClass, // resolved by resolveParents
+			Methods: make(map[string]*bytecode.Function),
+			Unit:    u,
+		}
+		for _, pd := range cd.Props {
+			lit := int32(-1)
+			if pd.Default != nil {
+				v, err := literalValue(f.Name, pd.Default)
+				if err != nil {
+					return nil, err
+				}
+				if !v.IsNull() {
+					lit = u.AddLiteral(v)
+				}
+			}
+			c.Props = append(c.Props, bytecode.PropDef{Name: pd.Name, DefaultLit: lit})
+		}
+		for _, m := range cd.Methods {
+			methods = append(methods, pendingMethod{class: c, decl: m})
+		}
+		u.Classes = append(u.Classes, c)
+	}
+	for _, fd := range f.Funcs {
+		fn, err := compileFunc(f.Name, u, fd, "")
+		if err != nil {
+			return nil, err
+		}
+		u.Funcs = append(u.Funcs, fn)
+	}
+	for _, pm := range methods {
+		fn, err := compileFunc(f.Name, u, pm.decl, pm.class.Name)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := pm.class.Methods[pm.decl.Name]; dup {
+			return nil, &lang.Error{File: f.Name, Pos: pm.decl.Pos,
+				Msg: fmt.Sprintf("duplicate method %s::%s", pm.class.Name, pm.decl.Name)}
+		}
+		pm.class.Methods[pm.decl.Name] = fn
+		u.Funcs = append(u.Funcs, fn)
+	}
+	if opts.Optimize {
+		for _, fn := range u.Funcs {
+			OptimizeFunc(fn)
+		}
+	}
+	return u, nil
+}
+
+// CompileSources parses, compiles and links a set of named sources into
+// a verified Program. Parent class names are resolved across files.
+func CompileSources(srcs map[string]string, names []string, opts Options) (*bytecode.Program, error) {
+	var units []*bytecode.Unit
+	parents := map[string]string{} // class -> parent name
+	for _, name := range names {
+		file, err := lang.Parse(name, srcs[name])
+		if err != nil {
+			return nil, err
+		}
+		for _, cd := range file.Classes {
+			if cd.Parent != "" {
+				parents[cd.Name] = cd.Parent
+			}
+		}
+		u, err := CompileFile(file, opts)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	if err := resolveParents(units, parents); err != nil {
+		return nil, err
+	}
+	prog, err := bytecode.NewProgram(units...)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Verify(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// resolveParents patches Class.Parent ids. Class ids are assigned by
+// bytecode.NewProgram in unit order then declaration order, so we
+// precompute the same numbering here.
+func resolveParents(units []*bytecode.Unit, parents map[string]string) error {
+	idByName := map[string]bytecode.ClassID{}
+	next := bytecode.ClassID(0)
+	for _, u := range units {
+		for _, c := range u.Classes {
+			if _, dup := idByName[c.Name]; dup {
+				return fmt.Errorf("hackc: duplicate class %q", c.Name)
+			}
+			idByName[c.Name] = next
+			next++
+		}
+	}
+	for _, u := range units {
+		for _, c := range u.Classes {
+			pname, ok := parents[c.Name]
+			if !ok {
+				continue
+			}
+			pid, ok := idByName[pname]
+			if !ok {
+				return fmt.Errorf("hackc: class %q extends unknown class %q", c.Name, pname)
+			}
+			c.Parent = pid
+		}
+	}
+	return nil
+}
+
+func literalValue(file string, e lang.Expr) (value.Value, error) {
+	switch l := e.(type) {
+	case *lang.IntLit:
+		return value.Int(l.Val), nil
+	case *lang.FloatLit:
+		return value.Float(l.Val), nil
+	case *lang.StrLit:
+		return value.Str(l.Val), nil
+	case *lang.BoolLit:
+		return value.Bool(l.Val), nil
+	case *lang.NullLit:
+		return value.Null, nil
+	default:
+		return value.Null, &lang.Error{File: file, Pos: e.StartPos(),
+			Msg: "property default must be a literal"}
+	}
+}
+
+// fnCompiler holds per-function compilation state.
+type fnCompiler struct {
+	file      string
+	b         *bytecode.FuncBuilder
+	className string // "" for free functions
+	loops     []loopCtx
+}
+
+type loopCtx struct {
+	breakL, contL bytecode.Label
+}
+
+func compileFunc(file string, u *bytecode.Unit, fd *lang.FuncDecl, className string) (*bytecode.Function, error) {
+	qname := fd.Name
+	if className != "" {
+		qname = className + "::" + fd.Name
+	}
+	c := &fnCompiler{
+		file:      file,
+		b:         bytecode.NewFuncBuilder(u, qname, fd.Params),
+		className: className,
+	}
+	// Pre-declare every local assigned anywhere in the body so that
+	// loop-carried variables resolve; reads of never-assigned names are
+	// compile errors (stricter than PHP's notice, kinder to tests).
+	declareAssigned(c.b, fd.Body)
+	for _, s := range fd.Body {
+		if err := c.stmt(s); err != nil {
+			return nil, err
+		}
+	}
+	return c.b.Finish()
+}
+
+// declareAssigned walks statements declaring assignment targets and
+// foreach variables in source order.
+func declareAssigned(b *bytecode.FuncBuilder, stmts []lang.Stmt) {
+	var walk func(s lang.Stmt)
+	walk = func(s lang.Stmt) {
+		switch st := s.(type) {
+		case *lang.AssignStmt:
+			if id, ok := st.LHS.(*lang.Ident); ok {
+				b.DeclareLocal(id.Name)
+			}
+		case *lang.IfStmt:
+			for _, x := range st.Then {
+				walk(x)
+			}
+			for _, x := range st.Else {
+				walk(x)
+			}
+		case *lang.WhileStmt:
+			for _, x := range st.Body {
+				walk(x)
+			}
+		case *lang.ForStmt:
+			if st.Init != nil {
+				walk(st.Init)
+			}
+			if st.Step != nil {
+				walk(st.Step)
+			}
+			for _, x := range st.Body {
+				walk(x)
+			}
+		case *lang.ForeachStmt:
+			if st.Key != "" {
+				b.DeclareLocal(st.Key)
+			}
+			b.DeclareLocal(st.Val)
+			for _, x := range st.Body {
+				walk(x)
+			}
+		}
+	}
+	for _, s := range stmts {
+		walk(s)
+	}
+}
+
+func (c *fnCompiler) errf(pos lang.Pos, format string, args ...interface{}) error {
+	return &lang.Error{File: c.file, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (c *fnCompiler) stmt(s lang.Stmt) error {
+	switch st := s.(type) {
+	case *lang.ExprStmt:
+		if err := c.expr(st.X); err != nil {
+			return err
+		}
+		c.b.Emit(bytecode.OpPopC, 0, 0)
+		return nil
+
+	case *lang.AssignStmt:
+		return c.assign(st)
+
+	case *lang.IfStmt:
+		if err := c.expr(st.Cond); err != nil {
+			return err
+		}
+		elseL := c.b.NewLabel()
+		endL := c.b.NewLabel()
+		c.b.Jump(bytecode.OpJmpZ, elseL)
+		for _, x := range st.Then {
+			if err := c.stmt(x); err != nil {
+				return err
+			}
+		}
+		c.b.Jump(bytecode.OpJmp, endL)
+		c.b.Bind(elseL)
+		for _, x := range st.Else {
+			if err := c.stmt(x); err != nil {
+				return err
+			}
+		}
+		c.b.Bind(endL)
+		return nil
+
+	case *lang.WhileStmt:
+		condL := c.b.NewLabel()
+		endL := c.b.NewLabel()
+		c.b.Bind(condL)
+		if err := c.expr(st.Cond); err != nil {
+			return err
+		}
+		c.b.Jump(bytecode.OpJmpZ, endL)
+		c.loops = append(c.loops, loopCtx{breakL: endL, contL: condL})
+		for _, x := range st.Body {
+			if err := c.stmt(x); err != nil {
+				return err
+			}
+		}
+		c.loops = c.loops[:len(c.loops)-1]
+		c.b.Jump(bytecode.OpJmp, condL)
+		c.b.Bind(endL)
+		return nil
+
+	case *lang.ForStmt:
+		if st.Init != nil {
+			if err := c.stmt(st.Init); err != nil {
+				return err
+			}
+		}
+		condL := c.b.NewLabel()
+		stepL := c.b.NewLabel()
+		endL := c.b.NewLabel()
+		c.b.Bind(condL)
+		if st.Cond != nil {
+			if err := c.expr(st.Cond); err != nil {
+				return err
+			}
+			c.b.Jump(bytecode.OpJmpZ, endL)
+		}
+		c.loops = append(c.loops, loopCtx{breakL: endL, contL: stepL})
+		for _, x := range st.Body {
+			if err := c.stmt(x); err != nil {
+				return err
+			}
+		}
+		c.loops = c.loops[:len(c.loops)-1]
+		c.b.Bind(stepL)
+		if st.Step != nil {
+			if err := c.stmt(st.Step); err != nil {
+				return err
+			}
+		}
+		c.b.Jump(bytecode.OpJmp, condL)
+		c.b.Bind(endL)
+		return nil
+
+	case *lang.ForeachStmt:
+		if err := c.expr(st.Seq); err != nil {
+			return err
+		}
+		iter := c.b.NewIter()
+		bodyL := c.b.NewLabel()
+		contL := c.b.NewLabel()
+		endL := c.b.NewLabel()
+		c.b.EmitIter(bytecode.OpIterInit, iter, endL)
+		c.b.Bind(bodyL)
+		if st.Key != "" {
+			slot, _ := c.b.LookupLocal(st.Key)
+			c.b.Emit(bytecode.OpIterKey, int32(iter), 0)
+			c.b.Emit(bytecode.OpSetL, int32(slot), 0)
+			c.b.Emit(bytecode.OpPopC, 0, 0)
+		}
+		vslot, _ := c.b.LookupLocal(st.Val)
+		c.b.Emit(bytecode.OpIterVal, int32(iter), 0)
+		c.b.Emit(bytecode.OpSetL, int32(vslot), 0)
+		c.b.Emit(bytecode.OpPopC, 0, 0)
+		c.loops = append(c.loops, loopCtx{breakL: endL, contL: contL})
+		for _, x := range st.Body {
+			if err := c.stmt(x); err != nil {
+				return err
+			}
+		}
+		c.loops = c.loops[:len(c.loops)-1]
+		c.b.Bind(contL)
+		c.b.EmitIter(bytecode.OpIterNext, iter, bodyL)
+		c.b.Bind(endL)
+		return nil
+
+	case *lang.ReturnStmt:
+		if st.Value != nil {
+			if err := c.expr(st.Value); err != nil {
+				return err
+			}
+		} else {
+			c.b.Emit(bytecode.OpNull, 0, 0)
+		}
+		c.b.Emit(bytecode.OpRet, 0, 0)
+		return nil
+
+	case *lang.BreakStmt:
+		if len(c.loops) == 0 {
+			return c.errf(st.Pos, "break outside loop")
+		}
+		c.b.Jump(bytecode.OpJmp, c.loops[len(c.loops)-1].breakL)
+		return nil
+
+	case *lang.ContinueStmt:
+		if len(c.loops) == 0 {
+			return c.errf(st.Pos, "continue outside loop")
+		}
+		c.b.Jump(bytecode.OpJmp, c.loops[len(c.loops)-1].contL)
+		return nil
+
+	default:
+		return fmt.Errorf("hackc: unknown statement %T", s)
+	}
+}
+
+func (c *fnCompiler) assign(st *lang.AssignStmt) error {
+	switch lhs := st.LHS.(type) {
+	case *lang.Ident:
+		slot, ok := c.b.LookupLocal(lhs.Name)
+		if !ok {
+			return c.errf(lhs.Pos, "undefined variable %q", lhs.Name)
+		}
+		if st.Op != "" {
+			c.b.Emit(bytecode.OpCGetL, int32(slot), 0)
+			if err := c.expr(st.RHS); err != nil {
+				return err
+			}
+			c.emitBinOp(st.Op)
+		} else {
+			if err := c.expr(st.RHS); err != nil {
+				return err
+			}
+		}
+		c.b.Emit(bytecode.OpSetL, int32(slot), 0)
+		c.b.Emit(bytecode.OpPopC, 0, 0)
+		return nil
+
+	case *lang.Index:
+		baseT := c.b.TempLocal()
+		keyT := c.b.TempLocal()
+		if err := c.expr(lhs.Base); err != nil {
+			return err
+		}
+		c.b.Emit(bytecode.OpSetL, int32(baseT), 0)
+		c.b.Emit(bytecode.OpPopC, 0, 0)
+		if err := c.expr(lhs.Key); err != nil {
+			return err
+		}
+		c.b.Emit(bytecode.OpSetL, int32(keyT), 0)
+		c.b.Emit(bytecode.OpPopC, 0, 0)
+		c.b.Emit(bytecode.OpCGetL, int32(baseT), 0)
+		c.b.Emit(bytecode.OpCGetL, int32(keyT), 0)
+		if st.Op != "" {
+			c.b.Emit(bytecode.OpCGetL, int32(baseT), 0)
+			c.b.Emit(bytecode.OpCGetL, int32(keyT), 0)
+			c.b.Emit(bytecode.OpIdxGet, 0, 0)
+			if err := c.expr(st.RHS); err != nil {
+				return err
+			}
+			c.emitBinOp(st.Op)
+		} else {
+			if err := c.expr(st.RHS); err != nil {
+				return err
+			}
+		}
+		c.b.Emit(bytecode.OpIdxSet, 0, 0)
+		c.b.Emit(bytecode.OpPopC, 0, 0)
+		return nil
+
+	case *lang.Prop:
+		nameIdx := c.b.LitIdx(value.Str(lhs.Name))
+		baseT := c.b.TempLocal()
+		if err := c.expr(lhs.Base); err != nil {
+			return err
+		}
+		c.b.Emit(bytecode.OpSetL, int32(baseT), 0)
+		c.b.Emit(bytecode.OpPopC, 0, 0)
+		c.b.Emit(bytecode.OpCGetL, int32(baseT), 0)
+		if st.Op != "" {
+			c.b.Emit(bytecode.OpCGetL, int32(baseT), 0)
+			c.b.Emit(bytecode.OpPropGet, nameIdx, 0)
+			if err := c.expr(st.RHS); err != nil {
+				return err
+			}
+			c.emitBinOp(st.Op)
+		} else {
+			if err := c.expr(st.RHS); err != nil {
+				return err
+			}
+		}
+		c.b.Emit(bytecode.OpPropSet, nameIdx, 0)
+		c.b.Emit(bytecode.OpPopC, 0, 0)
+		return nil
+
+	default:
+		return c.errf(st.Pos, "invalid assignment target %T", st.LHS)
+	}
+}
+
+var binOps = map[string]bytecode.Op{
+	"+": bytecode.OpAdd, "-": bytecode.OpSub, "*": bytecode.OpMul,
+	"/": bytecode.OpDiv, "%": bytecode.OpMod, ".": bytecode.OpConcat,
+	"==": bytecode.OpCmpEq, "!=": bytecode.OpCmpNeq,
+	"===": bytecode.OpCmpSame, "!==": bytecode.OpCmpNSame,
+	"<": bytecode.OpCmpLt, "<=": bytecode.OpCmpLte,
+	">": bytecode.OpCmpGt, ">=": bytecode.OpCmpGte,
+	"&": bytecode.OpBitAnd, "|": bytecode.OpBitOr, "^": bytecode.OpBitXor,
+	"<<": bytecode.OpShl, ">>": bytecode.OpShr,
+}
+
+func (c *fnCompiler) emitBinOp(op string) {
+	c.b.Emit(binOps[op], 0, 0)
+}
+
+func (c *fnCompiler) expr(e lang.Expr) error {
+	switch x := e.(type) {
+	case *lang.IntLit:
+		c.b.EmitLit(value.Int(x.Val))
+	case *lang.FloatLit:
+		c.b.EmitLit(value.Float(x.Val))
+	case *lang.StrLit:
+		c.b.EmitLit(value.Str(x.Val))
+	case *lang.BoolLit:
+		c.b.EmitLit(value.Bool(x.Val))
+	case *lang.NullLit:
+		c.b.Emit(bytecode.OpNull, 0, 0)
+	case *lang.Ident:
+		slot, ok := c.b.LookupLocal(x.Name)
+		if !ok {
+			return c.errf(x.Pos, "undefined variable %q", x.Name)
+		}
+		c.b.Emit(bytecode.OpCGetL, int32(slot), 0)
+	case *lang.ThisExpr:
+		if c.className == "" {
+			return c.errf(x.Pos, "'this' outside a method")
+		}
+		c.b.Emit(bytecode.OpThis, 0, 0)
+	case *lang.Unary:
+		if err := c.expr(x.X); err != nil {
+			return err
+		}
+		if x.Op == "-" {
+			c.b.Emit(bytecode.OpNeg, 0, 0)
+		} else {
+			c.b.Emit(bytecode.OpNot, 0, 0)
+		}
+	case *lang.Binary:
+		return c.binary(x)
+	case *lang.Call:
+		if bid, ok := bytecode.BuiltinByName(x.Name); ok {
+			for _, a := range x.Args {
+				if err := c.expr(a); err != nil {
+					return err
+				}
+			}
+			c.b.Emit(bytecode.OpBuiltin, int32(bid), int32(len(x.Args)))
+			return nil
+		}
+		for _, a := range x.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+		}
+		nameIdx := c.b.LitIdx(value.Str(x.Name))
+		c.b.Emit(bytecode.OpFCall, nameIdx, int32(len(x.Args)))
+	case *lang.MethodCall:
+		if err := c.expr(x.Recv); err != nil {
+			return err
+		}
+		for _, a := range x.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+		}
+		nameIdx := c.b.LitIdx(value.Str(x.Name))
+		c.b.Emit(bytecode.OpFCallM, nameIdx, int32(len(x.Args)))
+	case *lang.New:
+		for _, a := range x.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+		}
+		nameIdx := c.b.LitIdx(value.Str(x.Class))
+		c.b.Emit(bytecode.OpNewObjL, nameIdx, int32(len(x.Args)))
+	case *lang.Index:
+		if err := c.expr(x.Base); err != nil {
+			return err
+		}
+		if err := c.expr(x.Key); err != nil {
+			return err
+		}
+		c.b.Emit(bytecode.OpIdxGet, 0, 0)
+	case *lang.Prop:
+		if err := c.expr(x.Base); err != nil {
+			return err
+		}
+		nameIdx := c.b.LitIdx(value.Str(x.Name))
+		c.b.Emit(bytecode.OpPropGet, nameIdx, 0)
+	case *lang.ArrayLit:
+		return c.arrayLit(x)
+	default:
+		return fmt.Errorf("hackc: unknown expression %T", e)
+	}
+	return nil
+}
+
+func (c *fnCompiler) binary(x *lang.Binary) error {
+	switch x.Op {
+	case "&&":
+		falseL := c.b.NewLabel()
+		endL := c.b.NewLabel()
+		if err := c.expr(x.L); err != nil {
+			return err
+		}
+		c.b.Jump(bytecode.OpJmpZ, falseL)
+		if err := c.expr(x.R); err != nil {
+			return err
+		}
+		c.b.Jump(bytecode.OpJmpZ, falseL)
+		c.b.Emit(bytecode.OpTrue, 0, 0)
+		c.b.Jump(bytecode.OpJmp, endL)
+		c.b.Bind(falseL)
+		c.b.Emit(bytecode.OpFalse, 0, 0)
+		c.b.Bind(endL)
+		return nil
+	case "||":
+		trueL := c.b.NewLabel()
+		endL := c.b.NewLabel()
+		if err := c.expr(x.L); err != nil {
+			return err
+		}
+		c.b.Jump(bytecode.OpJmpNZ, trueL)
+		if err := c.expr(x.R); err != nil {
+			return err
+		}
+		c.b.Jump(bytecode.OpJmpNZ, trueL)
+		c.b.Emit(bytecode.OpFalse, 0, 0)
+		c.b.Jump(bytecode.OpJmp, endL)
+		c.b.Bind(trueL)
+		c.b.Emit(bytecode.OpTrue, 0, 0)
+		c.b.Bind(endL)
+		return nil
+	default:
+		if err := c.expr(x.L); err != nil {
+			return err
+		}
+		if err := c.expr(x.R); err != nil {
+			return err
+		}
+		op, ok := binOps[x.Op]
+		if !ok {
+			return c.errf(x.Pos, "unknown operator %q", x.Op)
+		}
+		c.b.Emit(op, 0, 0)
+		return nil
+	}
+}
+
+func (c *fnCompiler) arrayLit(x *lang.ArrayLit) error {
+	allUnkeyed := true
+	allKeyed := true
+	for _, e := range x.Entries {
+		if e.Key == nil {
+			allKeyed = false
+		} else {
+			allUnkeyed = false
+		}
+	}
+	switch {
+	case len(x.Entries) == 0:
+		c.b.Emit(bytecode.OpNewVec, 0, 0)
+	case allUnkeyed:
+		for _, e := range x.Entries {
+			if err := c.expr(e.Val); err != nil {
+				return err
+			}
+		}
+		c.b.Emit(bytecode.OpNewVec, int32(len(x.Entries)), 0)
+	case allKeyed:
+		for _, e := range x.Entries {
+			if err := c.expr(e.Key); err != nil {
+				return err
+			}
+			if err := c.expr(e.Val); err != nil {
+				return err
+			}
+		}
+		c.b.Emit(bytecode.OpNewDict, int32(len(x.Entries)), 0)
+	default:
+		// Mixed: build incrementally.
+		c.b.Emit(bytecode.OpNewVec, 0, 0)
+		for _, e := range x.Entries {
+			c.b.Emit(bytecode.OpDup, 0, 0)
+			if e.Key != nil {
+				if err := c.expr(e.Key); err != nil {
+					return err
+				}
+				if err := c.expr(e.Val); err != nil {
+					return err
+				}
+				c.b.Emit(bytecode.OpIdxSet, 0, 0)
+			} else {
+				if err := c.expr(e.Val); err != nil {
+					return err
+				}
+				c.b.Emit(bytecode.OpIdxApp, 0, 0)
+			}
+			c.b.Emit(bytecode.OpPopC, 0, 0)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+package hackc
+
+import (
+	"strings"
+	"testing"
+
+	"jumpstart/internal/bytecode"
+	"jumpstart/internal/lang"
+)
+
+func compileOne(t *testing.T, src string, opts Options) *bytecode.Program {
+	t.Helper()
+	p, err := CompileSources(map[string]string{"main.mh": src}, []string{"main.mh"}, opts)
+	if err != nil {
+		t.Fatalf("CompileSources: %v", err)
+	}
+	return p
+}
+
+func TestCompileSimpleFunction(t *testing.T) {
+	p := compileOne(t, `fun add(a, b) { return a + b; }`, Options{})
+	f, ok := p.FuncByName("add")
+	if !ok {
+		t.Fatal("add missing")
+	}
+	if f.NumParams != 2 || f.NumLocals != 2 {
+		t.Fatalf("params/locals = %d/%d", f.NumParams, f.NumLocals)
+	}
+	d := f.Disasm()
+	for _, want := range []string{"CGetL 0", "CGetL 1", "Add", "Ret"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disasm missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestCompileLocalsAndLoops(t *testing.T) {
+	p := compileOne(t, `
+fun sum(n) {
+  total = 0;
+  for (i = 0; i < n; i += 1) {
+    if (i % 2 == 0) { continue; }
+    total += i;
+  }
+  return total;
+}`, Options{})
+	f, _ := p.FuncByName("sum")
+	if f.NumLocals != 3 { // n, total, i
+		t.Fatalf("locals = %d", f.NumLocals)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileForeach(t *testing.T) {
+	p := compileOne(t, `
+fun f(a) {
+  s = 0;
+  foreach (a as k => v) { s += k + v; }
+  foreach (a as v) { s += v; }
+  return s;
+}`, Options{})
+	f, _ := p.FuncByName("f")
+	if f.NumIters != 2 {
+		t.Fatalf("iters = %d", f.NumIters)
+	}
+	d := f.Disasm()
+	for _, want := range []string{"IterInit", "IterNext", "IterKey", "IterVal"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disasm missing %q", want)
+		}
+	}
+}
+
+func TestCompileClassesAndMethods(t *testing.T) {
+	p := compileOne(t, `
+class Animal {
+  prop name = "beast";
+  prop legs = 4;
+  fun describe() { return this->name . " has " . this->legs . " legs"; }
+}
+class Dog extends Animal {
+  prop breed;
+  fun __construct(b) { this->breed = b; }
+  fun describe() { return "dog " . this->breed; }
+}
+fun make() { return new Dog("lab"); }
+`, Options{})
+	dog, ok := p.ClassByName("Dog")
+	if !ok {
+		t.Fatal("Dog missing")
+	}
+	animal, _ := p.ClassByName("Animal")
+	if dog.Parent != animal.ID {
+		t.Fatalf("Dog parent = %d", dog.Parent)
+	}
+	fp := dog.FlatProps()
+	if len(fp) != 3 || fp[0].Name != "name" || fp[2].Name != "breed" {
+		t.Fatalf("flat props = %v", fp)
+	}
+	id, ok := dog.LookupMethod("describe")
+	if !ok || p.Funcs[id].Name != "Dog::describe" {
+		t.Fatal("override missing")
+	}
+	if _, ok := dog.LookupMethod(CtorName); !ok {
+		t.Fatal("ctor missing")
+	}
+	// make()'s NewObjL was resolved to NewObj by the linker.
+	mk, _ := p.FuncByName("make")
+	found := false
+	for _, in := range mk.Code {
+		if in.Op == bytecode.OpNewObj && bytecode.ClassID(in.A) == dog.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("NewObj not resolved:\n%s", mk.Disasm())
+	}
+}
+
+func TestCompileBuiltinCalls(t *testing.T) {
+	p := compileOne(t, `fun f(a) { return len(a) + sqrt(4); }`, Options{})
+	f, _ := p.FuncByName("f")
+	nb := 0
+	for _, in := range f.Code {
+		if in.Op == bytecode.OpBuiltin {
+			nb++
+		}
+	}
+	if nb != 2 {
+		t.Fatalf("builtin calls = %d", nb)
+	}
+}
+
+func TestCompileShortCircuit(t *testing.T) {
+	p := compileOne(t, `fun f(a, b) { return a && b || !a; }`, Options{})
+	f, _ := p.FuncByName("f")
+	d := f.Disasm()
+	if !strings.Contains(d, "JmpZ") || !strings.Contains(d, "JmpNZ") {
+		t.Fatalf("short-circuit not compiled via jumps:\n%s", d)
+	}
+	if err := p.VerifyFunc(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileArrayLiterals(t *testing.T) {
+	p := compileOne(t, `
+fun f() {
+  v = [1, 2, 3];
+  d = ["a" => 1, "b" => 2];
+  m = [1, "k" => 2, 3];
+  return v[0] + d["a"] + m[0];
+}`, Options{})
+	f, _ := p.FuncByName("f")
+	d := f.Disasm()
+	if !strings.Contains(d, "NewVec 3") {
+		t.Errorf("vec literal:\n%s", d)
+	}
+	if !strings.Contains(d, "NewDict 2") {
+		t.Errorf("dict literal:\n%s", d)
+	}
+	if !strings.Contains(d, "IdxApp") {
+		t.Errorf("mixed literal:\n%s", d)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{`fun f() { return x; }`, "undefined variable"},
+		{`fun f() { break; }`, "break outside loop"},
+		{`fun f() { continue; }`, "continue outside loop"},
+		{`fun f() { return this; }`, "'this' outside a method"},
+		{`class C { fun m() {} fun m() {} }`, "duplicate method"},
+		{`class C extends Nope { }`, "unknown class"},
+		{`fun f() {} fun f() {}`, "duplicate function"},
+	}
+	for _, c := range cases {
+		_, err := CompileSources(map[string]string{"m.mh": c.src}, []string{"m.mh"}, Options{})
+		if err == nil {
+			t.Errorf("%q: expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%q: error %q missing %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestCompileCrossUnitInheritance(t *testing.T) {
+	srcs := map[string]string{
+		"a.mh": `class Base { prop x = 1; fun get() { return this->x; } }`,
+		"b.mh": `class Child extends Base { prop y = 2; } fun mk() { return new Child; }`,
+	}
+	p, err := CompileSources(srcs, []string{"a.mh", "b.mh"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, _ := p.ClassByName("Child")
+	if len(child.FlatProps()) != 2 {
+		t.Fatalf("flat props = %v", child.FlatProps())
+	}
+	if _, ok := child.LookupMethod("get"); !ok {
+		t.Fatal("inherited method missing")
+	}
+}
+
+func TestCompileAllPrograms(t *testing.T) {
+	// A grab-bag exercising every statement/expression form; must
+	// compile and verify with and without optimization.
+	src := `
+class P { prop a = 1; prop b = "s"; prop c = 2.5; prop d = true; prop e = null;
+  fun sum(x) { return this->a + x; }
+}
+fun main(n) {
+  o = new P;
+  o->a = 5;
+  o->a += 2;
+  arr = [];
+  arr[0] = 1;
+  arr[0] *= 3;
+  arr["k"] = o->sum(2);
+  t = 0;
+  i = 0;
+  while (i < n) { t = t + arr[0]; i += 1; if (t > 100) { break; } }
+  foreach (arr as k => v) { t += intval(v); }
+  s = "x" . 1 . true;
+  f = 1.5 / 0.5;
+  bits = (3 & 1) | (4 ^ 2) | (1 << 3) | (16 >> 2);
+  cmp = (1 == 1) && (1 != 2) && (1 === 1) && (1 !== "1") && (1 < 2) && (2 <= 2) && (3 > 2) && (3 >= 3);
+  neg = -n;
+  not = !false;
+  return t + f + bits + neg;
+}`
+	for _, opt := range []bool{false, true} {
+		p, err := CompileSources(map[string]string{"m.mh": src}, []string{"m.mh"}, Options{Optimize: opt})
+		if err != nil {
+			t.Fatalf("opt=%v: %v", opt, err)
+		}
+		if err := p.Verify(); err != nil {
+			t.Fatalf("opt=%v verify: %v", opt, err)
+		}
+	}
+}
+
+func TestCompileFileRejectsNonLiteralDefault(t *testing.T) {
+	file, err := lang.Parse("m.mh", `class C { prop x = 5; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch the default to a non-literal to exercise literalValue's
+	// error path (the parser already rejects it syntactically).
+	file.Classes[0].Props[0].Default = &lang.Ident{Name: "y"}
+	if _, err := CompileFile(file, Options{}); err == nil {
+		t.Fatal("non-literal default should fail")
+	}
+}

@@ -1,0 +1,64 @@
+package hackc
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGoldenDisasm pins the exact code the compiler emits for a small
+// function, so accidental codegen changes are caught loudly. The
+// golden text is intentionally small; structural tests elsewhere cover
+// breadth.
+func TestGoldenDisasm(t *testing.T) {
+	p := compileOne(t, `fun clamp(x, lo, hi) {
+  if (x < lo) { return lo; }
+  if (x > hi) { return hi; }
+  return x;
+}`, Options{})
+	f, _ := p.FuncByName("clamp")
+	got := strings.TrimSpace(f.Disasm())
+	want := strings.TrimSpace(`
+.function clamp (params=3 locals=3 iters=0)
+  b0: ; succs=[1 3]
+       0  CGetL 0
+       1  CGetL 1
+       2  CmpLt
+       3  JmpZ 7
+  b1:
+       4  CGetL 1
+       5  Ret
+  b2: ; succs=[3]
+       6  Jmp 7
+  b3: ; succs=[4 6]
+       7  CGetL 0
+       8  CGetL 2
+       9  CmpGt
+      10  JmpZ 14
+  b4:
+      11  CGetL 2
+      12  Ret
+  b5: ; succs=[6]
+      13  Jmp 14
+  b6:
+      14  CGetL 0
+      15  Ret`)
+	if got != want {
+		t.Fatalf("golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestGoldenDisasmOptimized pins the optimizer's output for the same
+// function with constant inputs folded away.
+func TestGoldenDisasmOptimized(t *testing.T) {
+	p := compileOne(t, `fun six() { return 1 + 2 + 3; }`, Options{Optimize: true})
+	f, _ := p.FuncByName("six")
+	got := strings.TrimSpace(f.Disasm())
+	want := strings.TrimSpace(`
+.function six (params=0 locals=0 iters=0)
+  b0:
+       0  Int 6
+       1  Ret`)
+	if got != want {
+		t.Fatalf("golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

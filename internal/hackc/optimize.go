@@ -1,0 +1,330 @@
+package hackc
+
+import (
+	"jumpstart/internal/bytecode"
+	"jumpstart/internal/value"
+)
+
+// OptimizeFunc applies the offline bytecode optimizer to one function:
+// constant folding, branch folding, jump threading, and dead-code /
+// Nop elimination with jump retargeting. These model the aggressive
+// offline optimizations HHVM performs on the bytecode repo before
+// deployment (Section II-A of the paper); they run once at compile
+// time, never on the serving path.
+//
+// Passes iterate to a fixpoint (bounded) because folding exposes new
+// opportunities: folding a comparison can make a branch foldable,
+// which makes code unreachable.
+func OptimizeFunc(fn *bytecode.Function) {
+	for i := 0; i < 10; i++ {
+		changed := false
+		changed = foldConstants(fn) || changed
+		changed = foldBranches(fn) || changed
+		changed = threadJumps(fn) || changed
+		changed = eliminateDead(fn) || changed
+		if !changed {
+			return
+		}
+	}
+}
+
+// constValue reports whether the instruction pushes a statically known
+// value, and returns it.
+func constValue(fn *bytecode.Function, in bytecode.Instr) (value.Value, bool) {
+	switch in.Op {
+	case bytecode.OpInt:
+		return value.Int(int64(in.A)), true
+	case bytecode.OpTrue:
+		return value.Bool(true), true
+	case bytecode.OpFalse:
+		return value.Bool(false), true
+	case bytecode.OpNull:
+		return value.Null, true
+	case bytecode.OpLit:
+		v := fn.Unit.Literal(in.A)
+		// Arrays are reference values; never fold them.
+		if v.Kind() == value.KindArr || v.Kind() == value.KindObj {
+			return value.Null, false
+		}
+		return v, true
+	default:
+		return value.Null, false
+	}
+}
+
+// emitConst builds the instruction that pushes v.
+func emitConst(fn *bytecode.Function, v value.Value) bytecode.Instr {
+	switch v.Kind() {
+	case value.KindNull:
+		return bytecode.Instr{Op: bytecode.OpNull}
+	case value.KindBool:
+		if v.AsBool() {
+			return bytecode.Instr{Op: bytecode.OpTrue}
+		}
+		return bytecode.Instr{Op: bytecode.OpFalse}
+	case value.KindInt:
+		if i := v.AsInt(); i >= -1<<31 && i < 1<<31 {
+			return bytecode.Instr{Op: bytecode.OpInt, A: int32(i)}
+		}
+	}
+	return bytecode.Instr{Op: bytecode.OpLit, A: fn.Unit.AddLiteral(v)}
+}
+
+// leaders returns the set of instruction indices that are jump targets;
+// folding across them would change behaviour for other predecessors.
+func leaders(code []bytecode.Instr) map[int]bool {
+	l := map[int]bool{}
+	for _, in := range code {
+		if in.Op.IsJump() {
+			l[int(in.A)] = true
+		}
+		if in.Op == bytecode.OpIterInit || in.Op == bytecode.OpIterNext {
+			l[int(in.B)] = true
+		}
+	}
+	return l
+}
+
+// foldConstants rewrites const-const-binop and const-unop windows into
+// a single constant push (padding with Nops to preserve indices).
+func foldConstants(fn *bytecode.Function) bool {
+	code := fn.Code
+	lead := leaders(code)
+	changed := false
+
+	evalBin := func(op bytecode.Op, a, b value.Value) (value.Value, bool) {
+		var v value.Value
+		var err error
+		switch op {
+		case bytecode.OpAdd:
+			v, err = value.Add(a, b)
+		case bytecode.OpSub:
+			v, err = value.Sub(a, b)
+		case bytecode.OpMul:
+			v, err = value.Mul(a, b)
+		case bytecode.OpDiv:
+			v, err = value.Div(a, b)
+		case bytecode.OpMod:
+			v, err = value.Mod(a, b)
+		case bytecode.OpConcat:
+			v = value.Concat(a, b)
+		case bytecode.OpCmpEq:
+			v = value.Bool(value.Equals(a, b))
+		case bytecode.OpCmpNeq:
+			v = value.Bool(!value.Equals(a, b))
+		case bytecode.OpCmpSame:
+			v = value.Bool(value.Identical(a, b))
+		case bytecode.OpCmpNSame:
+			v = value.Bool(!value.Identical(a, b))
+		case bytecode.OpCmpLt:
+			v = value.Bool(value.Compare(a, b) < 0)
+		case bytecode.OpCmpLte:
+			v = value.Bool(value.Compare(a, b) <= 0)
+		case bytecode.OpCmpGt:
+			v = value.Bool(value.Compare(a, b) > 0)
+		case bytecode.OpCmpGte:
+			v = value.Bool(value.Compare(a, b) >= 0)
+		case bytecode.OpBitAnd:
+			v = value.BitAnd(a, b)
+		case bytecode.OpBitOr:
+			v = value.BitOr(a, b)
+		case bytecode.OpBitXor:
+			v = value.BitXor(a, b)
+		case bytecode.OpShl:
+			v = value.Shl(a, b)
+		case bytecode.OpShr:
+			v = value.Shr(a, b)
+		default:
+			return value.Null, false
+		}
+		if err != nil {
+			return value.Null, false // leave runtime errors to runtime
+		}
+		return v, true
+	}
+
+	for pc := 0; pc+1 < len(code); pc++ {
+		a, okA := constValue(fn, code[pc])
+		if !okA {
+			continue
+		}
+		// Unary window: [const][Neg|Not].
+		if !lead[pc+1] {
+			switch code[pc+1].Op {
+			case bytecode.OpNeg:
+				if v, err := value.Neg(a); err == nil {
+					code[pc] = bytecode.Instr{Op: bytecode.OpNop}
+					code[pc+1] = emitConst(fn, v)
+					changed = true
+					continue
+				}
+			case bytecode.OpNot:
+				code[pc] = bytecode.Instr{Op: bytecode.OpNop}
+				code[pc+1] = emitConst(fn, value.Bool(!a.Truthy()))
+				changed = true
+				continue
+			}
+		}
+		if pc+2 >= len(code) {
+			continue
+		}
+		b, okB := constValue(fn, code[pc+1])
+		if !okB || lead[pc+1] || lead[pc+2] {
+			continue
+		}
+		if v, ok := evalBin(code[pc+2].Op, a, b); ok {
+			code[pc] = bytecode.Instr{Op: bytecode.OpNop}
+			code[pc+1] = bytecode.Instr{Op: bytecode.OpNop}
+			code[pc+2] = emitConst(fn, v)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// foldBranches resolves conditional branches whose condition is a
+// constant push immediately before them.
+func foldBranches(fn *bytecode.Function) bool {
+	code := fn.Code
+	lead := leaders(code)
+	changed := false
+	for pc := 0; pc+1 < len(code); pc++ {
+		v, ok := constValue(fn, code[pc])
+		if !ok || lead[pc+1] {
+			continue
+		}
+		br := code[pc+1]
+		if br.Op != bytecode.OpJmpZ && br.Op != bytecode.OpJmpNZ {
+			continue
+		}
+		taken := (br.Op == bytecode.OpJmpZ) == !v.Truthy()
+		code[pc] = bytecode.Instr{Op: bytecode.OpNop}
+		if taken {
+			code[pc+1] = bytecode.Instr{Op: bytecode.OpJmp, A: br.A}
+		} else {
+			code[pc+1] = bytecode.Instr{Op: bytecode.OpNop}
+		}
+		changed = true
+	}
+	return changed
+}
+
+// threadJumps retargets jumps whose destination is an unconditional
+// jump (or a Nop slide ending in one).
+func threadJumps(fn *bytecode.Function) bool {
+	code := fn.Code
+	changed := false
+	// resolve follows Nops and Jmp chains from t, with cycle guard.
+	resolve := func(t int32) int32 {
+		seen := map[int32]bool{}
+		for {
+			if seen[t] || int(t) >= len(code) {
+				return t
+			}
+			seen[t] = true
+			in := code[t]
+			switch in.Op {
+			case bytecode.OpNop:
+				t++
+			case bytecode.OpJmp:
+				t = in.A
+			default:
+				return t
+			}
+		}
+	}
+	for pc := range code {
+		in := &code[pc]
+		if in.Op.IsJump() {
+			if nt := resolve(in.A); nt != in.A {
+				in.A = nt
+				changed = true
+			}
+		}
+		if in.Op == bytecode.OpIterInit || in.Op == bytecode.OpIterNext {
+			if nt := resolve(in.B); nt != in.B {
+				in.B = nt
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// eliminateDead removes unreachable instructions and Nops, compacting
+// the code and retargeting jumps. Returns whether anything changed.
+func eliminateDead(fn *bytecode.Function) bool {
+	code := fn.Code
+	n := len(code)
+	reachable := make([]bool, n)
+	var stack []int
+	push := func(pc int) {
+		if pc >= 0 && pc < n && !reachable[pc] {
+			reachable[pc] = true
+			stack = append(stack, pc)
+		}
+	}
+	push(0)
+	for len(stack) > 0 {
+		pc := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		in := code[pc]
+		switch {
+		case in.Op == bytecode.OpJmp:
+			push(int(in.A))
+		case in.Op == bytecode.OpJmpZ || in.Op == bytecode.OpJmpNZ:
+			push(int(in.A))
+			push(pc + 1)
+		case in.Op == bytecode.OpIterInit || in.Op == bytecode.OpIterNext:
+			push(int(in.B))
+			push(pc + 1)
+		case in.Op == bytecode.OpRet || in.Op == bytecode.OpFatal:
+		default:
+			push(pc + 1)
+		}
+	}
+
+	// keep[i]: instruction survives. Drop unreachable and reachable Nops.
+	anyDrop := false
+	keep := make([]bool, n)
+	for i, in := range code {
+		keep[i] = reachable[i] && in.Op != bytecode.OpNop
+		if !keep[i] {
+			anyDrop = true
+		}
+	}
+	if !anyDrop {
+		return false
+	}
+
+	// newAt[i] = index of the first kept instruction at or after i.
+	newAt := make([]int32, n+1)
+	cnt := int32(0)
+	for i := 0; i < n; i++ {
+		newAt[i] = cnt
+		if keep[i] {
+			cnt++
+		}
+	}
+	newAt[n] = cnt
+
+	out := make([]bytecode.Instr, 0, cnt)
+	for i, in := range code {
+		if !keep[i] {
+			continue
+		}
+		if in.Op.IsJump() {
+			in.A = newAt[in.A]
+		}
+		if in.Op == bytecode.OpIterInit || in.Op == bytecode.OpIterNext {
+			in.B = newAt[in.B]
+		}
+		out = append(out, in)
+	}
+	// Never produce an empty function: keep a null return.
+	if len(out) == 0 {
+		out = []bytecode.Instr{{Op: bytecode.OpNull}, {Op: bytecode.OpRet}}
+	}
+	fn.SetCode(out)
+	return true
+}

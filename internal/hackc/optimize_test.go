@@ -1,0 +1,169 @@
+package hackc
+
+import (
+	"strings"
+	"testing"
+
+	"jumpstart/internal/bytecode"
+)
+
+func countOp(f *bytecode.Function, op bytecode.Op) int {
+	n := 0
+	for _, in := range f.Code {
+		if in.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+func TestFoldConstantArithmetic(t *testing.T) {
+	p := compileOne(t, `fun f() { return 2 + 3 * 4; }`, Options{Optimize: true})
+	f, _ := p.FuncByName("f")
+	// Whole expression folds to Int 14; only a push and a Ret remain.
+	if len(f.Code) != 2 {
+		t.Fatalf("code = %v", f.Code)
+	}
+	if f.Code[0].Op != bytecode.OpInt || f.Code[0].A != 14 {
+		t.Fatalf("folded = %v", f.Code[0])
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFoldConstantComparisonAndConcat(t *testing.T) {
+	p := compileOne(t, `fun f() { return "a" . "b" . 1; }`, Options{Optimize: true})
+	f, _ := p.FuncByName("f")
+	if len(f.Code) != 2 || f.Code[0].Op != bytecode.OpLit {
+		t.Fatalf("code = %v", f.Code)
+	}
+	if got := f.Unit.Literal(f.Code[0].A).AsStr(); got != "ab1" {
+		t.Fatalf("folded = %q", got)
+	}
+
+	p = compileOne(t, `fun g() { return 3 < 4; }`, Options{Optimize: true})
+	g, _ := p.FuncByName("g")
+	if g.Code[0].Op != bytecode.OpTrue {
+		t.Fatalf("comparison not folded: %v", g.Code)
+	}
+}
+
+func TestFoldUnary(t *testing.T) {
+	p := compileOne(t, `fun f() { return -5 + !true; }`, Options{Optimize: true})
+	f, _ := p.FuncByName("f")
+	// -5 folds; !true folds to false; -5 + false folds to -5.
+	if len(f.Code) != 2 || f.Code[0].Op != bytecode.OpInt || f.Code[0].A != -5 {
+		t.Fatalf("code = %v", f.Code)
+	}
+}
+
+func TestDivisionByZeroNotFolded(t *testing.T) {
+	p := compileOne(t, `fun f() { return 1 / 0; }`, Options{Optimize: true})
+	f, _ := p.FuncByName("f")
+	if countOp(f, bytecode.OpDiv) != 1 {
+		t.Fatalf("1/0 must stay for runtime error: %v", f.Code)
+	}
+}
+
+func TestBranchFoldingKillsDeadArm(t *testing.T) {
+	p := compileOne(t, `
+fun f() {
+  if (true) { return 1; } else { return 2; }
+}`, Options{Optimize: true})
+	f, _ := p.FuncByName("f")
+	// The else arm (return 2) must be gone.
+	for _, in := range f.Code {
+		if in.Op == bytecode.OpInt && in.A == 2 {
+			t.Fatalf("dead arm survived: %v", f.Code)
+		}
+	}
+	if countOp(f, bytecode.OpJmpZ) != 0 {
+		t.Fatalf("branch not folded: %v", f.Code)
+	}
+}
+
+func TestDeadCodeAfterReturnRemoved(t *testing.T) {
+	// The compiler emits an unconditional Jmp after the then-arm; with
+	// a return inside, the Jmp is unreachable.
+	p := compileOne(t, `fun f(x) { if (x) { return 1; } return 2; }`, Options{Optimize: true})
+	f, _ := p.FuncByName("f")
+	if countOp(f, bytecode.OpJmp) != 0 {
+		t.Fatalf("unreachable jmp survived:\n%s", f.Disasm())
+	}
+	if err := p.VerifyFunc(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJumpThreading(t *testing.T) {
+	// while(true) with a break: break jumps to end; condition folds;
+	// resulting Jmp chains must be threaded and verify.
+	p := compileOne(t, `
+fun f(n) {
+  t = 0;
+  while (true) {
+    t += 1;
+    if (t > n) { break; }
+  }
+  return t;
+}`, Options{Optimize: true})
+	f, _ := p.FuncByName("f")
+	if err := p.VerifyFunc(f); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f.Disasm())
+	}
+	// No jump should target a Jmp instruction.
+	for _, in := range f.Code {
+		if in.Op.IsJump() && f.Code[in.A].Op == bytecode.OpJmp {
+			t.Fatalf("unthreaded jump chain:\n%s", f.Disasm())
+		}
+	}
+}
+
+func TestOptimizePreservesNopFreeCode(t *testing.T) {
+	p := compileOne(t, `fun f(a, b) { return a + b; }`, Options{Optimize: true})
+	f, _ := p.FuncByName("f")
+	if countOp(f, bytecode.OpNop) != 0 {
+		t.Fatalf("Nops survived: %v", f.Code)
+	}
+}
+
+func TestOptimizeSmallerOrEqual(t *testing.T) {
+	srcs := []string{
+		`fun f() { return 1 + 2 + 3 + 4; }`,
+		`fun f(x) { if (false) { return x; } return 0; }`,
+		`fun f(x) { while (x > 0) { x -= 1; } return x; }`,
+	}
+	for _, src := range srcs {
+		p1 := compileOne(t, src, Options{})
+		p2 := compileOne(t, src, Options{Optimize: true})
+		f1, _ := p1.FuncByName("f")
+		f2, _ := p2.FuncByName("f")
+		if len(f2.Code) > len(f1.Code) {
+			t.Errorf("%q: optimize grew code %d -> %d", src, len(f1.Code), len(f2.Code))
+		}
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	p := compileOne(t, `fun f(x) { if (1 < 2) { x += 3 * 3; } return x; }`, Options{Optimize: true})
+	f, _ := p.FuncByName("f")
+	before := append([]bytecode.Instr{}, f.Code...)
+	OptimizeFunc(f)
+	if len(before) != len(f.Code) {
+		t.Fatalf("not idempotent: %d -> %d", len(before), len(f.Code))
+	}
+	for i := range before {
+		if before[i] != f.Code[i] {
+			t.Fatalf("instr %d changed: %v -> %v", i, before[i], f.Code[i])
+		}
+	}
+}
+
+func TestOptimizedDisasmIsReadable(t *testing.T) {
+	p := compileOne(t, `fun f() { return 6 * 7; }`, Options{Optimize: true})
+	f, _ := p.FuncByName("f")
+	if !strings.Contains(f.Disasm(), "Int 42") {
+		t.Fatalf("disasm:\n%s", f.Disasm())
+	}
+}

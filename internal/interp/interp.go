@@ -1,0 +1,587 @@
+// Package interp implements the MiniHack bytecode interpreter.
+//
+// The interpreter is the VM's tier-0 engine and, as in HHVM, its last
+// resort: every function can always execute here regardless of JIT
+// state. It exposes a Tracer interface through which the profiling
+// tier collects block counters, type feedback, call-target profiles
+// and property-access counters, and through which the simulated JIT
+// charges translation costs and feeds the micro-architecture model.
+// With a nil Tracer the interpreter runs at full (host) speed.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"jumpstart/internal/bytecode"
+	"jumpstart/internal/object"
+	"jumpstart/internal/value"
+)
+
+// Tracer observes execution. All methods are called synchronously on
+// the interpreter goroutine; implementations must be cheap.
+type Tracer interface {
+	// OnEnter fires when a MiniHack function activation begins.
+	OnEnter(fn *bytecode.Function)
+	// OnBlock fires when control enters a bytecode basic block.
+	OnBlock(fn *bytecode.Function, block int)
+	// OnCallSite fires before a call executes, identifying the
+	// resolved callee (method dispatch included).
+	OnCallSite(fn *bytecode.Function, pc int, callee *bytecode.Function)
+	// OnReturn fires when an activation ends (normally or via fault).
+	OnReturn(fn *bytecode.Function)
+	// OnNewObj fires after object allocation.
+	OnNewObj(obj *object.Object)
+	// OnPropAccess fires on property reads/writes with the resolved
+	// physical slot.
+	OnPropAccess(obj *object.Object, slot int, write bool)
+	// OnOpTypes fires at dynamically-typed operations with the operand
+	// kinds observed (b is KindNull for unary sites).
+	OnOpTypes(fn *bytecode.Function, pc int, a, b value.Kind)
+}
+
+// Fault is a MiniHack runtime error carrying a VM-level stack trace.
+type Fault struct {
+	Msg   string
+	Stack []string // innermost first: "func @pc"
+}
+
+func (f *Fault) Error() string {
+	return "interp: fault: " + f.Msg
+}
+
+// ErrFuel is returned when execution exceeds the configured step
+// budget (runaway-loop protection for generated workloads).
+var ErrFuel = errors.New("interp: execution budget exhausted")
+
+// Config parameterizes an Interp.
+type Config struct {
+	// Out receives builtin print output. Nil discards it.
+	Out io.Writer
+	// Tracer observes execution. Nil disables tracing.
+	Tracer Tracer
+	// MaxSteps bounds total bytecode instructions per entry call
+	// (0 = 100M).
+	MaxSteps int64
+	// MaxDepth bounds call nesting (0 = 256).
+	MaxDepth int
+}
+
+// Interp executes bytecode against a runtime class registry.
+type Interp struct {
+	prog   *bytecode.Program
+	reg    *object.Registry
+	out    io.Writer
+	tracer Tracer
+	fuel   int64
+	max    int64
+	depth  int
+	maxDep int
+
+	bsCache map[*bytecode.Function][]int32
+}
+
+// New creates an interpreter for prog/reg.
+func New(prog *bytecode.Program, reg *object.Registry, cfg Config) *Interp {
+	max := cfg.MaxSteps
+	if max == 0 {
+		max = 100_000_000
+	}
+	maxDep := cfg.MaxDepth
+	if maxDep == 0 {
+		maxDep = 256
+	}
+	return &Interp{
+		prog:   prog,
+		reg:    reg,
+		out:    cfg.Out,
+		tracer: cfg.Tracer,
+		max:    max,
+		maxDep: maxDep,
+	}
+}
+
+// Registry returns the interpreter's class registry.
+func (ip *Interp) Registry() *object.Registry { return ip.reg }
+
+// Program returns the linked program.
+func (ip *Interp) Program() *bytecode.Program { return ip.prog }
+
+// SetTracer swaps the tracer (used when a server transitions between
+// profiling and steady-state execution).
+func (ip *Interp) SetTracer(t Tracer) { ip.tracer = t }
+
+// CallByName invokes a free function by name from outside the VM.
+// The step budget resets per entry call.
+func (ip *Interp) CallByName(name string, args ...value.Value) (value.Value, error) {
+	fn, ok := ip.prog.FuncByName(name)
+	if !ok {
+		return value.Null, fmt.Errorf("interp: undefined function %q", name)
+	}
+	ip.fuel = ip.max
+	return ip.call(fn, nil, args)
+}
+
+// Call invokes fn directly (used by the server's request dispatcher).
+func (ip *Interp) Call(fn *bytecode.Function, args ...value.Value) (value.Value, error) {
+	ip.fuel = ip.max
+	return ip.call(fn, nil, args)
+}
+
+func (ip *Interp) fault(fn *bytecode.Function, pc int, format string, args ...interface{}) error {
+	return &Fault{
+		Msg:   fmt.Sprintf(format, args...),
+		Stack: []string{fmt.Sprintf("%s @%d", fn.Name, pc)},
+	}
+}
+
+type iterState struct {
+	entries []value.Entry
+	idx     int
+}
+
+// call runs one activation of fn. this is nil for free functions.
+func (ip *Interp) call(fn *bytecode.Function, this *object.Object, args []value.Value) (value.Value, error) {
+	if len(args) != fn.NumParams {
+		return value.Null, ip.fault(fn, 0, "%s expects %d args, got %d",
+			fn.Name, fn.NumParams, len(args))
+	}
+	if ip.depth >= ip.maxDep {
+		return value.Null, ip.fault(fn, 0, "stack overflow (depth %d)", ip.depth)
+	}
+	ip.depth++
+	defer func() { ip.depth-- }()
+
+	locals := make([]value.Value, fn.NumLocals)
+	copy(locals, args)
+	stack := make([]value.Value, 0, 16)
+	var iters []iterState
+	if fn.NumIters > 0 {
+		iters = make([]iterState, fn.NumIters)
+	}
+
+	tr := ip.tracer
+	if tr != nil {
+		tr.OnEnter(fn)
+		defer tr.OnReturn(fn)
+	}
+
+	// Block tracking: blockStart[pc] = block id + 1, 0 otherwise.
+	var blockStart []int32
+	if tr != nil {
+		blockStart = ip.blockStarts(fn)
+	}
+
+	push := func(v value.Value) { stack = append(stack, v) }
+	pop := func() value.Value {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+
+	code := fn.Code
+	pc := 0
+	for {
+		if ip.fuel <= 0 {
+			return value.Null, ErrFuel
+		}
+		ip.fuel--
+		if tr != nil && blockStart[pc] != 0 {
+			tr.OnBlock(fn, int(blockStart[pc]-1))
+		}
+		in := code[pc]
+		switch in.Op {
+		case bytecode.OpNop:
+			// nothing
+
+		case bytecode.OpNull:
+			push(value.Null)
+		case bytecode.OpTrue:
+			push(value.Bool(true))
+		case bytecode.OpFalse:
+			push(value.Bool(false))
+		case bytecode.OpInt:
+			push(value.Int(int64(in.A)))
+		case bytecode.OpLit:
+			push(fn.Unit.Literal(in.A))
+		case bytecode.OpDup:
+			push(stack[len(stack)-1])
+		case bytecode.OpPopC:
+			pop()
+
+		case bytecode.OpCGetL:
+			push(locals[in.A])
+		case bytecode.OpSetL:
+			locals[in.A] = stack[len(stack)-1]
+		case bytecode.OpPushL:
+			push(locals[in.A])
+			locals[in.A] = value.Null
+
+		case bytecode.OpAdd, bytecode.OpSub, bytecode.OpMul, bytecode.OpDiv, bytecode.OpMod:
+			b := pop()
+			a := pop()
+			if tr != nil {
+				tr.OnOpTypes(fn, pc, a.Kind(), b.Kind())
+			}
+			v, err := arith(in.Op, a, b)
+			if err != nil {
+				return value.Null, ip.fault(fn, pc, "%v", err)
+			}
+			push(v)
+
+		case bytecode.OpConcat:
+			b := pop()
+			a := pop()
+			if tr != nil {
+				tr.OnOpTypes(fn, pc, a.Kind(), b.Kind())
+			}
+			push(value.Concat(a, b))
+
+		case bytecode.OpNeg:
+			a := pop()
+			if tr != nil {
+				tr.OnOpTypes(fn, pc, a.Kind(), value.KindNull)
+			}
+			v, err := value.Neg(a)
+			if err != nil {
+				return value.Null, ip.fault(fn, pc, "%v", err)
+			}
+			push(v)
+		case bytecode.OpNot:
+			push(value.Bool(!pop().Truthy()))
+
+		case bytecode.OpBitAnd:
+			b := pop()
+			push(value.BitAnd(pop(), b))
+		case bytecode.OpBitOr:
+			b := pop()
+			push(value.BitOr(pop(), b))
+		case bytecode.OpBitXor:
+			b := pop()
+			push(value.BitXor(pop(), b))
+		case bytecode.OpShl:
+			b := pop()
+			push(value.Shl(pop(), b))
+		case bytecode.OpShr:
+			b := pop()
+			push(value.Shr(pop(), b))
+
+		case bytecode.OpCmpEq, bytecode.OpCmpNeq, bytecode.OpCmpSame,
+			bytecode.OpCmpNSame, bytecode.OpCmpLt, bytecode.OpCmpLte,
+			bytecode.OpCmpGt, bytecode.OpCmpGte:
+			b := pop()
+			a := pop()
+			if tr != nil {
+				tr.OnOpTypes(fn, pc, a.Kind(), b.Kind())
+			}
+			push(value.Bool(compare(in.Op, a, b)))
+
+		case bytecode.OpJmp:
+			pc = int(in.A)
+			continue
+		case bytecode.OpJmpZ:
+			if !pop().Truthy() {
+				pc = int(in.A)
+				continue
+			}
+		case bytecode.OpJmpNZ:
+			if pop().Truthy() {
+				pc = int(in.A)
+				continue
+			}
+
+		case bytecode.OpRet:
+			return pop(), nil
+		case bytecode.OpFatal:
+			return value.Null, ip.fault(fn, pc, "fatal: %s", pop().ToStr())
+
+		case bytecode.OpFCallD:
+			callee := ip.prog.Funcs[in.A]
+			argc := int(in.B)
+			cargs := make([]value.Value, argc)
+			copy(cargs, stack[len(stack)-argc:])
+			stack = stack[:len(stack)-argc]
+			if tr != nil {
+				tr.OnCallSite(fn, pc, callee)
+			}
+			ret, err := ip.call(callee, nil, cargs)
+			if err != nil {
+				return value.Null, ip.pushFrame(err, fn, pc)
+			}
+			push(ret)
+
+		case bytecode.OpFCall:
+			name := fn.Unit.Literal(in.A).AsStr()
+			return value.Null, ip.fault(fn, pc, "undefined function %q", name)
+
+		case bytecode.OpFCallM:
+			argc := int(in.B)
+			cargs := make([]value.Value, argc)
+			copy(cargs, stack[len(stack)-argc:])
+			stack = stack[:len(stack)-argc]
+			recv := pop()
+			if recv.Kind() != value.KindObj {
+				return value.Null, ip.fault(fn, pc, "method call on %s", recv.Kind())
+			}
+			obj := recv.AsObj().(*object.Object)
+			name := fn.Unit.Literal(in.A).AsStr()
+			mid, ok := obj.Class().Meta.LookupMethod(name)
+			if !ok {
+				return value.Null, ip.fault(fn, pc, "class %s has no method %q",
+					obj.ClassName(), name)
+			}
+			callee := ip.prog.Funcs[mid]
+			if argc != callee.NumParams {
+				return value.Null, ip.fault(fn, pc, "%s expects %d args, got %d",
+					callee.Name, callee.NumParams, argc)
+			}
+			if tr != nil {
+				tr.OnCallSite(fn, pc, callee)
+			}
+			ret, err := ip.call(callee, obj, cargs)
+			if err != nil {
+				return value.Null, ip.pushFrame(err, fn, pc)
+			}
+			push(ret)
+
+		case bytecode.OpNewObj:
+			argc := int(in.B)
+			cargs := make([]value.Value, argc)
+			copy(cargs, stack[len(stack)-argc:])
+			stack = stack[:len(stack)-argc]
+			rc := ip.reg.Class(bytecode.ClassID(in.A))
+			obj := ip.reg.Heap().NewObject(rc)
+			if tr != nil {
+				tr.OnNewObj(obj)
+			}
+			if ctorID, ok := rc.Meta.LookupMethod(ctorName); ok {
+				ctor := ip.prog.Funcs[ctorID]
+				if argc != ctor.NumParams {
+					return value.Null, ip.fault(fn, pc, "%s expects %d args, got %d",
+						ctor.Name, ctor.NumParams, argc)
+				}
+				if tr != nil {
+					tr.OnCallSite(fn, pc, ctor)
+				}
+				if _, err := ip.call(ctor, obj, cargs); err != nil {
+					return value.Null, ip.pushFrame(err, fn, pc)
+				}
+			} else if argc != 0 {
+				return value.Null, ip.fault(fn, pc, "class %s has no constructor", rc.Name())
+			}
+			push(value.Object(obj))
+
+		case bytecode.OpNewObjL:
+			name := fn.Unit.Literal(in.A).AsStr()
+			return value.Null, ip.fault(fn, pc, "undefined class %q", name)
+
+		case bytecode.OpBuiltin:
+			argc := int(in.B)
+			cargs := stack[len(stack)-argc:]
+			ret, err := ip.builtin(bytecode.Builtin(in.A), cargs)
+			stack = stack[:len(stack)-argc]
+			if err != nil {
+				return value.Null, ip.pushFrame(err, fn, pc)
+			}
+			push(ret)
+
+		case bytecode.OpThis:
+			if this == nil {
+				return value.Null, ip.fault(fn, pc, "'this' with no receiver")
+			}
+			push(value.Object(this))
+
+		case bytecode.OpPropGet:
+			base := pop()
+			if base.Kind() != value.KindObj {
+				return value.Null, ip.fault(fn, pc, "property access on %s", base.Kind())
+			}
+			obj := base.AsObj().(*object.Object)
+			name := fn.Unit.Literal(in.A).AsStr()
+			v, slot, ok := obj.GetProp(name)
+			if !ok {
+				return value.Null, ip.fault(fn, pc, "class %s has no property %q",
+					obj.ClassName(), name)
+			}
+			if tr != nil {
+				tr.OnPropAccess(obj, slot, false)
+			}
+			push(v)
+
+		case bytecode.OpPropSet:
+			v := pop()
+			base := pop()
+			if base.Kind() != value.KindObj {
+				return value.Null, ip.fault(fn, pc, "property write on %s", base.Kind())
+			}
+			obj := base.AsObj().(*object.Object)
+			name := fn.Unit.Literal(in.A).AsStr()
+			slot, ok := obj.SetProp(name, v)
+			if !ok {
+				return value.Null, ip.fault(fn, pc, "class %s has no property %q",
+					obj.ClassName(), name)
+			}
+			if tr != nil {
+				tr.OnPropAccess(obj, slot, true)
+			}
+			push(v)
+
+		case bytecode.OpNewVec:
+			n := int(in.A)
+			a := value.NewArray(n)
+			for i := len(stack) - n; i < len(stack); i++ {
+				a.Append(stack[i])
+			}
+			stack = stack[:len(stack)-n]
+			push(value.Arr(a))
+
+		case bytecode.OpNewDict:
+			n := int(in.A)
+			a := value.NewArray(n)
+			base := len(stack) - 2*n
+			for i := 0; i < n; i++ {
+				a.Set(stack[base+2*i], stack[base+2*i+1])
+			}
+			stack = stack[:base]
+			push(value.Arr(a))
+
+		case bytecode.OpIdxGet:
+			key := pop()
+			base := pop()
+			if base.Kind() != value.KindArr {
+				return value.Null, ip.fault(fn, pc, "index read on %s", base.Kind())
+			}
+			v, _ := base.AsArr().Get(key) // absent key yields null, PHP-style
+			push(v)
+
+		case bytecode.OpIdxSet:
+			v := pop()
+			key := pop()
+			base := pop()
+			if base.Kind() != value.KindArr {
+				return value.Null, ip.fault(fn, pc, "index write on %s", base.Kind())
+			}
+			base.AsArr().Set(key, v)
+			push(v)
+
+		case bytecode.OpIdxApp:
+			v := pop()
+			base := pop()
+			if base.Kind() != value.KindArr {
+				return value.Null, ip.fault(fn, pc, "append on %s", base.Kind())
+			}
+			base.AsArr().Append(v)
+			push(v)
+
+		case bytecode.OpIterInit:
+			seq := pop()
+			if seq.Kind() != value.KindArr {
+				return value.Null, ip.fault(fn, pc, "foreach over %s", seq.Kind())
+			}
+			arr := seq.AsArr()
+			entries := make([]value.Entry, arr.Len())
+			for i := 0; i < arr.Len(); i++ {
+				entries[i] = arr.At(i)
+			}
+			iters[in.A] = iterState{entries: entries}
+			if len(entries) == 0 {
+				pc = int(in.B)
+				continue
+			}
+
+		case bytecode.OpIterNext:
+			it := &iters[in.A]
+			it.idx++
+			if it.idx < len(it.entries) {
+				pc = int(in.B)
+				continue
+			}
+			it.entries = nil // release
+
+		case bytecode.OpIterKey:
+			it := &iters[in.A]
+			e := it.entries[it.idx]
+			if e.IsStr {
+				push(value.Str(e.StrKey))
+			} else {
+				push(value.Int(e.IntKey))
+			}
+
+		case bytecode.OpIterVal:
+			push(iters[in.A].entries[iters[in.A].idx].Val)
+
+		default:
+			return value.Null, ip.fault(fn, pc, "unimplemented opcode %v", in.Op)
+		}
+		pc++
+	}
+}
+
+// ctorName matches hackc.CtorName; duplicated to avoid a dependency
+// from the runtime on the compiler.
+const ctorName = "__construct"
+
+// pushFrame extends a Fault's stack trace as it unwinds.
+func (ip *Interp) pushFrame(err error, fn *bytecode.Function, pc int) error {
+	var f *Fault
+	if errors.As(err, &f) {
+		f.Stack = append(f.Stack, fmt.Sprintf("%s @%d", fn.Name, pc))
+		return f
+	}
+	return err
+}
+
+func arith(op bytecode.Op, a, b value.Value) (value.Value, error) {
+	switch op {
+	case bytecode.OpAdd:
+		return value.Add(a, b)
+	case bytecode.OpSub:
+		return value.Sub(a, b)
+	case bytecode.OpMul:
+		return value.Mul(a, b)
+	case bytecode.OpDiv:
+		return value.Div(a, b)
+	default:
+		return value.Mod(a, b)
+	}
+}
+
+func compare(op bytecode.Op, a, b value.Value) bool {
+	switch op {
+	case bytecode.OpCmpEq:
+		return value.Equals(a, b)
+	case bytecode.OpCmpNeq:
+		return !value.Equals(a, b)
+	case bytecode.OpCmpSame:
+		return value.Identical(a, b)
+	case bytecode.OpCmpNSame:
+		return !value.Identical(a, b)
+	case bytecode.OpCmpLt:
+		return value.Compare(a, b) < 0
+	case bytecode.OpCmpLte:
+		return value.Compare(a, b) <= 0
+	case bytecode.OpCmpGt:
+		return value.Compare(a, b) > 0
+	default:
+		return value.Compare(a, b) >= 0
+	}
+}
+
+// blockStarts caches, per function, a pc-indexed table of block ids
+// (+1; 0 = not a block start). The cache is per-Interp so concurrent
+// simulated servers do not share mutable state.
+func (ip *Interp) blockStarts(fn *bytecode.Function) []int32 {
+	if bs, ok := ip.bsCache[fn]; ok {
+		return bs
+	}
+	bs := make([]int32, len(fn.Code)+1)
+	for _, b := range fn.Blocks() {
+		bs[b.Start] = int32(b.ID) + 1
+	}
+	if ip.bsCache == nil {
+		ip.bsCache = make(map[*bytecode.Function][]int32)
+	}
+	ip.bsCache[fn] = bs
+	return bs
+}

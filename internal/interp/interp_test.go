@@ -1,0 +1,506 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"jumpstart/internal/bytecode"
+	"jumpstart/internal/hackc"
+	"jumpstart/internal/object"
+	"jumpstart/internal/value"
+)
+
+// run compiles src (optimized and unoptimized), calls entry with args
+// in both, checks they agree, and returns the result.
+func run(t *testing.T, src, entry string, args ...value.Value) value.Value {
+	t.Helper()
+	var results []value.Value
+	for _, opt := range []bool{false, true} {
+		prog, err := hackc.CompileSources(
+			map[string]string{"m.mh": src}, []string{"m.mh"}, hackc.Options{Optimize: opt})
+		if err != nil {
+			t.Fatalf("compile(opt=%v): %v", opt, err)
+		}
+		reg, err := object.NewRegistry(prog, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ip := New(prog, reg, Config{})
+		v, err := ip.CallByName(entry, args...)
+		if err != nil {
+			t.Fatalf("run(opt=%v): %v", opt, err)
+		}
+		results = append(results, v)
+	}
+	if !value.Identical(results[0], results[1]) {
+		t.Fatalf("optimizer changed behaviour: %v vs %v", results[0], results[1])
+	}
+	return results[0]
+}
+
+// runErr compiles without optimization and returns the execution error.
+func runErr(t *testing.T, src, entry string, args ...value.Value) error {
+	t.Helper()
+	prog, err := hackc.CompileSources(
+		map[string]string{"m.mh": src}, []string{"m.mh"}, hackc.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	reg, err := object.NewRegistry(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := New(prog, reg, Config{})
+	_, err = ip.CallByName(entry, args...)
+	if err == nil {
+		t.Fatalf("expected runtime error")
+	}
+	return err
+}
+
+func TestArithmeticProgram(t *testing.T) {
+	v := run(t, `fun f(a, b) { return (a + b) * 2 - a % b; }`, "f",
+		value.Int(7), value.Int(3))
+	if v.AsInt() != 19 {
+		t.Fatalf("f(7,3) = %v", v)
+	}
+}
+
+func TestFib(t *testing.T) {
+	src := `fun fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }`
+	if v := run(t, src, "fib", value.Int(15)); v.AsInt() != 610 {
+		t.Fatalf("fib(15) = %v", v)
+	}
+}
+
+func TestLoops(t *testing.T) {
+	src := `
+fun f(n) {
+  t = 0;
+  for (i = 1; i <= n; i += 1) {
+    if (i % 3 == 0) { continue; }
+    if (i > 8) { break; }
+    t += i;
+  }
+  j = 0;
+  while (j < 3) { t *= 2; j += 1; }
+  return t;
+}`
+	// 1+2+4+5+7+8 = 27; *8 = 216.
+	if v := run(t, src, "f", value.Int(100)); v.AsInt() != 216 {
+		t.Fatalf("f = %v", v)
+	}
+}
+
+func TestForeach(t *testing.T) {
+	src := `
+fun f() {
+  a = ["x" => 10, "y" => 20, 5];
+  keys = "";
+  sum = 0;
+  foreach (a as k => v) { keys = keys . k . ","; sum += v; }
+  foreach (a as v) { sum += v; }
+  return keys . sum;
+}`
+	if v := run(t, src, "f"); v.AsStr() != "x,y,0,70" {
+		t.Fatalf("f = %v", v)
+	}
+}
+
+func TestForeachEmpty(t *testing.T) {
+	src := `fun f() { s = 0; foreach ([] as v) { s += 1; } return s; }`
+	if v := run(t, src, "f"); v.AsInt() != 0 {
+		t.Fatalf("f = %v", v)
+	}
+}
+
+func TestNestedForeach(t *testing.T) {
+	src := `
+fun f() {
+  t = 0;
+  foreach ([1, 2, 3] as a) {
+    foreach ([10, 20] as b) { t += a * b; }
+  }
+  return t;
+}`
+	if v := run(t, src, "f"); v.AsInt() != 180 {
+		t.Fatalf("f = %v", v)
+	}
+}
+
+func TestObjectsAndMethods(t *testing.T) {
+	src := `
+class Counter {
+  prop n = 0;
+  prop step = 1;
+  fun __construct(step) { this->step = step; }
+  fun bump() { this->n += this->step; return this->n; }
+}
+class Double extends Counter {
+  fun bump() { this->n += this->step * 2; return this->n; }
+}
+fun f() {
+  c = new Counter(5);
+  c->bump();
+  c->bump();
+  d = new Double(3);
+  d->bump();
+  return c->n * 100 + d->n;
+}`
+	if v := run(t, src, "f"); v.AsInt() != 1006 {
+		t.Fatalf("f = %v", v)
+	}
+}
+
+func TestPropertyDefaultsAndDeclaredOrder(t *testing.T) {
+	src := `
+class P { prop a = 1; prop b = "two"; prop c; }
+fun f() {
+  p = new P;
+  p->c = 3;
+  s = "";
+  // No direct cast; check via individual props.
+  return strval(p->a) . p->b . strval(p->c);
+}`
+	if v := run(t, src, "f"); v.AsStr() != "1two3" {
+		t.Fatalf("f = %v", v)
+	}
+}
+
+func TestArraysByReference(t *testing.T) {
+	src := `
+fun fill(a) { a[0] = 99; return null; }
+fun f() { a = [1]; fill(a); return a[0]; }`
+	if v := run(t, src, "f"); v.AsInt() != 99 {
+		t.Fatalf("arrays must be reference values, got %v", v)
+	}
+}
+
+func TestShortCircuitEvaluation(t *testing.T) {
+	src := `
+fun boom() { return 1 / 0; }
+fun f() {
+  a = false && boom();
+  b = true || boom();
+  return (a == false) && b;
+}`
+	if v := run(t, src, "f"); !v.AsBool() {
+		t.Fatalf("short circuit broken: %v", v)
+	}
+}
+
+func TestStringOps(t *testing.T) {
+	src := `
+fun f() {
+  s = "hello" . " " . "world";
+  return substr(s, 0, 5) . "|" . strlen(s) . "|" . substr(s, -5, 5) . "|" . chr(ord("A") + 1);
+}`
+	if v := run(t, src, "f"); v.AsStr() != "hello|11|world|B" {
+		t.Fatalf("f = %v", v)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	src := `
+fun f() {
+  a = [3, 1, 2];
+  push(a, 4);
+  return len(a) * 1000 + intval(sqrt(16.0)) * 100 + min(5, 2, 8) * 10 + max(1, 7, 3);
+}`
+	if v := run(t, src, "f"); v.AsInt() != 4427 {
+		t.Fatalf("f = %v", v)
+	}
+}
+
+func TestTypePredicates(t *testing.T) {
+	src := `
+fun f() {
+  r = 0;
+  if (is_null(null)) { r += 1; }
+  if (is_int(3)) { r += 10; }
+  if (is_string("s")) { r += 100; }
+  if (is_array([1])) { r += 1000; }
+  if (is_object(new C)) { r += 10000; }
+  return r;
+}
+class C { prop x; }`
+	if v := run(t, src, "f"); v.AsInt() != 11111 {
+		t.Fatalf("f = %v", v)
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	src := `fun f(s) { return hash(s); }`
+	v1 := run(t, src, "f", value.Str("abc"))
+	v2 := run(t, src, "f", value.Str("abc"))
+	if !value.Identical(v1, v2) || v1.AsInt() < 0 {
+		t.Fatalf("hash = %v, %v", v1, v2)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		src, entry, wantSub string
+	}{
+		{`fun f() { return 1 / 0; }`, "f", "division by zero"},
+		{`fun f() { return "a" + 1; }`, "f", "unsupported operand"},
+		{`fun f() { x = null; return x[0]; }`, "f", "index read on null"},
+		{`fun f() { x = 1; return x->p; }`, "f", "property access on int"},
+		{`fun f() { x = 1; x->p = 2; return x; }`, "f", "property write on int"},
+		{`class C { prop a; } fun f() { c = new C; return c->nope; }`, "f", "no property"},
+		{`class C { prop a; } fun f() { c = new C; c->zz = 1; return c; }`, "f", "no property"},
+		{`class C { prop a; } fun f() { c = new C; return c->m(); }`, "f", "no method"},
+		{`class C { prop a; } fun f() { return new C(5); }`, "f", "no constructor"},
+		{`fun f() { x = 5; return x->m(); }`, "f", "method call on int"},
+		{`fun f() { foreach (5 as v) { } return 0; }`, "f", "foreach over int"},
+	}
+	for _, c := range cases {
+		err := runErr(t, c.src, c.entry)
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%q: error %q missing %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestFaultCarriesStack(t *testing.T) {
+	src := `
+fun inner() { return 1 / 0; }
+fun outer() { return inner(); }
+fun f() { return outer(); }`
+	err := runErr(t, src, "f")
+	var fault *Fault
+	if !asFault(err, &fault) {
+		t.Fatalf("want *Fault, got %T", err)
+	}
+	if len(fault.Stack) != 3 {
+		t.Fatalf("stack = %v", fault.Stack)
+	}
+	if !strings.HasPrefix(fault.Stack[0], "inner") ||
+		!strings.HasPrefix(fault.Stack[2], "f ") {
+		t.Fatalf("stack order = %v", fault.Stack)
+	}
+}
+
+func asFault(err error, out **Fault) bool {
+	f, ok := err.(*Fault)
+	if ok {
+		*out = f
+	}
+	return ok
+}
+
+func TestRecursionDepthLimit(t *testing.T) {
+	src := `fun f(n) { return f(n + 1); }`
+	err := runErr(t, src, "f", value.Int(0))
+	if !strings.Contains(err.Error(), "stack overflow") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFuelLimit(t *testing.T) {
+	prog, err := hackc.CompileSources(
+		map[string]string{"m.mh": `fun f() { while (true) { } return 0; }`},
+		[]string{"m.mh"}, hackc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := object.NewRegistry(prog, nil)
+	ip := New(prog, reg, Config{MaxSteps: 1000})
+	_, err = ip.CallByName("f")
+	if err != ErrFuel {
+		t.Fatalf("err = %v, want ErrFuel", err)
+	}
+}
+
+func TestPrintOutput(t *testing.T) {
+	prog, err := hackc.CompileSources(
+		map[string]string{"m.mh": `fun f() { print("x=", 42); print("done"); return null; }`},
+		[]string{"m.mh"}, hackc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := object.NewRegistry(prog, nil)
+	var buf strings.Builder
+	ip := New(prog, reg, Config{Out: &buf})
+	if _, err := ip.CallByName("f"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "x=42\ndone\n" {
+		t.Fatalf("output = %q", buf.String())
+	}
+}
+
+func TestCallUndefinedFunction(t *testing.T) {
+	prog, err := hackc.CompileSources(
+		map[string]string{"m.mh": `fun f() { return 0; }`}, []string{"m.mh"}, hackc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := object.NewRegistry(prog, nil)
+	ip := New(prog, reg, Config{})
+	if _, err := ip.CallByName("nope"); err == nil {
+		t.Fatal("undefined entry should fail")
+	}
+	if _, err := ip.CallByName("f", value.Int(1)); err == nil {
+		t.Fatal("arity mismatch should fail")
+	}
+}
+
+// traceRecorder records tracer events for verification.
+type traceRecorder struct {
+	enters, returns int
+	blocks          map[string][]int
+	calls           []string
+	props           int
+	newObjs         int
+	opTypes         int
+}
+
+func newRecorder() *traceRecorder {
+	return &traceRecorder{blocks: map[string][]int{}}
+}
+
+func (r *traceRecorder) OnEnter(fn *bytecode.Function)  { r.enters++ }
+func (r *traceRecorder) OnReturn(fn *bytecode.Function) { r.returns++ }
+func (r *traceRecorder) OnBlock(fn *bytecode.Function, b int) {
+	r.blocks[fn.Name] = append(r.blocks[fn.Name], b)
+}
+func (r *traceRecorder) OnCallSite(fn *bytecode.Function, pc int, callee *bytecode.Function) {
+	r.calls = append(r.calls, fn.Name+"->"+callee.Name)
+}
+func (r *traceRecorder) OnNewObj(o *object.Object)                    { r.newObjs++ }
+func (r *traceRecorder) OnPropAccess(o *object.Object, s int, w bool) { r.props++ }
+func (r *traceRecorder) OnOpTypes(fn *bytecode.Function, pc int, a, b value.Kind) {
+	r.opTypes++
+}
+
+func TestTracerEvents(t *testing.T) {
+	src := `
+class C { prop v = 0; fun set(x) { this->v = x; return null; } }
+fun helper(x) { return x + 1; }
+fun f(n) {
+  c = new C;
+  c->set(n);
+  t = 0;
+  for (i = 0; i < n; i += 1) { t += helper(i); }
+  return t + c->v;
+}`
+	prog, err := hackc.CompileSources(
+		map[string]string{"m.mh": src}, []string{"m.mh"}, hackc.Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := object.NewRegistry(prog, nil)
+	rec := newRecorder()
+	ip := New(prog, reg, Config{Tracer: rec})
+	v, err := ip.CallByName("f", value.Int(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AsInt() != 14 { // helper sums 1+2+3+4=10, c->v=4
+		t.Fatalf("f(4) = %v", v)
+	}
+	// f, C::set, 4x helper = 6 enters (+ no ctor).
+	if rec.enters != 6 || rec.returns != 6 {
+		t.Fatalf("enters/returns = %d/%d", rec.enters, rec.returns)
+	}
+	if rec.newObjs != 1 {
+		t.Fatalf("newObjs = %d", rec.newObjs)
+	}
+	// set writes v (1 write); f reads c->v (1 read); set's this->v =
+	// x is a write... plus compound reads? c->set + read.
+	if rec.props < 2 {
+		t.Fatalf("props = %d", rec.props)
+	}
+	if len(rec.calls) != 5 {
+		t.Fatalf("calls = %v", rec.calls)
+	}
+	// helper's entry block runs 4 times.
+	if got := len(rec.blocks["helper"]); got < 4 {
+		t.Fatalf("helper blocks = %d", got)
+	}
+	if rec.opTypes == 0 {
+		t.Fatal("no type feedback recorded")
+	}
+}
+
+func TestBlockCountsMatchControlFlow(t *testing.T) {
+	src := `fun f(n) { t = 0; i = 0; while (i < n) { t += i; i += 1; } return t; }`
+	prog, err := hackc.CompileSources(
+		map[string]string{"m.mh": src}, []string{"m.mh"}, hackc.Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := object.NewRegistry(prog, nil)
+	rec := newRecorder()
+	ip := New(prog, reg, Config{Tracer: rec})
+	if _, err := ip.CallByName("f", value.Int(10)); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, b := range rec.blocks["f"] {
+		counts[b]++
+	}
+	fn, _ := prog.FuncByName("f")
+	// Loop body block must run exactly 10 times; find it as the block
+	// executed 10 times.
+	found := false
+	for _, c := range counts {
+		if c == 10 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no block ran 10 times: %v (blocks=%d)", counts, len(fn.Blocks()))
+	}
+}
+
+func TestMixedArrayLiteralSemantics(t *testing.T) {
+	src := `
+fun f() {
+  m = [7, "k" => 8, 9];
+  return m[0] * 100 + m["k"] * 10 + m[1];
+}`
+	if v := run(t, src, "f"); v.AsInt() != 789 {
+		t.Fatalf("f = %v", v)
+	}
+}
+
+func TestAbsentIndexIsNull(t *testing.T) {
+	src := `fun f() { a = [1]; return is_null(a[99]); }`
+	if v := run(t, src, "f"); !v.AsBool() {
+		t.Fatalf("absent index should be null")
+	}
+}
+
+func TestCompoundIndexAndPropAssign(t *testing.T) {
+	src := `
+class C { prop total = 10; }
+fun f() {
+  a = [2];
+  a[0] += 3;
+  a[0] *= 4;
+  c = new C;
+  c->total -= 5;
+  c->total /= 5;
+  return a[0] + c->total;
+}`
+	if v := run(t, src, "f"); v.AsInt() != 21 {
+		t.Fatalf("f = %v", v)
+	}
+}
+
+func TestPolymorphicCallSites(t *testing.T) {
+	src := `
+class A { prop x = 1; fun val() { return 1; } }
+class B extends A { fun val() { return 2; } }
+fun f() {
+  objs = [new A, new B, new A];
+  t = 0;
+  foreach (objs as o) { t += o->val(); }
+  return t;
+}`
+	if v := run(t, src, "f"); v.AsInt() != 4 {
+		t.Fatalf("f = %v", v)
+	}
+}

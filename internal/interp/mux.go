@@ -1,0 +1,63 @@
+package interp
+
+import (
+	"jumpstart/internal/bytecode"
+	"jumpstart/internal/object"
+	"jumpstart/internal/value"
+)
+
+// MultiTracer fans every event out to each tracer in order. The server
+// uses it to run profile collection and cost accounting simultaneously
+// (a profiling server still serves traffic).
+type MultiTracer []Tracer
+
+var _ Tracer = MultiTracer{}
+
+// OnEnter implements Tracer.
+func (m MultiTracer) OnEnter(fn *bytecode.Function) {
+	for _, t := range m {
+		t.OnEnter(fn)
+	}
+}
+
+// OnBlock implements Tracer.
+func (m MultiTracer) OnBlock(fn *bytecode.Function, block int) {
+	for _, t := range m {
+		t.OnBlock(fn, block)
+	}
+}
+
+// OnCallSite implements Tracer.
+func (m MultiTracer) OnCallSite(fn *bytecode.Function, pc int, callee *bytecode.Function) {
+	for _, t := range m {
+		t.OnCallSite(fn, pc, callee)
+	}
+}
+
+// OnReturn implements Tracer.
+func (m MultiTracer) OnReturn(fn *bytecode.Function) {
+	for _, t := range m {
+		t.OnReturn(fn)
+	}
+}
+
+// OnNewObj implements Tracer.
+func (m MultiTracer) OnNewObj(obj *object.Object) {
+	for _, t := range m {
+		t.OnNewObj(obj)
+	}
+}
+
+// OnPropAccess implements Tracer.
+func (m MultiTracer) OnPropAccess(obj *object.Object, slot int, write bool) {
+	for _, t := range m {
+		t.OnPropAccess(obj, slot, write)
+	}
+}
+
+// OnOpTypes implements Tracer.
+func (m MultiTracer) OnOpTypes(fn *bytecode.Function, pc int, a, b value.Kind) {
+	for _, t := range m {
+		t.OnOpTypes(fn, pc, a, b)
+	}
+}

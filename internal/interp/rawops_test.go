@@ -1,0 +1,129 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"jumpstart/internal/bytecode"
+	"jumpstart/internal/object"
+	"jumpstart/internal/value"
+)
+
+// rawProgram assembles a single function from raw bytecode via the
+// builder, covering opcodes the MiniHack compiler never emits.
+func rawProgram(t *testing.T, build func(b *bytecode.FuncBuilder)) *Interp {
+	t.Helper()
+	u := &bytecode.Unit{Name: "raw"}
+	b := bytecode.NewFuncBuilder(u, "f", []string{"x"})
+	build(b)
+	fn, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Funcs = []*bytecode.Function{fn}
+	prog, err := bytecode.NewProgram(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := object.NewRegistry(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(prog, reg, Config{})
+}
+
+func TestRawPushL(t *testing.T) {
+	// PushL moves the local onto the stack, nulling the local:
+	// return [pushl(x), x] — second read must see null.
+	ip := rawProgram(t, func(b *bytecode.FuncBuilder) {
+		b.Emit(bytecode.OpPushL, 0, 0)
+		b.Emit(bytecode.OpCGetL, 0, 0)
+		b.Emit(bytecode.OpNewVec, 2, 0)
+		b.Emit(bytecode.OpRet, 0, 0)
+	})
+	v, err := ip.CallByName("f", value.Int(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := v.AsArr()
+	first, _ := arr.GetInt(0)
+	second, _ := arr.GetInt(1)
+	if first.AsInt() != 7 || !second.IsNull() {
+		t.Fatalf("pushl semantics: %v", arr)
+	}
+}
+
+func TestRawDup(t *testing.T) {
+	ip := rawProgram(t, func(b *bytecode.FuncBuilder) {
+		b.Emit(bytecode.OpCGetL, 0, 0)
+		b.Emit(bytecode.OpDup, 0, 0)
+		b.Emit(bytecode.OpAdd, 0, 0)
+		b.Emit(bytecode.OpRet, 0, 0)
+	})
+	v, err := ip.CallByName("f", value.Int(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AsInt() != 42 {
+		t.Fatalf("dup+add = %v", v)
+	}
+}
+
+func TestRawFatal(t *testing.T) {
+	ip := rawProgram(t, func(b *bytecode.FuncBuilder) {
+		b.EmitLit(value.Str("boom"))
+		b.Emit(bytecode.OpFatal, 0, 0)
+	})
+	_, err := ip.CallByName("f", value.Int(0))
+	if err == nil || !strings.Contains(err.Error(), "fatal: boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRawUnresolvedCallFaults(t *testing.T) {
+	// An OpFCall whose name never resolved at link time faults at
+	// runtime with the function name.
+	ip := rawProgram(t, func(b *bytecode.FuncBuilder) {
+		idx := b.LitIdx(value.Str("missing_fn"))
+		b.Emit(bytecode.OpFCall, idx, 0)
+		b.Emit(bytecode.OpRet, 0, 0)
+	})
+	_, err := ip.CallByName("f", value.Int(0))
+	if err == nil || !strings.Contains(err.Error(), `undefined function "missing_fn"`) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRawUnresolvedNewObjFaults(t *testing.T) {
+	ip := rawProgram(t, func(b *bytecode.FuncBuilder) {
+		idx := b.LitIdx(value.Str("MissingClass"))
+		b.Emit(bytecode.OpNewObjL, idx, 0)
+		b.Emit(bytecode.OpRet, 0, 0)
+	})
+	_, err := ip.CallByName("f", value.Int(0))
+	if err == nil || !strings.Contains(err.Error(), `undefined class "MissingClass"`) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRawNopAndShifts(t *testing.T) {
+	ip := rawProgram(t, func(b *bytecode.FuncBuilder) {
+		b.Emit(bytecode.OpNop, 0, 0)
+		b.Emit(bytecode.OpCGetL, 0, 0)
+		b.EmitLit(value.Int(2))
+		b.Emit(bytecode.OpShl, 0, 0)
+		b.EmitLit(value.Int(1))
+		b.Emit(bytecode.OpShr, 0, 0)
+		b.Emit(bytecode.OpRet, 0, 0)
+	})
+	v, err := ip.CallByName("f", value.Int(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AsInt() != 10 { // (5<<2)>>1
+		t.Fatalf("shifts = %v", v)
+	}
+}

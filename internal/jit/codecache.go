@@ -1,0 +1,132 @@
+package jit
+
+import "fmt"
+
+// Region identifies a code-cache section, mirroring HHVM's split
+// between hot optimized code, cold optimized code, profiling code and
+// live (tracelet) code, plus the temporary buffers that hold optimized
+// translations between compilation and relocation (Figure 1's A→B→C
+// phases).
+type Region uint8
+
+// Code-cache regions.
+const (
+	RegionHot Region = iota
+	RegionCold
+	RegionProfile
+	RegionLive
+	RegionTemp
+	numRegions
+)
+
+// String names the region.
+func (r Region) String() string {
+	switch r {
+	case RegionHot:
+		return "hot"
+	case RegionCold:
+		return "cold"
+	case RegionProfile:
+		return "profile"
+	case RegionLive:
+		return "live"
+	case RegionTemp:
+		return "temp"
+	default:
+		return fmt.Sprintf("region(%d)", uint8(r))
+	}
+}
+
+// ErrRegionFull is wrapped by Alloc when a region's capacity is
+// exhausted — the condition that stops live JITing at Figure 1's
+// point D ("until the code cache fills up").
+type ErrRegionFull struct {
+	Region Region
+}
+
+func (e *ErrRegionFull) Error() string {
+	return fmt.Sprintf("jit: code cache region %s full", e.Region)
+}
+
+// CacheConfig sizes the code cache regions in bytes.
+type CacheConfig struct {
+	HotCap, ColdCap, ProfileCap, LiveCap, TempCap int
+}
+
+// DefaultCacheConfig returns simulation-scale capacities (the real
+// HHVM uses ~512 MB total; the simulated website is ~100× smaller).
+func DefaultCacheConfig() CacheConfig {
+	return CacheConfig{
+		HotCap:     8 << 20,
+		ColdCap:    8 << 20,
+		ProfileCap: 16 << 20,
+		LiveCap:    4 << 20,
+		TempCap:    16 << 20,
+	}
+}
+
+// Region base addresses in the simulated address space. Regions are
+// spaced 256 MB apart so cross-region distance is always large.
+const regionStride = 0x1000_0000
+
+var regionBase = [numRegions]uint64{
+	RegionHot:     0x2000_0000,
+	RegionCold:    0x2000_0000 + 1*regionStride,
+	RegionProfile: 0x2000_0000 + 2*regionStride,
+	RegionLive:    0x2000_0000 + 3*regionStride,
+	RegionTemp:    0x2000_0000 + 4*regionStride,
+}
+
+// CodeCache is a set of bump-allocated regions.
+type CodeCache struct {
+	cap  [numRegions]int
+	used [numRegions]int
+}
+
+// NewCodeCache builds a cache with the given capacities.
+func NewCodeCache(cfg CacheConfig) *CodeCache {
+	cc := &CodeCache{}
+	cc.cap[RegionHot] = cfg.HotCap
+	cc.cap[RegionCold] = cfg.ColdCap
+	cc.cap[RegionProfile] = cfg.ProfileCap
+	cc.cap[RegionLive] = cfg.LiveCap
+	cc.cap[RegionTemp] = cfg.TempCap
+	return cc
+}
+
+// Alloc reserves size bytes in region, returning the base address.
+func (cc *CodeCache) Alloc(region Region, size int) (uint64, error) {
+	if size < 0 {
+		return 0, fmt.Errorf("jit: negative allocation")
+	}
+	if cc.used[region]+size > cc.cap[region] {
+		return 0, &ErrRegionFull{Region: region}
+	}
+	base := regionBase[region] + uint64(cc.used[region])
+	cc.used[region] += size
+	return base, nil
+}
+
+// Used reports the bytes allocated in region.
+func (cc *CodeCache) Used(region Region) int { return cc.used[region] }
+
+// TotalUsed reports bytes allocated across all non-temporary regions —
+// the quantity Figure 1 plots over time.
+func (cc *CodeCache) TotalUsed() int {
+	total := 0
+	for r := Region(0); r < numRegions; r++ {
+		if r == RegionTemp {
+			continue
+		}
+		total += cc.used[r]
+	}
+	return total
+}
+
+// ReleaseTemp frees the temporary buffers after relocation.
+func (cc *CodeCache) ReleaseTemp() { cc.used[RegionTemp] = 0 }
+
+// Full reports whether region has less than size bytes free.
+func (cc *CodeCache) Full(region Region, size int) bool {
+	return cc.used[region]+size > cc.cap[region]
+}

@@ -1,0 +1,282 @@
+package jit
+
+import (
+	"jumpstart/internal/bytecode"
+	"jumpstart/internal/interp"
+	"jumpstart/internal/object"
+	"jumpstart/internal/prof"
+	"jumpstart/internal/value"
+)
+
+// Cycle-cost constants.
+const (
+	// InterpCyclesPerInstr is the interpreter's dispatch+execute cost
+	// per bytecode instruction.
+	InterpCyclesPerInstr = 30
+	// CyclesPerVasmInstr is the translated code's cost per
+	// pseudo-instruction (before micro-architectural penalties).
+	CyclesPerVasmInstr = 1
+	// GuardFailPenalty is charged when a specialization or
+	// devirtualization guard fails (side exit + generic fallback).
+	GuardFailPenalty = 60
+)
+
+// Runtime charges execution costs for whatever translation each
+// function currently has, feeds the micro-architecture simulator, and
+// (in seeder mode) harvests the tier-2 instrumentation counters. It
+// implements interp.Tracer; the server installs it (usually behind an
+// interp.MultiTracer together with a prof.Collector) while serving.
+type Runtime struct {
+	jit *JIT
+	mem MemSim
+
+	cycles     uint64
+	guardFails uint64
+	microOn    bool
+
+	frames []rtFrame
+
+	callPairs map[prof.CallPair]uint64
+}
+
+// MemSim is the slice of the micro-architecture simulator the runtime
+// needs; *microarch.Hierarchy satisfies it. A nil MemSim disables
+// penalty modelling.
+type MemSim interface {
+	Fetch(addr uint64, size int) int
+	Data(addr uint64) int
+	Branch(pc uint64, taken bool) int
+}
+
+type rtFrame struct {
+	fn     *bytecode.Function
+	trans  *Translation // nil → interpreter
+	inline *InlineMap   // non-nil → body inlined into parent trans
+	parent *Translation // owner translation when inline != nil
+
+	lastVasm int
+	lastAddr uint64
+	lastSize int
+	lastCond bool
+
+	pendingInline *InlineMap
+	pendingParent *Translation
+}
+
+var _ interp.Tracer = (*Runtime)(nil)
+
+// NewRuntime creates a serving-mode runtime for j. mem may be nil.
+func NewRuntime(j *JIT, mem MemSim) *Runtime {
+	return &Runtime{
+		jit:       j,
+		mem:       mem,
+		callPairs: make(map[prof.CallPair]uint64),
+	}
+}
+
+// BeginRequest resets per-request state. micro selects whether this
+// request feeds the micro-architecture simulator (sampling keeps the
+// simulation fast; costs for unsampled requests use base cycles only).
+func (r *Runtime) BeginRequest(micro bool) {
+	r.frames = r.frames[:0]
+	r.microOn = micro && r.mem != nil
+}
+
+// TakeCycles returns and clears the accumulated cycle count.
+func (r *Runtime) TakeCycles() uint64 {
+	c := r.cycles
+	r.cycles = 0
+	return c
+}
+
+// Cycles returns the accumulated cycle count.
+func (r *Runtime) Cycles() uint64 { return r.cycles }
+
+// AddCycles charges extra cycles (used by the server for fixed
+// per-request overheads).
+func (r *Runtime) AddCycles(c uint64) { r.cycles += c }
+
+// GuardFails returns the number of failed specialization guards.
+func (r *Runtime) GuardFails() uint64 { return r.guardFails }
+
+// OnEnter implements interp.Tracer.
+func (r *Runtime) OnEnter(fn *bytecode.Function) {
+	var f rtFrame
+	f.fn = fn
+	f.lastVasm = -1
+	if n := len(r.frames); n > 0 {
+		top := &r.frames[n-1]
+		if top.pendingInline != nil && top.pendingInline.Callee == fn.ID {
+			f.inline = top.pendingInline
+			f.parent = top.pendingParent
+		}
+		top.pendingInline = nil
+		top.pendingParent = nil
+	}
+	if f.inline == nil {
+		f.trans = r.jit.Active(fn.ID)
+		if t := f.trans; t != nil && t.Tier == TierOptimized && t.Instrumented() {
+			t.EntryCount++
+			// Accurate tier-2 call graph (Section V-B): record the
+			// caller/callee pair when the caller also runs optimized
+			// code. Inlined calls never reach here — exactly why this
+			// graph is more accurate than the tier-1 one.
+			if n := len(r.frames); n > 0 {
+				caller := r.frames[n-1]
+				if caller.trans != nil && caller.trans.Tier == TierOptimized {
+					r.callPairs[prof.CallPair{Caller: caller.fn.Name, Callee: fn.Name}]++
+				}
+			}
+		}
+	}
+	r.frames = append(r.frames, f)
+}
+
+// OnReturn implements interp.Tracer.
+func (r *Runtime) OnReturn(fn *bytecode.Function) {
+	if n := len(r.frames); n > 0 {
+		r.frames = r.frames[:n-1]
+	}
+}
+
+// OnBlock implements interp.Tracer: the cost-charging heart.
+func (r *Runtime) OnBlock(fn *bytecode.Function, block int) {
+	n := len(r.frames)
+	if n == 0 {
+		return
+	}
+	f := &r.frames[n-1]
+
+	var t *Translation
+	var vb int
+	switch {
+	case f.inline != nil:
+		t = f.parent
+		if block >= len(f.inline.BlockOf) {
+			return
+		}
+		vb = f.inline.BlockOf[block]
+	case f.trans != nil:
+		t = f.trans
+		if block >= len(t.MainMap) {
+			return
+		}
+		vb = t.MainMap[block]
+	default:
+		// Interpreter: dispatch cost per bytecode instruction.
+		blocks := fn.Blocks()
+		if block < len(blocks) {
+			r.cycles += uint64(blocks[block].Len()) * InterpCyclesPerInstr
+		}
+		return
+	}
+
+	blk := &t.CFG.Blocks[vb]
+	r.cycles += uint64(blk.NInstrs) * CyclesPerVasmInstr
+	if t.Counts != nil {
+		t.Counts[vb]++
+	}
+	if r.microOn {
+		addr := t.BlockAddr[vb]
+		r.cycles += uint64(r.mem.Fetch(addr, blk.Size()))
+		if f.lastVasm >= 0 && f.lastCond {
+			taken := addr != f.lastAddr+uint64(f.lastSize)
+			r.cycles += uint64(r.mem.Branch(f.lastAddr, taken))
+		}
+	}
+	f.lastVasm = vb
+	f.lastAddr = t.BlockAddr[vb]
+	f.lastSize = blk.Size()
+	f.lastCond = len(blk.Succs) > 1
+}
+
+// OnCallSite implements interp.Tracer: inline dispatch and
+// devirtualization guards.
+func (r *Runtime) OnCallSite(fn *bytecode.Function, pc int, callee *bytecode.Function) {
+	n := len(r.frames)
+	if n == 0 {
+		return
+	}
+	f := &r.frames[n-1]
+	if f.inline != nil || f.trans == nil || f.trans.Tier != TierOptimized {
+		return
+	}
+	t := f.trans
+	if im, ok := t.Inlines[int32(pc)]; ok {
+		if im.Callee == callee.ID {
+			f.pendingInline = im
+			f.pendingParent = t
+		} else {
+			// Inline guard failed: side exit, generic dispatch.
+			r.guardFails++
+			r.cycles += GuardFailPenalty
+		}
+		return
+	}
+	if target, ok := t.Devirt[int32(pc)]; ok && target != callee.Name {
+		r.guardFails++
+		r.cycles += GuardFailPenalty
+	}
+}
+
+// OnNewObj implements interp.Tracer.
+func (r *Runtime) OnNewObj(obj *object.Object) {
+	if r.microOn {
+		r.cycles += uint64(r.mem.Data(obj.Addr()))
+	}
+}
+
+// OnPropAccess implements interp.Tracer: property slot touches drive
+// the D-cache/D-TLB model, which is where Section V-C's reordering
+// pays off.
+func (r *Runtime) OnPropAccess(obj *object.Object, slot int, write bool) {
+	if r.microOn {
+		r.cycles += uint64(r.mem.Data(obj.SlotAddr(slot)))
+	}
+}
+
+// OnOpTypes implements interp.Tracer: specialization guard checks.
+func (r *Runtime) OnOpTypes(fn *bytecode.Function, pc int, a, b value.Kind) {
+	n := len(r.frames)
+	if n == 0 {
+		return
+	}
+	f := &r.frames[n-1]
+	var spec map[int32]uint16
+	switch {
+	case f.inline != nil:
+		spec = f.inline.SpecTypes
+	case f.trans != nil && f.trans.Tier == TierOptimized:
+		spec = f.trans.SpecTypes
+	default:
+		return
+	}
+	if want, ok := spec[int32(pc)]; ok {
+		got := uint16(a)<<8 | uint16(b)
+		if got != want {
+			r.guardFails++
+			r.cycles += GuardFailPenalty
+		}
+	}
+}
+
+// HarvestInto copies the tier-2 instrumentation results (Vasm block
+// counters, accurate call pairs) into p — the seeder-side step between
+// "collect profile data for optimized code" and "serialize profile
+// data" in Figure 3b.
+func (r *Runtime) HarvestInto(p *prof.Profile) {
+	for id := range r.jit.active {
+		t := r.jit.active[id]
+		if t == nil || t.Tier != TierOptimized || !t.Instrumented() {
+			continue
+		}
+		fp := p.Funcs[t.Fn.Name]
+		if fp == nil {
+			continue
+		}
+		fp.VasmCounts = append([]uint64{}, t.Counts...)
+	}
+	for pair, w := range r.callPairs {
+		p.CallPairs[pair] += w
+	}
+}

@@ -1,0 +1,104 @@
+package jumpstart
+
+import (
+	"errors"
+
+	"jumpstart/internal/prof"
+	"jumpstart/internal/server"
+	"jumpstart/internal/workload"
+)
+
+// BootInfo describes how a consumer came up.
+type BootInfo struct {
+	// UsedJumpStart reports whether the server booted from a package.
+	UsedJumpStart bool
+	// PackageID is the package used (when UsedJumpStart).
+	PackageID PackageID
+	// Attempts counts package selections tried.
+	Attempts int
+	// FallbackReason is non-empty when the no-Jump-Start fallback was
+	// taken (Section VI-A3).
+	FallbackReason string
+}
+
+// BootConfig parameterizes BootConsumer.
+type BootConfig struct {
+	// Server is the consumer configuration; Mode/Package are managed
+	// by BootConsumer.
+	Server server.Config
+	// MaxAttempts bounds how many packages are tried before falling
+	// back to collecting a fresh profile (default 3).
+	MaxAttempts int
+	// Rand supplies randomness for package selection; consecutive
+	// calls must differ (any PRNG works; determinism is up to the
+	// caller).
+	Rand func() uint64
+}
+
+// BootConsumer implements the consumer start sequence with the
+// Section VI-A2/A3 protections: pick a random package for the server's
+// (region, bucket); if it cannot be decoded or the server cannot be
+// built from it, pick another (excluding failed ones); if no suitable
+// package exists or attempts run out, automatically restart with
+// Jump-Start disabled — i.e. a ModeNoJumpStart server that collects
+// its own profile.
+func BootConsumer(site *workload.Site, store *Store, cfg BootConfig) (*server.Server, BootInfo, error) {
+	info := BootInfo{}
+	maxAttempts := cfg.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	rnd := cfg.Rand
+	if rnd == nil {
+		var x uint64 = 88172645463325252
+		rnd = func() uint64 {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			return x
+		}
+	}
+
+	var failed []PackageID
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		pkg, ok := store.Pick(cfg.Server.Region, cfg.Server.Bucket, rnd(), failed...)
+		if !ok {
+			info.FallbackReason = "no package available"
+			break
+		}
+		info.Attempts = attempt
+		p, err := prof.Decode(pkg.Data)
+		if err != nil {
+			// Corrupted package: never crash, try another (VI-A3).
+			failed = append(failed, pkg.ID)
+			info.FallbackReason = "packages undecodable"
+			continue
+		}
+		sc := cfg.Server
+		sc.Mode = server.ModeConsumer
+		sc.Package = p
+		srv, err := server.New(site, sc)
+		if err != nil {
+			failed = append(failed, pkg.ID)
+			info.FallbackReason = "consumer boot failed"
+			continue
+		}
+		info.UsedJumpStart = true
+		info.PackageID = pkg.ID
+		info.FallbackReason = ""
+		return srv, info, nil
+	}
+
+	// Automatic no-Jump-Start fallback.
+	sc := cfg.Server
+	sc.Mode = server.ModeNoJumpStart
+	sc.Package = nil
+	srv, err := server.New(site, sc)
+	if err != nil {
+		return nil, info, errors.New("jumpstart: fallback boot failed: " + err.Error())
+	}
+	if info.FallbackReason == "" {
+		info.FallbackReason = "attempts exhausted"
+	}
+	return srv, info, nil
+}

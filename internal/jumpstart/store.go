@@ -1,0 +1,150 @@
+// Package jumpstart implements the operational half of HHVM
+// Jump-Start: the profile-package store that seeders publish into and
+// consumers draw from, seeder-side validation of freshly collected
+// packages (Section VI-A1), randomized package selection (VI-A2), and
+// the automatic no-Jump-Start fallback (VI-A3).
+package jumpstart
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PackageID identifies a published package within the store.
+type PackageID int64
+
+// StoredPackage is one published profile-data package.
+type StoredPackage struct {
+	ID     PackageID
+	Region int
+	Bucket int
+	Data   []byte // serialized prof.Profile
+}
+
+// Store is the profile-package database. Packages are keyed by
+// (region, semantic bucket); multiple seeders per pair publish
+// independently collected packages (Section VI-A2), and consumers pick
+// one at random. Packages that fail validation are quarantined instead
+// of published, preserved for offline debugging (Section VI-A1: "we
+// also store the problematic profile data on a database, so that rare
+// bugs ... can later be easily reproduced and debugged").
+type Store struct {
+	mu     sync.Mutex
+	nextID PackageID
+	pkgs   map[storeKey][]*StoredPackage
+	quar   []*StoredPackage
+}
+
+type storeKey struct{ region, bucket int }
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{pkgs: make(map[storeKey][]*StoredPackage)}
+}
+
+// Publish adds a validated package for (region, bucket) and returns
+// its id.
+func (s *Store) Publish(region, bucket int, data []byte) PackageID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	p := &StoredPackage{
+		ID:     s.nextID,
+		Region: region,
+		Bucket: bucket,
+		Data:   data,
+	}
+	k := storeKey{region, bucket}
+	s.pkgs[k] = append(s.pkgs[k], p)
+	return p.ID
+}
+
+// Quarantine records a package that failed validation.
+func (s *Store) Quarantine(region, bucket int, data []byte) PackageID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	p := &StoredPackage{ID: s.nextID, Region: region, Bucket: bucket, Data: data}
+	s.quar = append(s.quar, p)
+	return p.ID
+}
+
+// Count returns the number of published packages for (region, bucket).
+func (s *Store) Count(region, bucket int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pkgs[storeKey{region, bucket}])
+}
+
+// QuarantinedCount returns the number of quarantined packages.
+func (s *Store) QuarantinedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.quar)
+}
+
+// Quarantined returns the quarantined packages (debugging workflow).
+func (s *Store) Quarantined() []*StoredPackage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*StoredPackage{}, s.quar...)
+}
+
+// Pick returns a uniformly random package for (region, bucket), using
+// the caller-supplied random value (consumers re-pick on every
+// restart, which is what makes crash loops decay exponentially —
+// Section VI-A2). exclude lists package ids to avoid when possible
+// (a consumer retrying after a crash avoids the package that just
+// failed it).
+func (s *Store) Pick(region, bucket int, rnd uint64, exclude ...PackageID) (*StoredPackage, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	all := s.pkgs[storeKey{region, bucket}]
+	if len(all) == 0 {
+		return nil, false
+	}
+	candidates := all
+	if len(exclude) > 0 {
+		excluded := make(map[PackageID]bool, len(exclude))
+		for _, id := range exclude {
+			excluded[id] = true
+		}
+		filtered := make([]*StoredPackage, 0, len(all))
+		for _, p := range all {
+			if !excluded[p.ID] {
+				filtered = append(filtered, p)
+			}
+		}
+		if len(filtered) > 0 {
+			candidates = filtered
+		}
+	}
+	return candidates[rnd%uint64(len(candidates))], true
+}
+
+// Remove deletes a published package (operational cleanup after a bad
+// package is identified in production).
+func (s *Store) Remove(id PackageID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, list := range s.pkgs {
+		for i, p := range list {
+			if p.ID == id {
+				s.pkgs[k] = append(list[:i], list[i+1:]...)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String summarizes the store.
+func (s *Store) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, list := range s.pkgs {
+		total += len(list)
+	}
+	return fmt.Sprintf("jumpstart.Store{published: %d, quarantined: %d}", total, len(s.quar))
+}

@@ -1,0 +1,224 @@
+package lang
+
+// File is a parsed MiniHack source file.
+type File struct {
+	Name    string
+	Funcs   []*FuncDecl
+	Classes []*ClassDecl
+}
+
+// FuncDecl is a top-level function or a method.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+	Pos    Pos
+}
+
+// ClassDecl declares a class with optional parent, properties (in
+// declared order — observable!) and methods.
+type ClassDecl struct {
+	Name    string
+	Parent  string // "" for none
+	Props   []PropDecl
+	Methods []*FuncDecl
+	Pos     Pos
+}
+
+// PropDecl is one property declaration, optionally with a constant
+// default value.
+type PropDecl struct {
+	Name    string
+	Default Expr // nil for null; must be a literal
+	Pos     Pos
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	exprNode()
+	// StartPos returns the position of the expression's first token.
+	StartPos() Pos
+}
+
+// Statements.
+type (
+	// ExprStmt evaluates an expression for effect.
+	ExprStmt struct{ X Expr }
+	// AssignStmt assigns to an Ident, Index or Prop LHS. Op "" means
+	// plain assignment; otherwise one of "+", "-", "*", "/", ".".
+	AssignStmt struct {
+		LHS Expr
+		Op  string
+		RHS Expr
+		Pos Pos
+	}
+	// IfStmt with optional Else (which may itself be another IfStmt
+	// for else-if chains).
+	IfStmt struct {
+		Cond Expr
+		Then []Stmt
+		Else []Stmt
+	}
+	// WhileStmt loops while Cond is truthy.
+	WhileStmt struct {
+		Cond Expr
+		Body []Stmt
+	}
+	// ForStmt is the C-style loop; any of Init/Cond/Step may be nil.
+	ForStmt struct {
+		Init Stmt // AssignStmt or ExprStmt
+		Cond Expr
+		Step Stmt
+		Body []Stmt
+	}
+	// ForeachStmt iterates an array: foreach (x as k => v) or
+	// foreach (x as v).
+	ForeachStmt struct {
+		Seq  Expr
+		Key  string // "" when absent
+		Val  string
+		Body []Stmt
+	}
+	// ReturnStmt returns Value (nil means null).
+	ReturnStmt struct {
+		Value Expr
+		Pos   Pos
+	}
+	// BreakStmt exits the innermost loop.
+	BreakStmt struct{ Pos Pos }
+	// ContinueStmt continues the innermost loop.
+	ContinueStmt struct{ Pos Pos }
+)
+
+func (*ExprStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ForeachStmt) stmtNode()  {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// Expressions.
+type (
+	// IntLit is an integer literal.
+	IntLit struct {
+		Val int64
+		Pos Pos
+	}
+	// FloatLit is a float literal.
+	FloatLit struct {
+		Val float64
+		Pos Pos
+	}
+	// StrLit is a string literal.
+	StrLit struct {
+		Val string
+		Pos Pos
+	}
+	// BoolLit is true/false.
+	BoolLit struct {
+		Val bool
+		Pos Pos
+	}
+	// NullLit is null.
+	NullLit struct{ Pos Pos }
+	// Ident references a local variable.
+	Ident struct {
+		Name string
+		Pos  Pos
+	}
+	// ThisExpr references the method receiver.
+	ThisExpr struct{ Pos Pos }
+	// ArrayLit builds an array; entries without keys append.
+	ArrayLit struct {
+		Entries []ArrayEntry
+		Pos     Pos
+	}
+	// Unary is -x or !x.
+	Unary struct {
+		Op  string
+		X   Expr
+		Pos Pos
+	}
+	// Binary is a binary operation; Op is the source operator.
+	Binary struct {
+		Op   string
+		L, R Expr
+		Pos  Pos
+	}
+	// Call invokes a free function (or builtin) by name.
+	Call struct {
+		Name string
+		Args []Expr
+		Pos  Pos
+	}
+	// MethodCall invokes recv->name(args).
+	MethodCall struct {
+		Recv Expr
+		Name string
+		Args []Expr
+		Pos  Pos
+	}
+	// New instantiates a class: new C(args).
+	New struct {
+		Class string
+		Args  []Expr
+		Pos   Pos
+	}
+	// Index is base[key].
+	Index struct {
+		Base Expr
+		Key  Expr
+		Pos  Pos
+	}
+	// Prop is base->name.
+	Prop struct {
+		Base Expr
+		Name string
+		Pos  Pos
+	}
+)
+
+// ArrayEntry is one element of an ArrayLit.
+type ArrayEntry struct {
+	Key Expr // nil to append
+	Val Expr
+}
+
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*StrLit) exprNode()     {}
+func (*BoolLit) exprNode()    {}
+func (*NullLit) exprNode()    {}
+func (*Ident) exprNode()      {}
+func (*ThisExpr) exprNode()   {}
+func (*ArrayLit) exprNode()   {}
+func (*Unary) exprNode()      {}
+func (*Binary) exprNode()     {}
+func (*Call) exprNode()       {}
+func (*MethodCall) exprNode() {}
+func (*New) exprNode()        {}
+func (*Index) exprNode()      {}
+func (*Prop) exprNode()       {}
+
+// StartPos implementations.
+func (e *IntLit) StartPos() Pos     { return e.Pos }
+func (e *FloatLit) StartPos() Pos   { return e.Pos }
+func (e *StrLit) StartPos() Pos     { return e.Pos }
+func (e *BoolLit) StartPos() Pos    { return e.Pos }
+func (e *NullLit) StartPos() Pos    { return e.Pos }
+func (e *Ident) StartPos() Pos      { return e.Pos }
+func (e *ThisExpr) StartPos() Pos   { return e.Pos }
+func (e *ArrayLit) StartPos() Pos   { return e.Pos }
+func (e *Unary) StartPos() Pos      { return e.Pos }
+func (e *Binary) StartPos() Pos     { return e.Pos }
+func (e *Call) StartPos() Pos       { return e.Pos }
+func (e *MethodCall) StartPos() Pos { return e.Pos }
+func (e *New) StartPos() Pos        { return e.Pos }
+func (e *Index) StartPos() Pos      { return e.Pos }
+func (e *Prop) StartPos() Pos       { return e.Pos }

@@ -1,0 +1,331 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lexer turns MiniHack source text into tokens.
+type Lexer struct {
+	file string
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src; file is used in error messages.
+func NewLexer(file, src string) *Lexer {
+	return &Lexer{file: file, src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) errf(pos Pos, format string, args ...interface{}) error {
+	return &Error{File: l.file, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+// skipTrivia consumes whitespace and comments.
+func (l *Lexer) skipTrivia() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipTrivia(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := l.peek()
+
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+
+	case isDigit(c):
+		return l.lexNumber(pos)
+
+	case c == '"':
+		return l.lexString(pos)
+	}
+
+	// Operators, longest match first.
+	two := ""
+	if l.off+1 < len(l.src) {
+		two = l.src[l.off : l.off+2]
+	}
+	three := ""
+	if l.off+2 < len(l.src) {
+		three = l.src[l.off : l.off+3]
+	}
+	emit := func(k TokKind, n int) (Token, error) {
+		text := l.src[l.off : l.off+n]
+		for i := 0; i < n; i++ {
+			l.advance()
+		}
+		return Token{Kind: k, Text: text, Pos: pos}, nil
+	}
+	switch three {
+	case "===":
+		return emit(TokSame, 3)
+	case "!==":
+		return emit(TokNSame, 3)
+	}
+	switch two {
+	case "->":
+		return emit(TokArrow, 2)
+	case "=>":
+		return emit(TokFatArrow, 2)
+	case "==":
+		return emit(TokEq, 2)
+	case "!=":
+		return emit(TokNeq, 2)
+	case "<=":
+		return emit(TokLte, 2)
+	case ">=":
+		return emit(TokGte, 2)
+	case "&&":
+		return emit(TokAndAnd, 2)
+	case "||":
+		return emit(TokOrOr, 2)
+	case "<<":
+		return emit(TokShl, 2)
+	case ">>":
+		return emit(TokShr, 2)
+	case "+=":
+		return emit(TokPlusEq, 2)
+	case "-=":
+		return emit(TokMinusEq, 2)
+	case "*=":
+		return emit(TokStarEq, 2)
+	case "/=":
+		return emit(TokSlashEq, 2)
+	case ".=":
+		return emit(TokDotEq, 2)
+	}
+	switch c {
+	case '(':
+		return emit(TokLParen, 1)
+	case ')':
+		return emit(TokRParen, 1)
+	case '{':
+		return emit(TokLBrace, 1)
+	case '}':
+		return emit(TokRBrace, 1)
+	case '[':
+		return emit(TokLBracket, 1)
+	case ']':
+		return emit(TokRBracket, 1)
+	case ',':
+		return emit(TokComma, 1)
+	case ';':
+		return emit(TokSemi, 1)
+	case '=':
+		return emit(TokAssign, 1)
+	case '+':
+		return emit(TokPlus, 1)
+	case '-':
+		return emit(TokMinus, 1)
+	case '*':
+		return emit(TokStar, 1)
+	case '/':
+		return emit(TokSlash, 1)
+	case '%':
+		return emit(TokPercent, 1)
+	case '.':
+		return emit(TokDot, 1)
+	case '<':
+		return emit(TokLt, 1)
+	case '>':
+		return emit(TokGt, 1)
+	case '!':
+		return emit(TokNot, 1)
+	case '&':
+		return emit(TokAmp, 1)
+	case '|':
+		return emit(TokPipe, 1)
+	case '^':
+		return emit(TokCaret, 1)
+	}
+	return Token{}, l.errf(pos, "unexpected character %q", c)
+}
+
+func (l *Lexer) lexNumber(pos Pos) (Token, error) {
+	start := l.off
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	isFloat := false
+	if l.peek() == '.' && isDigit(l.peek2()) {
+		isFloat = true
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save := l.off
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			isFloat = true
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			l.off = save // 'e' belongs to a following identifier
+		}
+	}
+	text := l.src[start:l.off]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, l.errf(pos, "bad float literal %q", text)
+		}
+		return Token{Kind: TokFloat, Text: text, Flt: f, Pos: pos}, nil
+	}
+	i, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		// Out-of-range integer literals become floats, like PHP.
+		f, ferr := strconv.ParseFloat(text, 64)
+		if ferr != nil {
+			return Token{}, l.errf(pos, "bad int literal %q", text)
+		}
+		return Token{Kind: TokFloat, Text: text, Flt: f, Pos: pos}, nil
+	}
+	return Token{Kind: TokInt, Text: text, Int: i, Pos: pos}, nil
+}
+
+func (l *Lexer) lexString(pos Pos) (Token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			return Token{}, l.errf(pos, "unterminated string literal")
+		}
+		c := l.advance()
+		switch c {
+		case '"':
+			return Token{Kind: TokString, Text: b.String(), Pos: pos}, nil
+		case '\\':
+			if l.off >= len(l.src) {
+				return Token{}, l.errf(pos, "unterminated escape")
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case '0':
+				b.WriteByte(0)
+			default:
+				return Token{}, l.errf(pos, "unknown escape \\%c", e)
+			}
+		case '\n':
+			return Token{}, l.errf(pos, "newline in string literal")
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// LexAll tokenizes the whole input (testing convenience).
+func LexAll(file, src string) ([]Token, error) {
+	l := NewLexer(file, src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package lang
+
+import "testing"
+
+func kinds(toks []Token) []TokKind {
+	ks := make([]TokKind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := LexAll("t", `fun f(a) { return a + 1; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{
+		TokFun, TokIdent, TokLParen, TokIdent, TokRParen, TokLBrace,
+		TokReturn, TokIdent, TokPlus, TokInt, TokSemi, TokRBrace, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tok[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := LexAll("t", "0 42 3.5 1e3 2.5e-2 9999999999999999999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokInt || toks[0].Int != 0 {
+		t.Errorf("0 => %+v", toks[0])
+	}
+	if toks[1].Kind != TokInt || toks[1].Int != 42 {
+		t.Errorf("42 => %+v", toks[1])
+	}
+	if toks[2].Kind != TokFloat || toks[2].Flt != 3.5 {
+		t.Errorf("3.5 => %+v", toks[2])
+	}
+	if toks[3].Kind != TokFloat || toks[3].Flt != 1000 {
+		t.Errorf("1e3 => %+v", toks[3])
+	}
+	if toks[4].Kind != TokFloat || toks[4].Flt != 0.025 {
+		t.Errorf("2.5e-2 => %+v", toks[4])
+	}
+	if toks[5].Kind != TokFloat {
+		t.Errorf("overflowing int should lex as float: %+v", toks[5])
+	}
+}
+
+func TestLexNumberThenIdent(t *testing.T) {
+	// "3e" must not eat the identifier: lexes as 3 then "e".
+	toks, err := LexAll("t", "x = 3 e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != TokInt || toks[3].Kind != TokIdent || toks[3].Text != "e" {
+		t.Fatalf("toks = %v", kinds(toks))
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := LexAll("t", `"hello" "a\n\t\"b\\" ""`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "hello" {
+		t.Errorf("str = %q", toks[0].Text)
+	}
+	if toks[1].Text != "a\n\t\"b\\" {
+		t.Errorf("escapes = %q", toks[1].Text)
+	}
+	if toks[2].Text != "" {
+		t.Errorf("empty = %q", toks[2].Text)
+	}
+}
+
+func TestLexStringErrors(t *testing.T) {
+	for _, src := range []string{`"abc`, `"a\q"`, "\"a\nb\""} {
+		if _, err := LexAll("t", src); err == nil {
+			t.Errorf("%q should fail to lex", src)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := "=== !== == != <= >= && || << >> -> => += -= *= /= .= + - * / % . < > ! & | ^ ="
+	toks, err := LexAll("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{
+		TokSame, TokNSame, TokEq, TokNeq, TokLte, TokGte, TokAndAnd,
+		TokOrOr, TokShl, TokShr, TokArrow, TokFatArrow,
+		TokPlusEq, TokMinusEq, TokStarEq, TokSlashEq, TokDotEq,
+		TokPlus, TokMinus, TokStar, TokSlash, TokPercent, TokDot,
+		TokLt, TokGt, TokNot, TokAmp, TokPipe, TokCaret, TokAssign, TokEOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("tok[%d] = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `a // line comment
+	/* block
+	comment */ b`
+	toks, err := LexAll("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Fatalf("toks = %v", toks)
+	}
+	if _, err := LexAll("t", "/* unterminated"); err == nil {
+		t.Fatal("unterminated block comment should fail")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("t", "a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b pos = %v", toks[1].Pos)
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	_, err := LexAll("t", "a @ b")
+	if err == nil {
+		t.Fatal("@ should fail")
+	}
+	le, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("want *Error, got %T", err)
+	}
+	if le.Pos.Col != 3 {
+		t.Errorf("error pos = %v", le.Pos)
+	}
+}
+
+func TestKeywordsLexAsKeywords(t *testing.T) {
+	toks, err := LexAll("t", "fun class extends prop if else while for foreach as return break continue new this true false null funx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{
+		TokFun, TokClass, TokExtends, TokProp, TokIf, TokElse, TokWhile,
+		TokFor, TokForeach, TokAs, TokReturn, TokBreak, TokContinue,
+		TokNew, TokThis, TokTrue, TokFalse, TokNull, TokIdent, TokEOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tok[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOK(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse("t.mh", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+func TestParseFunction(t *testing.T) {
+	f := parseOK(t, `fun add(a, b) { return a + b; }`)
+	if len(f.Funcs) != 1 {
+		t.Fatalf("funcs = %d", len(f.Funcs))
+	}
+	fn := f.Funcs[0]
+	if fn.Name != "add" || len(fn.Params) != 2 {
+		t.Fatalf("fn = %+v", fn)
+	}
+	ret, ok := fn.Body[0].(*ReturnStmt)
+	if !ok {
+		t.Fatalf("body[0] = %T", fn.Body[0])
+	}
+	bin, ok := ret.Value.(*Binary)
+	if !ok || bin.Op != "+" {
+		t.Fatalf("return value = %#v", ret.Value)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := parseOK(t, `fun f() { return 1 + 2 * 3 == 7 && true; }`)
+	ret := f.Funcs[0].Body[0].(*ReturnStmt)
+	and, ok := ret.Value.(*Binary)
+	if !ok || and.Op != "&&" {
+		t.Fatalf("top = %#v", ret.Value)
+	}
+	eq, ok := and.L.(*Binary)
+	if !ok || eq.Op != "==" {
+		t.Fatalf("and.L = %#v", and.L)
+	}
+	add, ok := eq.L.(*Binary)
+	if !ok || add.Op != "+" {
+		t.Fatalf("eq.L = %#v", eq.L)
+	}
+	mul, ok := add.R.(*Binary)
+	if !ok || mul.Op != "*" {
+		t.Fatalf("add.R = %#v", add.R)
+	}
+}
+
+func TestParseLeftAssociativity(t *testing.T) {
+	f := parseOK(t, `fun f() { return 10 - 3 - 2; }`)
+	ret := f.Funcs[0].Body[0].(*ReturnStmt)
+	outer := ret.Value.(*Binary)
+	inner, ok := outer.L.(*Binary)
+	if !ok || inner.Op != "-" {
+		t.Fatalf("left assoc broken: %#v", ret.Value)
+	}
+	if outer.R.(*IntLit).Val != 2 || inner.R.(*IntLit).Val != 3 {
+		t.Fatal("operand order wrong")
+	}
+}
+
+func TestParseUnary(t *testing.T) {
+	f := parseOK(t, `fun f(x) { return -x * !x; }`)
+	ret := f.Funcs[0].Body[0].(*ReturnStmt)
+	mul := ret.Value.(*Binary)
+	if _, ok := mul.L.(*Unary); !ok {
+		t.Fatalf("mul.L = %#v", mul.L)
+	}
+	if u, ok := mul.R.(*Unary); !ok || u.Op != "!" {
+		t.Fatalf("mul.R = %#v", mul.R)
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	f := parseOK(t, `
+class Point extends Base {
+  prop x;
+  prop y = 5;
+  prop name = "origin";
+  fun mag() { return sqrt(this->x * this->x + this->y * this->y); }
+}`)
+	if len(f.Classes) != 1 {
+		t.Fatalf("classes = %d", len(f.Classes))
+	}
+	c := f.Classes[0]
+	if c.Name != "Point" || c.Parent != "Base" {
+		t.Fatalf("class = %+v", c)
+	}
+	if len(c.Props) != 3 || c.Props[1].Name != "y" {
+		t.Fatalf("props = %+v", c.Props)
+	}
+	if c.Props[0].Default != nil {
+		t.Fatal("x should have no default")
+	}
+	if c.Props[1].Default.(*IntLit).Val != 5 {
+		t.Fatal("y default")
+	}
+	if len(c.Methods) != 1 || c.Methods[0].Name != "mag" {
+		t.Fatalf("methods = %+v", c.Methods)
+	}
+	// this->x inside the method.
+	ret := c.Methods[0].Body[0].(*ReturnStmt)
+	call := ret.Value.(*Call)
+	if call.Name != "sqrt" {
+		t.Fatalf("call = %+v", call)
+	}
+}
+
+func TestParsePostfixChain(t *testing.T) {
+	f := parseOK(t, `fun f(o) { return o->items[0]->total(1, 2); }`)
+	ret := f.Funcs[0].Body[0].(*ReturnStmt)
+	mc, ok := ret.Value.(*MethodCall)
+	if !ok || mc.Name != "total" || len(mc.Args) != 2 {
+		t.Fatalf("top = %#v", ret.Value)
+	}
+	idx, ok := mc.Recv.(*Index)
+	if !ok {
+		t.Fatalf("recv = %#v", mc.Recv)
+	}
+	prop, ok := idx.Base.(*Prop)
+	if !ok || prop.Name != "items" {
+		t.Fatalf("base = %#v", idx.Base)
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	f := parseOK(t, `
+fun f(n) {
+  total = 0;
+  i = 0;
+  while (i < n) {
+    if (i % 2 == 0) { total += i; } else if (i == 7) { break; } else { total -= 1; }
+    i = i + 1;
+  }
+  for (j = 0; j < 3; j += 1) { continue; }
+  foreach ([1, 2] as k => v) { total += v; }
+  foreach ([1, 2] as v) { total .= v; }
+  return total;
+}`)
+	body := f.Funcs[0].Body
+	if len(body) != 7 {
+		t.Fatalf("stmts = %d", len(body))
+	}
+	w := body[2].(*WhileStmt)
+	ifs := w.Body[0].(*IfStmt)
+	if len(ifs.Else) != 1 {
+		t.Fatal("else-if chain")
+	}
+	inner := ifs.Else[0].(*IfStmt)
+	if len(inner.Else) != 1 {
+		t.Fatal("final else")
+	}
+	fs := body[3].(*ForStmt)
+	if fs.Init == nil || fs.Cond == nil || fs.Step == nil {
+		t.Fatal("for header")
+	}
+	fe := body[4].(*ForeachStmt)
+	if fe.Key != "k" || fe.Val != "v" {
+		t.Fatalf("foreach = %+v", fe)
+	}
+	fe2 := body[5].(*ForeachStmt)
+	if fe2.Key != "" || fe2.Val != "v" {
+		t.Fatalf("foreach = %+v", fe2)
+	}
+}
+
+func TestParseCompoundAssignTargets(t *testing.T) {
+	f := parseOK(t, `fun f(o, a) { o->cnt += 1; a[0] *= 2; }`)
+	s0 := f.Funcs[0].Body[0].(*AssignStmt)
+	if s0.Op != "+" {
+		t.Fatalf("op = %q", s0.Op)
+	}
+	if _, ok := s0.LHS.(*Prop); !ok {
+		t.Fatalf("lhs = %#v", s0.LHS)
+	}
+	s1 := f.Funcs[0].Body[1].(*AssignStmt)
+	if _, ok := s1.LHS.(*Index); !ok {
+		t.Fatalf("lhs = %#v", s1.LHS)
+	}
+}
+
+func TestParseArrayLiterals(t *testing.T) {
+	f := parseOK(t, `fun f() { return [1, "k" => 2, 3]; }`)
+	ret := f.Funcs[0].Body[0].(*ReturnStmt)
+	lit := ret.Value.(*ArrayLit)
+	if len(lit.Entries) != 3 {
+		t.Fatalf("entries = %d", len(lit.Entries))
+	}
+	if lit.Entries[0].Key != nil || lit.Entries[1].Key == nil || lit.Entries[2].Key != nil {
+		t.Fatal("key placement")
+	}
+}
+
+func TestParseNew(t *testing.T) {
+	f := parseOK(t, `fun f() { p = new Point(1, 2); q = new Empty; return p; }`)
+	a := f.Funcs[0].Body[0].(*AssignStmt)
+	n := a.RHS.(*New)
+	if n.Class != "Point" || len(n.Args) != 2 {
+		t.Fatalf("new = %+v", n)
+	}
+	b := f.Funcs[0].Body[1].(*AssignStmt)
+	if len(b.RHS.(*New).Args) != 0 {
+		t.Fatal("argless new")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{`fun f( { }`, "expected"},
+		{`fun f() { return 1 }`, "';'"},
+		{`class C prop x; }`, "'{'"},
+		{`fun f() { 1 = 2; }`, "assignment target"},
+		{`fun f(a, a) { }`, "duplicate parameter"},
+		{`fun f() { if 1 { } }`, "'('"},
+		{`xyz`, "top level"},
+		{`fun f() { return *; }`, "expression"},
+		{`fun f() {`, "EOF"},
+		{`class C { prop x = [1]; }`, "literal"},
+	}
+	for _, c := range cases {
+		_, err := Parse("t.mh", c.src)
+		if err == nil {
+			t.Errorf("%q: expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%q: error %q missing %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseNegativeDefaults(t *testing.T) {
+	f := parseOK(t, `class C { prop a = -5; prop b = -2.5; }`)
+	c := f.Classes[0]
+	if c.Props[0].Default.(*IntLit).Val != -5 {
+		t.Fatal("negative int default")
+	}
+	if c.Props[1].Default.(*FloatLit).Val != -2.5 {
+		t.Fatal("negative float default")
+	}
+}
+
+func TestParseGrouping(t *testing.T) {
+	f := parseOK(t, `fun f() { return (1 + 2) * 3; }`)
+	ret := f.Funcs[0].Body[0].(*ReturnStmt)
+	mul := ret.Value.(*Binary)
+	if mul.Op != "*" {
+		t.Fatalf("top = %v", mul.Op)
+	}
+	if add, ok := mul.L.(*Binary); !ok || add.Op != "+" {
+		t.Fatalf("grouping lost: %#v", mul.L)
+	}
+}

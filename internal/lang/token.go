@@ -1,0 +1,148 @@
+// Package lang implements the MiniHack front end: lexer, AST and
+// recursive-descent parser. MiniHack is a deliberately small PHP/Hack
+// dialect — dynamically typed, class-based, with observable property
+// order — just rich enough that the VM's profile-guided machinery has
+// real dynamic behaviour to specialize.
+package lang
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+
+	// Keywords.
+	TokFun
+	TokClass
+	TokExtends
+	TokProp
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokForeach
+	TokAs
+	TokReturn
+	TokBreak
+	TokContinue
+	TokNew
+	TokThis
+	TokTrue
+	TokFalse
+	TokNull
+
+	// Punctuation and operators.
+	TokLParen   // (
+	TokRParen   // )
+	TokLBrace   // {
+	TokRBrace   // }
+	TokLBracket // [
+	TokRBracket // ]
+	TokComma    // ,
+	TokSemi     // ;
+	TokArrow    // ->
+	TokFatArrow // =>
+	TokAssign   // =
+	TokPlusEq   // +=
+	TokMinusEq  // -=
+	TokStarEq   // *=
+	TokSlashEq  // /=
+	TokDotEq    // .=
+	TokPlus     // +
+	TokMinus    // -
+	TokStar     // *
+	TokSlash    // /
+	TokPercent  // %
+	TokDot      // . (concat)
+	TokEq       // ==
+	TokNeq      // !=
+	TokSame     // ===
+	TokNSame    // !==
+	TokLt       // <
+	TokLte      // <=
+	TokGt       // >
+	TokGte      // >=
+	TokAndAnd   // &&
+	TokOrOr     // ||
+	TokNot      // !
+	TokAmp      // &
+	TokPipe     // |
+	TokCaret    // ^
+	TokShl      // <<
+	TokShr      // >>
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokInt: "int literal",
+	TokFloat: "float literal", TokString: "string literal",
+	TokFun: "'fun'", TokClass: "'class'", TokExtends: "'extends'",
+	TokProp: "'prop'", TokIf: "'if'", TokElse: "'else'",
+	TokWhile: "'while'", TokFor: "'for'", TokForeach: "'foreach'",
+	TokAs: "'as'", TokReturn: "'return'", TokBreak: "'break'",
+	TokContinue: "'continue'", TokNew: "'new'", TokThis: "'this'",
+	TokTrue: "'true'", TokFalse: "'false'", TokNull: "'null'",
+	TokLParen: "'('", TokRParen: "')'", TokLBrace: "'{'",
+	TokRBrace: "'}'", TokLBracket: "'['", TokRBracket: "']'",
+	TokComma: "','", TokSemi: "';'", TokArrow: "'->'",
+	TokFatArrow: "'=>'", TokAssign: "'='",
+	TokPlusEq: "'+='", TokMinusEq: "'-='", TokStarEq: "'*='",
+	TokSlashEq: "'/='", TokDotEq: "'.='",
+	TokPlus: "'+'", TokMinus: "'-'", TokStar: "'*'", TokSlash: "'/'",
+	TokPercent: "'%'", TokDot: "'.'", TokEq: "'=='", TokNeq: "'!='",
+	TokSame: "'==='", TokNSame: "'!=='", TokLt: "'<'", TokLte: "'<='",
+	TokGt: "'>'", TokGte: "'>='", TokAndAnd: "'&&'", TokOrOr: "'||'",
+	TokNot: "'!'", TokAmp: "'&'", TokPipe: "'|'", TokCaret: "'^'",
+	TokShl: "'<<'", TokShr: "'>>'",
+}
+
+// String returns a human-readable token-kind name.
+func (k TokKind) String() string {
+	if n, ok := tokNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]TokKind{
+	"fun": TokFun, "class": TokClass, "extends": TokExtends,
+	"prop": TokProp, "if": TokIf, "else": TokElse, "while": TokWhile,
+	"for": TokFor, "foreach": TokForeach, "as": TokAs,
+	"return": TokReturn, "break": TokBreak, "continue": TokContinue,
+	"new": TokNew, "this": TokThis, "true": TokTrue, "false": TokFalse,
+	"null": TokNull,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexed token.
+type Token struct {
+	Kind TokKind
+	Text string // raw text for idents; decoded value for strings
+	Int  int64  // for TokInt
+	Flt  float64
+	Pos  Pos
+}
+
+// Error is a front-end error with a source position.
+type Error struct {
+	File string
+	Pos  Pos
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%s: %s", e.File, e.Pos, e.Msg)
+}

@@ -1,0 +1,262 @@
+package layout
+
+import "sort"
+
+// CallGraph is a weighted, directed call graph used for function
+// sorting. Node ids are indices into Nodes.
+type CallGraph struct {
+	Nodes []FuncNode
+	Arcs  []Arc
+}
+
+// FuncNode describes one function for placement purposes.
+type FuncNode struct {
+	Name   string
+	Size   int    // code bytes
+	Weight uint64 // call/entry count
+}
+
+// Arc is a weighted caller→callee edge. Parallel arcs are allowed and
+// are summed by the algorithms.
+type Arc struct {
+	Caller, Callee int
+	Weight         uint64
+}
+
+// DefaultMaxClusterSize is the C3 merging threshold: clusters are not
+// grown past the size of a memory page, following Ottoni & Maher.
+const DefaultMaxClusterSize = 4096
+
+// C3 implements the Call-Chain Clustering algorithm (Ottoni & Maher,
+// CGO'17), the function-sorting pass HHVM uses for its code cache
+// (paper Section V-B). It returns node ids in placement order.
+//
+// Each function starts in its own cluster. Arcs are processed by
+// decreasing weight; an arc caller→callee appends the callee's cluster
+// to the caller's unless (a) they are already in the same cluster,
+// (b) the callee is not the head of its cluster (its locality is
+// already decided), or (c) the merged size exceeds maxClusterSize.
+// Final clusters are emitted by decreasing hotness density.
+func C3(cg *CallGraph, maxClusterSize int) []int {
+	if maxClusterSize <= 0 {
+		maxClusterSize = DefaultMaxClusterSize
+	}
+	n := len(cg.Nodes)
+	if n == 0 {
+		return nil
+	}
+
+	// Coalesce parallel arcs.
+	type pair struct{ caller, callee int }
+	arcW := make(map[pair]uint64)
+	for _, a := range cg.Arcs {
+		if a.Caller == a.Callee {
+			continue
+		}
+		arcW[pair{a.Caller, a.Callee}] += a.Weight
+	}
+	arcs := make([]Arc, 0, len(arcW))
+	for p, w := range arcW {
+		arcs = append(arcs, Arc{Caller: p.caller, Callee: p.callee, Weight: w})
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].Weight != arcs[j].Weight {
+			return arcs[i].Weight > arcs[j].Weight
+		}
+		if arcs[i].Caller != arcs[j].Caller {
+			return arcs[i].Caller < arcs[j].Caller
+		}
+		return arcs[i].Callee < arcs[j].Callee
+	})
+
+	type cluster struct {
+		funcs  []int
+		size   int
+		weight uint64
+	}
+	clusterOf := make([]*cluster, n)
+	for i := 0; i < n; i++ {
+		clusterOf[i] = &cluster{
+			funcs:  []int{i},
+			size:   cg.Nodes[i].Size,
+			weight: cg.Nodes[i].Weight,
+		}
+	}
+
+	for _, a := range arcs {
+		cc := clusterOf[a.Caller]
+		ce := clusterOf[a.Callee]
+		if cc == ce {
+			continue
+		}
+		if ce.funcs[0] != a.Callee {
+			continue // callee's predecessor already chosen
+		}
+		if cc.size+ce.size > maxClusterSize {
+			continue
+		}
+		cc.funcs = append(cc.funcs, ce.funcs...)
+		cc.size += ce.size
+		cc.weight += ce.weight
+		for _, f := range ce.funcs {
+			clusterOf[f] = cc
+		}
+	}
+
+	// Unique clusters in deterministic order.
+	seen := make(map[*cluster]bool)
+	var clusters []*cluster
+	for i := 0; i < n; i++ {
+		c := clusterOf[i]
+		if !seen[c] {
+			seen[c] = true
+			clusters = append(clusters, c)
+		}
+	}
+	density := func(c *cluster) float64 {
+		if c.size == 0 {
+			return 0
+		}
+		return float64(c.weight) / float64(c.size)
+	}
+	sort.SliceStable(clusters, func(i, j int) bool {
+		di, dj := density(clusters[i]), density(clusters[j])
+		if di != dj {
+			return di > dj
+		}
+		return clusters[i].funcs[0] < clusters[j].funcs[0]
+	})
+
+	order := make([]int, 0, n)
+	for _, c := range clusters {
+		order = append(order, c.funcs...)
+	}
+	return order
+}
+
+// PettisHansen implements the classic Pettis-Hansen function-ordering
+// heuristic as the comparison baseline: the call graph is treated as
+// undirected; chains are repeatedly merged along the heaviest edge,
+// choosing the orientation (of the four possible concatenations) that
+// joins the two chain endpoints adjacent to the edge.
+func PettisHansen(cg *CallGraph) []int {
+	n := len(cg.Nodes)
+	if n == 0 {
+		return nil
+	}
+	type pair struct{ a, b int } // a < b
+	edgeW := make(map[pair]uint64)
+	for _, arc := range cg.Arcs {
+		if arc.Caller == arc.Callee {
+			continue
+		}
+		a, b := arc.Caller, arc.Callee
+		if a > b {
+			a, b = b, a
+		}
+		edgeW[pair{a, b}] += arc.Weight
+	}
+	type edge struct {
+		a, b int
+		w    uint64
+	}
+	edges := make([]edge, 0, len(edgeW))
+	for p, w := range edgeW {
+		edges = append(edges, edge{p.a, p.b, w})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w > edges[j].w
+		}
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+
+	chainOf := make([]*chainPH, n)
+	for i := 0; i < n; i++ {
+		chainOf[i] = &chainPH{funcs: []int{i}}
+	}
+	for _, e := range edges {
+		ca, cb := chainOf[e.a], chainOf[e.b]
+		if ca == cb {
+			continue
+		}
+		// Orient so that e.a and e.b end up as close as possible:
+		// reverse chains so a is at ca's tail and b at cb's head.
+		if ca.funcs[0] == e.a && len(ca.funcs) > 1 {
+			reverseInts(ca.funcs)
+		}
+		if cb.funcs[len(cb.funcs)-1] == e.b && len(cb.funcs) > 1 {
+			reverseInts(cb.funcs)
+		}
+		ca.funcs = append(ca.funcs, cb.funcs...)
+		for _, f := range cb.funcs {
+			chainOf[f] = ca
+		}
+	}
+
+	seen := make(map[*chainPH]bool)
+	var chains []*chainPH
+	for i := 0; i < n; i++ {
+		c := chainOf[i]
+		if !seen[c] {
+			seen[c] = true
+			chains = append(chains, c)
+		}
+	}
+	// Hotter chains first.
+	weightOf := func(c *chainPH) uint64 {
+		var w uint64
+		for _, f := range c.funcs {
+			w += cg.Nodes[f].Weight
+		}
+		return w
+	}
+	sort.SliceStable(chains, func(i, j int) bool {
+		wi, wj := weightOf(chains[i]), weightOf(chains[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return chains[i].funcs[0] < chains[j].funcs[0]
+	})
+	order := make([]int, 0, n)
+	for _, c := range chains {
+		order = append(order, c.funcs...)
+	}
+	return order
+}
+
+type chainPH struct{ funcs []int }
+
+func reverseInts(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// TSPProximity evaluates a function order: the sum over arcs of
+// weight / (1 + distance-in-bytes between caller and callee starts).
+// Used by benches to compare C3, Pettis-Hansen and unsorted layouts;
+// higher is better (hot caller/callee pairs close together).
+func TSPProximity(cg *CallGraph, order []int) float64 {
+	addr := make([]int, len(cg.Nodes))
+	pos := 0
+	for _, f := range order {
+		addr[f] = pos
+		pos += cg.Nodes[f].Size
+	}
+	total := 0.0
+	for _, a := range cg.Arcs {
+		if a.Caller == a.Callee {
+			continue
+		}
+		d := addr[a.Caller] - addr[a.Callee]
+		if d < 0 {
+			d = -d
+		}
+		total += float64(a.Weight) / float64(1+d)
+	}
+	return total
+}

@@ -1,0 +1,277 @@
+// Package layout implements the profile-guided code-layout algorithms
+// the paper's Section V builds on: Ext-TSP basic-block reordering with
+// hot/cold splitting (Newell & Pupyrev, used by HHVM and BOLT) and the
+// C3 function-sorting algorithm (Ottoni & Maher, CGO'17), plus a
+// Pettis-Hansen baseline for comparison benches.
+//
+// All algorithms are pure: they consume weighted graphs and produce
+// orderings. The JIT maps translations onto these graphs and applies
+// the resulting orders when placing code in the code cache.
+package layout
+
+import "sort"
+
+// Graph is a weighted CFG prepared for block layout. Block 0 is the
+// entry and must remain first in any produced order.
+type Graph struct {
+	Blocks []BlockInfo
+	Edges  []Edge
+}
+
+// BlockInfo describes one layout unit (a Vasm basic block).
+type BlockInfo struct {
+	Size   int    // code bytes
+	Weight uint64 // execution count
+}
+
+// Edge is a weighted branch between blocks.
+type Edge struct {
+	Src, Dst int
+	Weight   uint64
+}
+
+// Ext-TSP scoring constants from Newell & Pupyrev: a fall-through
+// branch scores its full weight; short forward/backward jumps score a
+// distance-discounted fraction.
+const (
+	fallthroughFactor = 1.0
+	forwardFactor     = 0.1
+	backwardFactor    = 0.1
+	forwardDistance   = 1024
+	backwardDistance  = 640
+)
+
+// Score computes the Ext-TSP objective for the given block order: the
+// higher, the better the expected I-cache/branch behaviour.
+func Score(g *Graph, order []int) float64 {
+	addr := make([]int, len(g.Blocks))
+	pos := 0
+	for _, b := range order {
+		addr[b] = pos
+		pos += g.Blocks[b].Size
+	}
+	total := 0.0
+	for _, e := range g.Edges {
+		if e.Src == e.Dst || e.Weight == 0 {
+			continue
+		}
+		srcEnd := addr[e.Src] + g.Blocks[e.Src].Size
+		dst := addr[e.Dst]
+		w := float64(e.Weight)
+		switch {
+		case srcEnd == dst:
+			total += fallthroughFactor * w
+		case srcEnd < dst && dst-srcEnd < forwardDistance:
+			d := float64(dst - srcEnd)
+			total += forwardFactor * w * (1 - d/forwardDistance)
+		case srcEnd > dst && srcEnd-dst < backwardDistance:
+			d := float64(srcEnd - dst)
+			total += backwardFactor * w * (1 - d/backwardDistance)
+		}
+	}
+	return total
+}
+
+// chain is a mutable sequence of blocks during greedy merging.
+type chain struct {
+	blocks []int
+	score  float64 // cached self-score contribution (not strictly needed)
+}
+
+// ExtTSP orders the graph's blocks to (approximately) maximize Score.
+// It uses the greedy chain-merging construction from the Ext-TSP
+// paper: every block starts as a singleton chain; at each step the
+// merge (of any pair of chains, in either orientation) with the
+// highest score gain is applied. The entry block is pinned to the
+// front of its chain and the final order.
+func ExtTSP(g *Graph) []int {
+	n := len(g.Blocks)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return []int{0}
+	}
+
+	chains := make([]*chain, n)
+	chainOf := make([]*chain, n)
+	for i := 0; i < n; i++ {
+		c := &chain{blocks: []int{i}}
+		chains[i] = c
+		chainOf[i] = c
+	}
+
+	// To score a candidate merged chain in isolation we lay out only
+	// its blocks contiguously and count only edges internal to it.
+	inChain := make([]int, n) // block -> chain serial for filtering
+	serial := 0
+	markChain := func(blocks []int) {
+		serial++
+		for _, b := range blocks {
+			inChain[b] = serial
+		}
+	}
+	chainScore := func(blocks []int) float64 {
+		markChain(blocks)
+		addr := make(map[int]int, len(blocks))
+		pos := 0
+		for _, b := range blocks {
+			addr[b] = pos
+			pos += g.Blocks[b].Size
+		}
+		total := 0.0
+		for _, e := range g.Edges {
+			if e.Src == e.Dst || e.Weight == 0 {
+				continue
+			}
+			if inChain[e.Src] != serial || inChain[e.Dst] != serial {
+				continue
+			}
+			srcEnd := addr[e.Src] + g.Blocks[e.Src].Size
+			dst := addr[e.Dst]
+			w := float64(e.Weight)
+			switch {
+			case srcEnd == dst:
+				total += fallthroughFactor * w
+			case srcEnd < dst && dst-srcEnd < forwardDistance:
+				total += forwardFactor * w * (1 - float64(dst-srcEnd)/forwardDistance)
+			case srcEnd > dst && srcEnd-dst < backwardDistance:
+				total += backwardFactor * w * (1 - float64(srcEnd-dst)/backwardDistance)
+			}
+		}
+		return total
+	}
+
+	for _, c := range chains {
+		c.score = chainScore(c.blocks)
+	}
+
+	live := make(map[*chain]bool, n)
+	for _, c := range chains {
+		live[c] = true
+	}
+	entryChain := chainOf[0]
+
+	for len(live) > 1 {
+		var bestA, bestB *chain
+		bestGain := 0.0
+		var bestMerged []int
+		liveList := make([]*chain, 0, len(live))
+		for c := range live {
+			liveList = append(liveList, c)
+		}
+		// Deterministic iteration: order by first block id.
+		sort.Slice(liveList, func(i, j int) bool {
+			return liveList[i].blocks[0] < liveList[j].blocks[0]
+		})
+		for i := 0; i < len(liveList); i++ {
+			for j := i + 1; j < len(liveList); j++ {
+				a, b := liveList[i], liveList[j]
+				// Candidate orientations. The entry chain only accepts
+				// merges that keep the entry first.
+				var candidates [][]int
+				ab := append(append([]int{}, a.blocks...), b.blocks...)
+				ba := append(append([]int{}, b.blocks...), a.blocks...)
+				switch {
+				case a == entryChain:
+					candidates = [][]int{ab}
+				case b == entryChain:
+					candidates = [][]int{ba}
+				default:
+					candidates = [][]int{ab, ba}
+				}
+				base := a.score + b.score
+				for _, cand := range candidates {
+					gain := chainScore(cand) - base
+					if gain > bestGain {
+						bestGain = gain
+						bestA, bestB = a, b
+						bestMerged = cand
+					}
+				}
+			}
+		}
+		if bestA == nil {
+			break // no merge improves the score
+		}
+		merged := &chain{blocks: bestMerged, score: bestA.score + bestB.score + bestGain}
+		delete(live, bestA)
+		delete(live, bestB)
+		live[merged] = true
+		for _, b := range bestMerged {
+			chainOf[b] = merged
+		}
+		if bestA == entryChain || bestB == entryChain {
+			entryChain = merged
+		}
+	}
+
+	// Concatenate remaining chains: entry chain first, then by
+	// decreasing total weight density, ties by first block id.
+	rest := make([]*chain, 0, len(live))
+	for c := range live {
+		if c != entryChain {
+			rest = append(rest, c)
+		}
+	}
+	density := func(c *chain) float64 {
+		var w uint64
+		size := 0
+		for _, b := range c.blocks {
+			w += g.Blocks[b].Weight
+			size += g.Blocks[b].Size
+		}
+		if size == 0 {
+			return 0
+		}
+		return float64(w) / float64(size)
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		di, dj := density(rest[i]), density(rest[j])
+		if di != dj {
+			return di > dj
+		}
+		return rest[i].blocks[0] < rest[j].blocks[0]
+	})
+
+	order := append([]int{}, entryChain.blocks...)
+	for _, c := range rest {
+		order = append(order, c.blocks...)
+	}
+
+	// Safety net: the greedy merge maximizes within-chain score, but
+	// the final chain concatenation can occasionally land below the
+	// source order on adversarial graphs (accidental fallthroughs in
+	// the original order that cross chain boundaries here). Never
+	// return a layout worse than the one the compiler already had.
+	identity := make([]int, n)
+	for i := range identity {
+		identity[i] = i
+	}
+	if Score(g, order) < Score(g, identity) {
+		return identity
+	}
+	return order
+}
+
+// SplitHotCold partitions an ordered block list into hot and cold
+// sections. A block is cold when its weight is zero or below
+// coldFraction of the maximum block weight. The relative order within
+// each section is preserved, and the entry block is always hot.
+func SplitHotCold(g *Graph, order []int, coldFraction float64) (hot, cold []int) {
+	var maxW uint64
+	for _, b := range g.Blocks {
+		if b.Weight > maxW {
+			maxW = b.Weight
+		}
+	}
+	threshold := uint64(coldFraction * float64(maxW))
+	for _, b := range order {
+		if b == 0 || (g.Blocks[b].Weight > threshold && g.Blocks[b].Weight > 0) {
+			hot = append(hot, b)
+		} else {
+			cold = append(cold, b)
+		}
+	}
+	return hot, cold
+}

@@ -1,0 +1,334 @@
+// Package microarch simulates the parts of a CPU's memory hierarchy
+// and front end that code/data layout affects: set-associative L1
+// instruction and data caches, a unified last-level cache, instruction
+// and data TLBs, and a gshare-style branch predictor.
+//
+// The server simulation feeds it the fetch/data/branch stream of
+// executed translations; the resulting miss counts drive both the
+// cycle cost model and the Figure 5 metrics (I-cache, D-cache, LLC,
+// I-TLB, D-TLB and branch miss reductions from Jump-Start).
+package microarch
+
+// Config sizes the simulated hierarchy. The defaults approximate the
+// paper's Xeon D-1581 per-core resources, with the LLC scaled down in
+// proportion to the synthetic website's code size (the real machine
+// runs ~500 MB of JITed code against a 24 MB LLC; the simulation runs
+// ~1-4 MB of code, so the LLC is scaled to keep the ratio meaningful).
+type Config struct {
+	LineSize int // bytes per cache line
+	PageSize int // bytes per TLB page
+
+	L1ISets, L1IWays int
+	L1DSets, L1DWays int
+	LLCSets, LLCWays int
+
+	ITLBEntries, DTLBEntries int
+
+	BPTableBits int // branch-predictor table size = 1<<bits
+
+	// Penalties in cycles.
+	L1MissPenalty     int // L1 miss, LLC hit
+	LLCMissPenalty    int // LLC miss (memory access)
+	TLBMissPenalty    int // TLB fill (page walk)
+	BranchMissPenalty int // mispredicted branch
+}
+
+// DefaultConfig returns the scaled Xeon D-1581-like hierarchy.
+func DefaultConfig() Config {
+	return Config{
+		LineSize: 64,
+		PageSize: 4096,
+		L1ISets:  64, L1IWays: 8, // 32 KB
+		L1DSets: 64, L1DWays: 8, // 32 KB
+		LLCSets: 1024, LLCWays: 16, // 1 MB (scaled)
+		ITLBEntries: 64,
+		DTLBEntries: 64,
+		BPTableBits: 12,
+
+		L1MissPenalty:     12,
+		LLCMissPenalty:    60,
+		TLBMissPenalty:    30,
+		BranchMissPenalty: 15,
+	}
+}
+
+// Stats accumulates event and miss counts.
+type Stats struct {
+	Fetches    uint64 // instruction-fetch line accesses
+	L1IMisses  uint64
+	DataAccs   uint64
+	L1DMisses  uint64
+	LLCAccs    uint64
+	LLCMisses  uint64
+	ITLBAccs   uint64
+	ITLBMisses uint64
+	DTLBAccs   uint64
+	DTLBMisses uint64
+	Branches   uint64
+	BranchMiss uint64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.Fetches += o.Fetches
+	s.L1IMisses += o.L1IMisses
+	s.DataAccs += o.DataAccs
+	s.L1DMisses += o.L1DMisses
+	s.LLCAccs += o.LLCAccs
+	s.LLCMisses += o.LLCMisses
+	s.ITLBAccs += o.ITLBAccs
+	s.ITLBMisses += o.ITLBMisses
+	s.DTLBAccs += o.DTLBAccs
+	s.DTLBMisses += o.DTLBMisses
+	s.Branches += o.Branches
+	s.BranchMiss += o.BranchMiss
+}
+
+// Rate helpers (safe on zero denominators).
+func rate(miss, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(miss) / float64(total)
+}
+
+// L1IMissRate returns I-cache misses per fetch.
+func (s Stats) L1IMissRate() float64 { return rate(s.L1IMisses, s.Fetches) }
+
+// L1DMissRate returns D-cache misses per access.
+func (s Stats) L1DMissRate() float64 { return rate(s.L1DMisses, s.DataAccs) }
+
+// LLCMissRate returns LLC misses per LLC access.
+func (s Stats) LLCMissRate() float64 { return rate(s.LLCMisses, s.LLCAccs) }
+
+// ITLBMissRate returns I-TLB misses per access.
+func (s Stats) ITLBMissRate() float64 { return rate(s.ITLBMisses, s.ITLBAccs) }
+
+// DTLBMissRate returns D-TLB misses per access.
+func (s Stats) DTLBMissRate() float64 { return rate(s.DTLBMisses, s.DTLBAccs) }
+
+// BranchMissRate returns mispredictions per branch.
+func (s Stats) BranchMissRate() float64 { return rate(s.BranchMiss, s.Branches) }
+
+// cache is a set-associative cache with LRU replacement.
+type cache struct {
+	sets     [][]line
+	ways     int
+	lineBits uint
+	setMask  uint64
+	tick     uint64
+}
+
+type line struct {
+	tag  uint64
+	used uint64
+	ok   bool
+}
+
+func newCache(sets, ways, lineSize int) *cache {
+	c := &cache{
+		sets:     make([][]line, sets),
+		ways:     ways,
+		lineBits: log2(lineSize),
+		setMask:  uint64(sets - 1),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, ways)
+	}
+	return c
+}
+
+func log2(n int) uint {
+	var b uint
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// access touches addr and reports whether it hit.
+func (c *cache) access(addr uint64) bool {
+	c.tick++
+	tag := addr >> c.lineBits
+	set := c.sets[tag&c.setMask]
+	victim := 0
+	for i := range set {
+		if set[i].ok && set[i].tag == tag {
+			set[i].used = c.tick
+			return true
+		}
+		if set[i].used < set[victim].used || !set[i].ok && set[victim].ok {
+			victim = i
+		}
+	}
+	// Prefer an invalid way.
+	for i := range set {
+		if !set[i].ok {
+			victim = i
+			break
+		}
+	}
+	set[victim] = line{tag: tag, used: c.tick, ok: true}
+	return false
+}
+
+// tlb is a fully-associative LRU TLB.
+type tlb struct {
+	entries  []line
+	pageBits uint
+	tick     uint64
+}
+
+func newTLB(entries, pageSize int) *tlb {
+	return &tlb{entries: make([]line, entries), pageBits: log2(pageSize)}
+}
+
+func (t *tlb) access(addr uint64) bool {
+	t.tick++
+	tag := addr >> t.pageBits
+	victim := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.ok && e.tag == tag {
+			e.used = t.tick
+			return true
+		}
+		if !e.ok {
+			victim = i
+		} else if t.entries[victim].ok && e.used < t.entries[victim].used {
+			victim = i
+		}
+	}
+	t.entries[victim] = line{tag: tag, used: t.tick, ok: true}
+	return false
+}
+
+// predictor is a gshare branch predictor: 2-bit saturating counters
+// indexed by pc xor global history.
+type predictor struct {
+	table   []uint8
+	history uint64
+	mask    uint64
+}
+
+func newPredictor(bits int) *predictor {
+	return &predictor{table: make([]uint8, 1<<bits), mask: uint64(1<<bits - 1)}
+}
+
+func (p *predictor) predict(pc uint64, taken bool) bool {
+	idx := (pc>>2 ^ p.history) & p.mask
+	ctr := p.table[idx]
+	predicted := ctr >= 2
+	if taken {
+		if ctr < 3 {
+			p.table[idx] = ctr + 1
+		}
+	} else if ctr > 0 {
+		p.table[idx] = ctr - 1
+	}
+	p.history = (p.history << 1) | b2u(taken)
+	return predicted == taken
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Hierarchy bundles the simulated structures.
+type Hierarchy struct {
+	cfg  Config
+	l1i  *cache
+	l1d  *cache
+	llc  *cache
+	itlb *tlb
+	dtlb *tlb
+	bp   *predictor
+
+	stats Stats
+}
+
+// New builds a hierarchy from cfg.
+func New(cfg Config) *Hierarchy {
+	return &Hierarchy{
+		cfg:  cfg,
+		l1i:  newCache(cfg.L1ISets, cfg.L1IWays, cfg.LineSize),
+		l1d:  newCache(cfg.L1DSets, cfg.L1DWays, cfg.LineSize),
+		llc:  newCache(cfg.LLCSets, cfg.LLCWays, cfg.LineSize),
+		itlb: newTLB(cfg.ITLBEntries, cfg.PageSize),
+		dtlb: newTLB(cfg.DTLBEntries, cfg.PageSize),
+		bp:   newPredictor(cfg.BPTableBits),
+	}
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Fetch simulates fetching size bytes of code starting at addr,
+// returning the penalty cycles incurred (0 on all-hit).
+func (h *Hierarchy) Fetch(addr uint64, size int) int {
+	penalty := 0
+	line := uint64(h.cfg.LineSize)
+	end := addr + uint64(size)
+	for a := addr &^ (line - 1); a < end; a += line {
+		h.stats.Fetches++
+		h.stats.ITLBAccs++
+		if !h.itlb.access(a) {
+			h.stats.ITLBMisses++
+			penalty += h.cfg.TLBMissPenalty
+		}
+		if !h.l1i.access(a) {
+			h.stats.L1IMisses++
+			h.stats.LLCAccs++
+			if h.llc.access(a) {
+				penalty += h.cfg.L1MissPenalty
+			} else {
+				h.stats.LLCMisses++
+				penalty += h.cfg.LLCMissPenalty
+			}
+		}
+	}
+	return penalty
+}
+
+// Data simulates one data access at addr.
+func (h *Hierarchy) Data(addr uint64) int {
+	penalty := 0
+	h.stats.DataAccs++
+	h.stats.DTLBAccs++
+	if !h.dtlb.access(addr) {
+		h.stats.DTLBMisses++
+		penalty += h.cfg.TLBMissPenalty
+	}
+	if !h.l1d.access(addr) {
+		h.stats.L1DMisses++
+		h.stats.LLCAccs++
+		if h.llc.access(addr) {
+			penalty += h.cfg.L1MissPenalty
+		} else {
+			h.stats.LLCMisses++
+			penalty += h.cfg.LLCMissPenalty
+		}
+	}
+	return penalty
+}
+
+// Branch simulates one conditional branch at pc with the given
+// outcome, returning the misprediction penalty (0 when predicted).
+func (h *Hierarchy) Branch(pc uint64, taken bool) int {
+	h.stats.Branches++
+	if !h.bp.predict(pc, taken) {
+		h.stats.BranchMiss++
+		return h.cfg.BranchMissPenalty
+	}
+	return 0
+}
+
+// Stats returns the accumulated counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// ResetStats zeroes the counters without flushing cache state (used to
+// measure steady-state windows after warmup).
+func (h *Hierarchy) ResetStats() { h.stats = Stats{} }

@@ -1,0 +1,190 @@
+package microarch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitsAfterFill(t *testing.T) {
+	h := New(DefaultConfig())
+	// First access misses, second hits.
+	if p := h.Fetch(0x1000, 16); p == 0 {
+		t.Fatal("cold fetch should pay a penalty")
+	}
+	if p := h.Fetch(0x1000, 16); p != 0 {
+		t.Fatalf("warm fetch penalty = %d", p)
+	}
+	s := h.Stats()
+	if s.Fetches != 2 || s.L1IMisses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestFetchSpansLines(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Fetch(0x1000, 200) // 200 bytes = 4 lines at 64B
+	if got := h.Stats().Fetches; got != 4 {
+		t.Fatalf("fetches = %d, want 4", got)
+	}
+	// Unaligned fetch crossing a boundary.
+	h2 := New(DefaultConfig())
+	h2.Fetch(0x103c, 8) // crosses 0x1040
+	if got := h2.Stats().Fetches; got != 2 {
+		t.Fatalf("unaligned fetches = %d, want 2", got)
+	}
+}
+
+func TestCacheConflictEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	h := New(cfg)
+	// Fill one L1I set beyond its ways with addresses mapping to the
+	// same set: stride = sets * lineSize.
+	stride := uint64(cfg.L1ISets * cfg.LineSize)
+	for i := 0; i <= cfg.L1IWays; i++ {
+		h.Fetch(uint64(i)*stride, 1)
+	}
+	before := h.Stats().L1IMisses
+	// The first address was evicted (LRU): accessing it misses again.
+	h.Fetch(0, 1)
+	if h.Stats().L1IMisses != before+1 {
+		t.Fatal("LRU eviction did not occur")
+	}
+}
+
+func TestLRUKeepsHotLine(t *testing.T) {
+	cfg := DefaultConfig()
+	h := New(cfg)
+	stride := uint64(cfg.L1ISets * cfg.LineSize)
+	h.Fetch(0, 1) // line A
+	for i := 1; i < cfg.L1IWays; i++ {
+		h.Fetch(uint64(i)*stride, 1)
+		h.Fetch(0, 1) // keep A hot
+	}
+	h.Fetch(uint64(cfg.L1IWays)*stride, 1) // evicts someone, not A
+	before := h.Stats().L1IMisses
+	h.Fetch(0, 1)
+	if h.Stats().L1IMisses != before {
+		t.Fatal("hot line was evicted despite LRU")
+	}
+}
+
+func TestTLB(t *testing.T) {
+	cfg := DefaultConfig()
+	h := New(cfg)
+	// Touch more pages than DTLB entries; then the first page misses.
+	for i := 0; i <= cfg.DTLBEntries; i++ {
+		h.Data(uint64(i) * uint64(cfg.PageSize))
+	}
+	miss := h.Stats().DTLBMisses
+	h.Data(0)
+	if h.Stats().DTLBMisses != miss+1 {
+		t.Fatal("TLB eviction did not occur")
+	}
+	// Same page stays resident under repeated access.
+	h2 := New(cfg)
+	h2.Data(0x100)
+	h2.Data(0x200)
+	if h2.Stats().DTLBMisses != 1 {
+		t.Fatalf("same-page accesses should share a TLB entry: %+v", h2.Stats())
+	}
+}
+
+func TestBranchPredictorLearnsLoop(t *testing.T) {
+	h := New(DefaultConfig())
+	// A loop branch taken 1000 times: mispredict rate must be tiny.
+	for i := 0; i < 1000; i++ {
+		h.Branch(0x4000, true)
+	}
+	s := h.Stats()
+	if s.Branches != 1000 {
+		t.Fatalf("branches = %d", s.Branches)
+	}
+	// gshare trains one table entry per distinct history prefix, so a
+	// couple of dozen cold misses are expected before the history
+	// register saturates; after that the branch must predict.
+	if s.BranchMiss > 30 {
+		t.Fatalf("predictor failed to learn: %d misses", s.BranchMiss)
+	}
+}
+
+func TestBranchPredictorRandomIsBad(t *testing.T) {
+	h := New(DefaultConfig())
+	// Deterministic pseudo-random outcomes.
+	x := uint64(0x9e3779b97f4a7c15)
+	miss := 0
+	for i := 0; i < 4000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if h.Branch(0x4000, x&1 == 0) == 0 {
+			continue
+		}
+		miss++
+	}
+	// Random branches should mispredict a lot (>25%).
+	if miss < 1000 {
+		t.Fatalf("random branches mispredicted only %d/4000", miss)
+	}
+}
+
+func TestStatsRatesAndAdd(t *testing.T) {
+	var s Stats
+	if s.L1IMissRate() != 0 || s.BranchMissRate() != 0 {
+		t.Fatal("zero denominators must not divide")
+	}
+	a := Stats{Fetches: 10, L1IMisses: 2, Branches: 4, BranchMiss: 1}
+	b := Stats{Fetches: 10, L1IMisses: 3}
+	a.Add(b)
+	if a.Fetches != 20 || a.L1IMisses != 5 {
+		t.Fatalf("add = %+v", a)
+	}
+	if a.L1IMissRate() != 0.25 {
+		t.Fatalf("rate = %f", a.L1IMissRate())
+	}
+}
+
+func TestResetStatsKeepsCacheState(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Fetch(0x1000, 8)
+	h.ResetStats()
+	if h.Stats().Fetches != 0 {
+		t.Fatal("stats not reset")
+	}
+	// The line is still cached: no new miss.
+	h.Fetch(0x1000, 8)
+	if h.Stats().L1IMisses != 0 {
+		t.Fatal("cache state was flushed by ResetStats")
+	}
+}
+
+// Property: dense sequential code suffers no more I-cache misses than
+// the same bytes scattered across memory (the essence of why layout
+// optimizations work).
+func TestPropDenseBeatsScattered(t *testing.T) {
+	f := func(seed uint16) bool {
+		nBlocks := 64
+		blockSize := 256
+		dense := New(DefaultConfig())
+		scattered := New(DefaultConfig())
+		// Execute blocks in a loop, 3 iterations.
+		x := uint64(seed) + 1
+		addrs := make([]uint64, nBlocks)
+		for i := range addrs {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			addrs[i] = (x % 4096) * 4096 // scatter across pages
+		}
+		for iter := 0; iter < 3; iter++ {
+			for i := 0; i < nBlocks; i++ {
+				dense.Fetch(uint64(i*blockSize), blockSize)
+				scattered.Fetch(addrs[i]+uint64(i*blockSize), blockSize)
+			}
+		}
+		return dense.Stats().L1IMisses+dense.Stats().ITLBMisses <=
+			scattered.Stats().L1IMisses+scattered.Stats().ITLBMisses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

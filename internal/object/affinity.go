@@ -1,0 +1,91 @@
+package object
+
+import (
+	"sort"
+
+	"jumpstart/internal/bytecode"
+)
+
+// AffinityLayout computes a per-class physical property order from
+// *pair affinities* — how often two properties were accessed next to
+// each other — in addition to individual hotness. This implements the
+// extension the paper's Section V-C explicitly leaves as future work:
+// "previous work has also explored using the affinity of the
+// fields/properties to decide on their order ... Exploring this
+// opportunity inside HHVM is left for future work."
+//
+// The algorithm is a greedy chain construction per class (in the
+// spirit of cache-conscious structure definition, Chilimbi et al.):
+// start from the hottest property; repeatedly append the unplaced
+// property with the strongest affinity to the chain's tail, falling
+// back to the next-hottest when no affinity edge remains. Hot,
+// co-accessed properties therefore share cache lines.
+//
+// counts is keyed "Class::prop" (as in HotnessLayout); pairs is keyed
+// by canonical PropPair-style ("Class::a", "Class::b") string pairs
+// flattened into the pairKey map below.
+func AffinityLayout(prog *bytecode.Program, counts map[string]uint64,
+	pairs map[[2]string]uint64) Layout {
+
+	l := make(Layout)
+	for _, c := range prog.Classes {
+		if len(c.Props) < 2 {
+			continue
+		}
+		key := func(prop string) string { return c.Name + "::" + prop }
+
+		names := make([]string, len(c.Props))
+		for i, pd := range c.Props {
+			names[i] = pd.Name
+		}
+		// Hotness order as the seed and fallback.
+		sort.SliceStable(names, func(i, j int) bool {
+			ci, cj := counts[key(names[i])], counts[key(names[j])]
+			if ci != cj {
+				return ci > cj
+			}
+			return names[i] < names[j]
+		})
+
+		affinity := func(a, b string) uint64 {
+			ka, kb := key(a), key(b)
+			if ka > kb {
+				ka, kb = kb, ka
+			}
+			return pairs[[2]string{ka, kb}]
+		}
+
+		placed := make(map[string]bool, len(names))
+		order := make([]string, 0, len(names))
+		order = append(order, names[0])
+		placed[names[0]] = true
+		for len(order) < len(names) {
+			tail := order[len(order)-1]
+			best := ""
+			var bestAff uint64
+			for _, n := range names {
+				if placed[n] {
+					continue
+				}
+				if a := affinity(tail, n); a > bestAff {
+					bestAff = a
+					best = n
+				}
+			}
+			if best == "" {
+				// No affinity edge from the tail: take the hottest
+				// unplaced property.
+				for _, n := range names {
+					if !placed[n] {
+						best = n
+						break
+					}
+				}
+			}
+			order = append(order, best)
+			placed[best] = true
+		}
+		l[c.Name] = order
+	}
+	return l
+}

@@ -1,0 +1,80 @@
+package object
+
+import (
+	"testing"
+
+	"jumpstart/internal/bytecode"
+)
+
+func affinityProgram(t *testing.T) *bytecode.Program {
+	t.Helper()
+	u := &bytecode.Unit{Name: "t"}
+	c := &bytecode.Class{
+		Name: "K", Parent: bytecode.NoClass,
+		Props: []bytecode.PropDef{
+			{Name: "a", DefaultLit: -1}, {Name: "b", DefaultLit: -1},
+			{Name: "c", DefaultLit: -1}, {Name: "d", DefaultLit: -1},
+		},
+		Methods: map[string]*bytecode.Function{}, Unit: u,
+	}
+	u.Classes = []*bytecode.Class{c}
+	p, err := bytecode.NewProgram(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAffinityLayoutChainsCoAccessedProps(t *testing.T) {
+	p := affinityProgram(t)
+	counts := map[string]uint64{
+		"K::a": 100, "K::b": 10, "K::c": 90, "K::d": 5,
+	}
+	// a and d are always accessed together; c stands alone.
+	pairs := map[[2]string]uint64{
+		{"K::a", "K::d"}: 500,
+		{"K::b", "K::c"}: 3,
+	}
+	l := AffinityLayout(p, counts, pairs)
+	order := l["K"]
+	if len(order) != 4 {
+		t.Fatalf("order = %v", order)
+	}
+	// Hottest first, then its affinity partner.
+	if order[0] != "a" || order[1] != "d" {
+		t.Fatalf("affinity chain broken: %v", order)
+	}
+	// Remaining fall back to hotness: c before b.
+	if order[2] != "c" || order[3] != "b" {
+		t.Fatalf("fallback order: %v", order)
+	}
+	// The layout must be registry-valid.
+	if _, err := NewRegistry(p, l); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAffinityLayoutNoPairsEqualsHotness(t *testing.T) {
+	p := affinityProgram(t)
+	counts := map[string]uint64{"K::a": 1, "K::b": 4, "K::c": 3, "K::d": 2}
+	aff := AffinityLayout(p, counts, nil)
+	hot := HotnessLayout(p, counts)
+	for i := range hot["K"] {
+		if aff["K"][i] != hot["K"][i] {
+			t.Fatalf("no-pairs affinity %v != hotness %v", aff["K"], hot["K"])
+		}
+	}
+}
+
+func TestAffinityLayoutDeterministic(t *testing.T) {
+	p := affinityProgram(t)
+	counts := map[string]uint64{}
+	pairs := map[[2]string]uint64{{"K::b", "K::c"}: 7}
+	a := AffinityLayout(p, counts, pairs)
+	b := AffinityLayout(p, counts, pairs)
+	for i := range a["K"] {
+		if a["K"][i] != b["K"][i] {
+			t.Fatal("nondeterministic")
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package object implements the MiniHack object runtime: per-class
+// property slot layouts, instances, and a simulated heap that assigns
+// data addresses for the micro-architecture simulation.
+//
+// The package exists largely in service of the paper's Section V-C
+// (object-property reordering). In PHP/Hack the *declared* order of
+// properties is observable (casting an object to an array iterates in
+// declaration order), so the optimization cannot simply shuffle slots:
+// each class carries an index-translation table mapping declared index
+// to physical slot, and all declared-order operations go through it.
+package object
+
+import (
+	"fmt"
+	"sort"
+
+	"jumpstart/internal/bytecode"
+	"jumpstart/internal/value"
+)
+
+// Layout maps a class name to the physical order of that class's *own*
+// (non-inherited) property names. The Jump-Start consumer derives a
+// Layout from the seeder's property-access counters; a nil or partial
+// Layout leaves the affected classes in declared order.
+type Layout map[string][]string
+
+// RuntimeClass is the runtime view of a bytecode class: flattened
+// properties with both declared and physical orderings, plus resolved
+// default values.
+type RuntimeClass struct {
+	Meta *bytecode.Class
+	// props lists flattened properties in *declared* order (parent
+	// layers first). props[i].Slot is the physical slot.
+	props []RuntimeProp
+	// physOf[declIdx] = physical slot; declOf[physSlot] = declIdx.
+	physOf []int
+	declOf []int
+	byName map[string]int // property name -> declared index
+}
+
+// RuntimeProp is one property of a RuntimeClass.
+type RuntimeProp struct {
+	Name    string
+	Slot    int // physical slot in Object.slots
+	Default value.Value
+}
+
+// NumProps returns the number of (flattened) properties.
+func (rc *RuntimeClass) NumProps() int { return len(rc.props) }
+
+// Name returns the class name.
+func (rc *RuntimeClass) Name() string { return rc.Meta.Name }
+
+// PropByName resolves a property name to its declared index.
+func (rc *RuntimeClass) PropByName(name string) (declIdx int, ok bool) {
+	i, ok := rc.byName[name]
+	return i, ok
+}
+
+// PhysSlot translates a declared index to a physical slot.
+func (rc *RuntimeClass) PhysSlot(declIdx int) int { return rc.physOf[declIdx] }
+
+// DeclIndex translates a physical slot back to its declared index.
+func (rc *RuntimeClass) DeclIndex(physSlot int) int { return rc.declOf[physSlot] }
+
+// DeclaredProps returns properties in declared order (the observable
+// order for iteration/casting).
+func (rc *RuntimeClass) DeclaredProps() []RuntimeProp { return rc.props }
+
+// Registry owns the RuntimeClasses for one linked Program plus the heap
+// that allocates object addresses. A server builds one Registry at
+// startup; Jump-Start consumers pass the seeder-derived Layout.
+type Registry struct {
+	prog    *bytecode.Program
+	classes []*RuntimeClass
+	heap    *Heap
+}
+
+// NewRegistry builds runtime classes for prog. layout, when non-nil,
+// reorders each class's own properties physically; declared order stays
+// observable through the translation tables.
+func NewRegistry(prog *bytecode.Program, layout Layout) (*Registry, error) {
+	r := &Registry{
+		prog:    prog,
+		classes: make([]*RuntimeClass, len(prog.Classes)),
+		heap:    NewHeap(),
+	}
+	for _, c := range prog.Classes {
+		if r.classes[c.ID] != nil {
+			continue
+		}
+		if err := r.build(c, layout); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// build constructs the RuntimeClass for c (and, recursively, its
+// parent). Physical layout = parent's physical layout followed by c's
+// own properties in layout order (or declared order), mirroring the
+// paper: "the order for K's inherited properties is copied from its
+// parent class and then the order of its own, non-inherited properties
+// is decided and appended."
+func (r *Registry) build(c *bytecode.Class, layout Layout) error {
+	if c.Parent != bytecode.NoClass && r.classes[c.Parent] == nil {
+		if err := r.build(r.prog.Classes[c.Parent], layout); err != nil {
+			return err
+		}
+	}
+	rc := &RuntimeClass{Meta: c, byName: make(map[string]int)}
+
+	var parent *RuntimeClass
+	nParent := 0
+	if c.Parent != bytecode.NoClass {
+		parent = r.classes[c.Parent]
+		nParent = parent.NumProps()
+		rc.props = append(rc.props, parent.props...)
+		for i, p := range rc.props {
+			rc.byName[p.Name] = i
+		}
+	}
+
+	// Decide the physical order of c's own properties.
+	own := make([]string, len(c.Props))
+	for i, pd := range c.Props {
+		own[i] = pd.Name
+	}
+	physOrder := own
+	if requested, ok := layout[c.Name]; ok {
+		var err error
+		physOrder, err = validateOrder(c.Name, own, requested)
+		if err != nil {
+			return err
+		}
+	}
+	slotByName := make(map[string]int, len(physOrder))
+	for i, name := range physOrder {
+		slotByName[name] = nParent + i
+	}
+
+	defaults := make(map[string]value.Value, len(c.Props))
+	for _, pd := range c.Props {
+		defaults[pd.Name] = c.Unit.Literal(pd.DefaultLit)
+	}
+	for _, pd := range c.Props {
+		declIdx := len(rc.props)
+		rc.props = append(rc.props, RuntimeProp{
+			Name:    pd.Name,
+			Slot:    slotByName[pd.Name],
+			Default: defaults[pd.Name],
+		})
+		rc.byName[pd.Name] = declIdx
+	}
+
+	rc.physOf = make([]int, len(rc.props))
+	rc.declOf = make([]int, len(rc.props))
+	for declIdx, p := range rc.props {
+		rc.physOf[declIdx] = p.Slot
+		rc.declOf[p.Slot] = declIdx
+	}
+	r.classes[c.ID] = rc
+	return nil
+}
+
+// validateOrder checks that requested is a permutation of own. Unknown
+// names fail loudly (a stale profile package naming dropped properties
+// must not corrupt layouts); missing names are appended in declared
+// order so partial profiles degrade gracefully.
+func validateOrder(class string, own, requested []string) ([]string, error) {
+	have := make(map[string]bool, len(own))
+	for _, n := range own {
+		have[n] = true
+	}
+	out := make([]string, 0, len(own))
+	used := make(map[string]bool, len(own))
+	for _, n := range requested {
+		if !have[n] {
+			return nil, fmt.Errorf("object: layout for %s names unknown property %q", class, n)
+		}
+		if used[n] {
+			return nil, fmt.Errorf("object: layout for %s repeats property %q", class, n)
+		}
+		used[n] = true
+		out = append(out, n)
+	}
+	for _, n := range own {
+		if !used[n] {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+// Class returns the RuntimeClass for id.
+func (r *Registry) Class(id bytecode.ClassID) *RuntimeClass { return r.classes[id] }
+
+// ClassByName resolves a class name.
+func (r *Registry) ClassByName(name string) (*RuntimeClass, bool) {
+	c, ok := r.prog.ClassByName(name)
+	if !ok {
+		return nil, false
+	}
+	return r.classes[c.ID], true
+}
+
+// Heap returns the registry's simulated heap.
+func (r *Registry) Heap() *Heap { return r.heap }
+
+// HotnessLayout converts per-property access counts (keyed "Class::prop")
+// into a Layout: each class's own properties sorted by decreasing count
+// (stable on name for determinism). This is the consumer-side half of
+// Section V-C; the counts come from the seeder's tier-1 instrumentation.
+func HotnessLayout(prog *bytecode.Program, counts map[string]uint64) Layout {
+	l := make(Layout)
+	for _, c := range prog.Classes {
+		if len(c.Props) < 2 {
+			continue
+		}
+		names := make([]string, len(c.Props))
+		for i, pd := range c.Props {
+			names[i] = pd.Name
+		}
+		sort.SliceStable(names, func(i, j int) bool {
+			ci := counts[c.Name+"::"+names[i]]
+			cj := counts[c.Name+"::"+names[j]]
+			if ci != cj {
+				return ci > cj
+			}
+			return names[i] < names[j]
+		})
+		l[c.Name] = names
+	}
+	return l
+}

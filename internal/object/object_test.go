@@ -1,0 +1,276 @@
+package object
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jumpstart/internal/bytecode"
+	"jumpstart/internal/value"
+)
+
+// makeProgram builds Base{a,b} <- Derived{c,d,e} with a default for d.
+func makeProgram(t *testing.T) *bytecode.Program {
+	t.Helper()
+	u := &bytecode.Unit{Name: "t"}
+	defIdx := u.AddLiteral(value.Int(7))
+	base := &bytecode.Class{
+		Name: "Base", Parent: bytecode.NoClass,
+		Props: []bytecode.PropDef{
+			{Name: "a", DefaultLit: -1}, {Name: "b", DefaultLit: -1},
+		},
+		Methods: map[string]*bytecode.Function{}, Unit: u,
+	}
+	derived := &bytecode.Class{
+		Name: "Derived", Parent: 0,
+		Props: []bytecode.PropDef{
+			{Name: "c", DefaultLit: -1},
+			{Name: "d", DefaultLit: defIdx},
+			{Name: "e", DefaultLit: -1},
+		},
+		Methods: map[string]*bytecode.Function{}, Unit: u,
+	}
+	u.Classes = []*bytecode.Class{base, derived}
+	p, err := bytecode.NewProgram(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDefaultLayoutIsIdentity(t *testing.T) {
+	p := makeProgram(t)
+	r, err := NewRegistry(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, ok := r.ClassByName("Derived")
+	if !ok {
+		t.Fatal("Derived missing")
+	}
+	if rc.NumProps() != 5 {
+		t.Fatalf("props = %d", rc.NumProps())
+	}
+	for i := 0; i < rc.NumProps(); i++ {
+		if rc.PhysSlot(i) != i || rc.DeclIndex(i) != i {
+			t.Fatalf("identity layout violated at %d: phys=%d decl=%d",
+				i, rc.PhysSlot(i), rc.DeclIndex(i))
+		}
+	}
+}
+
+func TestReorderedLayoutKeepsDeclaredOrderObservable(t *testing.T) {
+	p := makeProgram(t)
+	layout := Layout{"Derived": {"e", "c", "d"}}
+	r, err := NewRegistry(p, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, _ := r.ClassByName("Derived")
+
+	// Physical slots: parent a=0 b=1, then e=2 c=3 d=4.
+	wantSlot := map[string]int{"a": 0, "b": 1, "e": 2, "c": 3, "d": 4}
+	for name, want := range wantSlot {
+		decl, ok := rc.PropByName(name)
+		if !ok {
+			t.Fatalf("prop %s missing", name)
+		}
+		if got := rc.PhysSlot(decl); got != want {
+			t.Errorf("slot(%s) = %d, want %d", name, got, want)
+		}
+	}
+
+	// Declared order must remain a,b,c,d,e regardless of layout.
+	props := rc.DeclaredProps()
+	wantDecl := []string{"a", "b", "c", "d", "e"}
+	for i, w := range wantDecl {
+		if props[i].Name != w {
+			t.Fatalf("declared[%d] = %s, want %s", i, props[i].Name, w)
+		}
+	}
+
+	// Object iteration (ToArray) is in declared order, and defaults
+	// land in the right slots.
+	o := r.Heap().NewObject(rc)
+	arr := o.ToArray()
+	ks := arr.Keys()
+	for i, w := range wantDecl {
+		if ks[i].AsStr() != w {
+			t.Fatalf("ToArray key[%d] = %v, want %s", i, ks[i], w)
+		}
+	}
+	if v, _, _ := o.GetProp("d"); v.AsInt() != 7 {
+		t.Fatalf("default for d = %v", v)
+	}
+}
+
+func TestGetSetPropThroughTranslation(t *testing.T) {
+	p := makeProgram(t)
+	r, err := NewRegistry(p, Layout{"Derived": {"e", "c", "d"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, _ := r.ClassByName("Derived")
+	o := r.Heap().NewObject(rc)
+
+	slot, ok := o.SetProp("c", value.Int(42))
+	if !ok || slot != 3 {
+		t.Fatalf("SetProp c -> slot %d, ok=%v", slot, ok)
+	}
+	v, slot2, ok := o.GetProp("c")
+	if !ok || slot2 != 3 || v.AsInt() != 42 {
+		t.Fatalf("GetProp c = %v slot %d", v, slot2)
+	}
+	if o.GetSlot(3).AsInt() != 42 {
+		t.Fatal("direct slot read disagrees")
+	}
+	o.SetSlot(3, value.Int(1))
+	if v, _, _ := o.GetProp("c"); v.AsInt() != 1 {
+		t.Fatal("direct slot write not visible by name")
+	}
+	if _, _, ok := o.GetProp("nope"); ok {
+		t.Fatal("unknown property resolved")
+	}
+	if _, ok := o.SetProp("nope", value.Null); ok {
+		t.Fatal("unknown property settable")
+	}
+}
+
+func TestLayoutValidation(t *testing.T) {
+	p := makeProgram(t)
+	if _, err := NewRegistry(p, Layout{"Derived": {"zz"}}); err == nil {
+		t.Fatal("unknown property in layout should fail")
+	}
+	if _, err := NewRegistry(p, Layout{"Derived": {"c", "c"}}); err == nil {
+		t.Fatal("repeated property in layout should fail")
+	}
+	// Partial layouts append the missing props in declared order.
+	r, err := NewRegistry(p, Layout{"Derived": {"e"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, _ := r.ClassByName("Derived")
+	decl, _ := rc.PropByName("e")
+	if rc.PhysSlot(decl) != 2 {
+		t.Fatalf("partial layout slot(e) = %d", rc.PhysSlot(decl))
+	}
+	decl, _ = rc.PropByName("c")
+	if rc.PhysSlot(decl) != 3 {
+		t.Fatalf("partial layout slot(c) = %d", rc.PhysSlot(decl))
+	}
+}
+
+func TestHeapAddresses(t *testing.T) {
+	p := makeProgram(t)
+	r, _ := NewRegistry(p, nil)
+	rc, _ := r.ClassByName("Base")
+	o1 := r.Heap().NewObject(rc)
+	o2 := r.Heap().NewObject(rc)
+	if o1.ObjectID() == o2.ObjectID() {
+		t.Fatal("object ids must differ")
+	}
+	if o2.Addr() <= o1.Addr() {
+		t.Fatal("bump allocator must move forward")
+	}
+	if o1.SlotAddr(1)-o1.SlotAddr(0) != slotSize {
+		t.Fatal("slot stride")
+	}
+	if o1.SlotAddr(0) != o1.Addr()+headerSize {
+		t.Fatal("slot base")
+	}
+	if r.Heap().Allocations() != 2 {
+		t.Fatalf("allocations = %d", r.Heap().Allocations())
+	}
+	if o1.ClassName() != "Base" {
+		t.Fatalf("class name = %s", o1.ClassName())
+	}
+	if o1.Class() != rc {
+		t.Fatal("Class() mismatch")
+	}
+}
+
+func TestHotnessLayout(t *testing.T) {
+	p := makeProgram(t)
+	counts := map[string]uint64{
+		"Derived::e": 100,
+		"Derived::c": 10,
+		"Derived::d": 50,
+		"Base::b":    5,
+		"Base::a":    1,
+	}
+	l := HotnessLayout(p, counts)
+	want := []string{"e", "d", "c"}
+	got := l["Derived"]
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("Derived order = %v, want %v", got, want)
+		}
+	}
+	if wantB := []string{"b", "a"}; l["Base"][0] != wantB[0] || l["Base"][1] != wantB[1] {
+		t.Fatalf("Base order = %v", l["Base"])
+	}
+	// Resulting layout must be accepted by the registry.
+	if _, err := NewRegistry(p, l); err != nil {
+		t.Fatalf("hotness layout rejected: %v", err)
+	}
+}
+
+func TestHotnessLayoutTiesAreDeterministic(t *testing.T) {
+	p := makeProgram(t)
+	l1 := HotnessLayout(p, map[string]uint64{})
+	l2 := HotnessLayout(p, map[string]uint64{})
+	for cls, order := range l1 {
+		for i := range order {
+			if l2[cls][i] != order[i] {
+				t.Fatal("tie-breaking must be deterministic")
+			}
+		}
+	}
+	// All-zero counts: lexicographic by name.
+	if l1["Derived"][0] != "c" {
+		t.Fatalf("zero-count order = %v", l1["Derived"])
+	}
+}
+
+// Property: for any permutation layout, name-based reads after writes
+// behave identically to the identity layout (layout transparency).
+func TestPropLayoutTransparency(t *testing.T) {
+	p := makeProgram(t)
+	perms := [][]string{
+		{"c", "d", "e"}, {"c", "e", "d"}, {"d", "c", "e"},
+		{"d", "e", "c"}, {"e", "c", "d"}, {"e", "d", "c"},
+	}
+	f := func(which uint8, av, bv, cv, dv, ev int64) bool {
+		layout := Layout{"Derived": perms[int(which)%len(perms)]}
+		r, err := NewRegistry(p, layout)
+		if err != nil {
+			return false
+		}
+		rc, _ := r.ClassByName("Derived")
+		o := r.Heap().NewObject(rc)
+		writes := map[string]int64{"a": av, "b": bv, "c": cv, "d": dv, "e": ev}
+		for n, v := range writes {
+			if _, ok := o.SetProp(n, value.Int(v)); !ok {
+				return false
+			}
+		}
+		for n, v := range writes {
+			got, _, ok := o.GetProp(n)
+			if !ok || got.AsInt() != v {
+				return false
+			}
+		}
+		// Declared-order iteration sees a,b,c,d,e with those values.
+		arr := o.ToArray()
+		wantOrder := []string{"a", "b", "c", "d", "e"}
+		for i, n := range wantOrder {
+			e := arr.At(i)
+			if e.StrKey != n || e.Val.AsInt() != writes[n] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

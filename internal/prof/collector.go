@@ -1,0 +1,230 @@
+package prof
+
+import (
+	"jumpstart/internal/bytecode"
+	"jumpstart/internal/interp"
+	"jumpstart/internal/object"
+	"jumpstart/internal/value"
+)
+
+// Collector accumulates tier-1 profile data. It implements
+// interp.Tracer and is installed while the server runs profiling
+// translations (the "JIT profile code / collect profile data" phases of
+// Figure 3). Snapshot converts the raw counters into a Profile.
+type Collector struct {
+	prog *bytecode.Program
+
+	entry  map[bytecode.FuncID]uint64
+	blocks map[bytecode.FuncID][]uint64
+	edges  map[bytecode.FuncID]map[EdgeKey]uint64
+	calls  map[bytecode.FuncID]map[int32]map[string]uint64
+	types  map[bytecode.FuncID]map[int32]map[uint16]uint64
+	props  map[string]uint64
+	pairs  map[PropPair]uint64
+
+	unitOrder []string
+	unitSeen  map[string]bool
+
+	// shadow stack tracking the last executed block per activation,
+	// for edge attribution.
+	stack []frameState
+
+	requests int64
+}
+
+type frameState struct {
+	fn        *bytecode.Function
+	lastBlock int32
+	// lastPropClass/lastPropKey remember the previous property access
+	// in this activation, for affinity (co-access) counting.
+	lastPropClass string
+	lastPropKey   string
+}
+
+var _ interp.Tracer = (*Collector)(nil)
+
+// NewCollector returns an empty collector for prog.
+func NewCollector(prog *bytecode.Program) *Collector {
+	return &Collector{
+		prog:     prog,
+		entry:    make(map[bytecode.FuncID]uint64),
+		blocks:   make(map[bytecode.FuncID][]uint64),
+		edges:    make(map[bytecode.FuncID]map[EdgeKey]uint64),
+		calls:    make(map[bytecode.FuncID]map[int32]map[string]uint64),
+		types:    make(map[bytecode.FuncID]map[int32]map[uint16]uint64),
+		props:    make(map[string]uint64),
+		pairs:    make(map[PropPair]uint64),
+		unitSeen: make(map[string]bool),
+	}
+}
+
+// BeginRequest marks the start of a profiled request (for coverage
+// accounting).
+func (c *Collector) BeginRequest() { c.requests++ }
+
+// OnEnter implements interp.Tracer.
+func (c *Collector) OnEnter(fn *bytecode.Function) {
+	c.entry[fn.ID]++
+	if fn.Unit != nil && !c.unitSeen[fn.Unit.Name] {
+		c.unitSeen[fn.Unit.Name] = true
+		c.unitOrder = append(c.unitOrder, fn.Unit.Name)
+	}
+	c.stack = append(c.stack, frameState{fn: fn, lastBlock: -1})
+}
+
+// OnReturn implements interp.Tracer.
+func (c *Collector) OnReturn(fn *bytecode.Function) {
+	if n := len(c.stack); n > 0 {
+		c.stack = c.stack[:n-1]
+	}
+}
+
+// OnBlock implements interp.Tracer.
+func (c *Collector) OnBlock(fn *bytecode.Function, block int) {
+	bc := c.blocks[fn.ID]
+	if bc == nil {
+		bc = make([]uint64, len(fn.Blocks()))
+		c.blocks[fn.ID] = bc
+	}
+	if block < len(bc) {
+		bc[block]++
+	}
+	if n := len(c.stack); n > 0 && c.stack[n-1].fn == fn {
+		top := &c.stack[n-1]
+		if top.lastBlock >= 0 {
+			em := c.edges[fn.ID]
+			if em == nil {
+				em = make(map[EdgeKey]uint64)
+				c.edges[fn.ID] = em
+			}
+			em[EdgeKey{Src: top.lastBlock, Dst: int32(block)}]++
+		}
+		top.lastBlock = int32(block)
+	}
+}
+
+// OnCallSite implements interp.Tracer.
+func (c *Collector) OnCallSite(fn *bytecode.Function, pc int, callee *bytecode.Function) {
+	sites := c.calls[fn.ID]
+	if sites == nil {
+		sites = make(map[int32]map[string]uint64)
+		c.calls[fn.ID] = sites
+	}
+	targets := sites[int32(pc)]
+	if targets == nil {
+		targets = make(map[string]uint64)
+		sites[int32(pc)] = targets
+	}
+	targets[callee.Name]++
+}
+
+// OnNewObj implements interp.Tracer.
+func (c *Collector) OnNewObj(obj *object.Object) {}
+
+// OnPropAccess implements interp.Tracer. Counts are keyed by the class
+// that *declares* the property (inherited accesses heat the declaring
+// layer), matching the hash table of "K::P" keys in Section V-C.
+func (c *Collector) OnPropAccess(obj *object.Object, slot int, write bool) {
+	rc := obj.Class()
+	decl := rc.DeclIndex(slot)
+	name := rc.DeclaredProps()[decl].Name
+	cls := c.declaringClass(rc.Meta, decl)
+	key := cls + "::" + name
+	c.props[key]++
+	// Affinity: consecutive accesses to two different properties of
+	// the same class within one activation.
+	if n := len(c.stack); n > 0 {
+		top := &c.stack[n-1]
+		if top.lastPropClass == cls && top.lastPropKey != key && top.lastPropKey != "" {
+			c.pairs[MakePropPair(top.lastPropKey, key)]++
+		}
+		top.lastPropClass = cls
+		top.lastPropKey = key
+	}
+}
+
+// declaringClass finds the class in cls's ancestry that declared the
+// declIdx-th flattened property (flat layout is root layer first).
+func (c *Collector) declaringClass(cls *bytecode.Class, declIdx int) string {
+	var chain []*bytecode.Class
+	for cur := cls; ; {
+		chain = append(chain, cur)
+		if cur.Parent == bytecode.NoClass {
+			break
+		}
+		cur = c.prog.Classes[cur.Parent]
+	}
+	// chain is leaf-first; walk root-first.
+	idx := declIdx
+	for i := len(chain) - 1; i >= 0; i-- {
+		k := chain[i]
+		if idx < len(k.Props) {
+			return k.Name
+		}
+		idx -= len(k.Props)
+	}
+	return cls.Name
+}
+
+// OnOpTypes implements interp.Tracer.
+func (c *Collector) OnOpTypes(fn *bytecode.Function, pc int, a, b value.Kind) {
+	sites := c.types[fn.ID]
+	if sites == nil {
+		sites = make(map[int32]map[uint16]uint64)
+		c.types[fn.ID] = sites
+	}
+	obs := sites[int32(pc)]
+	if obs == nil {
+		obs = make(map[uint16]uint64)
+		sites[int32(pc)] = obs
+	}
+	obs[uint16(a)<<8|uint16(b)]++
+}
+
+// Snapshot converts the collected counters into a Profile for meta.
+func (c *Collector) Snapshot(meta Meta) *Profile {
+	p := NewProfile()
+	meta.RequestCount = c.requests
+	p.Meta = meta
+	p.Units = append([]string{}, c.unitOrder...)
+	for id, cnt := range c.entry {
+		fn := c.prog.Funcs[id]
+		fp := &FuncProfile{
+			Checksum:    FuncChecksum(fn),
+			EntryCount:  cnt,
+			EdgeCounts:  map[EdgeKey]uint64{},
+			CallTargets: map[int32]map[string]uint64{},
+			TypeObs:     map[int32]map[uint16]uint64{},
+		}
+		if bc, ok := c.blocks[id]; ok {
+			fp.BlockCounts = append([]uint64{}, bc...)
+		} else {
+			fp.BlockCounts = make([]uint64, len(fn.Blocks()))
+		}
+		for k, n := range c.edges[id] {
+			fp.EdgeCounts[k] = n
+		}
+		for pc, targets := range c.calls[id] {
+			m := make(map[string]uint64, len(targets))
+			for name, n := range targets {
+				m[name] = n
+			}
+			fp.CallTargets[pc] = m
+		}
+		for pc, obs := range c.types[id] {
+			m := make(map[uint16]uint64, len(obs))
+			for k, n := range obs {
+				m[k] = n
+			}
+			fp.TypeObs[pc] = m
+		}
+		p.Funcs[fn.Name] = fp
+	}
+	for k, n := range c.props {
+		p.Props[k] = n
+	}
+	for k, n := range c.pairs {
+		p.PropPairs[k] = n
+	}
+	return p
+}

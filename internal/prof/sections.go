@@ -1,0 +1,57 @@
+package prof
+
+// SectionSizes reports the approximate encoded size (bytes) of each of
+// the package's Section IV-B categories. Operators use this to sanity-
+// check what dominates a package (the paper's coverage thresholds
+// include "the total size of profile data").
+type SectionSizes struct {
+	// PreloadList is category 1: repo global data to preload.
+	PreloadList int
+	// TierOneProfile is category 2: block/edge counters, call-target
+	// profiles and type feedback.
+	TierOneProfile int
+	// OptimizedProfile is category 3: Vasm counters, tier-2 call
+	// pairs, property counters and affinities.
+	OptimizedProfile int
+	// Intermediate is category 4: the precomputed function order.
+	Intermediate int
+	// Total is the full encoded size including framing.
+	Total int
+}
+
+// Sections computes the per-category size breakdown by re-encoding
+// stripped copies of the profile. It is a diagnostic, not a hot path.
+func (p *Profile) Sections() SectionSizes {
+	full := len(p.Encode())
+
+	strip := func(mutate func(q *Profile)) int {
+		q, err := Decode(p.Encode())
+		if err != nil {
+			return 0
+		}
+		mutate(q)
+		return full - len(q.Encode())
+	}
+
+	return SectionSizes{
+		PreloadList: strip(func(q *Profile) { q.Units = nil }),
+		TierOneProfile: strip(func(q *Profile) {
+			for _, fp := range q.Funcs {
+				fp.BlockCounts = nil
+				fp.EdgeCounts = map[EdgeKey]uint64{}
+				fp.CallTargets = map[int32]map[string]uint64{}
+				fp.TypeObs = map[int32]map[uint16]uint64{}
+			}
+		}),
+		OptimizedProfile: strip(func(q *Profile) {
+			for _, fp := range q.Funcs {
+				fp.VasmCounts = nil
+			}
+			q.Props = map[string]uint64{}
+			q.PropPairs = map[PropPair]uint64{}
+			q.CallPairs = map[CallPair]uint64{}
+		}),
+		Intermediate: strip(func(q *Profile) { q.FuncOrder = nil }),
+		Total:        full,
+	}
+}

@@ -1,0 +1,53 @@
+package server
+
+import "testing"
+
+func TestDiagSteadyVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	site, pkg := sharedSiteAndPackage(t)
+
+	measure := func(name string, mod func(*Config)) float64 {
+		cfg := testConfig(ModeConsumer)
+		cfg.Package = pkg
+		mod(&cfg)
+		s, err := New(site, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.WarmToServing(3000); err != nil {
+			t.Fatal(err)
+		}
+		st := s.MeasureSteady(800)
+		t.Logf("%-28s capacity=%.1f cyc/req=%.0f l1i=%.4f itlb=%.5f br=%.4f guard=%d",
+			name, st.CapacityRPS, st.AvgCyclesPerReq,
+			st.Mem.L1IMissRate(), st.Mem.ITLBMissRate(), st.Mem.BranchMissRate(), st.GuardFails)
+		return st.CapacityRPS
+	}
+	noJS := func() float64 {
+		s, err := New(site, testConfig(ModeNoJumpStart))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.WarmToServing(3000); err != nil {
+			t.Fatal(err)
+		}
+		st := s.MeasureSteady(800)
+		t.Logf("%-28s capacity=%.1f cyc/req=%.0f l1i=%.4f itlb=%.5f br=%.4f guard=%d",
+			"no-jumpstart", st.CapacityRPS, st.AvgCyclesPerReq,
+			st.Mem.L1IMissRate(), st.Mem.ITLBMissRate(), st.Mem.BranchMissRate(), st.GuardFails)
+		return st.CapacityRPS
+	}
+
+	noJS()
+	measure("consumer-plain", func(c *Config) {})
+	measure("consumer+vasm", func(c *Config) { c.JITOpts.UseVasmCounters = true })
+	measure("consumer+callgraph", func(c *Config) { c.JITOpts.UseSeededCallGraph = true })
+	measure("consumer+props", func(c *Config) { c.UsePropertyOrder = true })
+	measure("consumer+all", func(c *Config) {
+		c.JITOpts.UseVasmCounters = true
+		c.JITOpts.UseSeededCallGraph = true
+		c.UsePropertyOrder = true
+	})
+}

@@ -1,0 +1,678 @@
+// Package server simulates one HHVM web server in virtual time: the
+// interpreter and tiered JIT serving synthetic traffic, with explicit
+// warmup phases matching the paper's Figure 3 workflows —
+// no-Jump-Start (3a), seeder (3b) and consumer (3c).
+//
+// The simulation executes every request's real bytecode through the
+// interpreter while a jit.Runtime charges cycles for whatever
+// translation each function currently has; virtual time advances by
+// the cycles consumed against the server's core budget. RPS, latency
+// and JITed-code-size series therefore emerge from the same mechanisms
+// the paper describes rather than from curve fitting.
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"jumpstart/internal/bytecode"
+	"jumpstart/internal/interp"
+	"jumpstart/internal/jit"
+	"jumpstart/internal/microarch"
+	"jumpstart/internal/object"
+	"jumpstart/internal/prof"
+	"jumpstart/internal/workload"
+)
+
+// Mode selects the Figure 3 workflow.
+type Mode int
+
+// Server modes.
+const (
+	// ModeNoJumpStart is Figure 3a: profile, optimize and live-JIT
+	// during serving.
+	ModeNoJumpStart Mode = iota
+	// ModeSeeder is Figure 3b: like 3a but optimized code is
+	// instrumented; after a collection window the profile package is
+	// serialized and the server "exits".
+	ModeSeeder
+	// ModeConsumer is Figure 3c: deserialize a package, preload and
+	// compile everything before serving.
+	ModeConsumer
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeNoJumpStart:
+		return "no-jumpstart"
+	case ModeSeeder:
+		return "seeder"
+	case ModeConsumer:
+		return "consumer"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Phase is the server's lifecycle position.
+type Phase int
+
+// Phases, in order of progression.
+const (
+	// PhaseInit covers process start, package load (consumer), and
+	// warmup requests.
+	PhaseInit Phase = iota
+	// PhaseProfiling serves traffic while tier-1 profiles (3a/3b).
+	PhaseProfiling
+	// PhaseOptimizing is Figure 1's A→C: profiling stopped, tier-2
+	// compiling in the background, then relocation.
+	PhaseOptimizing
+	// PhaseServing is steady serving with live JIT for the tail.
+	PhaseServing
+	// PhaseCollecting is the seeder's instrumented-optimized window.
+	PhaseCollecting
+	// PhaseExited is the seeder after serializing its package.
+	PhaseExited
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseInit:
+		return "init"
+	case PhaseProfiling:
+		return "profiling"
+	case PhaseOptimizing:
+		return "optimizing"
+	case PhaseServing:
+		return "serving"
+	case PhaseCollecting:
+		return "collecting"
+	case PhaseExited:
+		return "exited"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// Config parameterizes a simulated server.
+type Config struct {
+	Mode   Mode
+	Region int
+	Bucket int
+	Seed   uint64
+
+	// Hardware model (paper: 1.8 GHz Xeon D-1581, 16 cores).
+	Cores   int
+	ClockHz float64
+
+	// Traffic.
+	OfferedRPS  float64
+	TickSeconds float64
+
+	// JIT configuration.
+	JITOpts  jit.Options
+	CacheCfg jit.CacheConfig
+	MemCfg   microarch.Config
+	// MicroSampleEvery feeds the micro-architecture model on every
+	// N-th request (1 = every request).
+	MicroSampleEvery int
+
+	// Tier transition thresholds.
+	ProfileTriggerCalls int // calls before a tier-1 translation
+	LiveTriggerCalls    int // calls before a live translation (post-C)
+	ProfileWindow       int // profiled requests before point A
+	// OptimizeMinEntries excludes functions with fewer profiled
+	// activations from tier-2 compilation (insufficient data); they
+	// stay on the live-JIT path, forming Figure 1's C→D tail.
+	OptimizeMinEntries int
+
+	// Compile-cost model (cycles per bytecode instruction).
+	Tier1CompileCPI float64
+	Tier2CompileCPI float64
+	LiveCompileCPI  float64
+	// CompileThreads caps background tier-2 compilation parallelism.
+	CompileThreads int
+	// RelocCyclesPerByte is the B→C relocation cost.
+	RelocCyclesPerByte float64
+
+	// Initialization model.
+	InitCycles        float64 // fixed process-start work
+	UnitPreloadCycles float64 // first-touch unit load cost
+	WarmupRequests    int     // VM warmup requests during init
+
+	// Seeder: instrumented-optimized requests before serialization.
+	SeederCollectWindow int
+
+	// Consumer inputs.
+	Package *prof.Profile
+	// UsePropertyOrder applies the package's property-access counters
+	// to object layout (Section V-C).
+	UsePropertyOrder bool
+	// UseAffinityOrder additionally uses the package's property-pair
+	// affinities (the Section V-C future-work extension); it implies
+	// and overrides UsePropertyOrder.
+	UseAffinityOrder bool
+
+	// MaxQueue bounds the arrival queue (requests beyond it are
+	// dropped — lost capacity).
+	MaxQueue int
+}
+
+// DefaultConfig returns a configuration whose virtual-time constants
+// compress the paper's 25-minute warmup onto the 600-second horizon of
+// Figure 4.
+//
+// Scaling note: the synthetic site's requests are ~100-1000× smaller
+// than facebook.com's, so the clock is scaled down in the same
+// proportion (one simulated cycle stands for a few thousand real
+// ones). All costs — instruction execution, compile time, cache-miss
+// penalties — share the same cycle unit, so every *relative* result
+// (speedups, capacity-loss fractions, miss-rate reductions) is
+// unaffected by the scale; only the absolute seconds are compressed.
+func DefaultConfig() Config {
+	return Config{
+		Mode:    ModeNoJumpStart,
+		Cores:   16,
+		ClockHz: 200_000, // scaled 1.8 GHz (see note above)
+
+		OfferedRPS:  200,
+		TickSeconds: 5,
+
+		JITOpts:          jit.DefaultOptions(),
+		CacheCfg:         jit.DefaultCacheConfig(),
+		MemCfg:           microarch.DefaultConfig(),
+		MicroSampleEvery: 4,
+
+		ProfileTriggerCalls: 2,
+		LiveTriggerCalls:    2,
+		ProfileWindow:       8_000,
+		OptimizeMinEntries:  40,
+
+		Tier1CompileCPI:    2_000,
+		Tier2CompileCPI:    4_000,
+		LiveCompileCPI:     1_500,
+		CompileThreads:     3,
+		RelocCyclesPerByte: 100,
+
+		InitCycles:        50e6,
+		UnitPreloadCycles: 150e3,
+		WarmupRequests:    12,
+
+		SeederCollectWindow: 6_000,
+		MaxQueue:            600,
+	}
+}
+
+// TickStats is one tick of the time series the figures plot.
+type TickStats struct {
+	T            float64 // seconds since process start (end of tick)
+	Offered      int
+	Completed    int
+	Dropped      int
+	AvgLatencyMS float64 // mean service latency of completed requests
+	CodeBytes    int     // Figure 1's y-axis
+	Phase        Phase
+	Faults       int
+}
+
+// Server is one simulated web server.
+type Server struct {
+	cfg     Config
+	site    *workload.Site
+	traffic *workload.Traffic
+
+	reg *object.Registry
+	ip  *interp.Interp
+	j   *jit.JIT
+	rt  *jit.Runtime
+	col *prof.Collector
+	mem *microarch.Hierarchy
+	st  *serverTracer
+
+	phase Phase
+	now   float64 // virtual seconds since process start
+
+	initRemaining float64 // cycles of init work left
+	queue         float64 // queued requests (fractional arrivals)
+
+	profiledReqs int
+	snapshot     *prof.Profile // tier-1 snapshot at point A
+	optTrans     map[string]*jit.Translation
+	optQueue     []*bytecode.Function
+	optBudget    float64 // compile cycles remaining for current job
+	relocBudget  float64
+	collectReqs  int
+	pkg          *prof.Profile
+
+	reqCount    int
+	faults      int
+	liveFull    bool
+	startupDone bool
+}
+
+// New builds a server for site with cfg.
+func New(site *workload.Site, cfg Config) (*Server, error) {
+	if cfg.Cores <= 0 || cfg.ClockHz <= 0 || cfg.TickSeconds <= 0 {
+		return nil, errors.New("server: invalid hardware config")
+	}
+	if cfg.Mode == ModeConsumer && cfg.Package == nil {
+		return nil, errors.New("server: consumer mode requires a package")
+	}
+	var layout object.Layout
+	if cfg.Mode == ModeConsumer && cfg.Package != nil {
+		switch {
+		case cfg.UseAffinityOrder:
+			pairs := make(map[[2]string]uint64, len(cfg.Package.PropPairs))
+			for k, n := range cfg.Package.PropPairs {
+				pairs[[2]string{k.A, k.B}] = n
+			}
+			layout = object.AffinityLayout(site.Prog, cfg.Package.Props, pairs)
+		case cfg.UsePropertyOrder:
+			layout = object.HotnessLayout(site.Prog, cfg.Package.Props)
+		}
+	}
+	reg, err := object.NewRegistry(site.Prog, layout)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		site:     site,
+		traffic:  site.NewTraffic(cfg.Region, cfg.Bucket, cfg.Seed),
+		reg:      reg,
+		mem:      microarch.New(cfg.MemCfg),
+		optTrans: map[string]*jit.Translation{},
+	}
+	if s.cfg.MicroSampleEvery <= 0 {
+		s.cfg.MicroSampleEvery = 1
+	}
+	s.j = jit.New(site.Prog, cfg.JITOpts, jit.NewCodeCache(cfg.CacheCfg))
+	s.rt = jit.NewRuntime(s.j, s.mem)
+	s.ip = interp.New(site.Prog, reg, interp.Config{})
+	s.st = &serverTracer{s: s}
+	s.phase = PhaseInit
+	s.initRemaining = cfg.InitCycles
+	s.applyTracer()
+	return s, nil
+}
+
+// applyTracer installs the tracer stack for the current phase: the
+// server tracer and cost-charging runtime always, plus the tier-1
+// collector while profiling.
+func (s *Server) applyTracer() {
+	if s.col != nil {
+		s.ip.SetTracer(interp.MultiTracer{s.st, s.col, s.rt})
+	} else {
+		s.ip.SetTracer(interp.MultiTracer{s.st, s.rt})
+	}
+}
+
+// Phase returns the server's current phase.
+func (s *Server) Phase() Phase { return s.phase }
+
+// Now returns the virtual time in seconds since process start.
+func (s *Server) Now() float64 { return s.now }
+
+// Ready reports whether the server is accepting requests.
+func (s *Server) Ready() bool {
+	return s.phase != PhaseInit && s.phase != PhaseExited
+}
+
+// CodeBytes returns the total JITed code bytes (Figure 1).
+func (s *Server) CodeBytes() int { return s.j.Cache().TotalUsed() }
+
+// Faults returns the number of faulted requests so far.
+func (s *Server) Faults() int { return s.faults }
+
+// SeederPackage returns the serialized-ready profile package once the
+// seeder has finished collecting.
+func (s *Server) SeederPackage() (*prof.Profile, bool) {
+	return s.pkg, s.pkg != nil
+}
+
+// Mem returns the micro-architecture hierarchy (for measurements).
+func (s *Server) Mem() *microarch.Hierarchy { return s.mem }
+
+// JIT returns the server's JIT (inspection/tests).
+func (s *Server) JIT() *jit.JIT { return s.j }
+
+// budgetCycles is the total cycle budget of one tick.
+func (s *Server) budgetCycles() float64 {
+	return float64(s.cfg.Cores) * s.cfg.ClockHz * s.cfg.TickSeconds
+}
+
+// Tick advances one tick of virtual time.
+func (s *Server) Tick() TickStats {
+	dt := s.cfg.TickSeconds
+	budget := s.budgetCycles()
+	ts := TickStats{Phase: s.phase}
+
+	// Arrivals accumulate regardless of readiness.
+	arrivals := s.cfg.OfferedRPS * dt
+	ts.Offered = int(arrivals)
+	s.queue += arrivals
+	// The queue bound must exceed one tick's arrivals, or it would cap
+	// throughput below the offered rate even with spare capacity.
+	maxQ := float64(s.cfg.MaxQueue)
+	if m := 2 * arrivals; maxQ < m {
+		maxQ = m
+	}
+	if s.queue > maxQ {
+		ts.Dropped = int(s.queue - maxQ)
+		s.queue = maxQ
+	}
+
+	// Initialization consumes the budget before any serving.
+	if s.phase == PhaseInit {
+		spent := s.runInit(budget)
+		budget -= spent
+		if s.phase == PhaseInit || budget <= 0 {
+			s.now += dt
+			ts.T = s.now
+			ts.CodeBytes = s.CodeBytes()
+			ts.Phase = s.phase
+			return ts
+		}
+	}
+
+	if s.phase == PhaseExited {
+		s.now += dt
+		ts.T = s.now
+		ts.CodeBytes = s.CodeBytes()
+		return ts
+	}
+
+	// Reserve the background-compilation share up front: HHVM's JIT
+	// worker threads run concurrently with the request threads, so
+	// tier-2 compilation makes progress even when the server is
+	// saturated (otherwise a saturated server would never reach
+	// point C).
+	var compileBudget float64
+	if s.phase == PhaseOptimizing {
+		compileBudget = budget * float64(min(s.cfg.CompileThreads, s.cfg.Cores)) /
+			float64(s.cfg.Cores)
+		budget -= compileBudget
+	}
+
+	// Serve queued requests until the budget runs out.
+	var latSum float64
+	for s.queue >= 1 && budget > 0 {
+		cycles, err := s.serveOne()
+		if err != nil {
+			s.faults++
+			ts.Faults++
+		}
+		budget -= float64(cycles)
+		s.queue--
+		ts.Completed++
+		latSum += float64(cycles) / s.cfg.ClockHz
+	}
+	if ts.Completed > 0 {
+		ts.AvgLatencyMS = latSum / float64(ts.Completed) * 1000
+	}
+
+	// Background tier-2 compilation (A→C): the reserved share plus any
+	// serving budget left over.
+	if s.phase == PhaseOptimizing {
+		if budget > 0 {
+			compileBudget += budget
+		}
+		s.advanceOptimization(compileBudget)
+	}
+
+	s.now += dt
+	ts.T = s.now
+	ts.CodeBytes = s.CodeBytes()
+	ts.Phase = s.phase
+	return ts
+}
+
+// Run advances the server for the given virtual duration.
+func (s *Server) Run(seconds float64) []TickStats {
+	n := int(seconds / s.cfg.TickSeconds)
+	out := make([]TickStats, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, s.Tick())
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// runInit performs initialization work against a cycle budget,
+// transitioning to the first serving phase when everything is paid
+// for. It returns the cycles consumed.
+//
+// Init has two stages: the fixed process-start work (InitCycles), then
+// the mode-specific startup (package load + precompilation + warmup
+// requests for consumers; sequential warmup requests otherwise). The
+// second stage's work is *performed* once — mutating JIT and unit
+// state — and its cycle cost is then drained against tick budgets.
+func (s *Server) runInit(budget float64) float64 {
+	spent := 0.0
+	for spent < budget {
+		if s.initRemaining > 0 {
+			use := s.initRemaining
+			if use > budget-spent {
+				use = budget - spent
+			}
+			s.initRemaining -= use
+			spent += use
+			continue
+		}
+		if !s.startupDone {
+			s.startupDone = true
+			s.initRemaining = s.startupCost()
+			continue
+		}
+		// Fully initialized: transition to serving.
+		if s.cfg.Mode == ModeConsumer {
+			s.phase = PhaseServing
+		} else {
+			s.phase = PhaseProfiling
+			s.col = prof.NewCollector(s.site.Prog)
+		}
+		s.applyTracer()
+		break
+	}
+	return spent
+}
+
+// startupCost performs the one-time mode-specific startup work and
+// returns its cycle cost. Called exactly once.
+func (s *Server) startupCost() float64 {
+	cores := float64(s.cfg.Cores)
+
+	switch s.cfg.Mode {
+	case ModeConsumer:
+		p := s.cfg.Package
+		total := 0.0
+		// Preload the units named by the package, in parallel
+		// (Figure 3c / Section VII-A's parallel warmup).
+		total += float64(len(p.Units)) * s.cfg.UnitPreloadCycles / cores
+		for _, u := range p.Units {
+			s.st.unitLoaded(u)
+		}
+		// Compile every sufficiently-profiled function in optimized
+		// mode on all cores (the "JIT optimized code" box of
+		// Figure 3c).
+		compileCycles := 0.0
+		for _, name := range p.HotFunctionsMin(uint64(s.cfg.OptimizeMinEntries)) {
+			fn, ok := s.site.Prog.FuncByName(name)
+			if !ok {
+				continue
+			}
+			tr, err := s.j.CompileOptimized(fn, p)
+			if err != nil {
+				continue // stale entries are skipped, not fatal
+			}
+			s.optTrans[name] = tr
+			compileCycles += float64(len(fn.Code)) * s.cfg.Tier2CompileCPI
+		}
+		total += compileCycles / cores
+		// Relocate following the package's precomputed function order
+		// (category 4, built from the seeded call graph) when the V-B
+		// optimization is on; otherwise recompute locally from the
+		// tier-1 call-target profiles.
+		order := p.FuncOrder
+		if !s.cfg.JITOpts.UseSeededCallGraph || len(order) == 0 {
+			order = s.j.FunctionOrderWith(p,
+				p.HotFunctionsMin(uint64(s.cfg.OptimizeMinEntries)), false)
+		}
+		relocBytes := 0
+		for _, tr := range s.optTrans {
+			relocBytes += tr.HotSize + tr.ColdSize
+		}
+		if err := s.j.RelocateOptimized(s.optTrans, order); err == nil {
+			total += float64(relocBytes) * s.cfg.RelocCyclesPerByte / cores
+		}
+		// Warmup requests run in parallel (Section VII-A).
+		warmupCycles := s.runWarmupRequests()
+		total += warmupCycles / cores
+		return total
+
+	default:
+		// No Jump-Start (and seeder): warmup requests run
+		// *sequentially* because the metadata load order matters
+		// (Section VII-A).
+		return s.runWarmupRequests()
+	}
+}
+
+// runWarmupRequests executes the configured warmup requests and
+// returns their total cycle cost (the caller decides whether they were
+// sequential or parallel).
+func (s *Server) runWarmupRequests() float64 {
+	total := 0.0
+	for i := 0; i < s.cfg.WarmupRequests; i++ {
+		req := s.traffic.Next()
+		s.rt.BeginRequest(false)
+		ep := s.site.Endpoints[req.Endpoint]
+		if _, err := s.ip.Call(ep.Fn, req.Arg); err != nil {
+			s.faults++
+		}
+		total += float64(s.rt.TakeCycles())
+	}
+	return total
+}
+
+// serveOne executes the next request and returns its cycle cost.
+func (s *Server) serveOne() (uint64, error) {
+	req := s.traffic.Next()
+	s.reqCount++
+	micro := s.reqCount%s.cfg.MicroSampleEvery == 0
+	s.rt.BeginRequest(micro)
+	if s.col != nil {
+		s.col.BeginRequest()
+	}
+	ep := s.site.Endpoints[req.Endpoint]
+	_, err := s.ip.Call(ep.Fn, req.Arg)
+	cycles := s.rt.TakeCycles()
+
+	switch s.phase {
+	case PhaseProfiling:
+		s.profiledReqs++
+		if s.profiledReqs >= s.cfg.ProfileWindow {
+			s.reachPointA()
+		}
+	case PhaseCollecting:
+		s.collectReqs++
+		if s.collectReqs >= s.cfg.SeederCollectWindow {
+			s.sealSeederPackage()
+		}
+	}
+	return cycles, err
+}
+
+// reachPointA stops profiling (Figure 1's point A) and queues tier-2
+// compilation of every profiled function.
+func (s *Server) reachPointA() {
+	s.snapshot = s.col.Snapshot(prof.Meta{
+		Region:   int32(s.cfg.Region),
+		Bucket:   int32(s.cfg.Bucket),
+		SeederID: int32(s.cfg.Seed),
+	})
+	s.col = nil
+	s.applyTracer()
+	for _, name := range s.snapshot.HotFunctionsMin(uint64(s.cfg.OptimizeMinEntries)) {
+		if fn, ok := s.site.Prog.FuncByName(name); ok {
+			s.optQueue = append(s.optQueue, fn)
+		}
+	}
+	s.phase = PhaseOptimizing
+}
+
+// advanceOptimization spends background cycles compiling queued tier-2
+// jobs, then relocating (B→C). When done, optimized code activates and
+// the phase advances.
+func (s *Server) advanceOptimization(budget float64) {
+	for budget > 0 && len(s.optQueue) > 0 {
+		fn := s.optQueue[0]
+		if s.optBudget == 0 {
+			s.optBudget = float64(len(fn.Code)) * s.cfg.Tier2CompileCPI
+		}
+		if s.optBudget > budget {
+			s.optBudget -= budget
+			return
+		}
+		budget -= s.optBudget
+		s.optBudget = 0
+		s.optQueue = s.optQueue[1:]
+		if tr, err := s.j.CompileOptimized(fn, s.snapshot); err == nil {
+			s.optTrans[fn.Name] = tr
+			if s.relocBudget == 0 {
+				s.relocBudget = -1 // sentinel: compute after all compiles
+			}
+		}
+	}
+	if len(s.optQueue) > 0 {
+		return
+	}
+	// All compiled: relocation phase (B→C).
+	if s.relocBudget < 0 {
+		bytes := 0
+		for _, tr := range s.optTrans {
+			bytes += tr.HotSize + tr.ColdSize
+		}
+		s.relocBudget = float64(bytes) * s.cfg.RelocCyclesPerByte
+	}
+	if s.relocBudget > budget {
+		s.relocBudget -= budget
+		return
+	}
+	// Point C: relocate and activate.
+	order := s.j.FunctionOrder(s.snapshot,
+		s.snapshot.HotFunctionsMin(uint64(s.cfg.OptimizeMinEntries)))
+	if err := s.j.RelocateOptimized(s.optTrans, order); err != nil {
+		s.liveFull = true
+	}
+	if s.cfg.Mode == ModeSeeder {
+		s.phase = PhaseCollecting
+	} else {
+		s.phase = PhaseServing
+	}
+}
+
+// sealSeederPackage harvests the tier-2 instrumentation, computes the
+// function order, and freezes the package (Figure 3b's tail).
+func (s *Server) sealSeederPackage() {
+	p := s.snapshot
+	p.Meta.RequestCount = int64(s.profiledReqs)
+	s.rt.HarvestInto(p)
+	// The package's precomputed order (profile category 4) is built
+	// from the *accurate* tier-2 call graph — that is Section V-B's
+	// contribution. Consumers with the optimization disabled recompute
+	// a tier-1-graph order locally instead.
+	p.FuncOrder = s.j.FunctionOrderWith(p,
+		p.HotFunctionsMin(uint64(s.cfg.OptimizeMinEntries)), true)
+	s.pkg = p
+	s.phase = PhaseExited
+	s.ip.SetTracer(nil)
+}

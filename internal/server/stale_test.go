@@ -1,0 +1,78 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"jumpstart/internal/bytecode"
+	"jumpstart/internal/hackc"
+	"jumpstart/internal/workload"
+)
+
+func compileSources(srcs map[string]string, names []string) (*bytecode.Program, error) {
+	return hackc.CompileSources(srcs, names, hackc.Options{Optimize: true})
+}
+
+// TestStalePackageAfterCodePush models the continuous-deployment race:
+// a consumer boots a *new* website revision with a package collected on
+// the previous one. Functions whose bytecode changed have mismatched
+// checksums and must be skipped (falling back to the live-JIT path),
+// while everything unchanged still Jump-Starts. The server must come
+// up healthy either way.
+func TestStalePackageAfterCodePush(t *testing.T) {
+	site, pkg := sharedSiteAndPackage(t)
+
+	// "Push" a new revision: recompile with one unit's source edited
+	// (a constant tweak changes the bytecode of its functions).
+	newSources := map[string]string{}
+	for name, src := range site.Sources {
+		newSources[name] = src
+	}
+	edited := site.UnitNames[0]
+	newSources[edited] = strings.Replace(newSources[edited], "t += ", "t += 1 + ", 1)
+	if newSources[edited] == site.Sources[edited] {
+		t.Fatal("edit did not apply")
+	}
+	newSite := *site
+	newSite.Sources = newSources
+	rebuilt, err := workload.GenerateSite(site.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GenerateSite is deterministic, so rebuilt == site; compile the
+	// edited sources directly instead.
+	prog2, err := compileSources(newSources, site.UnitNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSite.Prog = prog2
+	newSite.Endpoints = nil
+	for _, ep := range site.Endpoints {
+		fn, ok := prog2.FuncByName(ep.Name)
+		if !ok {
+			t.Fatalf("endpoint %s lost in rebuild", ep.Name)
+		}
+		newSite.Endpoints = append(newSite.Endpoints, workload.Endpoint{
+			Name: ep.Name, Fn: fn, Partition: ep.Partition,
+		})
+	}
+	_ = rebuilt
+
+	cfg := testConfig(ModeConsumer)
+	cfg.Package = pkg
+	cfg.UsePropertyOrder = true
+	s, err := New(&newSite, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WarmToServing(7200); err != nil {
+		t.Fatal(err)
+	}
+	st := s.MeasureSteady(400)
+	if st.Faults > 0 {
+		t.Fatalf("stale package caused %d faults", st.Faults)
+	}
+	if st.CapacityRPS <= 0 {
+		t.Fatal("server not serving")
+	}
+}

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"jumpstart/internal/bytecode"
+	"jumpstart/internal/interp"
+	"jumpstart/internal/object"
+	"jumpstart/internal/value"
+)
+
+// serverTracer is the server's own execution observer: it charges
+// unit first-touch (metadata load) costs and drives tier transitions
+// (interpret → profile translation → live translation) based on call
+// counts, mirroring HHVM's request-driven JIT triggering.
+type serverTracer struct {
+	s      *Server
+	loaded map[string]bool
+	calls  []uint32
+}
+
+var _ interp.Tracer = (*serverTracer)(nil)
+
+// unitLoaded marks a unit preloaded without charging (consumer
+// startup preloads in bulk; the bulk cost is charged by startupCost).
+func (t *serverTracer) unitLoaded(name string) {
+	if t.loaded == nil {
+		t.loaded = make(map[string]bool)
+	}
+	t.loaded[name] = true
+}
+
+// OnEnter implements interp.Tracer.
+func (t *serverTracer) OnEnter(fn *bytecode.Function) {
+	s := t.s
+	if t.loaded == nil {
+		t.loaded = make(map[string]bool)
+	}
+	if t.calls == nil {
+		t.calls = make([]uint32, len(s.site.Prog.Funcs))
+	}
+	// First touch of a unit loads its metadata on demand — the cost
+	// that makes early no-Jump-Start requests so slow (Section VII-A).
+	if fn.Unit != nil && !t.loaded[fn.Unit.Name] {
+		t.loaded[fn.Unit.Name] = true
+		s.rt.AddCycles(uint64(s.cfg.UnitPreloadCycles))
+	}
+	t.calls[fn.ID]++
+
+	switch s.phase {
+	case PhaseProfiling:
+		if s.j.Active(fn.ID) == nil && t.calls[fn.ID] >= uint32(s.cfg.ProfileTriggerCalls) {
+			if _, err := s.j.CompileProfiling(fn); err == nil {
+				s.rt.AddCycles(uint64(float64(len(fn.Code)) * s.cfg.Tier1CompileCPI))
+			}
+		}
+	case PhaseOptimizing, PhaseServing, PhaseCollecting:
+		// The long tail: functions first reached after profiling
+		// stopped get live translations until the cache fills
+		// (Figure 1's C→D).
+		if !s.liveFull && s.j.Active(fn.ID) == nil &&
+			t.calls[fn.ID] >= uint32(s.cfg.LiveTriggerCalls) {
+			if _, err := s.j.CompileLive(fn); err != nil {
+				s.liveFull = true // point D: JITing ceases
+			} else {
+				s.rt.AddCycles(uint64(float64(len(fn.Code)) * s.cfg.LiveCompileCPI))
+			}
+		}
+	}
+}
+
+// OnBlock implements interp.Tracer.
+func (t *serverTracer) OnBlock(fn *bytecode.Function, block int) {}
+
+// OnCallSite implements interp.Tracer.
+func (t *serverTracer) OnCallSite(fn *bytecode.Function, pc int, callee *bytecode.Function) {
+}
+
+// OnReturn implements interp.Tracer.
+func (t *serverTracer) OnReturn(fn *bytecode.Function) {}
+
+// OnNewObj implements interp.Tracer.
+func (t *serverTracer) OnNewObj(obj *object.Object) {}
+
+// OnPropAccess implements interp.Tracer.
+func (t *serverTracer) OnPropAccess(obj *object.Object, slot int, write bool) {}
+
+// OnOpTypes implements interp.Tracer.
+func (t *serverTracer) OnOpTypes(fn *bytecode.Function, pc int, a, b value.Kind) {}

@@ -1,0 +1,274 @@
+package value
+
+import (
+	"sort"
+	"strings"
+)
+
+// Array is a PHP-style ordered map. Keys are either int64 or string;
+// insertion order is preserved. Appending uses the next-free integer
+// key, like PHP's $a[] = v.
+//
+// Arrays are reference types: a Value holds a *Array and assignments
+// share the backing store. (Real PHP has copy-on-write value semantics;
+// MiniHack deliberately uses reference semantics, which is what Hack's
+// vec/dict migration pushed toward and what keeps the interpreter and
+// the simulated JIT agreeing on aliasing.)
+type Array struct {
+	entries []Entry
+	index   map[arrayKey]int // key -> position in entries
+	nextInt int64            // next auto-increment integer key
+	id      uint64           // data-address simulation id
+}
+
+// Entry is one key/value pair of an Array.
+type Entry struct {
+	IntKey int64
+	StrKey string
+	IsStr  bool
+	Val    Value
+}
+
+type arrayKey struct {
+	i int64
+	s string
+	b bool
+}
+
+var arrayIDCounter uint64
+
+// NewArray returns an empty array with capacity for n entries.
+func NewArray(n int) *Array {
+	arrayIDCounter++
+	return &Array{
+		entries: make([]Entry, 0, n),
+		index:   make(map[arrayKey]int, n),
+		id:      arrayIDCounter,
+	}
+}
+
+// ArrayID returns the array's process-unique allocation id.
+func (a *Array) ArrayID() uint64 { return a.id }
+
+// Len returns the number of entries.
+func (a *Array) Len() int { return len(a.entries) }
+
+// Append adds v under the next auto-increment integer key.
+func (a *Array) Append(v Value) {
+	a.SetInt(a.nextInt, v)
+}
+
+// SetInt sets the entry with integer key k.
+func (a *Array) SetInt(k int64, v Value) {
+	key := arrayKey{i: k}
+	if pos, ok := a.index[key]; ok {
+		a.entries[pos].Val = v
+		return
+	}
+	a.index[key] = len(a.entries)
+	a.entries = append(a.entries, Entry{IntKey: k, Val: v})
+	if k >= a.nextInt {
+		a.nextInt = k + 1
+	}
+}
+
+// SetStr sets the entry with string key k. Numeric string keys are
+// canonicalized to integer keys, as PHP does.
+func (a *Array) SetStr(k string, v Value) {
+	if ik, ok := canonicalIntKey(k); ok {
+		a.SetInt(ik, v)
+		return
+	}
+	key := arrayKey{s: k, b: true}
+	if pos, ok := a.index[key]; ok {
+		a.entries[pos].Val = v
+		return
+	}
+	a.index[key] = len(a.entries)
+	a.entries = append(a.entries, Entry{StrKey: k, IsStr: true, Val: v})
+}
+
+// Set sets the entry keyed by an arbitrary Value, coercing the key the
+// way PHP array subscripting does (float→int, bool→int, null→"").
+func (a *Array) Set(k, v Value) {
+	switch k.Kind() {
+	case KindStr:
+		a.SetStr(k.AsStr(), v)
+	default:
+		a.SetInt(k.ToInt(), v)
+	}
+}
+
+// GetInt fetches the entry with integer key k.
+func (a *Array) GetInt(k int64) (Value, bool) {
+	pos, ok := a.index[arrayKey{i: k}]
+	if !ok {
+		return Null, false
+	}
+	return a.entries[pos].Val, true
+}
+
+// GetStr fetches the entry with string key k.
+func (a *Array) GetStr(k string) (Value, bool) {
+	if ik, ok := canonicalIntKey(k); ok {
+		return a.GetInt(ik)
+	}
+	pos, ok := a.index[arrayKey{s: k, b: true}]
+	if !ok {
+		return Null, false
+	}
+	return a.entries[pos].Val, true
+}
+
+// Get fetches the entry keyed by an arbitrary Value.
+func (a *Array) Get(k Value) (Value, bool) {
+	switch k.Kind() {
+	case KindStr:
+		return a.GetStr(k.AsStr())
+	default:
+		return a.GetInt(k.ToInt())
+	}
+}
+
+// Delete removes the entry keyed by k, preserving the order of the
+// remaining entries. It reports whether an entry was removed.
+func (a *Array) Delete(k Value) bool {
+	var key arrayKey
+	switch k.Kind() {
+	case KindStr:
+		if ik, ok := canonicalIntKey(k.AsStr()); ok {
+			key = arrayKey{i: ik}
+		} else {
+			key = arrayKey{s: k.AsStr(), b: true}
+		}
+	default:
+		key = arrayKey{i: k.ToInt()}
+	}
+	pos, ok := a.index[key]
+	if !ok {
+		return false
+	}
+	delete(a.index, key)
+	a.entries = append(a.entries[:pos], a.entries[pos+1:]...)
+	for i := pos; i < len(a.entries); i++ {
+		e := &a.entries[i]
+		if e.IsStr {
+			a.index[arrayKey{s: e.StrKey, b: true}] = i
+		} else {
+			a.index[arrayKey{i: e.IntKey}] = i
+		}
+	}
+	return true
+}
+
+// At returns the i-th entry in insertion order.
+func (a *Array) At(i int) Entry { return a.entries[i] }
+
+// Keys returns the keys in insertion order as Values.
+func (a *Array) Keys() []Value {
+	ks := make([]Value, len(a.entries))
+	for i, e := range a.entries {
+		if e.IsStr {
+			ks[i] = Str(e.StrKey)
+		} else {
+			ks[i] = Int(e.IntKey)
+		}
+	}
+	return ks
+}
+
+// Values returns the values in insertion order.
+func (a *Array) Values() []Value {
+	vs := make([]Value, len(a.entries))
+	for i, e := range a.entries {
+		vs[i] = e.Val
+	}
+	return vs
+}
+
+// Clone returns a shallow copy of the array.
+func (a *Array) Clone() *Array {
+	c := NewArray(len(a.entries))
+	c.entries = append(c.entries, a.entries...)
+	for k, v := range a.index {
+		c.index[k] = v
+	}
+	c.nextInt = a.nextInt
+	return c
+}
+
+// SortByValue sorts entries by their values using the Compare ordering,
+// reassigning positions (PHP sort()). Keys are discarded and the array
+// is re-indexed 0..n-1.
+func (a *Array) SortByValue() {
+	sort.SliceStable(a.entries, func(i, j int) bool {
+		return Compare(a.entries[i].Val, a.entries[j].Val) < 0
+	})
+	a.reindex()
+}
+
+func (a *Array) reindex() {
+	a.index = make(map[arrayKey]int, len(a.entries))
+	a.nextInt = 0
+	for i := range a.entries {
+		a.entries[i].IsStr = false
+		a.entries[i].StrKey = ""
+		a.entries[i].IntKey = a.nextInt
+		a.index[arrayKey{i: a.nextInt}] = i
+		a.nextInt++
+	}
+}
+
+// String renders the array for debugging: [k => v, ...].
+func (a *Array) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, e := range a.entries {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if e.IsStr {
+			b.WriteString(`"` + e.StrKey + `"`)
+		} else {
+			b.WriteString(Int(e.IntKey).String())
+		}
+		b.WriteString(" => ")
+		b.WriteString(e.Val.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// canonicalIntKey reports whether s is a canonical integer key ("0",
+// "-7", "42" but not "007" or "1.5") and returns its value.
+func canonicalIntKey(s string) (int64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	i := 0
+	neg := false
+	if s[0] == '-' {
+		neg = true
+		i = 1
+		if i == len(s) {
+			return 0, false
+		}
+	}
+	if s[i] == '0' && len(s) > i+1 {
+		return 0, false // leading zero: not canonical
+	}
+	var n int64
+	for ; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(s[i]-'0')
+		if n < 0 {
+			return 0, false // overflow
+		}
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}

@@ -1,0 +1,309 @@
+package value
+
+import (
+	"fmt"
+	"math"
+)
+
+// ArithError describes a dynamic-type error raised by an arithmetic or
+// comparison bytecode. The interpreter converts it into a MiniHack
+// runtime fault; the JIT's specialized code never sees it because
+// guards divert non-conforming operands back to the generic path.
+type ArithError struct {
+	Op          string
+	Left, Right Kind
+}
+
+func (e *ArithError) Error() string {
+	return fmt.Sprintf("value: unsupported operand types for %s: %s %s %s",
+		e.Op, e.Left, e.Op, e.Right)
+}
+
+// numericPair classifies a binary arithmetic operation: when both
+// operands coerce to integers without loss (int, bool, null, integral
+// numeric strings) it uses int64 math with overflow promotion to
+// float, like PHP; otherwise float math.
+func numericPair(a, b Value) (ai, bi int64, af, bf float64, bothInt bool) {
+	ai, aok := intRepr(a)
+	bi, bok := intRepr(b)
+	if aok && bok {
+		return ai, bi, 0, 0, true
+	}
+	return 0, 0, a.ToFloat(), b.ToFloat(), false
+}
+
+// intRepr returns v's exact integer representation if it has one.
+func intRepr(v Value) (int64, bool) {
+	switch v.kind {
+	case KindNull:
+		return 0, true
+	case KindBool:
+		if v.AsBool() {
+			return 1, true
+		}
+		return 0, true
+	case KindInt:
+		return v.AsInt(), true
+	case KindStr:
+		return parseIntPrefix(v.str)
+	default:
+		return 0, false
+	}
+}
+
+func arithOK(v Value) bool {
+	switch v.kind {
+	case KindNull, KindBool, KindInt, KindFloat:
+		return true
+	case KindStr:
+		return IsNumericStr(v.str)
+	default:
+		return false
+	}
+}
+
+// Add implements the Add bytecode: numeric addition with int overflow
+// promotion to float.
+func Add(a, b Value) (Value, error) {
+	if !arithOK(a) || !arithOK(b) {
+		return Null, &ArithError{Op: "+", Left: a.kind, Right: b.kind}
+	}
+	ai, bi, af, bf, ints := numericPair(a, b)
+	if ints {
+		s := ai + bi
+		if (s > ai) == (bi > 0) || bi == 0 {
+			return Int(s), nil
+		}
+		return Float(float64(ai) + float64(bi)), nil
+	}
+	return Float(af + bf), nil
+}
+
+// Sub implements the Sub bytecode.
+func Sub(a, b Value) (Value, error) {
+	if !arithOK(a) || !arithOK(b) {
+		return Null, &ArithError{Op: "-", Left: a.kind, Right: b.kind}
+	}
+	ai, bi, af, bf, ints := numericPair(a, b)
+	if ints {
+		d := ai - bi
+		if (d < ai) == (bi > 0) || bi == 0 {
+			return Int(d), nil
+		}
+		return Float(float64(ai) - float64(bi)), nil
+	}
+	return Float(af - bf), nil
+}
+
+// Mul implements the Mul bytecode.
+func Mul(a, b Value) (Value, error) {
+	if !arithOK(a) || !arithOK(b) {
+		return Null, &ArithError{Op: "*", Left: a.kind, Right: b.kind}
+	}
+	ai, bi, af, bf, ints := numericPair(a, b)
+	if ints {
+		if ai == 0 || bi == 0 {
+			return Int(0), nil
+		}
+		p := ai * bi
+		if p/bi == ai && !(ai == -1 && bi == math.MinInt64) && !(bi == -1 && ai == math.MinInt64) {
+			return Int(p), nil
+		}
+		return Float(float64(ai) * float64(bi)), nil
+	}
+	return Float(af * bf), nil
+}
+
+// Div implements the Div bytecode. Integer division with an exact
+// quotient yields an int; otherwise a float. Division by zero is an
+// error (PHP 8 semantics).
+func Div(a, b Value) (Value, error) {
+	if !arithOK(a) || !arithOK(b) {
+		return Null, &ArithError{Op: "/", Left: a.kind, Right: b.kind}
+	}
+	ai, bi, af, bf, ints := numericPair(a, b)
+	if ints {
+		if bi == 0 {
+			return Null, fmt.Errorf("value: division by zero")
+		}
+		if ai%bi == 0 && !(ai == math.MinInt64 && bi == -1) {
+			return Int(ai / bi), nil
+		}
+		return Float(float64(ai) / float64(bi)), nil
+	}
+	if bf == 0 {
+		return Null, fmt.Errorf("value: division by zero")
+	}
+	return Float(af / bf), nil
+}
+
+// Mod implements the Mod bytecode (integer modulus).
+func Mod(a, b Value) (Value, error) {
+	if !arithOK(a) || !arithOK(b) {
+		return Null, &ArithError{Op: "%", Left: a.kind, Right: b.kind}
+	}
+	bi := b.ToInt()
+	if bi == 0 {
+		return Null, fmt.Errorf("value: modulo by zero")
+	}
+	ai := a.ToInt()
+	if ai == math.MinInt64 && bi == -1 {
+		return Int(0), nil
+	}
+	return Int(ai % bi), nil
+}
+
+// Neg implements unary minus.
+func Neg(a Value) (Value, error) {
+	switch a.kind {
+	case KindInt:
+		i := a.AsInt()
+		if i == math.MinInt64 {
+			return Float(-float64(i)), nil
+		}
+		return Int(-i), nil
+	case KindFloat:
+		return Float(-a.AsFloat()), nil
+	default:
+		if arithOK(a) {
+			return Float(-a.ToFloat()), nil
+		}
+		return Null, &ArithError{Op: "neg", Left: a.kind, Right: KindNull}
+	}
+}
+
+// Concat implements the Concat bytecode: string concatenation with
+// implicit coercion of both operands.
+func Concat(a, b Value) Value {
+	return Str(a.ToStr() + b.ToStr())
+}
+
+// Equals implements loose equality (==) with PHP 8-style semantics for
+// the supported kinds: numeric comparison when both sides are numeric,
+// string comparison for string/string, element-wise for arrays,
+// identity for objects.
+func Equals(a, b Value) bool {
+	if a.kind == b.kind {
+		return sameKindEquals(a, b)
+	}
+	switch {
+	case a.kind == KindNull || b.kind == KindNull:
+		// null == x only when x is null (handled above) or falsy bool.
+		if a.kind == KindBool || b.kind == KindBool {
+			return a.Truthy() == b.Truthy()
+		}
+		return false
+	case a.kind == KindBool || b.kind == KindBool:
+		return a.Truthy() == b.Truthy()
+	case isNumericKind(a) && isNumericKind(b):
+		return a.ToFloat() == b.ToFloat()
+	case a.kind == KindStr && isNumericKind(b) && IsNumericStr(a.str):
+		return a.ToFloat() == b.ToFloat()
+	case b.kind == KindStr && isNumericKind(a) && IsNumericStr(b.str):
+		return a.ToFloat() == b.ToFloat()
+	default:
+		return false
+	}
+}
+
+func isNumericKind(v Value) bool { return v.kind == KindInt || v.kind == KindFloat }
+
+func sameKindEquals(a, b Value) bool {
+	switch a.kind {
+	case KindNull:
+		return true
+	case KindBool:
+		return a.AsBool() == b.AsBool()
+	case KindInt:
+		return a.AsInt() == b.AsInt()
+	case KindFloat:
+		return a.AsFloat() == b.AsFloat()
+	case KindStr:
+		if a.str == b.str {
+			return true
+		}
+		// PHP loose equality compares numeric strings numerically.
+		return IsNumericStr(a.str) && IsNumericStr(b.str) && Compare(a, b) == 0
+	case KindArr:
+		if a.arr == b.arr {
+			return true
+		}
+		if a.arr.Len() != b.arr.Len() {
+			return false
+		}
+		for i := 0; i < a.arr.Len(); i++ {
+			ea, eb := a.arr.At(i), b.arr.At(i)
+			if ea.IsStr != eb.IsStr || ea.IntKey != eb.IntKey || ea.StrKey != eb.StrKey {
+				return false
+			}
+			if !Equals(ea.Val, eb.Val) {
+				return false
+			}
+		}
+		return true
+	case KindObj:
+		return a.obj == b.obj
+	default:
+		return false
+	}
+}
+
+// Identical implements strict equality (===): same kind and same value,
+// no coercion; arrays compare element-wise with identical entries.
+func Identical(a, b Value) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	if a.kind == KindStr {
+		return a.str == b.str // no numeric-string loosening under ===
+	}
+	return sameKindEquals(a, b)
+}
+
+// Compare returns -1, 0, or +1 ordering a relative to b, with PHP-style
+// cross-type coercion. Used by relational bytecodes and array sorting.
+func Compare(a, b Value) int {
+	if a.kind == KindStr && b.kind == KindStr {
+		if IsNumericStr(a.str) && IsNumericStr(b.str) {
+			return cmpFloat(a.ToFloat(), b.ToFloat())
+		}
+		switch {
+		case a.str < b.str:
+			return -1
+		case a.str > b.str:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.kind == KindArr && b.kind == KindArr {
+		return cmpFloat(float64(a.arr.Len()), float64(b.arr.Len()))
+	}
+	return cmpFloat(a.ToFloat(), b.ToFloat())
+}
+
+func cmpFloat(x, y float64) int {
+	switch {
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// BitAnd, BitOr, BitXor, Shl, Shr implement the integer bitwise ops.
+func BitAnd(a, b Value) Value { return Int(a.ToInt() & b.ToInt()) }
+
+// BitOr implements bitwise or.
+func BitOr(a, b Value) Value { return Int(a.ToInt() | b.ToInt()) }
+
+// BitXor implements bitwise xor.
+func BitXor(a, b Value) Value { return Int(a.ToInt() ^ b.ToInt()) }
+
+// Shl implements left shift; shift counts are masked to 0..63.
+func Shl(a, b Value) Value { return Int(a.ToInt() << (uint64(b.ToInt()) & 63)) }
+
+// Shr implements arithmetic right shift; shift counts are masked to 0..63.
+func Shr(a, b Value) Value { return Int(a.ToInt() >> (uint64(b.ToInt()) & 63)) }

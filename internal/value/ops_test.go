@@ -1,0 +1,270 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustOp(t *testing.T) func(Value, error) Value {
+	return func(v Value, err error) Value {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return v
+	}
+}
+
+func TestAddIntInt(t *testing.T) {
+	v := mustOp(t)(Add(Int(2), Int(3)))
+	if v.Kind() != KindInt || v.AsInt() != 5 {
+		t.Fatalf("2+3 = %v", v)
+	}
+}
+
+func TestAddOverflowPromotes(t *testing.T) {
+	v := mustOp(t)(Add(Int(math.MaxInt64), Int(1)))
+	if v.Kind() != KindFloat {
+		t.Fatalf("MaxInt64+1 should promote to float, got %v (%v)", v, v.Kind())
+	}
+	v = mustOp(t)(Sub(Int(math.MinInt64), Int(1)))
+	if v.Kind() != KindFloat {
+		t.Fatalf("MinInt64-1 should promote to float, got %v", v)
+	}
+}
+
+func TestAddMixed(t *testing.T) {
+	v := mustOp(t)(Add(Int(1), Float(0.5)))
+	if v.Kind() != KindFloat || v.AsFloat() != 1.5 {
+		t.Fatalf("1+0.5 = %v", v)
+	}
+	v = mustOp(t)(Add(Str("10"), Int(5)))
+	if v.Kind() != KindFloat && v.Kind() != KindInt {
+		t.Fatalf(`"10"+5 kind = %v`, v.Kind())
+	}
+	if v.ToInt() != 15 {
+		t.Fatalf(`"10"+5 = %v`, v)
+	}
+}
+
+func TestAddTypeError(t *testing.T) {
+	_, err := Add(Str("abc"), Int(1))
+	if err == nil {
+		t.Fatal(`"abc"+1 should error`)
+	}
+	ae, ok := err.(*ArithError)
+	if !ok {
+		t.Fatalf("want *ArithError, got %T", err)
+	}
+	if ae.Op != "+" || ae.Left != KindStr {
+		t.Fatalf("error detail = %+v", ae)
+	}
+	if ae.Error() == "" {
+		t.Fatal("empty error message")
+	}
+	arr := NewArray(0)
+	if _, err := Add(Arr(arr), Int(1)); err == nil {
+		t.Fatal("array+int should error")
+	}
+}
+
+func TestMulOverflowPromotes(t *testing.T) {
+	v := mustOp(t)(Mul(Int(math.MaxInt64/2+1), Int(2)))
+	if v.Kind() != KindFloat {
+		t.Fatalf("overflow mul should promote, got kind %v", v.Kind())
+	}
+	v = mustOp(t)(Mul(Int(0), Int(math.MinInt64)))
+	if v.Kind() != KindInt || v.AsInt() != 0 {
+		t.Fatalf("0*min = %v", v)
+	}
+	v = mustOp(t)(Mul(Int(-1), Int(math.MinInt64)))
+	if v.Kind() != KindFloat {
+		t.Fatalf("-1*MinInt64 should promote, got %v", v)
+	}
+}
+
+func TestDiv(t *testing.T) {
+	v := mustOp(t)(Div(Int(6), Int(3)))
+	if v.Kind() != KindInt || v.AsInt() != 2 {
+		t.Fatalf("6/3 = %v", v)
+	}
+	v = mustOp(t)(Div(Int(7), Int(2)))
+	if v.Kind() != KindFloat || v.AsFloat() != 3.5 {
+		t.Fatalf("7/2 = %v", v)
+	}
+	if _, err := Div(Int(1), Int(0)); err == nil {
+		t.Fatal("1/0 should error")
+	}
+	if _, err := Div(Float(1), Float(0)); err == nil {
+		t.Fatal("1.0/0.0 should error")
+	}
+}
+
+func TestMod(t *testing.T) {
+	v := mustOp(t)(Mod(Int(7), Int(3)))
+	if v.AsInt() != 1 {
+		t.Fatalf("7%%3 = %v", v)
+	}
+	if _, err := Mod(Int(1), Int(0)); err == nil {
+		t.Fatal("1%0 should error")
+	}
+	v = mustOp(t)(Mod(Int(math.MinInt64), Int(-1)))
+	if v.AsInt() != 0 {
+		t.Fatalf("MinInt64 %% -1 = %v", v)
+	}
+}
+
+func TestNeg(t *testing.T) {
+	v := mustOp(t)(Neg(Int(5)))
+	if v.AsInt() != -5 {
+		t.Fatalf("-5 = %v", v)
+	}
+	v = mustOp(t)(Neg(Int(math.MinInt64)))
+	if v.Kind() != KindFloat {
+		t.Fatalf("-MinInt64 should promote, got %v", v)
+	}
+	if _, err := Neg(Str("x")); err == nil {
+		t.Fatal("neg of non-numeric string should error")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	v := Concat(Str("a"), Int(1))
+	if v.AsStr() != "a1" {
+		t.Fatalf("concat = %v", v)
+	}
+	v = Concat(Null, Bool(true))
+	if v.AsStr() != "1" {
+		t.Fatalf("concat null.true = %q", v.AsStr())
+	}
+}
+
+func TestEquals(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Int(1), Int(1), true},
+		{Int(1), Float(1.0), true},
+		{Int(1), Str("1"), true},
+		{Str("1"), Str("01"), true}, // numeric strings compare numerically
+		{Str("abc"), Str("abc"), true},
+		{Str("abc"), Int(0), false}, // PHP8: non-numeric string != 0
+		{Null, Null, true},
+		{Null, Bool(false), true},
+		{Null, Int(0), false},
+		{Bool(true), Int(5), true},
+		{Int(1), Int(2), false},
+	}
+	for _, c := range cases {
+		if got := Equals(c.a, c.b); got != c.want {
+			t.Errorf("Equals(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqualsArrays(t *testing.T) {
+	a := NewArray(0)
+	a.Append(Int(1))
+	a.SetStr("k", Str("v"))
+	b := NewArray(0)
+	b.Append(Int(1))
+	b.SetStr("k", Str("v"))
+	if !Equals(Arr(a), Arr(b)) {
+		t.Fatal("equal arrays should be ==")
+	}
+	b.SetStr("k", Str("w"))
+	if Equals(Arr(a), Arr(b)) {
+		t.Fatal("different arrays should not be ==")
+	}
+	c := NewArray(0)
+	c.Append(Int(1))
+	if Equals(Arr(a), Arr(c)) {
+		t.Fatal("different lengths should not be ==")
+	}
+}
+
+func TestIdentical(t *testing.T) {
+	if Identical(Int(1), Float(1)) {
+		t.Fatal("1 === 1.0 must be false")
+	}
+	if !Identical(Str("x"), Str("x")) {
+		t.Fatal(`"x" === "x" must be true`)
+	}
+	if Identical(Str("1"), Str("01")) {
+		t.Fatal(`"1" === "01" must be false`)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{Str("a"), Str("b"), -1},
+		{Str("10"), Str("9"), 1}, // numeric strings compare numerically
+		{Float(1.5), Int(1), 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBitwise(t *testing.T) {
+	if BitAnd(Int(6), Int(3)).AsInt() != 2 {
+		t.Error("6&3")
+	}
+	if BitOr(Int(6), Int(3)).AsInt() != 7 {
+		t.Error("6|3")
+	}
+	if BitXor(Int(6), Int(3)).AsInt() != 5 {
+		t.Error("6^3")
+	}
+	if Shl(Int(1), Int(4)).AsInt() != 16 {
+		t.Error("1<<4")
+	}
+	if Shr(Int(-16), Int(2)).AsInt() != -4 {
+		t.Error("-16>>2")
+	}
+}
+
+// Property: Add is commutative on in-range ints.
+func TestPropAddCommutative(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, err1 := Add(Int(int64(a)), Int(int64(b)))
+		y, err2 := Add(Int(int64(b)), Int(int64(a)))
+		return err1 == nil && err2 == nil && Identical(x, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is antisymmetric.
+func TestPropCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(Int(a), Int(b)) == -Compare(Int(b), Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Equals implies Compare == 0 for ints.
+func TestPropEqualsConsistentWithCompare(t *testing.T) {
+	f := func(a, b int64) bool {
+		if Equals(Int(a), Int(b)) {
+			return Compare(Int(a), Int(b)) == 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

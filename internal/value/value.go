@@ -1,0 +1,357 @@
+// Package value implements the dynamic value system of the MiniHack
+// virtual machine: a small, PHP/Hack-like set of runtime types (null,
+// bool, int, float, string, array, object) with dynamic coercion rules.
+//
+// Values are small structs passed by value; arrays and objects are
+// reference types boxed behind pointers, mirroring PHP semantics closely
+// enough for the JIT's type-profiling and specialization machinery to be
+// meaningful: most bytecodes accept any Kind and the profiling tier
+// records which Kinds actually flow.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind identifies the runtime type of a Value. The zero Kind is Null so
+// that the zero Value is a well-formed null.
+type Kind uint8
+
+// The complete set of MiniHack runtime types.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindStr
+	KindArr
+	KindObj
+
+	// NumKinds is the number of distinct kinds; profiling code sizes
+	// its type histograms with it.
+	NumKinds = int(KindObj) + 1
+)
+
+// String returns the lowercase type name used in error messages and in
+// serialized type profiles.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindStr:
+		return "string"
+	case KindArr:
+		return "array"
+	case KindObj:
+		return "object"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Obj is the interface satisfied by heap objects. The concrete object
+// representation lives in internal/object; keeping an interface here
+// breaks the dependency cycle between values and class metadata.
+type Obj interface {
+	// ClassName reports the name of the object's class.
+	ClassName() string
+	// ObjectID returns a process-unique id used by the data-address
+	// simulation and by identity comparison.
+	ObjectID() uint64
+}
+
+// Value is a MiniHack runtime value. The active representation depends
+// on Kind; inactive fields are zero.
+type Value struct {
+	kind Kind
+	num  uint64 // bool (0/1), int64 bits, or float64 bits
+	str  string
+	arr  *Array
+	obj  Obj
+}
+
+// Null is the canonical null value (also the zero Value).
+var Null = Value{}
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	var n uint64
+	if b {
+		n = 1
+	}
+	return Value{kind: KindBool, num: n}
+}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, num: uint64(i)} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, num: math.Float64bits(f)} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{kind: KindStr, str: s} }
+
+// Arr returns an array value wrapping a (never nil for live values).
+func Arr(a *Array) Value { return Value{kind: KindArr, arr: a} }
+
+// Object returns an object value.
+func Object(o Obj) Value { return Value{kind: KindObj, obj: o} }
+
+// Kind reports the value's runtime type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsBool returns the boolean payload; valid only when Kind is KindBool.
+func (v Value) AsBool() bool { return v.num != 0 }
+
+// AsInt returns the integer payload; valid only when Kind is KindInt.
+func (v Value) AsInt() int64 { return int64(v.num) }
+
+// AsFloat returns the float payload; valid only when Kind is KindFloat.
+func (v Value) AsFloat() float64 { return math.Float64frombits(v.num) }
+
+// AsStr returns the string payload; valid only when Kind is KindStr.
+func (v Value) AsStr() string { return v.str }
+
+// AsArr returns the array payload; valid only when Kind is KindArr.
+func (v Value) AsArr() *Array { return v.arr }
+
+// AsObj returns the object payload; valid only when Kind is KindObj.
+func (v Value) AsObj() Obj { return v.obj }
+
+// Truthy implements PHP-style boolean coercion: null, false, 0, 0.0, "",
+// "0" and the empty array are falsy; every object is truthy.
+func (v Value) Truthy() bool {
+	switch v.kind {
+	case KindNull:
+		return false
+	case KindBool:
+		return v.AsBool()
+	case KindInt:
+		return v.AsInt() != 0
+	case KindFloat:
+		return v.AsFloat() != 0
+	case KindStr:
+		return v.str != "" && v.str != "0"
+	case KindArr:
+		return v.arr.Len() > 0
+	case KindObj:
+		return true
+	default:
+		return false
+	}
+}
+
+// ToInt coerces v to an integer using PHP-style rules. Arrays and
+// objects coerce to their truthiness (0/1) like legacy PHP notices.
+func (v Value) ToInt() int64 {
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindBool:
+		if v.AsBool() {
+			return 1
+		}
+		return 0
+	case KindInt:
+		return v.AsInt()
+	case KindFloat:
+		return int64(v.AsFloat())
+	case KindStr:
+		if i, ok := parseIntPrefix(v.str); ok {
+			return i
+		}
+		n, _ := parseNumericPrefix(v.str)
+		return int64(n)
+	default:
+		if v.Truthy() {
+			return 1
+		}
+		return 0
+	}
+}
+
+// ToFloat coerces v to a float using PHP-style rules.
+func (v Value) ToFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.AsFloat()
+	case KindStr:
+		n, _ := parseNumericPrefix(v.str)
+		return n
+	default:
+		return float64(v.ToInt())
+	}
+}
+
+// ToStr coerces v to a string. Arrays render as "Array" (PHP heritage);
+// objects as their class name in angle brackets.
+func (v Value) ToStr() string {
+	switch v.kind {
+	case KindNull:
+		return ""
+	case KindBool:
+		if v.AsBool() {
+			return "1"
+		}
+		return ""
+	case KindInt:
+		return strconv.FormatInt(v.AsInt(), 10)
+	case KindFloat:
+		return formatFloat(v.AsFloat())
+	case KindStr:
+		return v.str
+	case KindArr:
+		return "Array"
+	case KindObj:
+		return "<" + v.obj.ClassName() + ">"
+	default:
+		return ""
+	}
+}
+
+// String implements fmt.Stringer for debugging and disassembly output.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindBool:
+		if v.AsBool() {
+			return "true"
+		}
+		return "false"
+	case KindStr:
+		return strconv.Quote(v.str)
+	case KindArr:
+		return v.arr.String()
+	default:
+		return v.ToStr()
+	}
+}
+
+// formatFloat renders floats the way the disassembler and Print expect:
+// integral floats keep a trailing ".0" so they remain visibly floats.
+func formatFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "INF"
+	}
+	if math.IsInf(f, -1) {
+		return "-INF"
+	}
+	if math.IsNaN(f) {
+		return "NAN"
+	}
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	if !containsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+func containsAny(s, chars string) bool {
+	for i := 0; i < len(s); i++ {
+		for j := 0; j < len(chars); j++ {
+			if s[i] == chars[j] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parseNumericPrefix parses the longest numeric prefix of s, returning
+// the parsed value and whether the whole string was numeric. PHP's
+// string-to-number coercion accepts leading whitespace and a numeric
+// prefix; we implement the commonly exercised subset.
+func parseNumericPrefix(s string) (float64, bool) {
+	i := 0
+	for i < len(s) && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n') {
+		i++
+	}
+	start := i
+	if i < len(s) && (s[i] == '+' || s[i] == '-') {
+		i++
+	}
+	digits := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+		digits++
+	}
+	if i < len(s) && s[i] == '.' {
+		i++
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			i++
+			digits++
+		}
+	}
+	if digits > 0 && i < len(s) && (s[i] == 'e' || s[i] == 'E') {
+		j := i + 1
+		if j < len(s) && (s[j] == '+' || s[j] == '-') {
+			j++
+		}
+		expDigits := 0
+		for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+			j++
+			expDigits++
+		}
+		if expDigits > 0 {
+			i = j
+		}
+	}
+	if digits == 0 {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(s[start:i], 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, i == len(s)
+}
+
+// parseIntPrefix parses the longest pure-integer prefix of s exactly
+// (no float round-trip, so all int64s survive). It fails when the
+// prefix would be better handled as a float (".", "e" follow) or when
+// the integer overflows int64.
+func parseIntPrefix(s string) (int64, bool) {
+	i := 0
+	for i < len(s) && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n') {
+		i++
+	}
+	start := i
+	if i < len(s) && (s[i] == '+' || s[i] == '-') {
+		i++
+	}
+	digits := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+		digits++
+	}
+	if digits == 0 {
+		return 0, false
+	}
+	if i < len(s) && (s[i] == '.' || s[i] == 'e' || s[i] == 'E') {
+		return 0, false // float-shaped; caller falls back to float parse
+	}
+	n, err := strconv.ParseInt(s[start:i], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// IsNumericStr reports whether s is a fully numeric string, in which
+// case arithmetic on it behaves like arithmetic on the parsed number.
+func IsNumericStr(s string) bool {
+	_, ok := parseNumericPrefix(s)
+	return ok && s != ""
+}

@@ -1,0 +1,160 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if v.Kind() != KindNull || !v.IsNull() {
+		t.Fatalf("zero Value = %v, want null", v)
+	}
+	if v.Truthy() {
+		t.Fatal("null must be falsy")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "null", KindBool: "bool", KindInt: "int",
+		KindFloat: "float", KindStr: "string", KindArr: "array", KindObj: "object",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "kind(99)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if v := Bool(true); v.Kind() != KindBool || !v.AsBool() {
+		t.Errorf("Bool(true) = %v", v)
+	}
+	if v := Int(-42); v.Kind() != KindInt || v.AsInt() != -42 {
+		t.Errorf("Int(-42) = %v", v)
+	}
+	if v := Float(2.5); v.Kind() != KindFloat || v.AsFloat() != 2.5 {
+		t.Errorf("Float(2.5) = %v", v)
+	}
+	if v := Str("hi"); v.Kind() != KindStr || v.AsStr() != "hi" {
+		t.Errorf("Str = %v", v)
+	}
+	a := NewArray(0)
+	if v := Arr(a); v.Kind() != KindArr || v.AsArr() != a {
+		t.Errorf("Arr = %v", v)
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	falsy := []Value{Null, Bool(false), Int(0), Float(0), Str(""), Str("0"), Arr(NewArray(0))}
+	for _, v := range falsy {
+		if v.Truthy() {
+			t.Errorf("%v should be falsy", v)
+		}
+	}
+	arr := NewArray(1)
+	arr.Append(Int(1))
+	truthy := []Value{Bool(true), Int(1), Int(-1), Float(0.5), Str("x"), Str("00"), Arr(arr)}
+	for _, v := range truthy {
+		if !v.Truthy() {
+			t.Errorf("%v should be truthy", v)
+		}
+	}
+}
+
+func TestToInt(t *testing.T) {
+	cases := []struct {
+		in   Value
+		want int64
+	}{
+		{Null, 0}, {Bool(true), 1}, {Bool(false), 0},
+		{Int(7), 7}, {Float(3.9), 3}, {Float(-3.9), -3},
+		{Str("42"), 42}, {Str("  -8 apples"), -8}, {Str("3.7"), 3},
+		{Str("x"), 0}, {Str(""), 0}, {Str("1e3"), 1000},
+	}
+	for _, c := range cases {
+		if got := c.in.ToInt(); got != c.want {
+			t.Errorf("ToInt(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestToStr(t *testing.T) {
+	cases := []struct {
+		in   Value
+		want string
+	}{
+		{Null, ""}, {Bool(true), "1"}, {Bool(false), ""},
+		{Int(7), "7"}, {Float(2.5), "2.5"}, {Float(3), "3.0"},
+		{Str("s"), "s"}, {Arr(NewArray(0)), "Array"},
+	}
+	for _, c := range cases {
+		if got := c.in.ToStr(); got != c.want {
+			t.Errorf("ToStr(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := Float(math.Inf(1)).ToStr(); got != "INF" {
+		t.Errorf("inf = %q", got)
+	}
+	if got := Float(math.NaN()).ToStr(); got != "NAN" {
+		t.Errorf("nan = %q", got)
+	}
+}
+
+func TestIsNumericStr(t *testing.T) {
+	yes := []string{"0", "12", "-3", "+4", "3.5", ".5", "1e3", "1.5e-2", " 7"}
+	for _, s := range yes {
+		if !IsNumericStr(s) {
+			t.Errorf("IsNumericStr(%q) = false, want true", s)
+		}
+	}
+	no := []string{"", "x", "12x", "1e", "--3", "0x10", "1.2.3"}
+	for _, s := range no {
+		if IsNumericStr(s) {
+			t.Errorf("IsNumericStr(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestValueStringer(t *testing.T) {
+	cases := []struct {
+		in   Value
+		want string
+	}{
+		{Null, "null"}, {Bool(true), "true"}, {Bool(false), "false"},
+		{Int(5), "5"}, {Str("a"), `"a"`},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.in.Kind(), got, c.want)
+		}
+	}
+}
+
+// Property: ToInt and ToFloat agree on integer-valued inputs.
+func TestPropIntFloatCoercionAgree(t *testing.T) {
+	f := func(i int64) bool {
+		v := Int(i)
+		return v.ToFloat() == float64(i) && v.ToInt() == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: string round-trip for ints: ToStr then numeric parse
+// reproduces the value.
+func TestPropIntStringRoundTrip(t *testing.T) {
+	f := func(i int64) bool {
+		s := Int(i).ToStr()
+		return Str(s).ToInt() == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

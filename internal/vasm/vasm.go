@@ -1,0 +1,213 @@
+// Package vasm models HHVM's lowest-level intermediate representation
+// ("Vasm"): the sized, weighted basic blocks that translations are made
+// of and that the code-layout optimizations (Ext-TSP block reordering,
+// hot/cold splitting) operate on.
+//
+// The simulated JIT does not emit real machine instructions; a Vasm
+// block records how many pseudo-instructions the lowering produced,
+// their encoded size in bytes, and the CFG structure. Execution charges
+// cycles per instruction and feeds block addresses to the
+// micro-architecture simulator, so the paper's layout effects arise
+// from the same mechanism as in HHVM: fewer taken branches, denser hot
+// code, fewer I-cache/I-TLB misses.
+package vasm
+
+import (
+	"jumpstart/internal/bytecode"
+	"jumpstart/internal/layout"
+)
+
+// BlockKind distinguishes lowered block flavours.
+type BlockKind uint8
+
+// Block kinds.
+const (
+	// KindNormal is straight-line lowered bytecode.
+	KindNormal BlockKind = iota
+	// KindGuardExit is a side exit taken when a specialization guard
+	// fails; almost never executed, but bytecode-level profiles cannot
+	// see that (Section V-A's accuracy problem).
+	KindGuardExit
+	// KindStub is prologue/epilogue glue.
+	KindStub
+)
+
+// BytesPerInstr is the average encoded size of one Vasm
+// pseudo-instruction (x86-64 averages ~4 bytes).
+const BytesPerInstr = 4
+
+// Block is one Vasm basic block.
+type Block struct {
+	ID      int
+	Kind    BlockKind
+	NInstrs int
+	Weight  uint64
+	Succs   []int
+
+	// Origin ties the block back to the bytecode block it lowers
+	// (-1 for synthetic blocks). For inlined code, OriginFunc is the
+	// callee.
+	OriginFunc  bytecode.FuncID
+	OriginBlock int
+}
+
+// Size returns the block's encoded size in bytes.
+func (b *Block) Size() int { return b.NInstrs * BytesPerInstr }
+
+// Edge is a weighted CFG edge between Vasm blocks.
+type Edge struct {
+	Src, Dst int
+	Weight   uint64
+}
+
+// CFG is a lowered function body.
+type CFG struct {
+	FuncName string
+	Blocks   []Block
+	Edges    []Edge
+}
+
+// NInstrs sums instruction counts over all blocks.
+func (c *CFG) NInstrs() int {
+	n := 0
+	for i := range c.Blocks {
+		n += c.Blocks[i].NInstrs
+	}
+	return n
+}
+
+// CodeSize returns the total encoded size in bytes.
+func (c *CFG) CodeSize() int { return c.NInstrs() * BytesPerInstr }
+
+// ToLayoutGraph converts the CFG into the layout package's graph form.
+func (c *CFG) ToLayoutGraph() *layout.Graph {
+	g := &layout.Graph{Blocks: make([]layout.BlockInfo, len(c.Blocks))}
+	for i := range c.Blocks {
+		g.Blocks[i] = layout.BlockInfo{
+			Size:   c.Blocks[i].Size(),
+			Weight: c.Blocks[i].Weight,
+		}
+	}
+	for _, e := range c.Edges {
+		g.Edges = append(g.Edges, layout.Edge{Src: e.Src, Dst: e.Dst, Weight: e.Weight})
+	}
+	return g
+}
+
+// GenericInstrs returns the Vasm instruction count for lowering op
+// without type information: full dynamic dispatch with type checks on
+// every operand, hashtable property lookup, and so on. These are the
+// costs of live and profiling translations.
+func GenericInstrs(op bytecode.Op) int {
+	switch op {
+	case bytecode.OpNop:
+		return 0
+	case bytecode.OpNull, bytecode.OpTrue, bytecode.OpFalse, bytecode.OpInt:
+		return 2
+	case bytecode.OpLit, bytecode.OpDup:
+		return 2
+	case bytecode.OpPopC:
+		return 1
+	case bytecode.OpCGetL, bytecode.OpSetL, bytecode.OpPushL:
+		return 2
+	case bytecode.OpAdd, bytecode.OpSub, bytecode.OpMul:
+		return 12 // two type dispatches + overflow checks
+	case bytecode.OpDiv, bytecode.OpMod:
+		return 14
+	case bytecode.OpConcat:
+		return 12
+	case bytecode.OpNeg, bytecode.OpNot:
+		return 6
+	case bytecode.OpBitAnd, bytecode.OpBitOr, bytecode.OpBitXor,
+		bytecode.OpShl, bytecode.OpShr:
+		return 8
+	case bytecode.OpCmpEq, bytecode.OpCmpNeq, bytecode.OpCmpSame,
+		bytecode.OpCmpNSame, bytecode.OpCmpLt, bytecode.OpCmpLte,
+		bytecode.OpCmpGt, bytecode.OpCmpGte:
+		return 10
+	case bytecode.OpJmp:
+		return 1
+	case bytecode.OpJmpZ, bytecode.OpJmpNZ:
+		return 5 // truthiness dispatch + branch
+	case bytecode.OpRet:
+		return 4
+	case bytecode.OpFatal:
+		return 4
+	case bytecode.OpFCall, bytecode.OpFCallD:
+		return 10 // frame setup + ABI
+	case bytecode.OpFCallM:
+		return 18 // receiver check + method table lookup + call
+	case bytecode.OpNewObj, bytecode.OpNewObjL:
+		return 16 // allocation + default init + ctor dispatch
+	case bytecode.OpBuiltin:
+		return 8
+	case bytecode.OpThis:
+		return 2
+	case bytecode.OpPropGet, bytecode.OpPropSet:
+		return 14 // name hash + table probe + type-check
+	case bytecode.OpNewVec, bytecode.OpNewDict:
+		return 12
+	case bytecode.OpIdxGet, bytecode.OpIdxSet, bytecode.OpIdxApp:
+		return 12
+	case bytecode.OpIterInit:
+		return 10
+	case bytecode.OpIterNext:
+		return 6
+	case bytecode.OpIterKey, bytecode.OpIterVal:
+		return 3
+	default:
+		return 6
+	}
+}
+
+// SpecializedInstrs returns the instruction count when the JIT has
+// monomorphic type feedback for the site: a cheap guard plus the
+// direct operation. Sites that cannot specialize fall back to
+// GenericInstrs.
+func SpecializedInstrs(op bytecode.Op) int {
+	switch op {
+	case bytecode.OpAdd, bytecode.OpSub, bytecode.OpMul:
+		return 4 // guard + alu op + flags check
+	case bytecode.OpDiv, bytecode.OpMod:
+		return 6
+	case bytecode.OpConcat:
+		return 6
+	case bytecode.OpNeg:
+		return 3
+	case bytecode.OpCmpEq, bytecode.OpCmpNeq, bytecode.OpCmpSame,
+		bytecode.OpCmpNSame, bytecode.OpCmpLt, bytecode.OpCmpLte,
+		bytecode.OpCmpGt, bytecode.OpCmpGte:
+		return 4
+	case bytecode.OpJmpZ, bytecode.OpJmpNZ:
+		return 2 // known-bool test + branch
+	default:
+		return GenericInstrs(op)
+	}
+}
+
+// SpecializedPropInstrs is the cost of a property access whose class
+// and slot were resolved from profile data: guard on the class pointer
+// plus a direct load/store.
+const SpecializedPropInstrs = 4
+
+// DevirtualizedCallInstrs is the cost of a method call guarded to a
+// single profiled target: class-pointer guard plus a direct call.
+const DevirtualizedCallInstrs = 12
+
+// GuardExitInstrs is the size of a guard-failure side exit block.
+const GuardExitInstrs = 8
+
+// Instrumentation costs (added by the tiers that profile).
+const (
+	// BlockCounterInstrs is the per-block profile counter increment
+	// (tier-1, and tier-2 on Jump-Start seeders per Section V-A).
+	BlockCounterInstrs = 2
+	// CallProfileInstrs is the per-call-site target-profile update.
+	CallProfileInstrs = 3
+	// PropProfileInstrs is the per-property-access counter update
+	// (Section V-C seeder instrumentation).
+	PropProfileInstrs = 2
+	// FuncEntryProfileInstrs is the per-entry caller/callee counter
+	// (Section V-B seeder instrumentation).
+	FuncEntryProfileInstrs = 3
+)

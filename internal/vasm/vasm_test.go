@@ -1,0 +1,90 @@
+package vasm
+
+import (
+	"testing"
+
+	"jumpstart/internal/bytecode"
+)
+
+func TestCostTablesSane(t *testing.T) {
+	for op := bytecode.Op(0); int(op) < bytecode.NumOps; op++ {
+		g := GenericInstrs(op)
+		s := SpecializedInstrs(op)
+		if g < 0 || s < 0 {
+			t.Fatalf("%v: negative cost", op)
+		}
+		if s > g {
+			t.Fatalf("%v: specialized (%d) dearer than generic (%d)", op, s, g)
+		}
+	}
+	// Specialization must actually pay off on the hot ops.
+	for _, op := range []bytecode.Op{bytecode.OpAdd, bytecode.OpCmpLt, bytecode.OpConcat} {
+		if SpecializedInstrs(op) >= GenericInstrs(op) {
+			t.Fatalf("%v: no specialization win", op)
+		}
+	}
+	// Nop lowers to nothing.
+	if GenericInstrs(bytecode.OpNop) != 0 {
+		t.Fatal("Nop cost")
+	}
+}
+
+func TestBlockSizeAndCFGTotals(t *testing.T) {
+	cfg := &CFG{
+		FuncName: "f",
+		Blocks: []Block{
+			{ID: 0, NInstrs: 10, Weight: 100},
+			{ID: 1, NInstrs: 5, Weight: 50, Kind: KindGuardExit},
+		},
+		Edges: []Edge{{Src: 0, Dst: 1, Weight: 7}},
+	}
+	if cfg.Blocks[0].Size() != 10*BytesPerInstr {
+		t.Fatal("block size")
+	}
+	if cfg.NInstrs() != 15 || cfg.CodeSize() != 15*BytesPerInstr {
+		t.Fatal("totals")
+	}
+}
+
+func TestToLayoutGraph(t *testing.T) {
+	cfg := &CFG{
+		Blocks: []Block{
+			{ID: 0, NInstrs: 4, Weight: 9},
+			{ID: 1, NInstrs: 2, Weight: 3},
+		},
+		Edges: []Edge{{Src: 0, Dst: 1, Weight: 5}},
+	}
+	g := cfg.ToLayoutGraph()
+	if len(g.Blocks) != 2 || len(g.Edges) != 1 {
+		t.Fatal("shape")
+	}
+	if g.Blocks[0].Size != 16 || g.Blocks[0].Weight != 9 {
+		t.Fatalf("block 0 = %+v", g.Blocks[0])
+	}
+	if g.Edges[0].Weight != 5 || g.Edges[0].Src != 0 || g.Edges[0].Dst != 1 {
+		t.Fatalf("edge = %+v", g.Edges[0])
+	}
+}
+
+func TestInstrumentationConstantsPositive(t *testing.T) {
+	for name, v := range map[string]int{
+		"BlockCounterInstrs":     BlockCounterInstrs,
+		"CallProfileInstrs":      CallProfileInstrs,
+		"PropProfileInstrs":      PropProfileInstrs,
+		"FuncEntryProfileInstrs": FuncEntryProfileInstrs,
+		"GuardExitInstrs":        GuardExitInstrs,
+		"SpecializedPropInstrs":  SpecializedPropInstrs,
+	} {
+		if v <= 0 {
+			t.Fatalf("%s = %d", name, v)
+		}
+	}
+	// Devirtualized calls must beat generic method dispatch.
+	if DevirtualizedCallInstrs >= GenericInstrs(bytecode.OpFCallM) {
+		t.Fatal("devirtualization not profitable")
+	}
+	// Specialized property access must beat the hashtable path.
+	if SpecializedPropInstrs >= GenericInstrs(bytecode.OpPropGet) {
+		t.Fatal("prop specialization not profitable")
+	}
+}

@@ -1,0 +1,54 @@
+package workload
+
+// rng is a splitmix64 PRNG: tiny, fast and deterministic across
+// platforms. All workload generation and traffic draws flow through it
+// so every experiment is reproducible from a seed.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed + 0x9e3779b97f4a7c15} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform int in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// rangeInt returns a uniform int in [lo, hi].
+func (r *rng) rangeInt(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.intn(hi-lo+1)
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// pick chooses an index according to the given cumulative weights
+// (cum[len-1] is the total).
+func pickWeighted(r *rng, cum []float64) int {
+	total := cum[len(cum)-1]
+	x := r.float() * total
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,212 @@
+// Package workload generates the synthetic website the simulation
+// serves and the request traffic that drives it.
+//
+// The generator aims for the workload properties the paper leans on
+// (Section II-B/II-C): many units and functions with a *flat* hotness
+// profile and a long tail; classes with inheritance, hot and cold
+// properties, and both monomorphic and polymorphic call sites; traffic
+// that differs per data-center region but is similar within a
+// (region, semantic-bucket) pair. Everything derives deterministically
+// from a seed.
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"jumpstart/internal/bytecode"
+	"jumpstart/internal/hackc"
+)
+
+// SiteConfig sizes the generated website.
+type SiteConfig struct {
+	Seed             uint64
+	Units            int // source files
+	HelpersPerUnit   int // shared library functions per unit
+	ClassesPerUnit   int // class families per unit (base + 2 derived)
+	EndpointsPerUnit int
+	Partitions       int // semantic partitions (paper: 10)
+	LoopMin, LoopMax int // helper loop trip counts
+}
+
+// DefaultSiteConfig returns a website of a few hundred functions —
+// large relative to the scaled L1I/LLC, small enough to simulate fast.
+func DefaultSiteConfig() SiteConfig {
+	return SiteConfig{
+		Seed:             1,
+		Units:            12,
+		HelpersPerUnit:   12,
+		ClassesPerUnit:   2,
+		EndpointsPerUnit: 6,
+		Partitions:       10,
+		LoopMin:          4,
+		LoopMax:          16,
+	}
+}
+
+// Endpoint is one web entry point.
+type Endpoint struct {
+	Name      string
+	Fn        *bytecode.Function
+	Partition int
+}
+
+// Site is a generated website: compiled program plus endpoint table.
+type Site struct {
+	Config    SiteConfig
+	Prog      *bytecode.Program
+	Sources   map[string]string
+	UnitNames []string
+	Endpoints []Endpoint
+}
+
+// GenerateSite builds and compiles a synthetic website.
+func GenerateSite(cfg SiteConfig) (*Site, error) {
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 10
+	}
+	r := newRNG(cfg.Seed)
+	g := &siteGen{cfg: cfg, r: r}
+	g.generate()
+
+	prog, err := hackc.CompileSources(g.sources, g.unitNames, hackc.Options{Optimize: true})
+	if err != nil {
+		return nil, fmt.Errorf("workload: generated site failed to compile: %w", err)
+	}
+	site := &Site{
+		Config:    cfg,
+		Prog:      prog,
+		Sources:   g.sources,
+		UnitNames: g.unitNames,
+	}
+	for i, name := range g.endpoints {
+		fn, ok := prog.FuncByName(name)
+		if !ok {
+			return nil, fmt.Errorf("workload: endpoint %s missing after compile", name)
+		}
+		site.Endpoints = append(site.Endpoints, Endpoint{
+			Name:      name,
+			Fn:        fn,
+			Partition: i % cfg.Partitions,
+		})
+	}
+	return site, nil
+}
+
+type siteGen struct {
+	cfg       SiteConfig
+	r         *rng
+	sources   map[string]string
+	unitNames []string
+	endpoints []string
+
+	helperNames []string // global helper list, in definition order
+	classNames  []string // base class per family
+}
+
+func (g *siteGen) generate() {
+	g.sources = make(map[string]string)
+	totalHelpers := g.cfg.Units * g.cfg.HelpersPerUnit
+	for i := 0; i < totalHelpers; i++ {
+		g.helperNames = append(g.helperNames, fmt.Sprintf("h%d", i))
+	}
+	for u := 0; u < g.cfg.Units; u++ {
+		for k := 0; k < g.cfg.ClassesPerUnit; k++ {
+			g.classNames = append(g.classNames, fmt.Sprintf("C%d_%d", u, k))
+		}
+	}
+
+	hIdx := 0
+	epIdx := 0
+	for u := 0; u < g.cfg.Units; u++ {
+		var b strings.Builder
+		fmt.Fprintf(&b, "// unit %d (generated)\n", u)
+		for k := 0; k < g.cfg.ClassesPerUnit; k++ {
+			g.genClassFamily(&b, u, k)
+		}
+		for k := 0; k < g.cfg.HelpersPerUnit; k++ {
+			g.genHelper(&b, hIdx)
+			hIdx++
+		}
+		for k := 0; k < g.cfg.EndpointsPerUnit; k++ {
+			name := fmt.Sprintf("ep%d", epIdx)
+			g.genEndpoint(&b, name, totalHelpers)
+			g.endpoints = append(g.endpoints, name)
+			epIdx++
+		}
+		unit := fmt.Sprintf("unit%03d.mh", u)
+		g.unitNames = append(g.unitNames, unit)
+		g.sources[unit] = b.String()
+	}
+}
+
+// genClassFamily emits a base class with 4-8 properties (some hot,
+// some cold), a constructor, hot/cold methods, and two derived classes
+// overriding val() (the polymorphic dispatch target).
+func (g *siteGen) genClassFamily(b *strings.Builder, u, k int) {
+	base := fmt.Sprintf("C%d_%d", u, k)
+	nprops := g.r.rangeInt(8, 14)
+	fmt.Fprintf(b, "class %s {\n", base)
+	for p := 0; p < nprops; p++ {
+		fmt.Fprintf(b, "  prop p%d = %d;\n", p, g.r.intn(10))
+	}
+	// Constructor touches the first two properties.
+	fmt.Fprintf(b, "  fun __construct(a) { this->p0 = a; this->p1 = a * %d; }\n",
+		g.r.rangeInt(2, 5))
+	// Hot method: reads/writes early... actually reads *late* declared
+	// properties too, so reordering by hotness has something to move.
+	hotA := nprops - 1 // declared last but accessed hottest
+	fmt.Fprintf(b, "  fun bump(x) { this->p%d += x; return this->p%d + this->p0; }\n",
+		hotA, hotA)
+	// Cold method touching middle properties.
+	fmt.Fprintf(b, "  fun coldSum() { return this->p1 + this->p2 + this->p3; }\n")
+	fmt.Fprintf(b, "  fun val() { return this->p0 + this->p1; }\n")
+	fmt.Fprintf(b, "}\n")
+	fmt.Fprintf(b, "class %sA extends %s { fun val() { return this->p0 * 2; } }\n", base, base)
+	fmt.Fprintf(b, "class %sB extends %s { fun val() { return this->p1 + 7; } }\n", base, base)
+}
+
+// genHelper emits helper hIdx with one of five body shapes. Helpers
+// only call helpers with higher indices, keeping the call graph
+// acyclic and recursion-free.
+func (g *siteGen) genHelper(b *strings.Builder, hIdx int) {
+	name := g.helperNames[hIdx]
+	loop := g.r.rangeInt(g.cfg.LoopMin, g.cfg.LoopMax)
+	c1 := g.r.rangeInt(2, 9)
+	c2 := g.r.rangeInt(11, 97)
+	tailCall := ""
+	if next := hIdx + 1 + g.r.intn(7); next < len(g.helperNames) && g.r.float() < 0.6 {
+		tailCall = fmt.Sprintf("  t += %s(t %% 53);\n", g.helperNames[next])
+	}
+
+	switch g.r.intn(5) {
+	case 0: // integer arithmetic loop (monomorphic int sites)
+		fmt.Fprintf(b, "fun %s(a) {\n  t = 0;\n  for (i = 0; i < %d; i += 1) { t += (a + i * %d) %% %d; }\n%s  return t;\n}\n",
+			name, loop, c1, c2, tailCall)
+	case 1: // string building
+		fmt.Fprintf(b, "fun %s(a) {\n  s = \"\";\n  for (i = 0; i < %d; i += 1) { s = s . chr(65 + (a + i) %% 26); }\n  t = strlen(s) * %d;\n%s  return t;\n}\n",
+			name, loop, c1, tailCall)
+	case 2: // object workout (monomorphic method + property traffic)
+		cls := g.classNames[g.r.intn(len(g.classNames))]
+		fmt.Fprintf(b, "fun %s(a) {\n  o = new %s(a);\n  t = 0;\n  for (i = 0; i < %d; i += 1) { t += o->bump(i); }\n  if (a %% 19 == 0) { t += o->coldSum(); }\n%s  return t;\n}\n",
+			name, cls, loop, tailCall)
+	case 3: // array workout
+		fmt.Fprintf(b, "fun %s(a) {\n  arr = [];\n  for (i = 0; i < %d; i += 1) { push(arr, (a * %d + i) %% %d); }\n  t = 0;\n  foreach (arr as v) { t += v; }\n%s  return t;\n}\n",
+			name, loop, c1, c2, tailCall)
+	default: // polymorphic dispatch (skewed 7:1 so sites stay guardable)
+		cls := g.classNames[g.r.intn(len(g.classNames))]
+		fmt.Fprintf(b, "fun %s(a) {\n  if (a %% 8 == 0) { o = new %sB(a); } else { o = new %sA(a); }\n  t = 0;\n  for (i = 0; i < %d; i += 1) { t += o->val() + i; }\n%s  return t;\n}\n",
+			name, cls, cls, loop, tailCall)
+	}
+}
+
+// genEndpoint emits an endpoint calling 2-4 helpers.
+func (g *siteGen) genEndpoint(b *strings.Builder, name string, totalHelpers int) {
+	n := g.r.rangeInt(2, 4)
+	fmt.Fprintf(b, "fun %s(seed) {\n  r = 0;\n", name)
+	for i := 0; i < n; i++ {
+		h := g.helperNames[g.r.intn(totalHelpers)]
+		fmt.Fprintf(b, "  r += %s((seed + %d) %% %d);\n", h, g.r.intn(1000), g.r.rangeInt(50, 500))
+	}
+	fmt.Fprintf(b, "  return r;\n}\n")
+}
