@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# CI gate: vet plus the full suite under the race detector. The
+# parallel-vs-sequential determinism tests run here, so this also
+# proves byte-identical output at every worker count.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...

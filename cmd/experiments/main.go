@@ -1,5 +1,7 @@
 // Command experiments regenerates the paper's evaluation figures from
 // the simulation, printing the same rows/series the paper reports.
+// Figures run concurrently on the parallel engine (internal/parallel);
+// output is byte-identical at every -workers value.
 //
 // Usage:
 //
@@ -13,9 +15,12 @@
 //	experiments -fig reliability    # §VI crash-loop dynamics
 //	experiments -fig fleet          # C1/C2/C3 fleet deployment
 //	experiments -quick              # reduced scale (faster, noisier)
+//	experiments -workers 1          # sequential (byte-identical output)
+//	experiments -sweep 5 -seed 42   # 5-seed repetition study (mean/min/max)
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -26,197 +31,54 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate (1, 2, 4, 5, 6, lifespan, reliability, fleet, all)")
 	quick := flag.Bool("quick", false, "use the reduced-scale configuration")
+	workers := flag.Int("workers", 0, "parallel fan-out width (<= 0: one worker per CPU)")
+	sweep := flag.Int("sweep", 0, "run an N-seed sweep of the headline metrics instead of single-seed figures")
+	seed := flag.Uint64("seed", 1, "base seed for -sweep (per-seed streams are forked from it)")
 	flag.Parse()
 
 	cfg := experiments.Default()
 	if *quick {
 		cfg = experiments.Quick()
 	}
-	fmt.Printf("# HHVM Jump-Start reproduction — experiment harness\n")
-	fmt.Printf("# site: %d units, offered load %.0f RPS, horizon %.0fs (quick=%v)\n",
-		cfg.SiteCfg.Units, cfg.ServerCfg.OfferedRPS, cfg.Horizon, *quick)
-	fmt.Printf("# building site and seeding profile package...\n\n")
+	cfg.Workers = *workers
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	fmt.Fprintf(out, "# HHVM Jump-Start reproduction — experiment harness\n")
+	fmt.Fprintf(out, "# site: %d units, offered load %.0f RPS, horizon %.0fs (quick=%v, workers=%d)\n",
+		cfg.SiteCfg.Units, cfg.ServerCfg.OfferedRPS, cfg.Horizon, *quick, *workers)
+
+	if *sweep > 0 {
+		fmt.Fprintf(out, "# sweeping %d seeds from base %d...\n\n", *sweep, *seed)
+		out.Flush()
+		res, err := experiments.Sweep(cfg, *seed, *sweep)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.WriteSweep(out, res)
+		return
+	}
+
+	figs := []string{*fig}
+	if *fig == "all" {
+		figs = experiments.FigureOrder
+	} else if !experiments.KnownFigure(*fig) {
+		fatal(fmt.Errorf("unknown figure %q", *fig))
+	}
+	fmt.Fprintf(out, "# building site and seeding profile package...\n\n")
+	out.Flush()
 
 	lab, err := experiments.NewLab(cfg)
 	if err != nil {
 		fatal(err)
 	}
-
-	run := map[string]bool{}
-	if *fig == "all" {
-		for _, f := range []string{"1", "2", "4", "5", "6", "lifespan", "reliability", "fleet"} {
-			run[f] = true
-		}
-	} else {
-		run[*fig] = true
-	}
-
-	if run["1"] {
-		fig1(lab)
-	}
-	if run["2"] {
-		fig2(lab)
-	}
-	if run["4"] {
-		fig4(lab)
-	}
-	if run["5"] {
-		fig5(lab)
-	}
-	if run["6"] {
-		fig6(lab)
-	}
-	if run["lifespan"] {
-		lifespan(lab)
-	}
-	if run["reliability"] {
-		reliability(lab)
-	}
-	if run["fleet"] {
-		fleet(lab)
+	if err := lab.RunFigures(out, figs, cfg.Workers); err != nil {
+		fatal(err)
 	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
 	os.Exit(1)
-}
-
-func fig1(lab *experiments.Lab) {
-	res, err := lab.Fig1()
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Println("## Figure 1: JITed code size over time (no Jump-Start)")
-	fmt.Println("t_seconds,code_bytes,phase")
-	for i, p := range res.Points {
-		if i%4 == 0 || i == len(res.Points)-1 {
-			fmt.Printf("%.0f,%d,%s\n", p.T, p.CodeBytes, p.Phase)
-		}
-	}
-	fmt.Printf("# A (profiling stops) = %.0fs; C (optimized live) = %.0fs; D (plateau) = %.0fs; final = %s\n",
-		res.PointA, res.PointC, res.PointD, experiments.FormatBytesMB(res.Final))
-	fmt.Printf("# paper: A≈6min, C≈12min, D≈25min, ~500 MB (absolute values scale with site size)\n\n")
-}
-
-func fig2(lab *experiments.Lab) {
-	res, err := lab.Fig2()
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Println("## Figure 2: server capacity loss due to restart and warmup")
-	fmt.Println("t_seconds,normalized_rps")
-	for i, p := range res.Normalized {
-		if i%4 == 0 || i == len(res.Normalized)-1 {
-			fmt.Printf("%.0f,%.3f\n", p[0], p[1])
-		}
-	}
-	fmt.Printf("# capacity loss over the window = %.1f%% (area above the curve)\n\n",
-		res.CapacityLoss*100)
-}
-
-func fig4(lab *experiments.Lab) {
-	res, err := lab.Fig4()
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Println("## Figure 4a: average latency (ms) per request over uptime")
-	fmt.Println("t_seconds,jumpstart_ms,nojumpstart_ms")
-	byT := map[float64][2]float64{}
-	for _, p := range res.LatencyJS {
-		e := byT[p[0]]
-		e[0] = p[1]
-		byT[p[0]] = e
-	}
-	for _, p := range res.LatencyNoJS {
-		e := byT[p[0]]
-		e[1] = p[1]
-		byT[p[0]] = e
-	}
-	for _, p := range res.LatencyNoJS {
-		e := byT[p[0]]
-		fmt.Printf("%.0f,%.1f,%.1f\n", p[0], e[0], e[1])
-	}
-	fmt.Printf("# early latency ratio (no-JS / JS) = %.1fx (paper: ~3x)\n\n", res.EarlyLatencyRatio)
-
-	fmt.Println("## Figure 4b: normalized RPS over uptime")
-	fmt.Println("t_seconds,jumpstart,nojumpstart")
-	n := len(res.NoJumpStart.Normalized)
-	for i := 0; i < n; i++ {
-		tm := res.NoJumpStart.Normalized[i][0]
-		js := 0.0
-		for _, p := range res.JumpStart.Normalized {
-			if p[0] == tm {
-				js = p[1]
-			}
-		}
-		fmt.Printf("%.0f,%.3f,%.3f\n", tm, js, res.NoJumpStart.Normalized[i][1])
-	}
-	fmt.Printf("# capacity loss: jumpstart=%.1f%% (paper 35.3%%), no-jumpstart=%.1f%% (paper 78.3%%)\n",
-		res.JumpStart.CapacityLoss*100, res.NoJumpStart.CapacityLoss*100)
-	fmt.Printf("# HEADLINE capacity-loss reduction = %.1f%% (paper: 54.9%%)\n\n", res.LossReduction*100)
-}
-
-func fig5(lab *experiments.Lab) {
-	res, err := lab.Fig5()
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Println("## Figure 5: steady-state speedup and miss reductions (Jump-Start vs no Jump-Start)")
-	fmt.Println("metric,measured_pct,paper_pct")
-	fmt.Printf("speedup,%.2f,5.4\n", res.SpeedupPct)
-	fmt.Printf("branch_miss_reduction,%.1f,6.8\n", res.BranchMR)
-	fmt.Printf("icache_miss_reduction,%.1f,6.2\n", res.L1IMR)
-	fmt.Printf("itlb_miss_reduction,%.1f,20.8\n", res.ITLBMR)
-	fmt.Printf("dcache_miss_reduction,%.1f,1.4\n", res.L1DMR)
-	fmt.Printf("dtlb_miss_reduction,%.1f,12.1\n", res.DTLBMR)
-	fmt.Printf("llc_miss_reduction,%.1f,3.5\n", res.LLCMR)
-	fmt.Printf("# capacities: JS=%.0f RPS, no-JS=%.0f RPS\n\n",
-		res.JumpStart.CapacityRPS, res.NoJumpStart.CapacityRPS)
-}
-
-func fig6(lab *experiments.Lab) {
-	res, err := lab.Fig6()
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Println("## Figure 6: speedups over Jump-Start-without-optimizations")
-	fmt.Println("configuration,measured_pct,paper_pct")
-	fmt.Printf("no_jumpstart,%.2f,-0.2\n", res.NoJumpStartPct)
-	fmt.Printf("bb_layout(V-A),%.2f,3.8\n", res.BBLayoutPct)
-	fmt.Printf("func_layout(V-B),%.2f,0.75\n", res.FuncLayoutPct)
-	fmt.Printf("prop_reorder(V-C),%.2f,0.8\n", res.PropReorderPct)
-	fmt.Printf("# baseline capacity = %.0f RPS\n\n", res.BaselineRPS)
-}
-
-func lifespan(lab *experiments.Lab) {
-	res, err := lab.Lifespan()
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Println("## §II-B: lifespan fractions under continuous deployment")
-	fmt.Printf("to_decent_performance,%.1f%%,paper 13%%\n", res.ToDecent*100)
-	fmt.Printf("to_peak_performance,%.1f%%,paper 32%%\n\n", res.ToPeak*100)
-}
-
-func reliability(lab *experiments.Lab) {
-	res, err := lab.Reliability()
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Println("## §VI: reliability under defective packages")
-	fmt.Printf("crashes=%d fallbacks=%d final_capacity=%.3f\n",
-		res.Crashes, res.Fallbacks, res.FinalCap)
-	fmt.Printf("fleet capacity loss: clean=%.2f%% with_defects=%.2f%%\n\n",
-		res.LossNoDefect*100, res.LossDefect*100)
-}
-
-func fleet(lab *experiments.Lab) {
-	lossJS, lossNoJS, err := lab.FleetDeploy()
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Println("## Fleet: C1/C2/C3 deployment capacity loss")
-	fmt.Printf("jumpstart=%.2f%% nojumpstart=%.2f%% reduction=%.1f%%\n\n",
-		lossJS*100, lossNoJS*100, (1-lossJS/lossNoJS)*100)
 }

@@ -266,3 +266,46 @@ func TestFleetCapacityLossHelper(t *testing.T) {
 		t.Fatal("empty")
 	}
 }
+
+// TestTickParallelDeterminism is the fleet-level half of the parallel
+// engine's contract: sharding per-server replay across any number of
+// workers must reproduce the sequential tick series exactly — every
+// field of every tick, including the floating-point capacity sum and
+// the RNG-driven crash/fallback counters.
+func TestTickParallelDeterminism(t *testing.T) {
+	run := func(workers int) ([]FleetTick, int, int) {
+		cfg := DefaultConfig()
+		cfg.CurveJumpStart = jsCurve()
+		cfg.CurveNoJumpStart = noJSCurve()
+		// Exercise the RNG-drawing paths hard: defective packages,
+		// validation rolls, crash loops, fallbacks.
+		cfg.DefectRate = 0.5
+		cfg.ValidationCatchRate = 0.5
+		cfg.CrashDelay = 30
+		cfg.Workers = workers
+		f, err := NewFleet(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.StartDeployment()
+		return f.Run(3000), f.Crashes(), f.Fallbacks()
+	}
+	base, crashes, fallbacks := run(1)
+	if crashes == 0 {
+		t.Fatal("scenario exercised no crashes; defect path untested")
+	}
+	for _, w := range []int{4, 0} { // 0 = one worker per CPU
+		ticks, c, fb := run(w)
+		if c != crashes || fb != fallbacks {
+			t.Fatalf("workers=%d: crashes/fallbacks %d/%d, want %d/%d", w, c, fb, crashes, fallbacks)
+		}
+		if len(ticks) != len(base) {
+			t.Fatalf("workers=%d: %d ticks, want %d", w, len(ticks), len(base))
+		}
+		for i := range base {
+			if ticks[i] != base[i] {
+				t.Fatalf("workers=%d: tick %d diverged:\n  seq %+v\n  par %+v", w, i, base[i], ticks[i])
+			}
+		}
+	}
+}

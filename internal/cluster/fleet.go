@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"math"
+
+	"jumpstart/internal/parallel"
 )
 
 // Config sizes the simulated fleet and its deployment behaviour.
@@ -49,6 +51,14 @@ type Config struct {
 	// JumpStartEnabled selects whether C3 servers consume packages or
 	// warm up on their own (the paper's fleet-wide kill switch).
 	JumpStartEnabled bool
+
+	// Workers shards the per-server replay inside each Tick across
+	// goroutines (<= 0 means one per CPU). The tick result is
+	// byte-identical at every worker count: per-server stepping is
+	// independent, while every fleet-level RNG draw (package picks,
+	// defect rolls) and the floating-point capacity reduction happen on
+	// a single sequential pass in server-index order.
+	Workers int
 }
 
 // DefaultConfig returns a modest fleet (3 regions × 10 buckets × 24
@@ -128,6 +138,10 @@ type Fleet struct {
 	// Counters.
 	crashes   int
 	fallbacks int
+
+	// scratch is the reusable per-tick result buffer for the parallel
+	// server-stepping phase.
+	scratch []srvTick
 }
 
 // NewFleet builds the fleet with all servers warm.
@@ -204,57 +218,105 @@ type FleetTick struct {
 	Deployment bool
 }
 
-// Tick advances the fleet one step.
+// srvTick is one server's contribution to a tick, produced by the
+// parallel phase and merged sequentially.
+type srvTick struct {
+	capacity      float64
+	down, warming int
+	crashed       bool // increments the fleet crash counter
+	needsBoot     bool // bootServer draws fleet RNG: deferred to the merge
+	needsPublish  bool // publishFrom draws fleet RNG: deferred to the merge
+}
+
+// stepServer advances one server's state machine for the current tick.
+// It touches only that server's fields (safe to run concurrently
+// across servers) and flags — rather than performs — every action that
+// draws from the shared fleet RNG.
+func (f *Fleet) stepServer(s *simServer) srvTick {
+	var r srvTick
+	// Defective-package crash (Section VI-A2's failure mode): a
+	// bad package can take the server down whether it is still
+	// warming or already at full capacity.
+	if (s.state == stWarming || s.state == stRunning) &&
+		s.crashAt > 0 && f.now >= s.crashAt {
+		r.crashed = true
+		s.everCrashd++
+		s.crashAt = 0
+		s.state = stDown
+		s.stateT = f.now
+		r.down = 1
+		return r
+	}
+	switch s.state {
+	case stRunning:
+		r.capacity = 1
+	case stDown:
+		r.down = 1
+		if f.now-s.stateT >= f.cfg.RestartDowntime {
+			r.needsBoot = true
+		}
+	case stSeeding:
+		// Seeders serve while collecting (they run the normal
+		// no-JS warmup curve), then publish.
+		r.capacity = s.curve.At(f.now - s.stateT)
+		if f.now-s.stateT >= f.cfg.SeederDuration {
+			r.needsPublish = true
+			s.state = stWarming // continue warming as usual
+		} else {
+			r.warming = 1
+		}
+	case stWarming:
+		v := s.curve.At(f.now - s.stateT)
+		r.capacity = v
+		if v >= s.curve.SteadyValue()-1e-9 {
+			s.state = stRunning
+		} else {
+			r.warming = 1
+		}
+	}
+	return r
+}
+
+// Tick advances the fleet one step. Per-server replay is sharded
+// across cfg.Workers goroutines; the merge below then walks the
+// results in server-index order, so the RNG draw sequence and the
+// floating-point capacity sum are exactly those of a sequential run.
 func (f *Fleet) Tick() FleetTick {
 	dt := f.cfg.TickSeconds
 	f.now += dt
 
 	f.advanceDeployment()
 
+	if cap(f.scratch) < len(f.servers) {
+		f.scratch = make([]srvTick, len(f.servers))
+	}
+	res := f.scratch[:len(f.servers)]
+	parallel.ForEachShard(f.cfg.Workers, len(f.servers), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			res[i] = f.stepServer(&f.servers[i])
+		}
+	})
+
 	capacity := 0.0
 	down, warming := 0, 0
-	for i := range f.servers {
-		s := &f.servers[i]
-		// Defective-package crash (Section VI-A2's failure mode): a
-		// bad package can take the server down whether it is still
-		// warming or already at full capacity.
-		if (s.state == stWarming || s.state == stRunning) &&
-			s.crashAt > 0 && f.now >= s.crashAt {
+	for i := range res {
+		r := &res[i]
+		if r.crashed {
 			f.crashes++
-			s.everCrashd++
-			s.crashAt = 0
-			s.state = stDown
-			s.stateT = f.now
-			down++
-			continue
 		}
-		switch s.state {
-		case stRunning:
-			capacity += 1
-		case stDown:
-			down++
-			if f.now-s.stateT >= f.cfg.RestartDowntime {
-				f.bootServer(s)
-			}
-		case stSeeding:
-			// Seeders serve while collecting (they run the normal
-			// no-JS warmup curve), then publish.
-			capacity += s.curve.At(f.now - s.stateT)
-			if f.now-s.stateT >= f.cfg.SeederDuration {
-				f.publishFrom(s)
-				s.state = stWarming // continue warming as usual
-			} else {
-				warming++
-			}
-		case stWarming:
-			v := s.curve.At(f.now - s.stateT)
-			capacity += v
-			if v >= s.curve.SteadyValue()-1e-9 {
-				s.state = stRunning
-			} else {
-				warming++
-			}
+		// Publish before boot preserves the sequential intra-tick
+		// ordering: a package published by server i is visible to any
+		// server j > i booting in the same tick (and a server never
+		// does both).
+		if r.needsPublish {
+			f.publishFrom(&f.servers[i])
 		}
+		if r.needsBoot {
+			f.bootServer(&f.servers[i])
+		}
+		capacity += r.capacity
+		down += r.down
+		warming += r.warming
 	}
 
 	total := float64(len(f.servers))

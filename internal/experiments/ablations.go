@@ -3,6 +3,7 @@ package experiments
 import (
 	"jumpstart/internal/core"
 	"jumpstart/internal/jit"
+	"jumpstart/internal/parallel"
 	"jumpstart/internal/server"
 )
 
@@ -17,7 +18,8 @@ type FuncSortAblation struct {
 	C3ITLB, PHITLB, NoneITLB float64
 }
 
-// FuncSort runs the function-sorting ablation.
+// FuncSort runs the function-sorting ablation; the three variants run
+// in parallel across l.Cfg.Workers.
 func (l *Lab) FuncSort() (FuncSortAblation, error) {
 	measure := func(sort jit.FunctionSort) (server.SteadyStats, error) {
 		cfg := l.Cfg.ServerCfg
@@ -37,18 +39,14 @@ func (l *Lab) FuncSort() (FuncSortAblation, error) {
 		}
 		return s.MeasureSteady(l.Cfg.SteadyRequests), nil
 	}
-	c3, err := measure(jit.SortC3)
+	sorts := []jit.FunctionSort{jit.SortC3, jit.SortPH, jit.SortNone}
+	stats, err := parallel.MapErr(l.Cfg.Workers, len(sorts), func(i int) (server.SteadyStats, error) {
+		return measure(sorts[i])
+	})
 	if err != nil {
 		return FuncSortAblation{}, err
 	}
-	ph, err := measure(jit.SortPH)
-	if err != nil {
-		return FuncSortAblation{}, err
-	}
-	none, err := measure(jit.SortNone)
-	if err != nil {
-		return FuncSortAblation{}, err
-	}
+	c3, ph, none := stats[0], stats[1], stats[2]
 	return FuncSortAblation{
 		C3RPS: c3.CapacityRPS, PHRPS: ph.CapacityRPS, NoneRPS: none.CapacityRPS,
 		C3ITLB:   c3.Mem.ITLBMissRate(),
@@ -83,18 +81,14 @@ func (l *Lab) PropLayout() (PropLayoutAblation, error) {
 		}
 		return s.MeasureSteady(l.Cfg.SteadyRequests), nil
 	}
-	decl, err := measure(false, false)
+	policies := [][2]bool{{false, false}, {true, false}, {false, true}}
+	stats, err := parallel.MapErr(l.Cfg.Workers, len(policies), func(i int) (server.SteadyStats, error) {
+		return measure(policies[i][0], policies[i][1])
+	})
 	if err != nil {
 		return PropLayoutAblation{}, err
 	}
-	hot, err := measure(true, false)
-	if err != nil {
-		return PropLayoutAblation{}, err
-	}
-	aff, err := measure(false, true)
-	if err != nil {
-		return PropLayoutAblation{}, err
-	}
+	decl, hot, aff := stats[0], stats[1], stats[2]
 	return PropLayoutAblation{
 		DeclaredRPS: decl.CapacityRPS, HotnessRPS: hot.CapacityRPS, AffinityRPS: aff.CapacityRPS,
 		DeclaredL1D: decl.Mem.L1DMissRate(),
@@ -118,14 +112,13 @@ func (l *Lab) BlockLayout() (BlockLayoutAblation, error) {
 		v := core.Variant{JumpStart: true, VasmCounters: useVasm}
 		return l.Scenario.SteadyState(v, l.clonePkg(), l.Cfg.SteadyRequests)
 	}
-	bc, err := measure(false)
+	stats, err := parallel.MapErr(l.Cfg.Workers, 2, func(i int) (server.SteadyStats, error) {
+		return measure(i == 1)
+	})
 	if err != nil {
 		return BlockLayoutAblation{}, err
 	}
-	vm, err := measure(true)
-	if err != nil {
-		return BlockLayoutAblation{}, err
-	}
+	bc, vm := stats[0], stats[1]
 	return BlockLayoutAblation{
 		BytecodeRPS: bc.CapacityRPS, VasmRPS: vm.CapacityRPS,
 		BytecodeL1I: bc.Mem.L1IMissRate(), VasmL1I: vm.Mem.L1IMissRate(),

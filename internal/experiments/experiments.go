@@ -8,10 +8,12 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"jumpstart/internal/cluster"
 	"jumpstart/internal/core"
 	"jumpstart/internal/microarch"
+	"jumpstart/internal/parallel"
 	"jumpstart/internal/prof"
 	"jumpstart/internal/server"
 	"jumpstart/internal/workload"
@@ -26,6 +28,14 @@ type Config struct {
 	SteadyRequests int
 	PushInterval   float64 // continuous-deployment cadence (Section II-B)
 	FleetCfg       cluster.Config
+
+	// Workers is the fan-out width for every parallel stage in this
+	// package — the Figure 6 ablation grid, RunFigures, Sweep — and is
+	// propagated into the fleet simulator's per-tick sharding
+	// (overriding FleetCfg.Workers). <= 0 means one worker per CPU.
+	// Every result is byte-identical at every worker count; see
+	// internal/parallel for the contract.
+	Workers int
 }
 
 // Default returns the experiment-scale configuration. The site is
@@ -91,15 +101,30 @@ func Quick() Config {
 }
 
 // Lab is a prepared experiment environment: one generated site plus a
-// seeded, reusable profile package.
+// seeded, reusable profile package. A Lab is safe for concurrent use
+// by multiple figure drivers: the expensive shared computations below
+// are deterministic and guarded by sync.Once, so whichever figure gets
+// there first computes them exactly once for everyone.
 type Lab struct {
 	Cfg      Config
 	Scenario *core.Scenario
 	Package  *prof.Profile
 
-	steadyRPS float64 // cached fully-warm completion rate
-	fig2Res   *WarmupResult
-	fig4Res   *Fig4Result
+	steadyOnce sync.Once
+	steadyRPS  float64 // cached fully-warm completion rate
+	steadyErr  error
+
+	fig2Once sync.Once
+	fig2Res  WarmupResult
+	fig2Err  error
+
+	fig4Once sync.Once
+	fig4Res  Fig4Result
+	fig4Err  error
+
+	curvesOnce sync.Once
+	curves     [2]cluster.WarmupCurve
+	curvesErr  error
 }
 
 // NewLab generates the site, calibrates the offered load to it (the
@@ -203,19 +228,19 @@ type WarmupResult struct {
 // Figures 2 and 4b. It is min(offered, warm capacity), measured once
 // from a warmed no-Jump-Start server and cached.
 func (l *Lab) SteadyRPS() (float64, error) {
-	if l.steadyRPS > 0 {
-		return l.steadyRPS, nil
-	}
-	st, err := l.Scenario.SteadyState(core.Variant{}, nil, l.Cfg.SteadyRequests/2)
-	if err != nil {
-		return 0, err
-	}
-	steady := st.CapacityRPS
-	if offered := l.Cfg.ServerCfg.OfferedRPS; steady > offered {
-		steady = offered
-	}
-	l.steadyRPS = steady
-	return steady, nil
+	l.steadyOnce.Do(func() {
+		st, err := l.Scenario.SteadyState(core.Variant{}, nil, l.Cfg.SteadyRequests/2)
+		if err != nil {
+			l.steadyErr = err
+			return
+		}
+		steady := st.CapacityRPS
+		if offered := l.Cfg.ServerCfg.OfferedRPS; steady > offered {
+			steady = offered
+		}
+		l.steadyRPS = steady
+	})
+	return l.steadyRPS, l.steadyErr
 }
 
 // warmup runs a server variant over the horizon, normalizing by the
@@ -241,15 +266,10 @@ func (l *Lab) warmup(v core.Variant, pkg *prof.Profile, horizon float64) (Warmup
 // horizon). The result is cached: the underlying run is expensive and
 // deterministic.
 func (l *Lab) Fig2() (WarmupResult, error) {
-	if l.fig2Res != nil {
-		return *l.fig2Res, nil
-	}
-	res, err := l.warmup(core.Variant{}, nil, l.Cfg.LongHorizon)
-	if err != nil {
-		return res, err
-	}
-	l.fig2Res = &res
-	return res, nil
+	l.fig2Once.Do(func() {
+		l.fig2Res, l.fig2Err = l.warmup(core.Variant{}, nil, l.Cfg.LongHorizon)
+	})
+	return l.fig2Res, l.fig2Err
 }
 
 // Fig4Result compares warmup with and without Jump-Start over the
@@ -269,9 +289,13 @@ type Fig4Result struct {
 
 // Fig4 reproduces Figures 4a and 4b (cached after the first call).
 func (l *Lab) Fig4() (Fig4Result, error) {
-	if l.fig4Res != nil {
-		return *l.fig4Res, nil
-	}
+	l.fig4Once.Do(func() {
+		l.fig4Res, l.fig4Err = l.fig4()
+	})
+	return l.fig4Res, l.fig4Err
+}
+
+func (l *Lab) fig4() (Fig4Result, error) {
 	js, err := l.warmup(core.FullJumpStart(), l.clonePkg(), l.Cfg.Horizon)
 	if err != nil {
 		return Fig4Result{}, err
@@ -313,7 +337,6 @@ func (l *Lab) Fig4() (Fig4Result, error) {
 	if m := mean(res.LatencyJS); m > 0 {
 		res.EarlyLatencyRatio = mean(res.LatencyNoJS) / m
 	}
-	l.fig4Res = &res
 	return res, nil
 }
 
@@ -379,44 +402,38 @@ type Fig6Result struct {
 }
 
 // Fig6 measures each Section V optimization independently against
-// plain Jump-Start.
+// plain Jump-Start. The five grid cells are independent server runs,
+// so they fan out across l.Cfg.Workers; results merge in the fixed
+// grid order, keeping the figure identical at every worker count.
 func (l *Lab) Fig6() (Fig6Result, error) {
-	measure := func(v core.Variant) (server.SteadyStats, error) {
+	grid := []core.Variant{
+		{JumpStart: true}, // baseline: plain Jump-Start
+		{},                // no Jump-Start
+		{JumpStart: true, VasmCounters: true},
+		{JumpStart: true, SeededCallGraph: true},
+		{JumpStart: true, PropertyOrder: true},
+	}
+	stats, err := parallel.MapErr(l.Cfg.Workers, len(grid), func(i int) (server.SteadyStats, error) {
 		var pkg *prof.Profile
-		if v.JumpStart {
+		if grid[i].JumpStart {
 			pkg = l.clonePkg()
 		}
-		return l.Scenario.SteadyState(v, pkg, l.Cfg.SteadyRequests)
-	}
-	base, err := measure(core.Variant{JumpStart: true})
+		return l.Scenario.SteadyState(grid[i], pkg, l.Cfg.SteadyRequests)
+	})
 	if err != nil {
 		return Fig6Result{}, err
 	}
-	res := Fig6Result{BaselineRPS: base.CapacityRPS}
+	base := stats[0]
 	pct := func(s server.SteadyStats) float64 {
 		return (s.CapacityRPS/base.CapacityRPS - 1) * 100
 	}
-	if st, err := measure(core.Variant{}); err == nil {
-		res.NoJumpStartPct = pct(st)
-	} else {
-		return res, err
-	}
-	if st, err := measure(core.Variant{JumpStart: true, VasmCounters: true}); err == nil {
-		res.BBLayoutPct = pct(st)
-	} else {
-		return res, err
-	}
-	if st, err := measure(core.Variant{JumpStart: true, SeededCallGraph: true}); err == nil {
-		res.FuncLayoutPct = pct(st)
-	} else {
-		return res, err
-	}
-	if st, err := measure(core.Variant{JumpStart: true, PropertyOrder: true}); err == nil {
-		res.PropReorderPct = pct(st)
-	} else {
-		return res, err
-	}
-	return res, nil
+	return Fig6Result{
+		BaselineRPS:    base.CapacityRPS,
+		NoJumpStartPct: pct(stats[1]),
+		BBLayoutPct:    pct(stats[2]),
+		FuncLayoutPct:  pct(stats[3]),
+		PropReorderPct: pct(stats[4]),
+	}, nil
 }
 
 // ---------------------------------------------------------------------
@@ -464,6 +481,7 @@ func (l *Lab) Reliability() (ReliabilityResult, error) {
 	}
 	run := func(defectRate float64) (*cluster.Fleet, []cluster.FleetTick, error) {
 		cfg := l.Cfg.FleetCfg
+		cfg.Workers = l.Cfg.Workers
 		cfg.CurveJumpStart = curves[0]
 		cfg.CurveNoJumpStart = curves[1]
 		cfg.DefectRate = defectRate
@@ -503,6 +521,7 @@ func (l *Lab) FleetDeploy() (lossJS, lossNoJS float64, err error) {
 	}
 	run := func(js bool) (float64, error) {
 		cfg := l.Cfg.FleetCfg
+		cfg.Workers = l.Cfg.Workers
 		cfg.CurveJumpStart = curves[0]
 		cfg.CurveNoJumpStart = curves[1]
 		cfg.JumpStartEnabled = js
@@ -533,8 +552,16 @@ func (l *Lab) FleetCurves() (js, no cluster.WarmupCurve, err error) {
 }
 
 // fleetCurves measures the two warmup curves that the fleet simulator
-// replays.
+// replays. Cached: Reliability and FleetDeploy share them, and both
+// may run concurrently under RunFigures.
 func (l *Lab) fleetCurves() ([2]cluster.WarmupCurve, error) {
+	l.curvesOnce.Do(func() {
+		l.curves, l.curvesErr = l.measureFleetCurves()
+	})
+	return l.curves, l.curvesErr
+}
+
+func (l *Lab) measureFleetCurves() ([2]cluster.WarmupCurve, error) {
 	js, err := l.warmup(core.FullJumpStart(), l.clonePkg(), l.Cfg.Horizon)
 	if err != nil {
 		return [2]cluster.WarmupCurve{}, err

@@ -14,7 +14,15 @@ var (
 func quickLab(t testing.TB) *Lab {
 	t.Helper()
 	labOnce.Do(func() {
-		lab, labErr = NewLab(Quick())
+		cfg := Quick()
+		if raceEnabled {
+			cfg = tinyConfig() // see race_on_test.go
+			// Reliability's crash-loop needs its full 6*Horizon fleet
+			// window to converge; tiny's determinism horizon is too
+			// short. Fleet ticks replay curves, so this stays cheap.
+			cfg.Horizon = Quick().Horizon
+		}
+		lab, labErr = NewLab(cfg)
 	})
 	if labErr != nil {
 		t.Fatal(labErr)

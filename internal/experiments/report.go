@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"jumpstart/internal/parallel"
+)
+
+// FigureOrder lists every known figure in report order. RunFigures
+// emits its output in this order regardless of scheduling.
+var FigureOrder = []string{"1", "2", "4", "5", "6", "lifespan", "reliability", "fleet"}
+
+// KnownFigure reports whether name is a figure RunFigures can render.
+func KnownFigure(name string) bool {
+	for _, f := range FigureOrder {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// RunFigures renders the requested figures across workers goroutines
+// and writes them to w in request order. Each figure renders into a
+// private buffer and the buffers are concatenated in order, so the
+// output is byte-identical at every worker count — the property the
+// determinism tests pin down.
+func (l *Lab) RunFigures(w io.Writer, figs []string, workers int) error {
+	outs, err := parallel.MapErr(workers, len(figs), func(i int) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := l.WriteFigure(&buf, figs[i]); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, b := range outs {
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFigure renders one named figure to w.
+func (l *Lab) WriteFigure(w io.Writer, fig string) error {
+	switch fig {
+	case "1":
+		return l.WriteFig1(w)
+	case "2":
+		return l.WriteFig2(w)
+	case "4":
+		return l.WriteFig4(w)
+	case "5":
+		return l.WriteFig5(w)
+	case "6":
+		return l.WriteFig6(w)
+	case "lifespan":
+		return l.WriteLifespan(w)
+	case "reliability":
+		return l.WriteReliability(w)
+	case "fleet":
+		return l.WriteFleet(w)
+	}
+	return fmt.Errorf("experiments: unknown figure %q", fig)
+}
+
+// WriteFig1 renders Figure 1: code size over time.
+func (l *Lab) WriteFig1(w io.Writer) error {
+	res, err := l.Fig1()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "## Figure 1: JITed code size over time (no Jump-Start)")
+	fmt.Fprintln(w, "t_seconds,code_bytes,phase")
+	for i, p := range res.Points {
+		if i%4 == 0 || i == len(res.Points)-1 {
+			fmt.Fprintf(w, "%.0f,%d,%s\n", p.T, p.CodeBytes, p.Phase)
+		}
+	}
+	fmt.Fprintf(w, "# A (profiling stops) = %.0fs; C (optimized live) = %.0fs; D (plateau) = %.0fs; final = %s\n",
+		res.PointA, res.PointC, res.PointD, FormatBytesMB(res.Final))
+	fmt.Fprintf(w, "# paper: A≈6min, C≈12min, D≈25min, ~500 MB (absolute values scale with site size)\n\n")
+	return nil
+}
+
+// WriteFig2 renders Figure 2: restart capacity loss.
+func (l *Lab) WriteFig2(w io.Writer) error {
+	res, err := l.Fig2()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "## Figure 2: server capacity loss due to restart and warmup")
+	fmt.Fprintln(w, "t_seconds,normalized_rps")
+	for i, p := range res.Normalized {
+		if i%4 == 0 || i == len(res.Normalized)-1 {
+			fmt.Fprintf(w, "%.0f,%.3f\n", p[0], p[1])
+		}
+	}
+	fmt.Fprintf(w, "# capacity loss over the window = %.1f%% (area above the curve)\n\n",
+		res.CapacityLoss*100)
+	return nil
+}
+
+// WriteFig4 renders Figures 4a/4b: warmup comparison.
+func (l *Lab) WriteFig4(w io.Writer) error {
+	res, err := l.Fig4()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "## Figure 4a: average latency (ms) per request over uptime")
+	fmt.Fprintln(w, "t_seconds,jumpstart_ms,nojumpstart_ms")
+	byT := map[float64][2]float64{}
+	for _, p := range res.LatencyJS {
+		e := byT[p[0]]
+		e[0] = p[1]
+		byT[p[0]] = e
+	}
+	for _, p := range res.LatencyNoJS {
+		e := byT[p[0]]
+		e[1] = p[1]
+		byT[p[0]] = e
+	}
+	for _, p := range res.LatencyNoJS {
+		e := byT[p[0]]
+		fmt.Fprintf(w, "%.0f,%.1f,%.1f\n", p[0], e[0], e[1])
+	}
+	fmt.Fprintf(w, "# early latency ratio (no-JS / JS) = %.1fx (paper: ~3x)\n\n", res.EarlyLatencyRatio)
+
+	fmt.Fprintln(w, "## Figure 4b: normalized RPS over uptime")
+	fmt.Fprintln(w, "t_seconds,jumpstart,nojumpstart")
+	n := len(res.NoJumpStart.Normalized)
+	for i := 0; i < n; i++ {
+		tm := res.NoJumpStart.Normalized[i][0]
+		js := 0.0
+		for _, p := range res.JumpStart.Normalized {
+			if p[0] == tm {
+				js = p[1]
+			}
+		}
+		fmt.Fprintf(w, "%.0f,%.3f,%.3f\n", tm, js, res.NoJumpStart.Normalized[i][1])
+	}
+	fmt.Fprintf(w, "# capacity loss: jumpstart=%.1f%% (paper 35.3%%), no-jumpstart=%.1f%% (paper 78.3%%)\n",
+		res.JumpStart.CapacityLoss*100, res.NoJumpStart.CapacityLoss*100)
+	fmt.Fprintf(w, "# HEADLINE capacity-loss reduction = %.1f%% (paper: 54.9%%)\n\n", res.LossReduction*100)
+	return nil
+}
+
+// WriteFig5 renders Figure 5: steady-state speedup and miss reductions.
+func (l *Lab) WriteFig5(w io.Writer) error {
+	res, err := l.Fig5()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "## Figure 5: steady-state speedup and miss reductions (Jump-Start vs no Jump-Start)")
+	fmt.Fprintln(w, "metric,measured_pct,paper_pct")
+	fmt.Fprintf(w, "speedup,%.2f,5.4\n", res.SpeedupPct)
+	fmt.Fprintf(w, "branch_miss_reduction,%.1f,6.8\n", res.BranchMR)
+	fmt.Fprintf(w, "icache_miss_reduction,%.1f,6.2\n", res.L1IMR)
+	fmt.Fprintf(w, "itlb_miss_reduction,%.1f,20.8\n", res.ITLBMR)
+	fmt.Fprintf(w, "dcache_miss_reduction,%.1f,1.4\n", res.L1DMR)
+	fmt.Fprintf(w, "dtlb_miss_reduction,%.1f,12.1\n", res.DTLBMR)
+	fmt.Fprintf(w, "llc_miss_reduction,%.1f,3.5\n", res.LLCMR)
+	fmt.Fprintf(w, "# capacities: JS=%.0f RPS, no-JS=%.0f RPS\n\n",
+		res.JumpStart.CapacityRPS, res.NoJumpStart.CapacityRPS)
+	return nil
+}
+
+// WriteFig6 renders Figure 6: optimization ablations.
+func (l *Lab) WriteFig6(w io.Writer) error {
+	res, err := l.Fig6()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "## Figure 6: speedups over Jump-Start-without-optimizations")
+	fmt.Fprintln(w, "configuration,measured_pct,paper_pct")
+	fmt.Fprintf(w, "no_jumpstart,%.2f,-0.2\n", res.NoJumpStartPct)
+	fmt.Fprintf(w, "bb_layout(V-A),%.2f,3.8\n", res.BBLayoutPct)
+	fmt.Fprintf(w, "func_layout(V-B),%.2f,0.75\n", res.FuncLayoutPct)
+	fmt.Fprintf(w, "prop_reorder(V-C),%.2f,0.8\n", res.PropReorderPct)
+	fmt.Fprintf(w, "# baseline capacity = %.0f RPS\n\n", res.BaselineRPS)
+	return nil
+}
+
+// WriteLifespan renders the Section II-B lifespan fractions.
+func (l *Lab) WriteLifespan(w io.Writer) error {
+	res, err := l.Lifespan()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "## §II-B: lifespan fractions under continuous deployment")
+	fmt.Fprintf(w, "to_decent_performance,%.1f%%,paper 13%%\n", res.ToDecent*100)
+	fmt.Fprintf(w, "to_peak_performance,%.1f%%,paper 32%%\n\n", res.ToPeak*100)
+	return nil
+}
+
+// WriteReliability renders the Section VI crash-loop dynamics.
+func (l *Lab) WriteReliability(w io.Writer) error {
+	res, err := l.Reliability()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "## §VI: reliability under defective packages")
+	fmt.Fprintf(w, "crashes=%d fallbacks=%d final_capacity=%.3f\n",
+		res.Crashes, res.Fallbacks, res.FinalCap)
+	fmt.Fprintf(w, "fleet capacity loss: clean=%.2f%% with_defects=%.2f%%\n\n",
+		res.LossNoDefect*100, res.LossDefect*100)
+	return nil
+}
+
+// WriteFleet renders the C1/C2/C3 deployment comparison.
+func (l *Lab) WriteFleet(w io.Writer) error {
+	lossJS, lossNoJS, err := l.FleetDeploy()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "## Fleet: C1/C2/C3 deployment capacity loss")
+	fmt.Fprintf(w, "jumpstart=%.2f%% nojumpstart=%.2f%% reduction=%.1f%%\n\n",
+		lossJS*100, lossNoJS*100, (1-lossJS/lossNoJS)*100)
+	return nil
+}

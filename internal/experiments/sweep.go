@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"jumpstart/internal/parallel"
+	"jumpstart/internal/workload"
+)
+
+// SweepMetrics are the headline scalars measured for one seed of a
+// sweep: Figure 4's warmup capacity losses and Figure 5's steady-state
+// speedup.
+type SweepMetrics struct {
+	Seed              uint64
+	LossJS            float64 // warmup capacity loss with Jump-Start
+	LossNoJS          float64 // ... and without
+	LossReduction     float64 // 1 - LossJS/LossNoJS (paper: 54.9%)
+	EarlyLatencyRatio float64 // no-JS / JS early latency (paper: ~3x)
+	SteadySpeedupPct  float64 // steady-state speedup (paper: +5.4%)
+}
+
+// SweepStat is one metric aggregated across every seed of a sweep.
+type SweepStat struct {
+	Name           string
+	Mean, Min, Max float64
+}
+
+// SweepResult is an n-seed repetition study of the headline results.
+type SweepResult struct {
+	BaseSeed uint64
+	PerSeed  []SweepMetrics
+	Stats    []SweepStat
+}
+
+// Sweep reruns the headline comparison across n independently seeded
+// sites, fanning the seeds out over cfg.Workers workers. Seed i's site
+// and traffic streams derive from workload.Fork(base, 2i) and
+// Fork(base, 2i+1), so every repetition is an independent stream and
+// the whole sweep is deterministic at any worker count. Warmup papers
+// ("Virtual Machine Warmup Blows Hot and Cold") show single-seed
+// warmup results can mislead; the mean/min/max spread here is the
+// cheap guard against that.
+func Sweep(cfg Config, base uint64, n int) (SweepResult, error) {
+	if n <= 0 {
+		return SweepResult{}, fmt.Errorf("experiments: sweep needs n > 0 seeds")
+	}
+	per, err := parallel.MapErr(cfg.Workers, n, func(i int) (SweepMetrics, error) {
+		c := cfg
+		c.Workers = 1 // parallelism is across seeds, not within one
+		c.SiteCfg.Seed = workload.Fork(base, 2*uint64(i))
+		c.ServerCfg.Seed = workload.Fork(base, 2*uint64(i)+1)
+		lab, err := NewLab(c)
+		if err != nil {
+			return SweepMetrics{}, fmt.Errorf("seed %d: %w", i, err)
+		}
+		f4, err := lab.Fig4()
+		if err != nil {
+			return SweepMetrics{}, fmt.Errorf("seed %d: %w", i, err)
+		}
+		f5, err := lab.Fig5()
+		if err != nil {
+			return SweepMetrics{}, fmt.Errorf("seed %d: %w", i, err)
+		}
+		return SweepMetrics{
+			Seed:              c.SiteCfg.Seed,
+			LossJS:            f4.JumpStart.CapacityLoss,
+			LossNoJS:          f4.NoJumpStart.CapacityLoss,
+			LossReduction:     f4.LossReduction,
+			EarlyLatencyRatio: f4.EarlyLatencyRatio,
+			SteadySpeedupPct:  f5.SpeedupPct,
+		}, nil
+	})
+	if err != nil {
+		return SweepResult{}, err
+	}
+	res := SweepResult{BaseSeed: base, PerSeed: per}
+	agg := func(name string, get func(SweepMetrics) float64) {
+		st := SweepStat{Name: name, Min: math.Inf(1), Max: math.Inf(-1)}
+		for _, m := range per {
+			v := get(m)
+			st.Mean += v
+			st.Min = math.Min(st.Min, v)
+			st.Max = math.Max(st.Max, v)
+		}
+		st.Mean /= float64(len(per))
+		res.Stats = append(res.Stats, st)
+	}
+	agg("capacity_loss_jumpstart_pct", func(m SweepMetrics) float64 { return m.LossJS * 100 })
+	agg("capacity_loss_nojumpstart_pct", func(m SweepMetrics) float64 { return m.LossNoJS * 100 })
+	agg("loss_reduction_pct", func(m SweepMetrics) float64 { return m.LossReduction * 100 })
+	agg("early_latency_ratio", func(m SweepMetrics) float64 { return m.EarlyLatencyRatio })
+	agg("steady_speedup_pct", func(m SweepMetrics) float64 { return m.SteadySpeedupPct })
+	return res, nil
+}
+
+// WriteSweep renders a sweep result in the harness's CSV-ish style.
+func WriteSweep(w io.Writer, res SweepResult) {
+	fmt.Fprintf(w, "## Seed sweep: %d seeds forked from base %d\n", len(res.PerSeed), res.BaseSeed)
+	fmt.Fprintln(w, "seed,loss_js_pct,loss_nojs_pct,loss_reduction_pct,early_latency_ratio,steady_speedup_pct")
+	for _, m := range res.PerSeed {
+		fmt.Fprintf(w, "%d,%.2f,%.2f,%.2f,%.2f,%.2f\n",
+			m.Seed, m.LossJS*100, m.LossNoJS*100, m.LossReduction*100,
+			m.EarlyLatencyRatio, m.SteadySpeedupPct)
+	}
+	fmt.Fprintln(w, "metric,mean,min,max")
+	for _, st := range res.Stats {
+		fmt.Fprintf(w, "%s,%.2f,%.2f,%.2f\n", st.Name, st.Mean, st.Min, st.Max)
+	}
+	fmt.Fprintln(w)
+}

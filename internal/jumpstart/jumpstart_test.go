@@ -75,10 +75,12 @@ func TestStorePublishPickRemove(t *testing.T) {
 	if s.Count(0, 3) != 2 || s.Count(1, 3) != 1 || s.Count(9, 9) != 0 {
 		t.Fatal("counts")
 	}
-	// Random pick hits both packages across draws.
+	// Random pick hits both packages across draws. Pick expects a
+	// uniform uint64 (it scales it into the candidate range), so feed
+	// it well-mixed values rather than small integers.
 	seen := map[PackageID]bool{}
 	for i := uint64(0); i < 20; i++ {
-		p, ok := s.Pick(0, 3, i)
+		p, ok := s.Pick(0, 3, workload.Fork(1, i))
 		if !ok || p.Region != 0 || p.Bucket != 3 {
 			t.Fatal("pick")
 		}
@@ -89,7 +91,7 @@ func TestStorePublishPickRemove(t *testing.T) {
 	}
 	// Exclusion avoids the named package when alternatives exist.
 	for i := uint64(0); i < 10; i++ {
-		p, _ := s.Pick(0, 3, i, id1)
+		p, _ := s.Pick(0, 3, workload.Fork(2, i), id1)
 		if p.ID == id1 {
 			t.Fatal("exclusion ignored")
 		}

@@ -7,6 +7,7 @@ package jumpstart
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 )
 
@@ -119,7 +120,13 @@ func (s *Store) Pick(region, bucket int, rnd uint64, exclude ...PackageID) (*Sto
 			candidates = filtered
 		}
 	}
-	return candidates[rnd%uint64(len(candidates))], true
+	// Fixed-point bounded draw (multiply-shift): floor(rnd·n / 2^64).
+	// Unlike rnd % n, which systematically over-selects low-index
+	// packages whenever n does not divide 2^64, this spreads the
+	// unavoidable remainder evenly across indices, preserving the
+	// Section VI-A2 argument that consumers pick uniformly at random.
+	idx, _ := bits.Mul64(rnd, uint64(len(candidates)))
+	return candidates[idx], true
 }
 
 // Remove deletes a published package (operational cleanup after a bad
@@ -130,7 +137,13 @@ func (s *Store) Remove(id PackageID) bool {
 	for k, list := range s.pkgs {
 		for i, p := range list {
 			if p.ID == id {
-				s.pkgs[k] = append(list[:i], list[i+1:]...)
+				copy(list[i:], list[i+1:])
+				// Nil the vacated tail slot: the shifted-down append
+				// idiom leaves a stale *StoredPackage in the backing
+				// array, retaining the package's profile bytes for as
+				// long as the bucket's slice lives.
+				list[len(list)-1] = nil
+				s.pkgs[k] = list[:len(list)-1]
 				return true
 			}
 		}

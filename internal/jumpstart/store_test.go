@@ -1,0 +1,69 @@
+package jumpstart
+
+import (
+	"testing"
+
+	"jumpstart/internal/workload"
+)
+
+// TestRemoveDropsReference pins the memory-leak fix in Store.Remove:
+// the shifted-down delete must nil the vacated tail slot of the bucket
+// slice, or the backing array keeps the removed *StoredPackage (and
+// its profile bytes) reachable for the lifetime of the bucket.
+func TestRemoveDropsReference(t *testing.T) {
+	s := NewStore()
+	s.Publish(0, 0, []byte("pkg-a"))
+	id2 := s.Publish(0, 0, []byte("pkg-b"))
+	s.Publish(0, 0, []byte("pkg-c"))
+
+	// Capture the bucket slice before removal: it shares the backing
+	// array the store will shrink, so its tail slot exposes whatever
+	// the delete left behind.
+	before := s.pkgs[storeKey{0, 0}]
+	if len(before) != 3 {
+		t.Fatalf("setup: %d packages", len(before))
+	}
+	if !s.Remove(id2) {
+		t.Fatal("remove failed")
+	}
+	if got := s.Count(0, 0); got != 2 {
+		t.Fatalf("count after remove = %d", got)
+	}
+	if before[2] != nil {
+		t.Fatalf("vacated backing-array slot still references package %d", before[2].ID)
+	}
+	// The retained packages survived the shift intact.
+	live := s.pkgs[storeKey{0, 0}]
+	if string(live[0].Data) != "pkg-a" || string(live[1].Data) != "pkg-c" {
+		t.Fatalf("survivors corrupted: %q %q", live[0].Data, live[1].Data)
+	}
+}
+
+// TestPickNearUniform asserts the Section VI-A2 property the modulo
+// draw weakened: over many well-mixed draws, every package in a bucket
+// is selected at close to the uniform rate.
+func TestPickNearUniform(t *testing.T) {
+	s := NewStore()
+	const k = 3
+	ids := make([]PackageID, k)
+	for i := range ids {
+		ids[i] = s.Publish(0, 0, []byte{byte(i)})
+	}
+	const n = 30000
+	counts := map[PackageID]int{}
+	for i := uint64(0); i < n; i++ {
+		p, ok := s.Pick(0, 0, workload.Fork(99, i))
+		if !ok {
+			t.Fatal("pick failed")
+		}
+		counts[p.ID]++
+	}
+	want := float64(n) / k
+	for _, id := range ids {
+		got := float64(counts[id])
+		if got < 0.95*want || got > 1.05*want {
+			t.Fatalf("package %d picked %d times, expected ~%.0f (counts %v)",
+				id, counts[id], want, counts)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	cases := []struct {
+		workers, n, want int
+	}{
+		{1, 10, 1},
+		{4, 10, 4},
+		{4, 2, 2},  // never more workers than tasks
+		{0, 3, 3},  // 0 = NumCPU, clamped to n
+		{-1, 1, 1}, // negative = NumCPU, clamped
+		{8, 0, 1},  // empty input still resolves to a valid count
+	}
+	for _, c := range cases {
+		got := Workers(c.workers, c.n)
+		if c.workers <= 0 && c.n > runtime.GOMAXPROCS(0) {
+			continue // machine-dependent, skip exact check
+		}
+		if got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+func TestMapOrderedAtEveryWorkerCount(t *testing.T) {
+	const n = 100
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, w := range []int{1, 2, 4, 0} {
+		got := Map(w, n, func(i int) int { return i * i })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: got[%d]=%d want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapErrLowestIndexWins(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, w := range []int{1, 4} {
+		_, err := MapErr(w, 50, func(i int) (int, error) {
+			switch i {
+			case 7:
+				return 0, errA
+			case 31:
+				return 0, errB
+			}
+			return i, nil
+		})
+		if err != errA {
+			t.Fatalf("workers=%d: err=%v, want the lowest-index error", w, err)
+		}
+	}
+	out, err := MapErr(4, 10, func(i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 10 || out[9] != 9 {
+		t.Fatalf("clean MapErr: out=%v err=%v", out, err)
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	const n = 1000
+	var hits [n]int32
+	ForEach(8, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestForEachShardCoversExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64, 97} {
+		for _, w := range []int{1, 3, 8, 0} {
+			hits := make([]int32, n)
+			ForEachShard(w, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d workers=%d: index %d covered %d times", n, w, i, h)
+				}
+			}
+		}
+	}
+}

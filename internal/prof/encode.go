@@ -273,6 +273,14 @@ func Decode(data []byte) (p *Profile, err error) {
 	if d.off+int(plen)+4 > len(data) || plen > uint64(len(data)) {
 		return nil, fmt.Errorf("%w: truncated payload", ErrCorrupt)
 	}
+	// Strict framing: the CRC word must be the final bytes of the
+	// package. Anything after it is not covered by the checksum, so a
+	// lax decoder would vouch for data it never verified (and two
+	// byte-different packages would decode identically).
+	if d.off+int(plen)+4 != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after checksum",
+			ErrCorrupt, len(data)-(d.off+int(plen)+4))
+	}
 	payload := data[d.off : d.off+int(plen)]
 	gotCRC := binary.LittleEndian.Uint32(data[d.off+int(plen):])
 	if crc32.ChecksumIEEE(payload) != gotCRC {

@@ -2,6 +2,7 @@ package prof
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -316,6 +317,23 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 	bad[5] = 99
 	if _, err := Decode(bad); err == nil {
 		t.Fatal("bad version accepted")
+	}
+	// Trailing garbage after the CRC word: the checksum does not cover
+	// it, so the strict framing check must reject it as corruption.
+	for _, tail := range [][]byte{{0}, {0xff}, {1, 2, 3, 4, 5, 6, 7, 8}} {
+		bad = append(append([]byte{}, good...), tail...)
+		_, err := Decode(bad)
+		if err == nil {
+			t.Fatalf("%d trailing bytes accepted", len(tail))
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("trailing bytes: got %v, want ErrCorrupt", err)
+		}
+	}
+	// A self-framed package followed by a second copy must not decode
+	// as the first (concatenation is not a valid package).
+	if _, err := Decode(append(append([]byte{}, good...), good...)); err == nil {
+		t.Fatal("concatenated packages accepted")
 	}
 }
 

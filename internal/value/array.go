@@ -3,6 +3,7 @@ package value
 import (
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Array is a PHP-style ordered map. Keys are either int64 or string;
@@ -35,15 +36,19 @@ type arrayKey struct {
 	b bool
 }
 
-var arrayIDCounter uint64
+// arrayIDCounter is process-global, so it is drawn atomically: servers
+// on different goroutines allocate concurrently under the parallel
+// experiment engine. The id only needs to be unique — nothing measured
+// depends on its value — so cross-server interleaving does not
+// perturb simulation output.
+var arrayIDCounter atomic.Uint64
 
 // NewArray returns an empty array with capacity for n entries.
 func NewArray(n int) *Array {
-	arrayIDCounter++
 	return &Array{
 		entries: make([]Entry, 0, n),
 		index:   make(map[arrayKey]int, n),
-		id:      arrayIDCounter,
+		id:      arrayIDCounter.Add(1),
 	}
 }
 

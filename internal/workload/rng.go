@@ -15,6 +15,21 @@ func (r *rng) next() uint64 {
 	return z ^ (z >> 31)
 }
 
+// Fork derives an independent splitmix64 seed for one task of a
+// parallel fan-out. Seeding newRNG with Fork(seed, i) gives task i its
+// own stream: the (seed, task) pair is mixed through the full
+// splitmix64 output permutation, so streams for different task indices
+// (or different base seeds) are statistically independent, and the
+// derivation is pure — the same pair always yields the same seed, at
+// any worker count and in any execution order. This is what lets
+// internal/parallel fan work out without sharing a mutable rng.
+func Fork(seed, task uint64) uint64 {
+	z := seed + (task+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // intn returns a uniform int in [0, n).
 func (r *rng) intn(n int) int {
 	if n <= 0 {
@@ -37,10 +52,20 @@ func (r *rng) float() float64 {
 }
 
 // pick chooses an index according to the given cumulative weights
-// (cum[len-1] is the total).
+// (cum[len-1] is the total). An empty slice returns 0 without
+// consuming a draw; a non-positive total (all-zero weights) falls back
+// to a uniform pick — both previously misbehaved (panic / always the
+// last index).
 func pickWeighted(r *rng, cum []float64) int {
+	if len(cum) == 0 {
+		return 0
+	}
 	total := cum[len(cum)-1]
-	x := r.float() * total
+	f := r.float()
+	if total <= 0 {
+		return int(f * float64(len(cum)))
+	}
+	x := f * total
 	lo, hi := 0, len(cum)-1
 	for lo < hi {
 		mid := (lo + hi) / 2
