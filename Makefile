@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test bench verify
+# Coverage floor for the telemetry package: instruments are pure
+# bookkeeping, so near-complete coverage is cheap and regressions
+# there silently blind every other layer.
+TELEMETRY_COVER_FLOOR ?= 80
+
+.PHONY: build test bench verify cover
 
 build:
 	$(GO) build ./...
@@ -17,3 +22,16 @@ bench:
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Coverage gate: reports per-package coverage and enforces the floor
+# on internal/telemetry.
+cover:
+	$(GO) test -cover ./...
+	@pct=$$($(GO) test -cover ./internal/telemetry/ | \
+		sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+	if [ -z "$$pct" ]; then echo "cover: no coverage reported"; exit 1; fi; \
+	ok=$$(awk -v p="$$pct" -v f="$(TELEMETRY_COVER_FLOOR)" 'BEGIN{print (p>=f)?1:0}'); \
+	if [ "$$ok" != 1 ]; then \
+		echo "cover: internal/telemetry $$pct% < $(TELEMETRY_COVER_FLOOR)% floor"; exit 1; \
+	fi; \
+	echo "cover: internal/telemetry $$pct% >= $(TELEMETRY_COVER_FLOOR)% floor"

@@ -8,36 +8,73 @@
 //	fleetsim                        # one push with Jump-Start
 //	fleetsim -nojumpstart           # one push without
 //	fleetsim -defects 0.5           # inject defective packages
+//
+// Telemetry (all optional, zero simulation perturbation):
+//
+//	-trace out.jsonl        # fleet + warmup-measurement event trace
+//	-metrics out.json       # metrics registry snapshot
+//	-cycleprof out.folded   # warmup-measurement cycle profile
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"jumpstart/internal/cluster"
 	"jumpstart/internal/experiments"
+	"jumpstart/internal/telemetry"
 )
 
 func main() {
-	noJS := flag.Bool("nojumpstart", false, "disable Jump-Start fleet-wide")
-	defects := flag.Float64("defects", 0, "probability a seeder produces a crash-inducing package")
-	quick := flag.Bool("quick", true, "use the reduced-scale measurement configuration")
-	seconds := flag.Float64("seconds", 0, "fleet-sim duration (0 = 6x warmup horizon)")
-	flag.Parse()
-
-	cfg := experiments.Default()
-	if *quick {
-		cfg = experiments.Quick()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsim:", err)
+		os.Exit(1)
 	}
-	fmt.Println("# measuring single-server warmup curves (detailed simulation)...")
+}
+
+// labConfig resolves the measurement configuration. It is a variable
+// so the smoke test can substitute a micro-scale config; the curve
+// measurement at real scale is far too slow for the test suite.
+var labConfig = func(quick bool) experiments.Config {
+	if quick {
+		return experiments.Quick()
+	}
+	return experiments.Default()
+}
+
+// run executes the simulation; main is only flag-error plumbing so
+// tests can drive the binary end to end in-process.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fleetsim", flag.ContinueOnError)
+	noJS := fs.Bool("nojumpstart", false, "disable Jump-Start fleet-wide")
+	defects := fs.Float64("defects", 0, "probability a seeder produces a crash-inducing package")
+	quick := fs.Bool("quick", true, "use the reduced-scale measurement configuration")
+	seconds := fs.Float64("seconds", 0, "fleet-sim duration (0 = 6x warmup horizon)")
+	tracePath := fs.String("trace", "", "write the structured event trace as JSONL")
+	metricsPath := fs.String("metrics", "", "write the metrics registry snapshot as JSON")
+	cycleProf := fs.String("cycleprof", "", "write the virtual-cycle profile as folded stacks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := labConfig(*quick)
+	var tel *telemetry.Set
+	if *tracePath != "" || *metricsPath != "" || *cycleProf != "" {
+		tel = telemetry.NewSet()
+		// The curve-measurement servers and the fleet run strictly
+		// sequentially here, so they can share one single-writer set.
+		cfg.ServerCfg.Telem = tel
+	}
+	fmt.Fprintln(stdout, "# measuring single-server warmup curves (detailed simulation)...")
 	lab, err := experiments.NewLab(cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	jsCurve, noCurve, err := lab.FleetCurves()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	fcfg := cfg.FleetCfg
@@ -45,31 +82,29 @@ func main() {
 	fcfg.CurveNoJumpStart = noCurve
 	fcfg.JumpStartEnabled = !*noJS
 	fcfg.DefectRate = *defects
+	fcfg.Telem = tel
 	fleet, err := cluster.NewFleet(fcfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	dur := *seconds
 	if dur == 0 {
 		dur = 6 * cfg.Horizon
 	}
-	fmt.Printf("# fleet: %d servers (%d regions x %d buckets), jumpstart=%v, defects=%.2f\n",
+	fmt.Fprintf(stdout, "# fleet: %d servers (%d regions x %d buckets), jumpstart=%v, defects=%.2f\n",
 		fleet.Servers(), fcfg.Regions, fcfg.Buckets, !*noJS, *defects)
 	fleet.StartDeployment()
 	ticks := fleet.Run(dur)
-	fmt.Println("t_seconds,capacity,down,warming,phase,packages,crashes,fallbacks")
+	fmt.Fprintln(stdout, "t_seconds,capacity,down,warming,phase,packages,crashes,fallbacks")
 	for i, tk := range ticks {
 		if i%4 == 0 || i == len(ticks)-1 {
-			fmt.Printf("%.0f,%.3f,%d,%d,%d,%d,%d,%d\n",
+			fmt.Fprintf(stdout, "%.0f,%.3f,%d,%d,%d,%d,%d,%d\n",
 				tk.T, tk.Capacity, tk.Down, tk.Warming, tk.Phase,
 				tk.PkgsAvail, tk.Crashes, tk.Fallbacks)
 		}
 	}
-	fmt.Printf("# capacity loss over push window = %.2f%%; crashes = %d; fallbacks = %d\n",
+	fmt.Fprintf(stdout, "# capacity loss over push window = %.2f%%; crashes = %d; fallbacks = %d\n",
 		cluster.CapacityLoss(ticks, fcfg.TickSeconds)*100, fleet.Crashes(), fleet.Fallbacks())
-}
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fleetsim:", err)
-	os.Exit(1)
+	return tel.ExportFiles(*tracePath, *metricsPath, *cycleProf, "fleetsim")
 }

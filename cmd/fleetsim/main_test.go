@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jumpstart/internal/experiments"
+)
+
+// microConfig shrinks the quick configuration to smoke-test scale: the
+// curve measurement alone takes tens of seconds at experiment scale.
+func microConfig(bool) experiments.Config {
+	cfg := experiments.Quick()
+	cfg.SiteCfg.Units = 6
+	cfg.SiteCfg.HelpersPerUnit = 6
+	cfg.SiteCfg.EndpointsPerUnit = 3
+	cfg.ServerCfg.OfferedRPS = 150
+	cfg.ServerCfg.ProfileWindow = 400
+	cfg.ServerCfg.SeederCollectWindow = 300
+	cfg.ServerCfg.InitCycles = 20e6
+	cfg.ServerCfg.MicroSampleEvery = 64
+	cfg.Horizon = 40
+	cfg.LongHorizon = 80
+	cfg.SteadyRequests = 100
+	cfg.FleetCfg.Regions = 1
+	cfg.FleetCfg.Buckets = 2
+	cfg.FleetCfg.ServersPerBucket = 3
+	return cfg
+}
+
+func TestRunSmokeWithTelemetry(t *testing.T) {
+	orig := labConfig
+	labConfig = microConfig
+	defer func() { labConfig = orig }()
+
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "out.jsonl")
+	metrics := filepath.Join(dir, "out.json")
+	folded := filepath.Join(dir, "out.folded")
+
+	var out strings.Builder
+	err := run([]string{
+		"-seconds", "60",
+		"-trace", trace, "-metrics", metrics, "-cycleprof", folded,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "t_seconds,capacity") {
+		t.Fatalf("missing CSV header:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "# capacity loss") {
+		t.Fatalf("missing summary:\n%s", out.String())
+	}
+
+	mb, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+		Gauges   map[string]float64
+	}
+	if err := json.Unmarshal(mb, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["fleet.steps_total"] == 0 {
+		t.Fatalf("fleet shard collectors recorded nothing: %s", mb)
+	}
+	if _, ok := snap.Gauges["fleet.capacity"]; !ok {
+		t.Fatalf("missing fleet.capacity gauge: %s", mb)
+	}
+
+	tb, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tb), `"deployment-start"`) {
+		t.Fatal("trace missing deployment-start event")
+	}
+
+	fb, err := os.ReadFile(folded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(fb), "fleetsim;init;") {
+		t.Fatalf("unexpected folded output:\n%s", fb)
+	}
+}

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"jumpstart/internal/hackc"
@@ -23,47 +24,54 @@ import (
 )
 
 func main() {
-	optimize := flag.Bool("O", false, "enable the offline bytecode optimizer")
-	run := flag.String("run", "", "execute this zero-argument function after compiling")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hackc:", err)
+		os.Exit(1)
+	}
+}
 
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: hackc [-O] [-run fn] file.mh ...")
-		os.Exit(2)
+// run executes the compiler; main is only flag-error plumbing so tests
+// can drive the binary end to end in-process.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hackc", flag.ContinueOnError)
+	optimize := fs.Bool("O", false, "enable the offline bytecode optimizer")
+	runFn := fs.String("run", "", "execute this zero-argument function after compiling")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: hackc [-O] [-run fn] file.mh ...")
 	}
 	sources := map[string]string{}
 	var names []string
-	for _, path := range flag.Args() {
+	for _, path := range fs.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		sources[path] = string(data)
 		names = append(names, path)
 	}
 	prog, err := hackc.CompileSources(sources, names, hackc.Options{Optimize: *optimize})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Print(prog.Disasm())
-	fmt.Printf("; %d functions, %d classes, %d bytecode bytes\n",
+	fmt.Fprint(stdout, prog.Disasm())
+	fmt.Fprintf(stdout, "; %d functions, %d classes, %d bytecode bytes\n",
 		len(prog.Funcs), len(prog.Classes), prog.TotalBytecodeSize())
 
-	if *run != "" {
+	if *runFn != "" {
 		reg, err := object.NewRegistry(prog, nil)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		ip := interp.New(prog, reg, interp.Config{Out: os.Stdout})
-		v, err := ip.CallByName(*run)
+		ip := interp.New(prog, reg, interp.Config{Out: stdout})
+		v, err := ip.CallByName(*runFn)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("%s() = %s\n", *run, v.String())
+		fmt.Fprintf(stdout, "%s() = %s\n", *runFn, v.String())
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "hackc:", err)
-	os.Exit(1)
+	return nil
 }

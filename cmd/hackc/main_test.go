@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCompileAndExecute(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-O", "-run", "main", "../../testdata/fib.mh"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "functions") {
+		t.Fatalf("missing summary line:\n%s", got)
+	}
+	if !strings.Contains(got, "main() =") {
+		t.Fatalf("missing execution result:\n%s", got)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no args must error")
+	}
+	if err := run([]string{"/nonexistent/x.mh"}, &out); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

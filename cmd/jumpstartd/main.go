@@ -7,31 +7,58 @@
 //	jumpstartd -mode nojumpstart -seconds 600
 //	jumpstartd -mode seeder -package /tmp/profile.pkg         # write a package
 //	jumpstartd -mode consumer -package /tmp/profile.pkg       # read a package
+//
+// Telemetry (all optional, zero simulation perturbation):
+//
+//	-trace out.jsonl        # structured event trace
+//	-metrics out.json       # metrics registry snapshot
+//	-cycleprof out.folded   # virtual-cycle flame profile (folded stacks)
+//	-http :8080             # live /metrics endpoint + net/http/pprof
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"jumpstart/internal/prof"
 	"jumpstart/internal/server"
+	"jumpstart/internal/telemetry"
 	"jumpstart/internal/workload"
 )
 
 func main() {
-	mode := flag.String("mode", "nojumpstart", "nojumpstart | seeder | consumer")
-	seconds := flag.Float64("seconds", 600, "virtual seconds to simulate")
-	pkgPath := flag.String("package", "", "profile package path (written by seeder, read by consumer)")
-	region := flag.Int("region", 0, "data-center region")
-	bucket := flag.Int("bucket", 0, "semantic bucket")
-	seed := flag.Uint64("seed", 1, "traffic seed")
-	rps := flag.Float64("rps", 0, "offered RPS (0 = default)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "jumpstartd:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the simulation; main is only flag-error plumbing so
+// tests can drive the binary end to end in-process.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("jumpstartd", flag.ContinueOnError)
+	mode := fs.String("mode", "nojumpstart", "nojumpstart | seeder | consumer")
+	seconds := fs.Float64("seconds", 600, "virtual seconds to simulate")
+	pkgPath := fs.String("package", "", "profile package path (written by seeder, read by consumer)")
+	region := fs.Int("region", 0, "data-center region")
+	bucket := fs.Int("bucket", 0, "semantic bucket")
+	seed := fs.Uint64("seed", 1, "traffic seed")
+	rps := fs.Float64("rps", 0, "offered RPS (0 = default)")
+	tracePath := fs.String("trace", "", "write the structured event trace as JSONL")
+	metricsPath := fs.String("metrics", "", "write the metrics registry snapshot as JSON")
+	cycleProf := fs.String("cycleprof", "", "write the virtual-cycle profile as folded stacks")
+	httpAddr := fs.String("http", "", "serve /metrics and /debug/pprof on this address while simulating")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	site, err := workload.GenerateSite(workload.DefaultSiteConfig())
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	cfg := server.DefaultConfig()
@@ -39,6 +66,14 @@ func main() {
 	if *rps > 0 {
 		cfg.OfferedRPS = *rps
 	}
+	// Telemetry is allocated whenever any sink wants it; the simulation
+	// output is byte-identical either way.
+	var tel *telemetry.Set
+	if *tracePath != "" || *metricsPath != "" || *cycleProf != "" || *httpAddr != "" {
+		tel = telemetry.NewSet()
+	}
+	cfg.Telem = tel
+
 	switch *mode {
 	case "nojumpstart":
 		cfg.Mode = server.ModeNoJumpStart
@@ -48,33 +83,43 @@ func main() {
 	case "consumer":
 		cfg.Mode = server.ModeConsumer
 		if *pkgPath == "" {
-			fatal(fmt.Errorf("consumer mode requires -package"))
+			return fmt.Errorf("consumer mode requires -package")
 		}
 		data, err := os.ReadFile(*pkgPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		pkg, err := prof.Decode(data)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		cfg.Package = pkg
 		cfg.UsePropertyOrder = true
 		cfg.JITOpts.UseVasmCounters = true
 		cfg.JITOpts.UseSeededCallGraph = true
 	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	if *httpAddr != "" {
+		go func() {
+			// Telemetry instruments are atomic, so serving reads
+			// concurrently with the simulation is safe.
+			if err := http.ListenAndServe(*httpAddr, telemetryMux(tel)); err != nil {
+				fmt.Fprintln(os.Stderr, "jumpstartd: http:", err)
+			}
+		}()
 	}
 
 	s, err := server.New(site, cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("# %s server, region %d bucket %d, offered %.0f RPS\n",
+	fmt.Fprintf(stdout, "# %s server, region %d bucket %d, offered %.0f RPS\n",
 		*mode, *region, *bucket, cfg.OfferedRPS)
-	fmt.Println("t_seconds,completed,avg_latency_ms,code_bytes,phase,faults")
+	fmt.Fprintln(stdout, "t_seconds,completed,avg_latency_ms,code_bytes,phase,faults")
 	for _, tk := range s.Run(*seconds) {
-		fmt.Printf("%.0f,%d,%.1f,%d,%s,%d\n",
+		fmt.Fprintf(stdout, "%.0f,%d,%.1f,%d,%s,%d\n",
 			tk.T, tk.Completed, tk.AvgLatencyMS, tk.CodeBytes, tk.Phase, tk.Faults)
 		if s.Phase() == server.PhaseExited {
 			break
@@ -84,21 +129,41 @@ func main() {
 	if *mode == "seeder" {
 		pkg, ok := s.SeederPackage()
 		if !ok {
-			fatal(fmt.Errorf("seeder did not finish within %v virtual seconds", *seconds))
+			return fmt.Errorf("seeder did not finish within %v virtual seconds", *seconds)
 		}
 		c := pkg.Coverage()
-		fmt.Printf("# package: %d funcs, %d hot blocks, %d requests profiled\n",
+		fmt.Fprintf(stdout, "# package: %d funcs, %d hot blocks, %d requests profiled\n",
 			c.Funcs, c.Blocks, c.RequestCount)
 		if *pkgPath != "" {
 			if err := os.WriteFile(*pkgPath, pkg.Encode(), 0o644); err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Printf("# wrote %s (%d bytes)\n", *pkgPath, len(pkg.Encode()))
+			fmt.Fprintf(stdout, "# wrote %s (%d bytes)\n", *pkgPath, len(pkg.Encode()))
 		}
 	}
+
+	return tel.ExportFiles(*tracePath, *metricsPath, *cycleProf, "jumpstartd")
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "jumpstartd:", err)
-	os.Exit(1)
+// telemetryMux serves the live metrics snapshot and the standard Go
+// profiling endpoints. Exposed as a function so tests can exercise the
+// endpoints via httptest without binding a port.
+func telemetryMux(tel *telemetry.Set) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if tel == nil {
+			fmt.Fprintln(w, "{}")
+			return
+		}
+		if err := tel.Metrics.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jumpstart/internal/telemetry"
+)
+
+func TestRunNoJumpStartWithTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "out.jsonl")
+	metrics := filepath.Join(dir, "out.json")
+	folded := filepath.Join(dir, "out.folded")
+
+	var out strings.Builder
+	err := run([]string{
+		"-mode", "nojumpstart", "-seconds", "30",
+		"-trace", trace, "-metrics", metrics, "-cycleprof", folded,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "t_seconds,completed") {
+		t.Fatalf("missing CSV header:\n%s", out.String())
+	}
+
+	// Trace: non-empty JSONL, starting with the server start event.
+	tr, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(tr)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("trace too short: %d lines", len(lines))
+	}
+	for _, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("invalid JSONL: %s", line)
+		}
+	}
+
+	// Metrics: valid JSON with the expected families.
+	mb, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal(mb, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["server.requests_total"] == 0 {
+		t.Fatalf("no requests counted: %s", mb)
+	}
+
+	// Cycle profile: folded stacks rooted at the binary name.
+	fb, err := os.ReadFile(folded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(fb), "jumpstartd;init;init ") {
+		t.Fatalf("unexpected folded output:\n%s", fb)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mode", "bogus"}, &out); err == nil {
+		t.Fatal("unknown mode must error")
+	}
+	if err := run([]string{"-mode", "consumer"}, &out); err == nil {
+		t.Fatal("consumer without -package must error")
+	}
+}
+
+func TestTelemetryMux(t *testing.T) {
+	tel := telemetry.NewSet()
+	tel.Counter("x_total").Add(3)
+	mux := telemetryMux(tel)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"x_total":3`) {
+		t.Fatalf("metrics endpoint: %d %s", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if rec.Code != 200 {
+		t.Fatalf("pprof endpoint: %d", rec.Code)
+	}
+
+	// A nil set still serves valid JSON.
+	rec = httptest.NewRecorder()
+	telemetryMux(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !json.Valid(rec.Body.Bytes()) {
+		t.Fatalf("nil-set metrics endpoint: %d %s", rec.Code, rec.Body.String())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"jumpstart/internal/parallel"
+	"jumpstart/internal/telemetry"
 )
 
 // Config sizes the simulated fleet and its deployment behaviour.
@@ -59,6 +60,12 @@ type Config struct {
 	// defect rolls) and the floating-point capacity reduction happen on
 	// a single sequential pass in server-index order.
 	Workers int
+
+	// Telem observes the fleet (may be nil). Per-server metrics are
+	// recorded into per-shard collectors during the parallel replay and
+	// merged in shard-index order, so enabling telemetry never changes
+	// the simulation output at any worker count.
+	Telem *telemetry.Set
 }
 
 // DefaultConfig returns a modest fleet (3 regions × 10 buckets × 24
@@ -90,6 +97,10 @@ func DefaultConfig() Config {
 		JumpStartEnabled: true,
 	}
 }
+
+// warmupProgressBounds buckets a warming server's capacity fraction
+// for the fleet.warmup_progress histogram.
+var warmupProgressBounds = []float64{0.25, 0.5, 0.75, 0.9, 0.99}
 
 type srvState int
 
@@ -142,6 +153,23 @@ type Fleet struct {
 	// scratch is the reusable per-tick result buffer for the parallel
 	// server-stepping phase.
 	scratch []srvTick
+
+	// Telemetry. shardTel holds one collector per replay shard; every
+	// parallel-phase observation goes to the stepping shard's collector
+	// and the collectors are folded into tel.Metrics — in shard-index
+	// order — once the shards have joined. Sequential-phase events and
+	// gauges use tel directly.
+	tel      *telemetry.Set
+	shardTel *telemetry.Shards
+	gCap     *telemetry.Gauge
+	gDown    *telemetry.Gauge
+	gWarming *telemetry.Gauge
+	gRunning *telemetry.Gauge
+	gPhase   *telemetry.Gauge
+	gPkgs    *telemetry.Gauge
+	cCrashes *telemetry.Counter
+	cFallbk  *telemetry.Counter
+	cBoots   [2]*telemetry.Counter // indexed by usedJS
 }
 
 // NewFleet builds the fleet with all servers warm.
@@ -182,6 +210,25 @@ func NewFleet(cfg Config) (*Fleet, error) {
 			}
 		}
 	}
+	f.tel = cfg.Telem
+	if f.tel != nil {
+		f.shardTel = telemetry.NewShards(f.tel.Metrics,
+			parallel.ShardCount(cfg.Workers, total))
+		f.gCap = f.tel.Gauge("fleet.capacity")
+		f.gDown = f.tel.Gauge("fleet.down")
+		f.gWarming = f.tel.Gauge("fleet.warming")
+		f.gRunning = f.tel.Gauge("fleet.running")
+		f.gPhase = f.tel.Gauge("fleet.deploy_phase")
+		f.gPkgs = f.tel.Gauge("fleet.packages_avail")
+		f.cCrashes = f.tel.Counter("fleet.crashes_total")
+		f.cFallbk = f.tel.Counter("fleet.fallbacks_total")
+		f.cBoots[0] = f.tel.Counter("fleet.boots_nojumpstart_total")
+		f.cBoots[1] = f.tel.Counter("fleet.boots_jumpstart_total")
+		f.tel.Event(0, "fleet", "start",
+			telemetry.I("servers", int64(total)),
+			telemetry.I("regions", int64(cfg.Regions)),
+			telemetry.I("buckets", int64(cfg.Buckets)))
+	}
 	return f, nil
 }
 
@@ -203,6 +250,15 @@ func (f *Fleet) StartDeployment() {
 	f.phaseStart = f.now
 	// A new revision invalidates all existing packages.
 	f.packages = make(map[[2]int][]pkgInfo)
+	f.tel.Event(f.now, "fleet", "deployment-start")
+}
+
+// setDeployPhase advances the push phase and records the transition.
+func (f *Fleet) setDeployPhase(phase int) {
+	f.tel.Event(f.now, "fleet", "deployment-phase",
+		telemetry.I("from", int64(f.phase)), telemetry.I("to", int64(phase)))
+	f.phase = phase
+	f.phaseStart = f.now
 }
 
 // FleetTick is one sample of the fleet time series.
@@ -291,11 +347,24 @@ func (f *Fleet) Tick() FleetTick {
 		f.scratch = make([]srvTick, len(f.servers))
 	}
 	res := f.scratch[:len(f.servers)]
-	parallel.ForEachShard(f.cfg.Workers, len(f.servers), func(lo, hi int) {
+	parallel.ForEachShardIndexed(f.cfg.Workers, len(f.servers), func(shard, lo, hi int) {
+		// Shard-private collectors: resolved once per shard per tick,
+		// folded into the base registry in shard-index order below.
+		var cSteps *telemetry.Counter
+		var hWarm *telemetry.Histogram
+		if reg := f.shardTel.Shard(shard); reg != nil {
+			cSteps = reg.Counter("fleet.steps_total")
+			hWarm = reg.Histogram("fleet.warmup_progress", warmupProgressBounds)
+		}
 		for i := lo; i < hi; i++ {
 			res[i] = f.stepServer(&f.servers[i])
+			cSteps.Inc()
+			if res[i].warming == 1 {
+				hWarm.Observe(res[i].capacity)
+			}
 		}
 	})
+	f.shardTel.Merge()
 
 	capacity := 0.0
 	down, warming := 0, 0
@@ -303,6 +372,11 @@ func (f *Fleet) Tick() FleetTick {
 		r := &res[i]
 		if r.crashed {
 			f.crashes++
+			f.cCrashes.Inc()
+			f.tel.Event(f.now, "fleet", "crash",
+				telemetry.I("server", int64(i)),
+				telemetry.I("region", int64(f.servers[i].region)),
+				telemetry.I("bucket", int64(f.servers[i].bucket)))
 		}
 		// Publish before boot preserves the sequential intra-tick
 		// ordering: a package published by server i is visible to any
@@ -324,6 +398,12 @@ func (f *Fleet) Tick() FleetTick {
 	for _, list := range f.packages {
 		pkgs += len(list)
 	}
+	f.gCap.Set(capacity / total)
+	f.gDown.Set(float64(down))
+	f.gWarming.Set(float64(warming))
+	f.gRunning.Set(float64(len(f.servers) - down - warming))
+	f.gPhase.Set(float64(f.phase))
+	f.gPkgs.Set(float64(pkgs))
 	return FleetTick{
 		T:          f.now,
 		Capacity:   capacity / total,
@@ -345,18 +425,15 @@ func (f *Fleet) advanceDeployment() {
 	switch f.phase {
 	case 0:
 		f.restartGroup(1)
-		f.phase = 1
-		f.phaseStart = f.now
+		f.setDeployPhase(1)
 	case 1:
 		if f.now-f.phaseStart >= f.cfg.C1Hold {
 			f.restartGroup(2)
-			f.phase = 2
-			f.phaseStart = f.now
+			f.setDeployPhase(2)
 		}
 	case 2:
 		if f.now-f.phaseStart >= f.cfg.C2Hold {
-			f.phase = 3
-			f.phaseStart = f.now
+			f.setDeployPhase(3)
 			f.c3Wave = 0
 			f.restartC3Wave()
 		}
@@ -383,6 +460,9 @@ func (f *Fleet) advanceDeployment() {
 		if done {
 			f.deploying = false
 			f.phase = 0
+			f.tel.Event(f.now, "fleet", "deployment-done",
+				telemetry.I("crashes", int64(f.crashes)),
+				telemetry.I("fallbacks", int64(f.fallbacks)))
 		}
 	}
 }
@@ -413,6 +493,9 @@ func (f *Fleet) restartC3Wave() {
 		s.attempts = 0
 		s.crashAt = 0
 	}
+	f.tel.Event(f.now, "fleet", "c3-wave",
+		telemetry.I("wave", int64(f.c3Wave)),
+		telemetry.I("restarted", int64(hi-lo)))
 	f.c3Wave++
 }
 
@@ -439,6 +522,9 @@ func (f *Fleet) bootServer(s *simServer) {
 		s.state = stSeeding
 		s.curve = &f.cfg.CurveNoJumpStart
 		s.usedJS = false
+		f.tel.Event(f.now, "fleet", "boot-seeder",
+			telemetry.I("region", int64(s.region)),
+			telemetry.I("bucket", int64(s.bucket)))
 		return
 	}
 	if f.cfg.JumpStartEnabled {
@@ -459,11 +545,22 @@ func (f *Fleet) bootServer(s *simServer) {
 			if list[idx].defective {
 				s.crashAt = f.now + f.cfg.CrashDelay
 			}
+			f.cBoots[1].Inc()
+			f.tel.Event(f.now, "fleet", "boot-jumpstart",
+				telemetry.I("region", int64(s.region)),
+				telemetry.I("bucket", int64(s.bucket)),
+				telemetry.I("pkg", int64(idx)),
+				telemetry.I("attempt", int64(s.attempts)))
 			return
 		}
 		if len(list) > 0 && s.attempts >= f.cfg.MaxJSAttempts {
 			f.fallbacks++
 			s.fellBack = true
+			f.cFallbk.Inc()
+			f.tel.Event(f.now, "fleet", "fallback",
+				telemetry.I("region", int64(s.region)),
+				telemetry.I("bucket", int64(s.bucket)),
+				telemetry.I("attempts", int64(s.attempts)))
 		}
 	}
 	// No-Jump-Start boot (disabled, no package, or fallback).
@@ -471,6 +568,7 @@ func (f *Fleet) bootServer(s *simServer) {
 	s.state = stWarming
 	s.curve = &f.cfg.CurveNoJumpStart
 	s.pkg = -1
+	f.cBoots[0].Inc()
 }
 
 // publishFrom records the package a seeder collected, applying the
@@ -485,6 +583,11 @@ func (f *Fleet) publishFrom(s *simServer) {
 	}
 	key := [2]int{s.region, s.bucket}
 	f.packages[key] = append(f.packages[key], pkgInfo{defective: defective})
+	f.tel.Counter("fleet.published_total").Inc()
+	f.tel.Event(f.now, "fleet", "publish",
+		telemetry.I("region", int64(s.region)),
+		telemetry.I("bucket", int64(s.bucket)),
+		telemetry.B("defective", defective))
 }
 
 // Run advances the fleet for the given duration.

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"testing"
+
+	"jumpstart/internal/telemetry"
+)
+
+// TestFleetTelemetryZeroPerturbation is the fleet half of the
+// zero-perturbation contract: the tick series must be identical with
+// telemetry on or off, at every worker count — the per-shard
+// collectors merged in shard-index order may not leak into the
+// simulation.
+func TestFleetTelemetryZeroPerturbation(t *testing.T) {
+	run := func(workers int, tel *telemetry.Set) ([]FleetTick, int, int) {
+		cfg := DefaultConfig()
+		cfg.CurveJumpStart = jsCurve()
+		cfg.CurveNoJumpStart = noJSCurve()
+		cfg.DefectRate = 0.5
+		cfg.ValidationCatchRate = 0.5
+		cfg.CrashDelay = 30
+		cfg.Workers = workers
+		cfg.Telem = tel
+		f, err := NewFleet(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.StartDeployment()
+		return f.Run(2000), f.Crashes(), f.Fallbacks()
+	}
+
+	base, crashes, fallbacks := run(1, nil)
+	if crashes == 0 {
+		t.Fatal("scenario exercised no crashes; defect path untested")
+	}
+
+	var lastTel *telemetry.Set
+	for _, w := range []int{1, 4, 0} { // 0 = one worker per CPU
+		for _, withTel := range []bool{false, true} {
+			var tel *telemetry.Set
+			if withTel {
+				tel = telemetry.NewSet()
+				lastTel = tel
+			}
+			ticks, c, fb := run(w, tel)
+			if c != crashes || fb != fallbacks {
+				t.Fatalf("workers=%d tel=%v: crashes/fallbacks %d/%d, want %d/%d",
+					w, withTel, c, fb, crashes, fallbacks)
+			}
+			if len(ticks) != len(base) {
+				t.Fatalf("workers=%d tel=%v: %d ticks, want %d", w, withTel, len(ticks), len(base))
+			}
+			for i := range base {
+				if ticks[i] != base[i] {
+					t.Fatalf("workers=%d tel=%v: tick %d diverged:\n  base %+v\n  got  %+v",
+						w, withTel, i, base[i], ticks[i])
+				}
+			}
+		}
+	}
+
+	// The observed runs must agree with the simulation's own counters.
+	if got := lastTel.Metrics.Counter("fleet.crashes_total").Value(); got != uint64(crashes) {
+		t.Fatalf("crash counter %d, want %d", got, crashes)
+	}
+	if got := lastTel.Metrics.Counter("fleet.fallbacks_total").Value(); got != uint64(fallbacks) {
+		t.Fatalf("fallback counter %d, want %d", got, fallbacks)
+	}
+	// Shard collectors: one step per server per tick must have merged.
+	wantSteps := uint64(len(base)) * uint64(3*10*24)
+	if got := lastTel.Metrics.Counter("fleet.steps_total").Value(); got != wantSteps {
+		t.Fatalf("steps counter %d, want %d", got, wantSteps)
+	}
+	if lastTel.Trace.Len() == 0 {
+		t.Fatal("no fleet events recorded")
+	}
+}

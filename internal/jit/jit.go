@@ -16,6 +16,7 @@ import (
 	"jumpstart/internal/bytecode"
 	"jumpstart/internal/layout"
 	"jumpstart/internal/prof"
+	"jumpstart/internal/telemetry"
 	"jumpstart/internal/vasm"
 )
 
@@ -155,6 +156,15 @@ type Translation struct {
 // Instrumented reports whether the translation carries counters.
 func (t *Translation) Instrumented() bool { return t.Counts != nil }
 
+// CodeSize returns the translation's total emitted bytes.
+func (t *Translation) CodeSize() int {
+	size := 0
+	for _, b := range t.Order {
+		size += t.CFG.Blocks[b].Size()
+	}
+	return size
+}
+
 // JIT is the compilation manager for one server.
 type JIT struct {
 	prog *bytecode.Program
@@ -162,6 +172,12 @@ type JIT struct {
 	cc   *CodeCache
 
 	active []*Translation // by FuncID; nil = interpreter
+
+	// Telemetry (all nil when disabled — the methods are nil-safe).
+	tel        *telemetry.Set
+	clock      func() float64
+	cCompile   [4]*telemetry.Counter // by Tier
+	gOccupancy [numRegions]*telemetry.Gauge
 }
 
 // New creates a JIT for prog with the given options and code cache.
@@ -171,6 +187,54 @@ func New(prog *bytecode.Program, opts Options, cc *CodeCache) *JIT {
 		opts:   opts,
 		cc:     cc,
 		active: make([]*Translation, len(prog.Funcs)),
+	}
+}
+
+// SetTelemetry installs the observation set. clock supplies the
+// owner's virtual time for trace events (nil = always 0). Safe to
+// leave uncalled; everything below is nil-safe.
+func (j *JIT) SetTelemetry(tel *telemetry.Set, clock func() float64) {
+	j.tel = tel
+	j.clock = clock
+	for t := TierLive; t <= TierOptimized; t++ {
+		j.cCompile[t] = tel.Counter("jit.compile." + t.String() + "_total")
+	}
+	for r := Region(0); r < numRegions; r++ {
+		j.gOccupancy[r] = tel.Gauge("jit.cache." + r.String() + "_bytes")
+	}
+}
+
+// now returns the owner's virtual time for trace events.
+func (j *JIT) now() float64 {
+	if j.clock == nil {
+		return 0
+	}
+	return j.clock()
+}
+
+// noteCompile records one compilation in the metrics and trace.
+func (j *JIT) noteCompile(t *Translation) {
+	if j.tel == nil {
+		return
+	}
+	j.cCompile[t.Tier].Inc()
+	j.gOccupancy[regionOfTier(t.Tier)].Set(float64(j.cc.Used(regionOfTier(t.Tier))))
+	j.tel.Event(j.now(), "jit", "compile",
+		telemetry.S("fn", t.Fn.Name),
+		telemetry.S("tier", t.Tier.String()),
+		telemetry.I("bytes", int64(t.CodeSize())))
+}
+
+// regionOfTier maps a tier to the region its fresh translations are
+// placed in (optimized code starts in the temp buffers).
+func regionOfTier(t Tier) Region {
+	switch t {
+	case TierProfile:
+		return RegionProfile
+	case TierOptimized:
+		return RegionTemp
+	default:
+		return RegionLive
 	}
 }
 
@@ -195,6 +259,7 @@ func (j *JIT) CompileProfiling(fn *bytecode.Function) (*Translation, error) {
 		return nil, err
 	}
 	j.active[fn.ID] = t
+	j.noteCompile(t)
 	return t, nil
 }
 
@@ -206,6 +271,7 @@ func (j *JIT) CompileLive(fn *bytecode.Function) (*Translation, error) {
 		return nil, err
 	}
 	j.active[fn.ID] = t
+	j.noteCompile(t)
 	return t, nil
 }
 
@@ -226,6 +292,7 @@ func (j *JIT) CompileOptimized(fn *bytecode.Function, p *prof.Profile) (*Transla
 	if err := j.place(t, RegionTemp); err != nil {
 		return nil, err
 	}
+	j.noteCompile(t)
 	return t, nil
 }
 
@@ -264,6 +331,21 @@ func (j *JIT) RelocateOptimized(trans map[string]*Translation, order []string) e
 		}
 	}
 	j.cc.ReleaseTemp()
+	if j.tel != nil {
+		hot, cold := 0, 0
+		for _, t := range trans {
+			hot += t.HotSize
+			cold += t.ColdSize
+		}
+		j.tel.Counter("jit.relocations_total").Inc()
+		j.tel.Event(j.now(), "jit", "relocate",
+			telemetry.I("funcs", int64(len(trans))),
+			telemetry.I("hot_bytes", int64(hot)),
+			telemetry.I("cold_bytes", int64(cold)))
+		for r := Region(0); r < numRegions; r++ {
+			j.gOccupancy[r].Set(float64(j.cc.Used(r)))
+		}
+	}
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"jumpstart/internal/interp"
 	"jumpstart/internal/object"
 	"jumpstart/internal/prof"
+	"jumpstart/internal/telemetry"
 	"jumpstart/internal/value"
 )
 
@@ -37,6 +38,12 @@ type Runtime struct {
 	frames []rtFrame
 
 	callPairs map[prof.CallPair]uint64
+
+	// cp attributes every charged cycle to a telemetry bucket (nil =
+	// profiling off; all CycleProfile methods are nil-safe). The server
+	// installs it once init completes, so init-phase execution stays
+	// attributed to the coarse server-level init buckets.
+	cp *telemetry.CycleProfile
 }
 
 // MemSim is the slice of the micro-architecture simulator the runtime
@@ -95,6 +102,18 @@ func (r *Runtime) Cycles() uint64 { return r.cycles }
 // AddCycles charges extra cycles (used by the server for fixed
 // per-request overheads).
 func (r *Runtime) AddCycles(c uint64) { r.cycles += c }
+
+// AddCyclesBucket charges extra cycles attributed to the given
+// telemetry bucket (used by the server for unit loads and compile
+// costs charged on the request path).
+func (r *Runtime) AddCyclesBucket(c uint64, b telemetry.CycleBucket) {
+	r.cycles += c
+	r.cp.AddUint(b, c)
+}
+
+// SetCycleProfile installs (or removes, with nil) the cycle
+// attribution profiler.
+func (r *Runtime) SetCycleProfile(cp *telemetry.CycleProfile) { r.cp = cp }
 
 // GuardFails returns the number of failed specialization guards.
 func (r *Runtime) GuardFails() uint64 { return r.guardFails }
@@ -166,22 +185,30 @@ func (r *Runtime) OnBlock(fn *bytecode.Function, block int) {
 		// Interpreter: dispatch cost per bytecode instruction.
 		blocks := fn.Blocks()
 		if block < len(blocks) {
-			r.cycles += uint64(blocks[block].Len()) * InterpCyclesPerInstr
+			c := uint64(blocks[block].Len()) * InterpCyclesPerInstr
+			r.cycles += c
+			r.cp.AddUint(telemetry.CycleInterp, c)
 		}
 		return
 	}
 
 	blk := &t.CFG.Blocks[vb]
-	r.cycles += uint64(blk.NInstrs) * CyclesPerVasmInstr
+	c := uint64(blk.NInstrs) * CyclesPerVasmInstr
+	r.cycles += c
+	r.cp.AddUint(telemetry.CycleJITExec, c)
 	if t.Counts != nil {
 		t.Counts[vb]++
 	}
 	if r.microOn {
 		addr := t.BlockAddr[vb]
-		r.cycles += uint64(r.mem.Fetch(addr, blk.Size()))
+		fetch := uint64(r.mem.Fetch(addr, blk.Size()))
+		r.cycles += fetch
+		r.cp.AddUint(telemetry.CycleIFetch, fetch)
 		if f.lastVasm >= 0 && f.lastCond {
 			taken := addr != f.lastAddr+uint64(f.lastSize)
-			r.cycles += uint64(r.mem.Branch(f.lastAddr, taken))
+			br := uint64(r.mem.Branch(f.lastAddr, taken))
+			r.cycles += br
+			r.cp.AddUint(telemetry.CycleBranch, br)
 		}
 	}
 	f.lastVasm = vb
@@ -210,19 +237,23 @@ func (r *Runtime) OnCallSite(fn *bytecode.Function, pc int, callee *bytecode.Fun
 			// Inline guard failed: side exit, generic dispatch.
 			r.guardFails++
 			r.cycles += GuardFailPenalty
+			r.cp.AddUint(telemetry.CycleGuard, GuardFailPenalty)
 		}
 		return
 	}
 	if target, ok := t.Devirt[int32(pc)]; ok && target != callee.Name {
 		r.guardFails++
 		r.cycles += GuardFailPenalty
+		r.cp.AddUint(telemetry.CycleGuard, GuardFailPenalty)
 	}
 }
 
 // OnNewObj implements interp.Tracer.
 func (r *Runtime) OnNewObj(obj *object.Object) {
 	if r.microOn {
-		r.cycles += uint64(r.mem.Data(obj.Addr()))
+		c := uint64(r.mem.Data(obj.Addr()))
+		r.cycles += c
+		r.cp.AddUint(telemetry.CycleData, c)
 	}
 }
 
@@ -231,7 +262,9 @@ func (r *Runtime) OnNewObj(obj *object.Object) {
 // pays off.
 func (r *Runtime) OnPropAccess(obj *object.Object, slot int, write bool) {
 	if r.microOn {
-		r.cycles += uint64(r.mem.Data(obj.SlotAddr(slot)))
+		c := uint64(r.mem.Data(obj.SlotAddr(slot)))
+		r.cycles += c
+		r.cp.AddUint(telemetry.CycleData, c)
 	}
 }
 
@@ -256,6 +289,7 @@ func (r *Runtime) OnOpTypes(fn *bytecode.Function, pc int, a, b value.Kind) {
 		if got != want {
 			r.guardFails++
 			r.cycles += GuardFailPenalty
+			r.cp.AddUint(telemetry.CycleGuard, GuardFailPenalty)
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"jumpstart/internal/prof"
 	"jumpstart/internal/server"
+	"jumpstart/internal/telemetry"
 	"jumpstart/internal/workload"
 )
 
@@ -33,6 +34,9 @@ type BootConfig struct {
 	// calls must differ (any PRNG works; determinism is up to the
 	// caller).
 	Rand func() uint64
+	// Telem observes the boot protocol (may be nil). It is NOT passed
+	// to the booted server — set Server.Telem for that.
+	Telem *telemetry.Set
 }
 
 // BootConsumer implements the consumer start sequence with the
@@ -86,6 +90,9 @@ func BootConsumer(site *workload.Site, store *Store, cfg BootConfig) (*server.Se
 		info.UsedJumpStart = true
 		info.PackageID = pkg.ID
 		info.FallbackReason = ""
+		cfg.Telem.Event(0, "boot", "jumpstart",
+			telemetry.I("package", int64(pkg.ID)),
+			telemetry.I("attempts", int64(info.Attempts)))
 		return srv, info, nil
 	}
 
@@ -100,5 +107,9 @@ func BootConsumer(site *workload.Site, store *Store, cfg BootConfig) (*server.Se
 	if info.FallbackReason == "" {
 		info.FallbackReason = "attempts exhausted"
 	}
+	cfg.Telem.Counter("boot.fallback_total").Inc()
+	cfg.Telem.Event(0, "boot", "fallback",
+		telemetry.S("reason", info.FallbackReason),
+		telemetry.I("attempts", int64(info.Attempts)))
 	return srv, info, nil
 }

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+
+	"jumpstart/internal/telemetry"
 )
 
 // PackageID identifies a published package within the store.
@@ -34,6 +36,11 @@ type Store struct {
 	nextID PackageID
 	pkgs   map[storeKey][]*StoredPackage
 	quar   []*StoredPackage
+
+	// tel/clock observe store traffic (publish, pick, quarantine,
+	// remove). Both may be nil; telemetry never alters store behavior.
+	tel   *telemetry.Set
+	clock func() float64
 }
 
 type storeKey struct{ region, bucket int }
@@ -41,6 +48,23 @@ type storeKey struct{ region, bucket int }
 // NewStore returns an empty store.
 func NewStore() *Store {
 	return &Store{pkgs: make(map[storeKey][]*StoredPackage)}
+}
+
+// SetTelemetry installs the observation set and the virtual clock used
+// to timestamp store events. Either may be nil.
+func (s *Store) SetTelemetry(tel *telemetry.Set, clock func() float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tel = tel
+	s.clock = clock
+}
+
+// now reads the virtual clock; callers must hold s.mu.
+func (s *Store) now() float64 {
+	if s.clock == nil {
+		return 0
+	}
+	return s.clock()
 }
 
 // Publish adds a validated package for (region, bucket) and returns
@@ -57,6 +81,12 @@ func (s *Store) Publish(region, bucket int, data []byte) PackageID {
 	}
 	k := storeKey{region, bucket}
 	s.pkgs[k] = append(s.pkgs[k], p)
+	s.tel.Counter("store.published_total").Inc()
+	s.tel.Event(s.now(), "store", "publish",
+		telemetry.I("id", int64(p.ID)),
+		telemetry.I("region", int64(region)),
+		telemetry.I("bucket", int64(bucket)),
+		telemetry.I("bytes", int64(len(data))))
 	return p.ID
 }
 
@@ -67,6 +97,12 @@ func (s *Store) Quarantine(region, bucket int, data []byte) PackageID {
 	s.nextID++
 	p := &StoredPackage{ID: s.nextID, Region: region, Bucket: bucket, Data: data}
 	s.quar = append(s.quar, p)
+	s.tel.Counter("store.quarantined_total").Inc()
+	s.tel.Event(s.now(), "store", "quarantine",
+		telemetry.I("id", int64(p.ID)),
+		telemetry.I("region", int64(region)),
+		telemetry.I("bucket", int64(bucket)),
+		telemetry.I("bytes", int64(len(data))))
 	return p.ID
 }
 
@@ -126,6 +162,11 @@ func (s *Store) Pick(region, bucket int, rnd uint64, exclude ...PackageID) (*Sto
 	// unavoidable remainder evenly across indices, preserving the
 	// Section VI-A2 argument that consumers pick uniformly at random.
 	idx, _ := bits.Mul64(rnd, uint64(len(candidates)))
+	s.tel.Counter("store.picks_total").Inc()
+	s.tel.Event(s.now(), "store", "pick",
+		telemetry.I("id", int64(candidates[idx].ID)),
+		telemetry.I("candidates", int64(len(candidates))),
+		telemetry.I("excluded", int64(len(exclude))))
 	return candidates[idx], true
 }
 
@@ -144,6 +185,7 @@ func (s *Store) Remove(id PackageID) bool {
 				// long as the bucket's slice lives.
 				list[len(list)-1] = nil
 				s.pkgs[k] = list[:len(list)-1]
+				s.tel.Event(s.now(), "store", "remove", telemetry.I("id", int64(id)))
 				return true
 			}
 		}

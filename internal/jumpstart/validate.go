@@ -6,6 +6,7 @@ import (
 
 	"jumpstart/internal/prof"
 	"jumpstart/internal/server"
+	"jumpstart/internal/telemetry"
 	"jumpstart/internal/workload"
 )
 
@@ -28,6 +29,10 @@ type Validator struct {
 	Thresholds prof.Thresholds
 	// WarmupDeadline bounds the trial boot's virtual warmup seconds.
 	WarmupDeadline float64
+	// Telem observes validation outcomes (may be nil). The trial server
+	// itself runs without telemetry so validation cost stays identical
+	// with observation on or off.
+	Telem *telemetry.Set
 }
 
 // Validation errors.
@@ -42,6 +47,18 @@ var (
 // coverage thresholds, and a real consumer-mode trial boot serving
 // validation traffic. It returns nil only for publishable packages.
 func (v *Validator) Validate(data []byte) error {
+	err := v.validate(data)
+	if err != nil {
+		v.Telem.Counter("validate.fail_total").Inc()
+		v.Telem.Event(0, "validate", "fail", telemetry.S("err", err.Error()))
+	} else {
+		v.Telem.Counter("validate.ok_total").Inc()
+		v.Telem.Event(0, "validate", "ok", telemetry.I("bytes", int64(len(data))))
+	}
+	return err
+}
+
+func (v *Validator) validate(data []byte) error {
 	p, err := prof.Decode(data)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)

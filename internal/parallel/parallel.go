@@ -87,9 +87,18 @@ func ForEach(workers, n int, fn func(i int)) {
 // per-item work is tiny and uniform (e.g. one fleet server per item):
 // the per-tick cost is workers goroutine handoffs, not n.
 func ForEachShard(workers, n int, fn func(lo, hi int)) {
+	ForEachShardIndexed(workers, n, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// ForEachShardIndexed is ForEachShard with the shard's index passed to
+// fn. The index identifies shard-private state (per-shard telemetry
+// collectors, scratch buffers) that the caller merges in index order
+// afterwards; shard boundaries depend only on (workers, n), so the
+// index→range mapping is deterministic.
+func ForEachShardIndexed(workers, n int, fn func(shard, lo, hi int)) {
 	workers = Workers(workers, n)
 	if workers == 1 {
-		fn(0, n)
+		fn(0, 0, n)
 		return
 	}
 	per := (n + workers - 1) / workers
@@ -100,13 +109,20 @@ func ForEachShard(workers, n int, fn func(lo, hi int)) {
 		if hi > n {
 			hi = n
 		}
-		launched++
-		go func(lo, hi int) {
-			fn(lo, hi)
+		go func(shard, lo, hi int) {
+			fn(shard, lo, hi)
 			done <- struct{}{}
-		}(lo, hi)
+		}(launched, lo, hi)
+		launched++
 	}
 	for i := 0; i < launched; i++ {
 		<-done
 	}
+}
+
+// ShardCount returns the number of shards ForEachShardIndexed will
+// launch for (workers, n) — the size callers need to preallocate
+// shard-private state.
+func ShardCount(workers, n int) int {
+	return Workers(workers, n)
 }

@@ -105,7 +105,11 @@ func (s *Server) measureOneFrom(stream *workload.Traffic) (uint64, error) {
 	}
 	ep := s.site.Endpoints[req.Endpoint]
 	_, err := s.ip.Call(ep.Fn, req.Arg)
-	return s.rt.TakeCycles(), err
+	c := s.rt.TakeCycles()
+	// Keep the conservation invariant: every cycle the runtime
+	// attributes to the profile is also counted in totalCharged.
+	s.totalCharged += float64(c)
+	return c, err
 }
 
 // CapacityLoss integrates a tick series against the steady capacity:

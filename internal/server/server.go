@@ -21,6 +21,7 @@ import (
 	"jumpstart/internal/microarch"
 	"jumpstart/internal/object"
 	"jumpstart/internal/prof"
+	"jumpstart/internal/telemetry"
 	"jumpstart/internal/workload"
 )
 
@@ -158,6 +159,12 @@ type Config struct {
 	// MaxQueue bounds the arrival queue (requests beyond it are
 	// dropped — lost capacity).
 	MaxQueue int
+
+	// Telem is the optional observation set (metrics, trace, cycle
+	// profile). Telemetry is zero-perturbation: simulation output is
+	// byte-identical whether it is nil or not (pinned by
+	// TestTelemetryZeroPerturbation).
+	Telem *telemetry.Set
 }
 
 // DefaultConfig returns a configuration whose virtual-time constants
@@ -243,6 +250,7 @@ type Server struct {
 	optQueue     []*bytecode.Function
 	optBudget    float64 // compile cycles remaining for current job
 	relocBudget  float64
+	relocTotal   float64
 	collectReqs  int
 	pkg          *prof.Profile
 
@@ -250,6 +258,20 @@ type Server struct {
 	faults      int
 	liveFull    bool
 	startupDone bool
+
+	// Telemetry. tel may be nil (all uses are nil-safe); the metric
+	// handles are resolved once in New so the serve path stays
+	// allocation-free. totalCharged independently sums every cycle the
+	// server charges — the quantity the cycle profile must conserve.
+	tel          *telemetry.Set
+	totalCharged float64
+	mRequests    *telemetry.Counter
+	mFaults      *telemetry.Counter
+	mDropped     *telemetry.Counter
+	gQueue       *telemetry.Gauge
+	gCodeBytes   *telemetry.Gauge
+	gPhase       *telemetry.Gauge
+	hReqCycles   *telemetry.Histogram
 }
 
 // New builds a server for site with cfg.
@@ -294,9 +316,55 @@ func New(site *workload.Site, cfg Config) (*Server, error) {
 	s.st = &serverTracer{s: s}
 	s.phase = PhaseInit
 	s.initRemaining = cfg.InitCycles
+
+	s.tel = cfg.Telem
+	s.j.SetTelemetry(cfg.Telem, func() float64 { return s.now })
+	s.mRequests = s.tel.Counter("server.requests_total")
+	s.mFaults = s.tel.Counter("server.faults_total")
+	s.mDropped = s.tel.Counter("server.dropped_total")
+	s.gQueue = s.tel.Gauge("server.queue_depth")
+	s.gCodeBytes = s.tel.Gauge("server.code_bytes")
+	s.gPhase = s.tel.Gauge("server.phase")
+	s.hReqCycles = s.tel.Histogram("server.request_cycles",
+		[]float64{1e3, 1e4, 1e5, 1e6, 1e7})
+	s.tel.CycleProf().SetPhase(PhaseInit.String())
+	s.tel.Event(0, "server", "start",
+		telemetry.S("mode", cfg.Mode.String()),
+		telemetry.I("region", int64(cfg.Region)),
+		telemetry.I("bucket", int64(cfg.Bucket)),
+		telemetry.I("seed", int64(cfg.Seed)))
+
 	s.applyTracer()
 	return s, nil
 }
+
+// setPhase transitions the lifecycle phase, recording it in the trace,
+// the phase gauge and the cycle profile.
+func (s *Server) setPhase(p Phase) {
+	if p == s.phase {
+		return
+	}
+	s.tel.Event(s.now, "server", "phase-transition",
+		telemetry.S("from", s.phase.String()),
+		telemetry.S("to", p.String()))
+	s.phase = p
+	s.gPhase.Set(float64(p))
+	s.tel.CycleProf().SetPhase(p.String())
+}
+
+// chargeBG records cycles charged outside the request path (init
+// stages, background compilation, relocation) in both the conservation
+// total and the cycle profile.
+func (s *Server) chargeBG(b telemetry.CycleBucket, cycles float64) {
+	s.totalCharged += cycles
+	s.tel.CycleProf().Add(b, cycles)
+}
+
+// TotalCycles returns every cycle the server has charged so far —
+// request execution, init work, and background compilation. The cycle
+// profile's buckets sum to this value once init has completed
+// (asserted by TestCycleProfileConservation).
+func (s *Server) TotalCycles() float64 { return s.totalCharged }
 
 // applyTracer installs the tracer stack for the current phase: the
 // server tracer and cost-charging runtime always, plus the tier-1
@@ -362,6 +430,7 @@ func (s *Server) Tick() TickStats {
 	if s.queue > maxQ {
 		ts.Dropped = int(s.queue - maxQ)
 		s.queue = maxQ
+		s.mDropped.Add(uint64(ts.Dropped))
 	}
 
 	// Initialization consumes the budget before any serving.
@@ -426,6 +495,8 @@ func (s *Server) Tick() TickStats {
 	ts.T = s.now
 	ts.CodeBytes = s.CodeBytes()
 	ts.Phase = s.phase
+	s.gQueue.Set(s.queue)
+	s.gCodeBytes.Set(float64(ts.CodeBytes))
 	return ts
 }
 
@@ -437,13 +508,6 @@ func (s *Server) Run(seconds float64) []TickStats {
 		out = append(out, s.Tick())
 	}
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // runInit performs initialization work against a cycle budget,
@@ -469,14 +533,21 @@ func (s *Server) runInit(budget float64) float64 {
 		}
 		if !s.startupDone {
 			s.startupDone = true
+			// The fixed process-start stage is fully paid for at this
+			// point; attribute it before the startup stage is costed.
+			s.chargeBG(telemetry.CycleInit, s.cfg.InitCycles)
 			s.initRemaining = s.startupCost()
 			continue
 		}
-		// Fully initialized: transition to serving.
+		// Fully initialized: transition to serving. The runtime's
+		// fine-grained cycle attribution starts here — init-phase
+		// execution was attributed to the coarse init buckets by
+		// startupCost.
+		s.rt.SetCycleProfile(s.tel.CycleProf())
 		if s.cfg.Mode == ModeConsumer {
-			s.phase = PhaseServing
+			s.setPhase(PhaseServing)
 		} else {
-			s.phase = PhaseProfiling
+			s.setPhase(PhaseProfiling)
 			s.col = prof.NewCollector(s.site.Prog)
 		}
 		s.applyTracer()
@@ -496,14 +567,19 @@ func (s *Server) startupCost() float64 {
 		total := 0.0
 		// Preload the units named by the package, in parallel
 		// (Figure 3c / Section VII-A's parallel warmup).
-		total += float64(len(p.Units)) * s.cfg.UnitPreloadCycles / cores
+		preload := float64(len(p.Units)) * s.cfg.UnitPreloadCycles / cores
+		total += preload
+		s.chargeBG(telemetry.CycleUnitLoad, preload)
 		for _, u := range p.Units {
 			s.st.unitLoaded(u)
 		}
+		s.tel.Event(s.now, "server", "consumer-preload",
+			telemetry.I("units", int64(len(p.Units))))
 		// Compile every sufficiently-profiled function in optimized
 		// mode on all cores (the "JIT optimized code" box of
 		// Figure 3c).
 		compileCycles := 0.0
+		compiled := 0
 		for _, name := range p.HotFunctionsMin(uint64(s.cfg.OptimizeMinEntries)) {
 			fn, ok := s.site.Prog.FuncByName(name)
 			if !ok {
@@ -514,9 +590,13 @@ func (s *Server) startupCost() float64 {
 				continue // stale entries are skipped, not fatal
 			}
 			s.optTrans[name] = tr
+			compiled++
 			compileCycles += float64(len(fn.Code)) * s.cfg.Tier2CompileCPI
 		}
 		total += compileCycles / cores
+		s.chargeBG(telemetry.CycleOptimize, compileCycles/cores)
+		s.tel.Event(s.now, "server", "consumer-precompile",
+			telemetry.I("funcs", int64(compiled)))
 		// Relocate following the package's precomputed function order
 		// (category 4, built from the seeded call graph) when the V-B
 		// optimization is on; otherwise recompute locally from the
@@ -531,18 +611,23 @@ func (s *Server) startupCost() float64 {
 			relocBytes += tr.HotSize + tr.ColdSize
 		}
 		if err := s.j.RelocateOptimized(s.optTrans, order); err == nil {
-			total += float64(relocBytes) * s.cfg.RelocCyclesPerByte / cores
+			reloc := float64(relocBytes) * s.cfg.RelocCyclesPerByte / cores
+			total += reloc
+			s.chargeBG(telemetry.CycleReloc, reloc)
 		}
 		// Warmup requests run in parallel (Section VII-A).
-		warmupCycles := s.runWarmupRequests()
-		total += warmupCycles / cores
+		warmupCycles := s.runWarmupRequests() / cores
+		total += warmupCycles
+		s.chargeBG(telemetry.CycleWarmup, warmupCycles)
 		return total
 
 	default:
 		// No Jump-Start (and seeder): warmup requests run
 		// *sequentially* because the metadata load order matters
 		// (Section VII-A).
-		return s.runWarmupRequests()
+		warmupCycles := s.runWarmupRequests()
+		s.chargeBG(telemetry.CycleWarmup, warmupCycles)
+		return warmupCycles
 	}
 }
 
@@ -575,6 +660,12 @@ func (s *Server) serveOne() (uint64, error) {
 	ep := s.site.Endpoints[req.Endpoint]
 	_, err := s.ip.Call(ep.Fn, req.Arg)
 	cycles := s.rt.TakeCycles()
+	s.totalCharged += float64(cycles)
+	s.mRequests.Inc()
+	if err != nil {
+		s.mFaults.Inc()
+	}
+	s.hReqCycles.Observe(float64(cycles))
 
 	switch s.phase {
 	case PhaseProfiling:
@@ -606,7 +697,10 @@ func (s *Server) reachPointA() {
 			s.optQueue = append(s.optQueue, fn)
 		}
 	}
-	s.phase = PhaseOptimizing
+	s.tel.Event(s.now, "server", "point-A",
+		telemetry.I("profiled_reqs", int64(s.profiledReqs)),
+		telemetry.I("opt_queue", int64(len(s.optQueue))))
+	s.setPhase(PhaseOptimizing)
 }
 
 // advanceOptimization spends background cycles compiling queued tier-2
@@ -625,6 +719,9 @@ func (s *Server) advanceOptimization(budget float64) {
 		budget -= s.optBudget
 		s.optBudget = 0
 		s.optQueue = s.optQueue[1:]
+		// The full job cost is attributed when the job completes; the
+		// partial spends across earlier ticks sum to the same amount.
+		s.chargeBG(telemetry.CycleOptimize, float64(len(fn.Code))*s.cfg.Tier2CompileCPI)
 		if tr, err := s.j.CompileOptimized(fn, s.snapshot); err == nil {
 			s.optTrans[fn.Name] = tr
 			if s.relocBudget == 0 {
@@ -642,21 +739,25 @@ func (s *Server) advanceOptimization(budget float64) {
 			bytes += tr.HotSize + tr.ColdSize
 		}
 		s.relocBudget = float64(bytes) * s.cfg.RelocCyclesPerByte
+		s.relocTotal = s.relocBudget
 	}
 	if s.relocBudget > budget {
 		s.relocBudget -= budget
 		return
 	}
 	// Point C: relocate and activate.
+	s.chargeBG(telemetry.CycleReloc, s.relocTotal)
 	order := s.j.FunctionOrder(s.snapshot,
 		s.snapshot.HotFunctionsMin(uint64(s.cfg.OptimizeMinEntries)))
 	if err := s.j.RelocateOptimized(s.optTrans, order); err != nil {
 		s.liveFull = true
 	}
+	s.tel.Event(s.now, "server", "point-C",
+		telemetry.I("optimized_funcs", int64(len(s.optTrans))))
 	if s.cfg.Mode == ModeSeeder {
-		s.phase = PhaseCollecting
+		s.setPhase(PhaseCollecting)
 	} else {
-		s.phase = PhaseServing
+		s.setPhase(PhaseServing)
 	}
 }
 
@@ -673,6 +774,9 @@ func (s *Server) sealSeederPackage() {
 	p.FuncOrder = s.j.FunctionOrderWith(p,
 		p.HotFunctionsMin(uint64(s.cfg.OptimizeMinEntries)), true)
 	s.pkg = p
-	s.phase = PhaseExited
+	s.tel.Event(s.now, "server", "package-sealed",
+		telemetry.I("funcs", int64(len(p.Funcs))),
+		telemetry.I("collect_reqs", int64(s.collectReqs)))
+	s.setPhase(PhaseExited)
 	s.ip.SetTracer(nil)
 }

@@ -4,6 +4,7 @@ import (
 	"jumpstart/internal/bytecode"
 	"jumpstart/internal/interp"
 	"jumpstart/internal/object"
+	"jumpstart/internal/telemetry"
 	"jumpstart/internal/value"
 )
 
@@ -41,7 +42,7 @@ func (t *serverTracer) OnEnter(fn *bytecode.Function) {
 	// that makes early no-Jump-Start requests so slow (Section VII-A).
 	if fn.Unit != nil && !t.loaded[fn.Unit.Name] {
 		t.loaded[fn.Unit.Name] = true
-		s.rt.AddCycles(uint64(s.cfg.UnitPreloadCycles))
+		s.rt.AddCyclesBucket(uint64(s.cfg.UnitPreloadCycles), telemetry.CycleUnitLoad)
 	}
 	t.calls[fn.ID]++
 
@@ -49,7 +50,9 @@ func (t *serverTracer) OnEnter(fn *bytecode.Function) {
 	case PhaseProfiling:
 		if s.j.Active(fn.ID) == nil && t.calls[fn.ID] >= uint32(s.cfg.ProfileTriggerCalls) {
 			if _, err := s.j.CompileProfiling(fn); err == nil {
-				s.rt.AddCycles(uint64(float64(len(fn.Code)) * s.cfg.Tier1CompileCPI))
+				s.rt.AddCyclesBucket(
+					uint64(float64(len(fn.Code))*s.cfg.Tier1CompileCPI),
+					telemetry.CycleTier1Compile)
 			}
 		}
 	case PhaseOptimizing, PhaseServing, PhaseCollecting:
@@ -61,7 +64,9 @@ func (t *serverTracer) OnEnter(fn *bytecode.Function) {
 			if _, err := s.j.CompileLive(fn); err != nil {
 				s.liveFull = true // point D: JITing ceases
 			} else {
-				s.rt.AddCycles(uint64(float64(len(fn.Code)) * s.cfg.LiveCompileCPI))
+				s.rt.AddCyclesBucket(
+					uint64(float64(len(fn.Code))*s.cfg.LiveCompileCPI),
+					telemetry.CycleLiveCompile)
 			}
 		}
 	}

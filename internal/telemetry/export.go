@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+)
+
+// ExportFiles writes the set's accumulated data to files: the event
+// trace as JSONL, the metrics registry as JSON, and the cycle profile
+// as folded stacks rooted at foldedRoot. Empty paths are skipped. A
+// nil set writes nothing and returns nil, so callers can export
+// unconditionally.
+func (s *Set) ExportFiles(tracePath, metricsPath, foldedPath, foldedRoot string) error {
+	if s == nil {
+		return nil
+	}
+	if tracePath != "" {
+		if err := writeFile(tracePath, func(f *os.File) error {
+			return s.Trace.WriteJSONL(f)
+		}); err != nil {
+			return fmt.Errorf("telemetry: trace export: %w", err)
+		}
+	}
+	if metricsPath != "" {
+		if err := writeFile(metricsPath, func(f *os.File) error {
+			return s.Metrics.WriteJSON(f)
+		}); err != nil {
+			return fmt.Errorf("telemetry: metrics export: %w", err)
+		}
+	}
+	if foldedPath != "" {
+		if err := writeFile(foldedPath, func(f *os.File) error {
+			return s.Cycles.WriteFolded(f, foldedRoot)
+		}); err != nil {
+			return fmt.Errorf("telemetry: cycle-profile export: %w", err)
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

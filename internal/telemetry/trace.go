@@ -1,0 +1,187 @@
+package telemetry
+
+import (
+	"io"
+	"strconv"
+)
+
+// DefaultTraceCapacity bounds the event ring when NewTrace is given a
+// non-positive capacity.
+const DefaultTraceCapacity = 8192
+
+// Attr is one ordered key/value attribute of a trace event. Attribute
+// order is preserved in the JSONL export, keeping output deterministic
+// (Go map iteration would not be).
+type Attr struct {
+	Key  string
+	str  string
+	num  float64
+	kind attrKind
+}
+
+type attrKind uint8
+
+const (
+	attrString attrKind = iota
+	attrInt
+	attrFloat
+	attrBool
+)
+
+// S builds a string attribute.
+func S(key, val string) Attr { return Attr{Key: key, str: val, kind: attrString} }
+
+// I builds an integer attribute.
+func I(key string, val int64) Attr { return Attr{Key: key, num: float64(val), kind: attrInt} }
+
+// F builds a float attribute.
+func F(key string, val float64) Attr { return Attr{Key: key, num: val, kind: attrFloat} }
+
+// B builds a boolean attribute.
+func B(key string, val bool) Attr {
+	a := Attr{Key: key, kind: attrBool}
+	if val {
+		a.num = 1
+	}
+	return a
+}
+
+// Event is one structured trace record. T is virtual seconds (the
+// simulation clock, never wall time — wall time would break
+// determinism). Dur is non-zero for spans.
+type Event struct {
+	Seq   uint64
+	T     float64
+	Dur   float64
+	Cat   string
+	Name  string
+	Attrs []Attr
+}
+
+// Trace is a bounded ring buffer of events. When full, the oldest
+// events are overwritten and counted as dropped. Single-writer: record
+// only from the simulation goroutine.
+type Trace struct {
+	events  []Event
+	head    int // index of the oldest event
+	n       int // events currently in the ring
+	seq     uint64
+	dropped uint64
+}
+
+// NewTrace builds a trace ring holding up to capacity events
+// (DefaultTraceCapacity when capacity <= 0).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Trace{events: make([]Event, 0, capacity)}
+}
+
+// Event records an instantaneous event at virtual time t.
+func (tr *Trace) Event(t float64, cat, name string, attrs ...Attr) {
+	tr.Span(t, t, cat, name, attrs...)
+}
+
+// Span records an event covering [t0, t1] virtual seconds.
+func (tr *Trace) Span(t0, t1 float64, cat, name string, attrs ...Attr) {
+	if tr == nil {
+		return
+	}
+	tr.seq++
+	ev := Event{Seq: tr.seq, T: t0, Dur: t1 - t0, Cat: cat, Name: name, Attrs: attrs}
+	if len(tr.events) < cap(tr.events) {
+		tr.events = append(tr.events, ev)
+		tr.n++
+		return
+	}
+	// Ring full: overwrite the oldest.
+	tr.events[tr.head] = ev
+	tr.head = (tr.head + 1) % len(tr.events)
+	tr.dropped++
+}
+
+// Len returns the number of buffered events.
+func (tr *Trace) Len() int {
+	if tr == nil {
+		return 0
+	}
+	return tr.n
+}
+
+// Dropped returns how many events were overwritten.
+func (tr *Trace) Dropped() uint64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.dropped
+}
+
+// Events returns the buffered events oldest-first.
+func (tr *Trace) Events() []Event {
+	if tr == nil {
+		return nil
+	}
+	out := make([]Event, 0, tr.n)
+	for i := 0; i < tr.n; i++ {
+		out = append(out, tr.events[(tr.head+i)%len(tr.events)])
+	}
+	return out
+}
+
+// WriteJSONL writes one JSON object per buffered event, oldest first.
+// The encoding is hand-rolled so attribute order (and therefore the
+// byte stream) is deterministic.
+func (tr *Trace) WriteJSONL(w io.Writer) error {
+	if tr == nil {
+		return nil
+	}
+	var b []byte
+	for i := 0; i < tr.n; i++ {
+		ev := &tr.events[(tr.head+i)%len(tr.events)]
+		b = b[:0]
+		b = append(b, `{"seq":`...)
+		b = strconv.AppendUint(b, ev.Seq, 10)
+		b = append(b, `,"t":`...)
+		b = appendJSONFloat(b, ev.T)
+		if ev.Dur != 0 {
+			b = append(b, `,"dur":`...)
+			b = appendJSONFloat(b, ev.Dur)
+		}
+		b = append(b, `,"cat":`...)
+		b = strconv.AppendQuote(b, ev.Cat)
+		b = append(b, `,"name":`...)
+		b = strconv.AppendQuote(b, ev.Name)
+		if len(ev.Attrs) > 0 {
+			b = append(b, `,"attrs":{`...)
+			for j := range ev.Attrs {
+				a := &ev.Attrs[j]
+				if j > 0 {
+					b = append(b, ',')
+				}
+				b = strconv.AppendQuote(b, a.Key)
+				b = append(b, ':')
+				switch a.kind {
+				case attrString:
+					b = strconv.AppendQuote(b, a.str)
+				case attrInt:
+					b = strconv.AppendInt(b, int64(a.num), 10)
+				case attrFloat:
+					b = appendJSONFloat(b, a.num)
+				case attrBool:
+					if a.num != 0 {
+						b = append(b, "true"...)
+					} else {
+						b = append(b, "false"...)
+					}
+				}
+			}
+			b = append(b, '}')
+		}
+		b = append(b, "}\n"...)
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
