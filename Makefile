@@ -5,7 +5,7 @@ GO ?= go
 # there silently blind every other layer.
 TELEMETRY_COVER_FLOOR ?= 80
 
-.PHONY: build test bench verify cover
+.PHONY: build test bench verify cover faultsweep
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,13 @@ bench:
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Fault-injection gate: the store-brownout determinism test, which
+# re-runs the faulted fleet at -workers 1, 4, and NumCPU under the
+# race detector and requires byte-identical tick series, zero consumer
+# crashes, and a recorded reason for every no-Jump-Start boot.
+faultsweep:
+	$(GO) test -race -count=1 -v -run 'TestFleetBrownoutDeterminism' ./internal/cluster/
 
 # Coverage gate: reports per-package coverage and enforces the floor
 # on internal/telemetry.

@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate (1, 2, 4, 5, 6, lifespan, reliability, fleet, all)")
+	fig := flag.String("fig", "all", "which figure to regenerate (1, 2, 4, 5, 6, lifespan, reliability, fleet, brownout, all)")
 	quick := flag.Bool("quick", false, "use the reduced-scale configuration")
 	workers := flag.Int("workers", 0, "parallel fan-out width (<= 0: one worker per CPU)")
 	sweep := flag.Int("sweep", 0, "run an N-seed sweep of the headline metrics instead of single-seed figures")

@@ -8,6 +8,9 @@
 //	fleetsim                        # one push with Jump-Start
 //	fleetsim -nojumpstart           # one push without
 //	fleetsim -defects 0.5           # inject defective packages
+//	fleetsim -transport             # fetch packages over the simulated network
+//	fleetsim -transport -brownout-start 250 -brownout-seconds 1200 \
+//	         -brownout-drop 0.97    # store brownout during the C3 fetch storm
 //
 // Telemetry (all optional, zero simulation perturbation):
 //
@@ -24,6 +27,8 @@ import (
 
 	"jumpstart/internal/cluster"
 	"jumpstart/internal/experiments"
+	"jumpstart/internal/jumpstart/transport"
+	"jumpstart/internal/netsim"
 	"jumpstart/internal/telemetry"
 )
 
@@ -55,6 +60,12 @@ func run(args []string, stdout io.Writer) error {
 	tracePath := fs.String("trace", "", "write the structured event trace as JSONL")
 	metricsPath := fs.String("metrics", "", "write the metrics registry snapshot as JSON")
 	cycleProf := fs.String("cycleprof", "", "write the virtual-cycle profile as folded stacks")
+	useTransport := fs.Bool("transport", false, "route package publishes/fetches through the networked store over the simulated fabric")
+	netLatency := fs.Float64("net-latency", 0, "base one-way store RPC latency, virtual seconds")
+	fetchBudget := fs.Float64("fetch-budget", 30, "per-boot fetch deadline budget, virtual seconds")
+	brownStart := fs.Float64("brownout-start", 0, "store brownout start, virtual seconds (0 = none)")
+	brownSecs := fs.Float64("brownout-seconds", 0, "store brownout duration")
+	brownDrop := fs.Float64("brownout-drop", 0.95, "store RPC drop rate during the brownout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,6 +94,16 @@ func run(args []string, stdout io.Writer) error {
 	fcfg.JumpStartEnabled = !*noJS
 	fcfg.DefectRate = *defects
 	fcfg.Telem = tel
+	if *useTransport || *brownStart > 0 || *netLatency > 0 {
+		net := netsim.Config{BaseLatency: *netLatency}
+		if *brownStart > 0 && *brownSecs > 0 {
+			net.Faults = append(net.Faults,
+				netsim.Brownout(*brownStart, *brownStart+*brownSecs, *brownDrop, *netLatency))
+		}
+		ccfg := transport.DefaultClientConfig()
+		ccfg.Budget = *fetchBudget
+		fcfg.Transport = &cluster.TransportConfig{Net: net, Client: ccfg}
+	}
 	fleet, err := cluster.NewFleet(fcfg)
 	if err != nil {
 		return err
@@ -105,6 +126,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "# capacity loss over push window = %.2f%%; crashes = %d; fallbacks = %d\n",
 		cluster.CapacityLoss(ticks, fcfg.TickSeconds)*100, fleet.Crashes(), fleet.Fallbacks())
+	for _, rc := range fleet.FallbackReasons() {
+		fmt.Fprintf(stdout, "# fallback reason: %q x%d\n", rc.Reason, rc.Count)
+	}
 
 	return tel.ExportFiles(*tracePath, *metricsPath, *cycleProf, "fleetsim")
 }

@@ -90,3 +90,31 @@ func TestRunSmokeWithTelemetry(t *testing.T) {
 		t.Fatalf("unexpected folded output:\n%s", fb)
 	}
 }
+
+// TestRunTransportBrownout smoke-tests the networked-store flags: a
+// brownout over the fetch window must surface recorded fallback
+// reasons in the summary without crashing anything.
+func TestRunTransportBrownout(t *testing.T) {
+	orig := labConfig
+	labConfig = microConfig
+	defer func() { labConfig = orig }()
+
+	var out strings.Builder
+	// The C3 fetch storm runs from ~t=305 (C1Hold 60 + C2Hold 240)
+	// through the last wave; the brownout blankets it, while seeder
+	// publishes (~t=260) land just before it starts.
+	err := run([]string{
+		"-seconds", "900", "-transport",
+		"-brownout-start", "300", "-brownout-seconds", "600",
+		"-brownout-drop", "0.99", "-fetch-budget", "8",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "crashes = 0") {
+		t.Fatalf("brownout crashed servers:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), `# fallback reason: "fetch budget exhausted"`) {
+		t.Fatalf("missing fallback-reason summary:\n%s", out.String())
+	}
+}

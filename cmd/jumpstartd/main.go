@@ -8,6 +8,12 @@
 //	jumpstartd -mode seeder -package /tmp/profile.pkg         # write a package
 //	jumpstartd -mode consumer -package /tmp/profile.pkg       # read a package
 //
+// Networked profile store (two-process handoff over localhost):
+//
+//	jumpstartd -serve-store 127.0.0.1:8099                    # store daemon
+//	jumpstartd -mode seeder   -store-url http://127.0.0.1:8099  # upload
+//	jumpstartd -mode consumer -store-url http://127.0.0.1:8099  # fetch + boot
+//
 // Telemetry (all optional, zero simulation perturbation):
 //
 //	-trace out.jsonl        # structured event trace
@@ -20,10 +26,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"time"
 
+	"jumpstart/internal/jumpstart"
+	"jumpstart/internal/jumpstart/transport"
 	"jumpstart/internal/prof"
 	"jumpstart/internal/server"
 	"jumpstart/internal/telemetry"
@@ -52,28 +62,54 @@ func run(args []string, stdout io.Writer) error {
 	metricsPath := fs.String("metrics", "", "write the metrics registry snapshot as JSON")
 	cycleProf := fs.String("cycleprof", "", "write the virtual-cycle profile as folded stacks")
 	httpAddr := fs.String("http", "", "serve /metrics and /debug/pprof on this address while simulating")
+	serveStore := fs.String("serve-store", "", "run as a networked profile-store server on this address instead of simulating")
+	serveSeconds := fs.Float64("serve-seconds", 0, "wall seconds to serve the store before exiting (0 = forever)")
+	storeURL := fs.String("store-url", "", "networked profile store base URL (seeder uploads to it, consumer fetches from it)")
+	fetchBudget := fs.Float64("fetch-budget", 30, "consumer per-boot fetch deadline budget, wall seconds")
+	quick := fs.Bool("quick", false, "reduced-scale site and server config (fast demos and tests)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	site, err := workload.GenerateSite(workload.DefaultSiteConfig())
-	if err != nil {
-		return err
-	}
-
-	cfg := server.DefaultConfig()
-	cfg.Region, cfg.Bucket, cfg.Seed = *region, *bucket, *seed
-	if *rps > 0 {
-		cfg.OfferedRPS = *rps
-	}
 	// Telemetry is allocated whenever any sink wants it; the simulation
 	// output is byte-identical either way.
 	var tel *telemetry.Set
 	if *tracePath != "" || *metricsPath != "" || *cycleProf != "" || *httpAddr != "" {
 		tel = telemetry.NewSet()
 	}
+
+	if *serveStore != "" {
+		if err := runStoreServer(*serveStore, *serveSeconds, *pkgPath, *region, *bucket, tel, stdout); err != nil {
+			return err
+		}
+		return tel.ExportFiles(*tracePath, *metricsPath, *cycleProf, "jumpstartd")
+	}
+
+	scfg := workload.DefaultSiteConfig()
+	cfg := server.DefaultConfig()
+	if *quick {
+		scfg.Units, scfg.HelpersPerUnit, scfg.EndpointsPerUnit = 5, 6, 3
+		cfg.OfferedRPS = 150
+		cfg.TickSeconds = 2
+		cfg.ProfileWindow = 300
+		cfg.SeederCollectWindow = 250
+		cfg.InitCycles = 10e6
+		cfg.UnitPreloadCycles = 100e3
+		cfg.WarmupRequests = 4
+		cfg.MicroSampleEvery = 16
+	}
+	site, err := workload.GenerateSite(scfg)
+	if err != nil {
+		return err
+	}
+
+	cfg.Region, cfg.Bucket, cfg.Seed = *region, *bucket, *seed
+	if *rps > 0 {
+		cfg.OfferedRPS = *rps
+	}
 	cfg.Telem = tel
 
+	var s *server.Server
 	switch *mode {
 	case "nojumpstart":
 		cfg.Mode = server.ModeNoJumpStart
@@ -81,22 +117,35 @@ func run(args []string, stdout io.Writer) error {
 		cfg.Mode = server.ModeSeeder
 		cfg.JITOpts.InstrumentOptimized = true
 	case "consumer":
-		cfg.Mode = server.ModeConsumer
-		if *pkgPath == "" {
-			return fmt.Errorf("consumer mode requires -package")
-		}
-		data, err := os.ReadFile(*pkgPath)
-		if err != nil {
-			return err
-		}
-		pkg, err := prof.Decode(data)
-		if err != nil {
-			return err
-		}
-		cfg.Package = pkg
 		cfg.UsePropertyOrder = true
 		cfg.JITOpts.UseVasmCounters = true
 		cfg.JITOpts.UseSeededCallGraph = true
+		if *storeURL != "" {
+			// Networked boot: fetch a package through the retrying
+			// transport client; BootConsumer handles the pick/decode
+			// retries and the automatic no-Jump-Start fallback.
+			srv, info, err := bootFromStore(site, cfg, *storeURL, *fetchBudget, *seed, tel)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "# boot: jumpstart=%v attempts=%d package=%d reason=%q\n",
+				info.UsedJumpStart, info.Attempts, info.PackageID, info.FallbackReason)
+			s = srv
+		} else {
+			cfg.Mode = server.ModeConsumer
+			if *pkgPath == "" {
+				return fmt.Errorf("consumer mode requires -package or -store-url")
+			}
+			data, err := os.ReadFile(*pkgPath)
+			if err != nil {
+				return err
+			}
+			pkg, err := prof.Decode(data)
+			if err != nil {
+				return err
+			}
+			cfg.Package = pkg
+		}
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -111,9 +160,11 @@ func run(args []string, stdout io.Writer) error {
 		}()
 	}
 
-	s, err := server.New(site, cfg)
-	if err != nil {
-		return err
+	if s == nil {
+		s, err = server.New(site, cfg)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(stdout, "# %s server, region %d bucket %d, offered %.0f RPS\n",
 		*mode, *region, *bucket, cfg.OfferedRPS)
@@ -140,9 +191,94 @@ func run(args []string, stdout io.Writer) error {
 			}
 			fmt.Fprintf(stdout, "# wrote %s (%d bytes)\n", *pkgPath, len(pkg.Encode()))
 		}
+		if *storeURL != "" {
+			cli := storeClient(*storeURL, *fetchBudget, *seed, tel)
+			id, err := cli.Publish(*region, *bucket, pkg.Encode())
+			if err != nil {
+				return fmt.Errorf("publish to %s: %w", *storeURL, err)
+			}
+			fmt.Fprintf(stdout, "# published package id=%d (%d bytes) to %s\n",
+				id, len(pkg.Encode()), *storeURL)
+		}
 	}
 
 	return tel.ExportFiles(*tracePath, *metricsPath, *cycleProf, "jumpstartd")
+}
+
+// storeClient builds a retrying transport client against a real store
+// over HTTP, with the wall clock driving timeouts and the per-boot
+// deadline budget.
+func storeClient(url string, budget float64, seed uint64, tel *telemetry.Set) *transport.Client {
+	ccfg := transport.DefaultClientConfig()
+	ccfg.Budget = budget
+	ccfg.Seed = seed
+	cli := transport.NewClient(transport.NewHTTPConn(url, ccfg.RPCTimeout),
+		transport.NewWallClock(), ccfg)
+	cli.SetTelemetry(tel)
+	return cli
+}
+
+// bootFromStore boots a consumer from the networked store: the
+// transport client is the package source, so fetch retries, chunk
+// resume, and the deadline budget all apply; budget exhaustion surfaces
+// as BootInfo.FallbackReason and the server comes up without Jump-Start.
+func bootFromStore(site *workload.Site, cfg server.Config, url string,
+	budget float64, seed uint64, tel *telemetry.Set) (*server.Server, jumpstart.BootInfo, error) {
+	cli := storeClient(url, budget, seed, tel)
+	rnd := seed
+	return jumpstart.BootConsumer(site, cli, jumpstart.BootConfig{
+		Server: cfg,
+		Telem:  tel,
+		Rand: func() uint64 {
+			rnd = rnd*6364136223846793005 + 1442695040888963407
+			return rnd
+		},
+	})
+}
+
+// runStoreServer runs the networked profile store: a jumpstart.Store
+// fronted by the chunked HTTP protocol. An optional -package file is
+// preloaded into (-region, -bucket) so a consumer can fetch it without
+// a live seeder.
+func runStoreServer(addr string, seconds float64, preload string,
+	region, bucket int, tel *telemetry.Set, stdout io.Writer) error {
+	store := jumpstart.NewStore()
+	srv := transport.NewServer(store, 0)
+	if tel != nil {
+		wall := transport.NewWallClock()
+		store.SetTelemetry(tel, wall.Now)
+		srv.SetTelemetry(tel, wall.Now)
+	}
+	if preload != "" {
+		data, err := os.ReadFile(preload)
+		if err != nil {
+			return err
+		}
+		id := store.Publish(region, bucket, data)
+		fmt.Fprintf(stdout, "# preloaded %s as package id=%d (region %d bucket %d)\n",
+			preload, id, region, bucket)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "# store listening on http://%s\n", ln.Addr())
+	hs := &http.Server{Handler: srv.Handler()}
+	if seconds <= 0 {
+		return hs.Serve(ln)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-time.After(time.Duration(seconds * float64(time.Second))):
+	}
+	if err := hs.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "# store shut down after %.2fs\n", seconds)
+	return nil
 }
 
 // telemetryMux serves the live metrics snapshot and the standard Go

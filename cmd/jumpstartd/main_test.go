@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 
+	"jumpstart/internal/jumpstart"
+	"jumpstart/internal/jumpstart/transport"
 	"jumpstart/internal/telemetry"
 )
 
@@ -75,7 +77,80 @@ func TestRunErrors(t *testing.T) {
 		t.Fatal("unknown mode must error")
 	}
 	if err := run([]string{"-mode", "consumer"}, &out); err == nil {
-		t.Fatal("consumer without -package must error")
+		t.Fatal("consumer without -package or -store-url must error")
+	}
+}
+
+// TestStoreHandoff drives the full networked seeder→consumer handoff
+// against a real store server: the seeder simulates, collects, and
+// uploads its package over HTTP; a separate consumer run fetches it
+// through the chunked transport and boots with Jump-Start.
+func TestStoreHandoff(t *testing.T) {
+	store := jumpstart.NewStore()
+	ts := httptest.NewServer(transport.NewServer(store, 4096).Handler())
+	defer ts.Close()
+
+	var seedOut strings.Builder
+	err := run([]string{"-mode", "seeder", "-quick", "-seconds", "600",
+		"-store-url", ts.URL}, &seedOut)
+	if err != nil {
+		t.Fatalf("seeder: %v\n%s", err, seedOut.String())
+	}
+	if !strings.Contains(seedOut.String(), "# published package id=") {
+		t.Fatalf("seeder did not publish:\n%s", seedOut.String())
+	}
+	if store.Count(0, 0) != 1 {
+		t.Fatalf("store holds %d packages", store.Count(0, 0))
+	}
+
+	var consOut strings.Builder
+	err = run([]string{"-mode", "consumer", "-quick", "-seconds", "30",
+		"-store-url", ts.URL}, &consOut)
+	if err != nil {
+		t.Fatalf("consumer: %v\n%s", err, consOut.String())
+	}
+	if !strings.Contains(consOut.String(), "# boot: jumpstart=true") {
+		t.Fatalf("consumer did not jump-start:\n%s", consOut.String())
+	}
+	if !strings.Contains(consOut.String(), "t_seconds,completed") {
+		t.Fatalf("consumer produced no tick series:\n%s", consOut.String())
+	}
+}
+
+// TestConsumerStoreURLFallback: with an unreachable store and a tiny
+// fetch budget the consumer must still come up — without Jump-Start,
+// with the budget exhaustion recorded as the reason.
+func TestConsumerStoreURLFallback(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-mode", "consumer", "-quick", "-seconds", "10",
+		"-store-url", "http://127.0.0.1:1", "-fetch-budget", "0.2"}, &out)
+	if err != nil {
+		t.Fatalf("fallback boot errored: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "# boot: jumpstart=false") ||
+		!strings.Contains(out.String(), "fetch budget exhausted") {
+		t.Fatalf("missing fallback report:\n%s", out.String())
+	}
+}
+
+// TestServeStoreSmoke binds the store daemon to an ephemeral port,
+// preloads a package file, and shuts down on the -serve-seconds timer.
+func TestServeStoreSmoke(t *testing.T) {
+	pkgFile := filepath.Join(t.TempDir(), "p.pkg")
+	if err := os.WriteFile(pkgFile, []byte("opaque-package-bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run([]string{"-serve-store", "127.0.0.1:0", "-serve-seconds", "0.05",
+		"-package", pkgFile}, &out)
+	if err != nil {
+		t.Fatalf("serve-store: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"# store listening on http://127.0.0.1:",
+		"# preloaded", "# store shut down"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q:\n%s", want, out.String())
+		}
 	}
 }
 

@@ -3,9 +3,14 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"sort"
 
+	"jumpstart/internal/jumpstart"
+	"jumpstart/internal/jumpstart/transport"
+	"jumpstart/internal/netsim"
 	"jumpstart/internal/parallel"
 	"jumpstart/internal/telemetry"
+	"jumpstart/internal/workload"
 )
 
 // Config sizes the simulated fleet and its deployment behaviour.
@@ -66,6 +71,33 @@ type Config struct {
 	// merged in shard-index order, so enabling telemetry never changes
 	// the simulation output at any worker count.
 	Telem *telemetry.Set
+
+	// Transport, when non-nil, routes every package publish and fetch
+	// through the networked profile store (internal/jumpstart/transport)
+	// over the simulated fabric instead of the in-memory package list.
+	// With a healthy fabric (zero latency, zero faults) the tick series
+	// is byte-identical to the direct path; under injected faults,
+	// fetches burn virtual time retrying and can exhaust their budget,
+	// which surfaces as a recorded no-Jump-Start fallback.
+	Transport *TransportConfig
+}
+
+// TransportConfig configures the networked store path.
+type TransportConfig struct {
+	// Net is the fault fabric between servers and the store. Boots
+	// sample the "consumer" link, seeder uploads the "seeder" link
+	// (faults with an empty Link hit both).
+	Net netsim.Config
+	// Client tunes timeouts, backoff, and the per-boot deadline budget.
+	// Client.Seed is ignored: each fetch derives its own deterministic
+	// stream from the fleet seed and a fetch sequence number.
+	Client transport.ClientConfig
+	// PackageBytes sizes the synthetic package payloads seeders upload
+	// (<= 0 selects 4096).
+	PackageBytes int
+	// ChunkSize is the server-side chunking granularity (<= 0 selects
+	// the transport default).
+	ChunkSize int
 }
 
 // DefaultConfig returns a modest fleet (3 regions × 10 buckets × 24
@@ -125,10 +157,12 @@ type simServer struct {
 	usedJS     bool
 	fellBack   bool
 	everCrashd int
+	fbReason   string // why the last boot skipped Jump-Start ("" = it didn't)
 }
 
 type pkgInfo struct {
 	defective bool
+	id        jumpstart.PackageID // store id when the transport is wired
 }
 
 // Fleet is the running simulation.
@@ -149,6 +183,19 @@ type Fleet struct {
 	// Counters.
 	crashes   int
 	fallbacks int
+	fbReasons map[string]int
+
+	// Networked store path (nil when Config.Transport is nil). Every
+	// fetch/upload runs to completion inside the sequential merge phase
+	// against a private virtual clock starting at f.now, so the tick
+	// result stays byte-identical at every worker count.
+	tcfg       *TransportConfig
+	store      *jumpstart.Store
+	tsrv       *transport.Server
+	fab        *netsim.Fabric
+	fetchSeq   uint64
+	pubSeq     uint64
+	pkgIdxByID map[jumpstart.PackageID]int
 
 	// scratch is the reusable per-tick result buffer for the parallel
 	// server-stepping phase.
@@ -178,9 +225,19 @@ func NewFleet(cfg Config) (*Fleet, error) {
 		return nil, fmt.Errorf("cluster: invalid fleet dimensions")
 	}
 	f := &Fleet{
-		cfg:      cfg,
-		packages: make(map[[2]int][]pkgInfo),
-		rng:      cfg.Seed*2862933555777941757 + 3037000493,
+		cfg:       cfg,
+		packages:  make(map[[2]int][]pkgInfo),
+		rng:       cfg.Seed*2862933555777941757 + 3037000493,
+		fbReasons: make(map[string]int),
+	}
+	if cfg.Transport != nil {
+		tc := *cfg.Transport
+		if tc.PackageBytes <= 0 {
+			tc.PackageBytes = 4096
+		}
+		f.tcfg = &tc
+		f.fab = netsim.NewFabric(tc.Net)
+		f.resetStore()
 	}
 	total := cfg.Regions * cfg.Buckets * cfg.ServersPerBucket
 	n1 := int(math.Ceil(cfg.C1Fraction * float64(total)))
@@ -243,6 +300,15 @@ func (f *Fleet) randFloat() float64 {
 	return float64(f.rand()>>11) / (1 << 53)
 }
 
+// resetStore replaces the networked store — a new revision's packages
+// live in a fresh namespace.
+func (f *Fleet) resetStore() {
+	f.store = jumpstart.NewStore()
+	f.tsrv = transport.NewServer(f.store, f.tcfg.ChunkSize)
+	f.tsrv.SetTelemetry(f.tel, func() float64 { return f.now })
+	f.pkgIdxByID = make(map[jumpstart.PackageID]int)
+}
+
 // StartDeployment begins a C1→C2→C3 push of a new revision.
 func (f *Fleet) StartDeployment() {
 	f.deploying = true
@@ -250,6 +316,9 @@ func (f *Fleet) StartDeployment() {
 	f.phaseStart = f.now
 	// A new revision invalidates all existing packages.
 	f.packages = make(map[[2]int][]pkgInfo)
+	if f.tcfg != nil {
+		f.resetStore()
+	}
 	f.tel.Event(f.now, "fleet", "deployment-start")
 }
 
@@ -480,7 +549,12 @@ func (f *Fleet) restartC3Wave() {
 		}
 	}
 	per := (len(members) + waves - 1) / waves
+	// Small fleets can have fewer C3 members than waves; later waves
+	// are then empty rather than out of range.
 	lo := f.c3Wave * per
+	if lo > len(members) {
+		lo = len(members)
+	}
 	hi := lo + per
 	if hi > len(members) {
 		hi = len(members)
@@ -492,6 +566,7 @@ func (f *Fleet) restartC3Wave() {
 		s.pkg = -1
 		s.attempts = 0
 		s.crashAt = 0
+		s.fbReason = ""
 	}
 	f.tel.Event(f.now, "fleet", "c3-wave",
 		telemetry.I("wave", int64(f.c3Wave)),
@@ -510,6 +585,7 @@ func (f *Fleet) restartGroup(group int) {
 		s.pkg = -1
 		s.attempts = 0
 		s.crashAt = 0
+		s.fbReason = ""
 	}
 }
 
@@ -531,15 +607,25 @@ func (f *Fleet) bootServer(s *simServer) {
 		key := [2]int{s.region, s.bucket}
 		list := f.packages[key]
 		if len(list) > 0 && s.attempts < f.cfg.MaxJSAttempts {
+			// One fleet-RNG draw per Jump-Start boot, in both the
+			// direct and the networked path — keeping the draw
+			// sequence identical is what makes a healthy transport
+			// byte-identical to the in-memory store.
+			rnd := f.rand()
+			if f.tcfg != nil {
+				f.bootViaTransport(s, rnd, list)
+				return
+			}
 			// Random pick, avoiding the exact package that just
 			// crashed us when alternatives exist.
-			idx := int(f.rand() % uint64(len(list)))
+			idx := int(rnd % uint64(len(list)))
 			if idx == s.pkg && len(list) > 1 {
 				idx = (idx + 1) % len(list)
 			}
 			s.pkg = idx
 			s.attempts++
 			s.usedJS = true
+			s.fbReason = ""
 			s.state = stWarming
 			s.curve = &f.cfg.CurveJumpStart
 			if list[idx].defective {
@@ -554,25 +640,111 @@ func (f *Fleet) bootServer(s *simServer) {
 			return
 		}
 		if len(list) > 0 && s.attempts >= f.cfg.MaxJSAttempts {
-			f.fallbacks++
-			s.fellBack = true
-			f.cFallbk.Inc()
-			f.tel.Event(f.now, "fleet", "fallback",
-				telemetry.I("region", int64(s.region)),
-				telemetry.I("bucket", int64(s.bucket)),
-				telemetry.I("attempts", int64(s.attempts)))
+			f.fallback(s, "max attempts exceeded")
+		} else if len(list) == 0 {
+			// Not counted as a fallback (there was nothing to fall
+			// back from), but recorded so a post-run audit can tell
+			// "never needed Jump-Start" from "wanted it, got nothing".
+			s.fbReason = "no package available"
 		}
 	}
 	// No-Jump-Start boot (disabled, no package, or fallback).
+	f.bootNoJS(s, f.now)
+}
+
+// fallback books a no-Jump-Start fallback with its reason.
+func (f *Fleet) fallback(s *simServer, reason string) {
+	f.fallbacks++
+	s.fellBack = true
+	s.fbReason = reason
+	f.fbReasons[reason]++
+	f.cFallbk.Inc()
+	f.tel.Event(f.now, "fleet", "fallback",
+		telemetry.I("region", int64(s.region)),
+		telemetry.I("bucket", int64(s.bucket)),
+		telemetry.I("attempts", int64(s.attempts)),
+		telemetry.S("reason", reason))
+}
+
+// bootNoJS starts a server on the no-Jump-Start curve at startT (a
+// future startT accounts for virtual time burned fetching first).
+func (f *Fleet) bootNoJS(s *simServer, startT float64) {
 	s.usedJS = false
 	s.state = stWarming
+	s.stateT = startT
 	s.curve = &f.cfg.CurveNoJumpStart
 	s.pkg = -1
 	f.cBoots[0].Inc()
 }
 
+// bootViaTransport runs one consumer boot through the networked store:
+// the whole retrying client state machine executes here, on a private
+// virtual clock starting at f.now, and the server then warms from
+// f.now + elapsed (zero when the fabric is healthy).
+func (f *Fleet) bootViaTransport(s *simServer, rnd uint64, list []pkgInfo) {
+	// Mirror the direct path's crash-avoidance: exclude the package
+	// that just took us down, but only when an alternative exists.
+	var exclude []jumpstart.PackageID
+	if s.attempts > 0 && s.pkg >= 0 && s.pkg < len(list) && len(list) > 1 {
+		exclude = append(exclude, list[s.pkg].id)
+	}
+	s.attempts++
+	cli, clock := f.newTransportClient("consumer")
+	res, err := cli.Fetch(s.region, s.bucket, rnd, exclude)
+	elapsed := clock.Now() - f.now
+	f.tel.Histogram("fleet.fetch_seconds", fetchSecondsBounds).Observe(elapsed)
+	if err != nil {
+		f.fallback(s, cli.PickFailure())
+		f.bootNoJS(s, f.now+elapsed)
+		return
+	}
+	idx, ok := f.pkgIdxByID[res.ID]
+	if !ok {
+		idx = -1
+	}
+	s.pkg = idx
+	s.usedJS = true
+	s.fbReason = ""
+	s.state = stWarming
+	s.stateT = f.now + elapsed
+	s.curve = &f.cfg.CurveJumpStart
+	if idx >= 0 && list[idx].defective {
+		s.crashAt = s.stateT + f.cfg.CrashDelay
+	}
+	f.cBoots[1].Inc()
+	f.tel.Event(f.now, "fleet", "boot-jumpstart",
+		telemetry.I("region", int64(s.region)),
+		telemetry.I("bucket", int64(s.bucket)),
+		telemetry.I("pkg", int64(idx)),
+		telemetry.I("attempt", int64(s.attempts)),
+		telemetry.F("elapsed", elapsed))
+}
+
+// fetchSecondsBounds buckets per-boot fetch time (virtual seconds).
+var fetchSecondsBounds = []float64{0.01, 0.1, 1, 5, 15, 60}
+
+// newTransportClient builds a single-use store client whose fault and
+// jitter streams are forked from the fleet seed and a fetch sequence
+// number — fully deterministic, independent of worker count, and
+// decoupled from the fleet RNG.
+func (f *Fleet) newTransportClient(link string) (*transport.Client, *netsim.VirtualClock) {
+	f.fetchSeq++
+	root := workload.Fork(f.cfg.Seed, 0xf17c0000+f.fetchSeq)
+	clock := netsim.NewVirtualClock(f.now)
+	conn := transport.NewSimConn(f.tsrv, f.fab, link, clock,
+		netsim.NewStream(workload.Fork(root, 0)), f.tcfg.Client.RPCTimeout)
+	ccfg := f.tcfg.Client
+	ccfg.Seed = workload.Fork(root, 1)
+	cli := transport.NewClient(conn, clock, ccfg)
+	cli.SetTelemetry(f.tel)
+	return cli, clock
+}
+
 // publishFrom records the package a seeder collected, applying the
-// defect/validation model.
+// defect/validation model. With the transport wired, the package body
+// is uploaded through the retrying client; a terminal upload failure
+// (store unreachable for the whole publish budget) simply drops the
+// package — consumers degrade to no-Jump-Start boots, nothing crashes.
 func (f *Fleet) publishFrom(s *simServer) {
 	defective := f.randFloat() < f.cfg.DefectRate
 	if defective && f.randFloat() < f.cfg.ValidationCatchRate {
@@ -582,12 +754,42 @@ func (f *Fleet) publishFrom(s *simServer) {
 		defective = false
 	}
 	key := [2]int{s.region, s.bucket}
-	f.packages[key] = append(f.packages[key], pkgInfo{defective: defective})
+	info := pkgInfo{defective: defective}
+	if f.tcfg != nil {
+		cli, _ := f.newTransportClient("seeder")
+		id, err := cli.Publish(s.region, s.bucket, f.packagePayload())
+		if err != nil {
+			f.tel.Counter("fleet.publish_failed_total").Inc()
+			f.tel.Event(f.now, "fleet", "publish-failed",
+				telemetry.I("region", int64(s.region)),
+				telemetry.I("bucket", int64(s.bucket)),
+				telemetry.S("err", err.Error()))
+			return
+		}
+		info.id = id
+		f.pkgIdxByID[id] = len(f.packages[key])
+	}
+	f.packages[key] = append(f.packages[key], info)
 	f.tel.Counter("fleet.published_total").Inc()
 	f.tel.Event(f.now, "fleet", "publish",
 		telemetry.I("region", int64(s.region)),
 		telemetry.I("bucket", int64(s.bucket)),
 		telemetry.B("defective", defective))
+}
+
+// packagePayload builds a deterministic synthetic package body. The
+// transport moves opaque bytes; the fleet model never decodes them.
+func (f *Fleet) packagePayload() []byte {
+	f.pubSeq++
+	st := netsim.NewStream(workload.Fork(f.cfg.Seed, 0x9b110000+f.pubSeq))
+	out := make([]byte, f.tcfg.PackageBytes)
+	for i := 0; i < len(out); i += 8 {
+		v := st.Uint64()
+		for j := 0; j < 8 && i+j < len(out); j++ {
+			out[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return out
 }
 
 // Run advances the fleet for the given duration.
@@ -608,6 +810,50 @@ func (f *Fleet) Crashes() int { return f.crashes }
 
 // Fallbacks returns cumulative no-Jump-Start fallbacks.
 func (f *Fleet) Fallbacks() int { return f.fallbacks }
+
+// ReasonCount is one fallback reason with its occurrence count.
+type ReasonCount struct {
+	Reason string
+	Count  int
+}
+
+// FallbackReasons returns the counted fallback reasons sorted by
+// reason string, so the output is stable for summaries and diffs.
+func (f *Fleet) FallbackReasons() []ReasonCount {
+	out := make([]ReasonCount, 0, len(f.fbReasons))
+	for r, n := range f.fbReasons {
+		out = append(out, ReasonCount{Reason: r, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Reason < out[j].Reason })
+	return out
+}
+
+// ServerOutcome is one server's boot disposition at the end of a run.
+type ServerOutcome struct {
+	Group    int
+	UsedJS   bool
+	FellBack bool
+	Reason   string // last boot's no-Jump-Start reason, "" if it jump-started
+	Crashes  int
+}
+
+// Outcomes snapshots every server's boot disposition — the audit
+// surface for "every consumer either jump-started or fell back with a
+// recorded reason".
+func (f *Fleet) Outcomes() []ServerOutcome {
+	out := make([]ServerOutcome, len(f.servers))
+	for i := range f.servers {
+		s := &f.servers[i]
+		out[i] = ServerOutcome{
+			Group:    s.group,
+			UsedJS:   s.usedJS,
+			FellBack: s.fellBack,
+			Reason:   s.fbReason,
+			Crashes:  s.everCrashd,
+		}
+	}
+	return out
+}
 
 // Servers returns the fleet size.
 func (f *Fleet) Servers() int { return len(f.servers) }

@@ -12,7 +12,9 @@ import (
 
 	"jumpstart/internal/cluster"
 	"jumpstart/internal/core"
+	"jumpstart/internal/jumpstart/transport"
 	"jumpstart/internal/microarch"
+	"jumpstart/internal/netsim"
 	"jumpstart/internal/parallel"
 	"jumpstart/internal/prof"
 	"jumpstart/internal/server"
@@ -510,6 +512,82 @@ func (l *Lab) Reliability() (ReliabilityResult, error) {
 		LossNoDefect: cluster.CapacityLoss(clean, l.Cfg.FleetCfg.TickSeconds),
 		LossDefect:   cluster.CapacityLoss(dirty, l.Cfg.FleetCfg.TickSeconds),
 	}, nil
+}
+
+// BrownoutResult compares deployments fetching packages through the
+// networked profile store: direct in-memory baseline, transport over a
+// healthy fabric (must match the baseline exactly — the transport is
+// perf-neutral when the network is), and transport under a store
+// brownout covering the C3 fetch storm.
+type BrownoutResult struct {
+	LossDirect   float64
+	LossHealthy  float64
+	LossBrownout float64
+	Crashes      int // brownout run; graceful degradation means 0
+	Fallbacks    int // brownout run fallbacks, all with recorded reasons
+	HealthyEqual bool
+}
+
+// Brownout deploys the fleet through the networked store three ways
+// and reports the capacity cost of a degraded store.
+func (l *Lab) Brownout() (BrownoutResult, error) {
+	curves, err := l.fleetCurves()
+	if err != nil {
+		return BrownoutResult{}, err
+	}
+	run := func(tc *cluster.TransportConfig) (*cluster.Fleet, []cluster.FleetTick, error) {
+		cfg := l.Cfg.FleetCfg
+		cfg.Workers = l.Cfg.Workers
+		cfg.CurveJumpStart = curves[0]
+		cfg.CurveNoJumpStart = curves[1]
+		cfg.Transport = tc
+		f, err := cluster.NewFleet(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		f.StartDeployment()
+		return f, f.Run(6 * l.Cfg.Horizon), nil
+	}
+	healthyCfg := func() *cluster.TransportConfig {
+		cc := transport.DefaultClientConfig()
+		cc.Budget = 10
+		return &cluster.TransportConfig{Client: cc}
+	}
+	_, direct, err := run(nil)
+	if err != nil {
+		return BrownoutResult{}, err
+	}
+	_, healthy, err := run(healthyCfg())
+	if err != nil {
+		return BrownoutResult{}, err
+	}
+	// Blanket the C3 phase (it starts after the C1 and C2 holds).
+	browned := healthyCfg()
+	c3 := l.Cfg.FleetCfg.C1Hold + l.Cfg.FleetCfg.C2Hold
+	browned.Net = netsim.Config{
+		BaseLatency: 0.02,
+		Faults:      []netsim.Fault{netsim.Brownout(c3, c3+6*l.Cfg.Horizon, 0.97, 0.5)},
+	}
+	f, dirty, err := run(browned)
+	if err != nil {
+		return BrownoutResult{}, err
+	}
+	dt := l.Cfg.FleetCfg.TickSeconds
+	res := BrownoutResult{
+		LossDirect:   cluster.CapacityLoss(direct, dt),
+		LossHealthy:  cluster.CapacityLoss(healthy, dt),
+		LossBrownout: cluster.CapacityLoss(dirty, dt),
+		Crashes:      f.Crashes(),
+		Fallbacks:    f.Fallbacks(),
+		HealthyEqual: len(direct) == len(healthy),
+	}
+	for i := range direct {
+		if !res.HealthyEqual || direct[i] != healthy[i] {
+			res.HealthyEqual = false
+			break
+		}
+	}
+	return res, nil
 }
 
 // FleetDeploy runs the full C1/C2/C3 deployment with and without

@@ -166,3 +166,26 @@ func TestReliabilityAndFleet(t *testing.T) {
 	t.Logf("FleetDeploy: loss JS=%.2f%% noJS=%.2f%% reduction=%.1f%%",
 		lossJS*100, lossNoJS*100, (1-lossJS/lossNoJS)*100)
 }
+
+func TestBrownout(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Brownout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HealthyEqual || res.LossHealthy != res.LossDirect {
+		t.Fatalf("healthy transport not perf-neutral: direct %.4f vs transport %.4f (equal=%v)",
+			res.LossDirect, res.LossHealthy, res.HealthyEqual)
+	}
+	if res.Crashes != 0 {
+		t.Fatalf("brownout crashed %d servers", res.Crashes)
+	}
+	if res.Fallbacks == 0 {
+		t.Fatal("brownout inert: no fallbacks")
+	}
+	if res.LossBrownout <= res.LossHealthy {
+		t.Fatalf("brownout cost nothing: %.4f vs %.4f", res.LossBrownout, res.LossHealthy)
+	}
+	t.Logf("Brownout: loss direct=%.2f%% healthy=%.2f%% brownout=%.2f%% fallbacks=%d",
+		res.LossDirect*100, res.LossHealthy*100, res.LossBrownout*100, res.Fallbacks)
+}

@@ -10,7 +10,7 @@ import (
 
 // FigureOrder lists every known figure in report order. RunFigures
 // emits its output in this order regardless of scheduling.
-var FigureOrder = []string{"1", "2", "4", "5", "6", "lifespan", "reliability", "fleet"}
+var FigureOrder = []string{"1", "2", "4", "5", "6", "lifespan", "reliability", "fleet", "brownout"}
 
 // KnownFigure reports whether name is a figure RunFigures can render.
 func KnownFigure(name string) bool {
@@ -65,6 +65,8 @@ func (l *Lab) WriteFigure(w io.Writer, fig string) error {
 		return l.WriteReliability(w)
 	case "fleet":
 		return l.WriteFleet(w)
+	case "brownout":
+		return l.WriteBrownout(w)
 	}
 	return fmt.Errorf("experiments: unknown figure %q", fig)
 }
@@ -209,6 +211,19 @@ func (l *Lab) WriteReliability(w io.Writer) error {
 		res.Crashes, res.Fallbacks, res.FinalCap)
 	fmt.Fprintf(w, "fleet capacity loss: clean=%.2f%% with_defects=%.2f%%\n\n",
 		res.LossNoDefect*100, res.LossDefect*100)
+	return nil
+}
+
+// WriteBrownout renders the networked-store degradation comparison.
+func (l *Lab) WriteBrownout(w io.Writer) error {
+	res, err := l.Brownout()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "## Store brownout: networked package fetches under a degraded fabric")
+	fmt.Fprintf(w, "capacity loss: direct=%.2f%% transport_healthy=%.2f%% (identical=%v) brownout=%.2f%%\n",
+		res.LossDirect*100, res.LossHealthy*100, res.HealthyEqual, res.LossBrownout*100)
+	fmt.Fprintf(w, "brownout run: crashes=%d fallbacks=%d\n\n", res.Crashes, res.Fallbacks)
 	return nil
 }
 

@@ -9,6 +9,21 @@ import (
 	"jumpstart/internal/workload"
 )
 
+// PackageSource is where BootConsumer draws packages from: the
+// in-memory *Store directly, or a transport client that fetches over
+// the (real or simulated) network.
+type PackageSource interface {
+	Pick(region, bucket int, rnd uint64, exclude ...PackageID) (*StoredPackage, bool)
+}
+
+// pickFailureReporter is optionally implemented by a PackageSource
+// that can explain why its last Pick returned no package (e.g. the
+// transport client's "fetch budget exhausted"). The reason becomes the
+// consumer's FallbackReason.
+type pickFailureReporter interface {
+	PickFailure() string
+}
+
 // BootInfo describes how a consumer came up.
 type BootInfo struct {
 	// UsedJumpStart reports whether the server booted from a package.
@@ -37,6 +52,17 @@ type BootConfig struct {
 	// Telem observes the boot protocol (may be nil). It is NOT passed
 	// to the booted server — set Server.Telem for that.
 	Telem *telemetry.Set
+	// Clock supplies the virtual time stamped onto boot events (nil
+	// stamps 0, like Store.SetTelemetry's clock).
+	Clock func() float64
+}
+
+// now reads the boot clock for event timestamps.
+func (c *BootConfig) now() float64 {
+	if c.Clock == nil {
+		return 0
+	}
+	return c.Clock()
 }
 
 // BootConsumer implements the consumer start sequence with the
@@ -46,7 +72,7 @@ type BootConfig struct {
 // package exists or attempts run out, automatically restart with
 // Jump-Start disabled — i.e. a ModeNoJumpStart server that collects
 // its own profile.
-func BootConsumer(site *workload.Site, store *Store, cfg BootConfig) (*server.Server, BootInfo, error) {
+func BootConsumer(site *workload.Site, source PackageSource, cfg BootConfig) (*server.Server, BootInfo, error) {
 	info := BootInfo{}
 	maxAttempts := cfg.MaxAttempts
 	if maxAttempts <= 0 {
@@ -65,9 +91,20 @@ func BootConsumer(site *workload.Site, store *Store, cfg BootConfig) (*server.Se
 
 	var failed []PackageID
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
-		pkg, ok := store.Pick(cfg.Server.Region, cfg.Server.Bucket, rnd(), failed...)
+		pkg, ok := source.Pick(cfg.Server.Region, cfg.Server.Bucket, rnd(), failed...)
 		if !ok {
-			info.FallbackReason = "no package available"
+			// No package: either the store has none left to offer
+			// (every candidate already failed this consumer — fall
+			// back immediately rather than retrying a known-bad
+			// package), or a networked source gave up and can say why.
+			if pf, okr := source.(pickFailureReporter); okr {
+				if r := pf.PickFailure(); r != "" {
+					info.FallbackReason = r
+				}
+			}
+			if info.FallbackReason == "" {
+				info.FallbackReason = "no package available"
+			}
 			break
 		}
 		info.Attempts = attempt
@@ -90,7 +127,7 @@ func BootConsumer(site *workload.Site, store *Store, cfg BootConfig) (*server.Se
 		info.UsedJumpStart = true
 		info.PackageID = pkg.ID
 		info.FallbackReason = ""
-		cfg.Telem.Event(0, "boot", "jumpstart",
+		cfg.Telem.Event(cfg.now(), "boot", "jumpstart",
 			telemetry.I("package", int64(pkg.ID)),
 			telemetry.I("attempts", int64(info.Attempts)))
 		return srv, info, nil
@@ -108,7 +145,7 @@ func BootConsumer(site *workload.Site, store *Store, cfg BootConfig) (*server.Se
 		info.FallbackReason = "attempts exhausted"
 	}
 	cfg.Telem.Counter("boot.fallback_total").Inc()
-	cfg.Telem.Event(0, "boot", "fallback",
+	cfg.Telem.Event(cfg.now(), "boot", "fallback",
 		telemetry.S("reason", info.FallbackReason),
 		telemetry.I("attempts", int64(info.Attempts)))
 	return srv, info, nil

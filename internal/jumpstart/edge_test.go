@@ -123,6 +123,69 @@ func TestBootConsumerFallbackBootFailure(t *testing.T) {
 	}
 }
 
+// TestBootEventsStampVirtualTime pins the boot-clock fix: with a clock
+// threaded through BootConfig, boot/jumpstart and boot/fallback events
+// carry the restart's virtual time instead of a hard-coded 0.
+func TestBootEventsStampVirtualTime(t *testing.T) {
+	site, data := siteAndPackageBytes(t)
+
+	// Jump-started boot at t=123.
+	store := NewStore()
+	store.Publish(0, 0, data)
+	tel := telemetry.NewSet()
+	_, info, err := BootConsumer(site, store, BootConfig{
+		Server: fastServerConfig(),
+		Telem:  tel,
+		Clock:  func() float64 { return 123 },
+	})
+	if err != nil || !info.UsedJumpStart {
+		t.Fatalf("boot: err=%v info=%+v", err, info)
+	}
+	evs := tel.Trace.Events()
+	if len(evs) != 1 || evs[0].Name != "jumpstart" || evs[0].T != 123 {
+		t.Fatalf("jumpstart event = %+v", evs)
+	}
+
+	// Fallback boot at t=456.
+	tel = telemetry.NewSet()
+	_, info, err = BootConsumer(site, NewStore(), BootConfig{
+		Server: fastServerConfig(),
+		Telem:  tel,
+		Clock:  func() float64 { return 456 },
+	})
+	if err != nil || info.UsedJumpStart {
+		t.Fatalf("fallback boot: err=%v info=%+v", err, info)
+	}
+	evs = tel.Trace.Events()
+	if len(evs) != 1 || evs[0].Name != "fallback" || evs[0].T != 456 {
+		t.Fatalf("fallback event = %+v", evs)
+	}
+}
+
+// failingSource is a PackageSource that never delivers and reports why
+// — the shape of a transport client whose fetch budget ran out.
+type failingSource struct{ reason string }
+
+func (f *failingSource) Pick(region, bucket int, rnd uint64, exclude ...PackageID) (*StoredPackage, bool) {
+	return nil, false
+}
+func (f *failingSource) PickFailure() string { return f.reason }
+
+// TestBootConsumerSourceFailureReason checks that a source's pick
+// failure explanation (e.g. the transport's deadline budget) surfaces
+// as the consumer's FallbackReason.
+func TestBootConsumerSourceFailureReason(t *testing.T) {
+	site, _ := siteAndPackageBytes(t)
+	src := &failingSource{reason: "fetch budget exhausted"}
+	srv, info, err := BootConsumer(site, src, BootConfig{Server: fastServerConfig()})
+	if err != nil || srv == nil {
+		t.Fatalf("fallback boot failed: %v", err)
+	}
+	if info.UsedJumpStart || info.FallbackReason != "fetch budget exhausted" {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
 // TestStoreTelemetryEvents checks the store's publish / pick /
 // quarantine / remove instrumentation, including the virtual-clock
 // timestamps.

@@ -96,9 +96,11 @@ func TestStorePublishPickRemove(t *testing.T) {
 			t.Fatal("exclusion ignored")
 		}
 	}
-	// ...but still returns something when everything is excluded.
-	if _, ok := s.Pick(0, 3, 1, id1, id2); !ok {
-		t.Fatal("total exclusion must still pick")
+	// Excluding every candidate yields no package: a consumer that has
+	// failed on all of them must fall back, not be handed a known-bad
+	// package again.
+	if _, ok := s.Pick(0, 3, 1, id1, id2); ok {
+		t.Fatal("total exclusion must report no package")
 	}
 	if !s.Remove(id1) || s.Remove(id1) {
 		t.Fatal("remove")
@@ -290,6 +292,35 @@ func TestBootConsumerAllCorruptFallsBack(t *testing.T) {
 	}
 	if info.UsedJumpStart {
 		t.Fatal("all-corrupt store must fall back")
+	}
+	if !strings.Contains(info.FallbackReason, "undecodable") {
+		t.Fatalf("reason = %q", info.FallbackReason)
+	}
+}
+
+// TestBootConsumerAllExcludedFallsBackEarly pins the Pick-exclusion
+// fix end to end: with two bad packages and generous MaxAttempts, the
+// consumer must fall back as soon as both are excluded instead of
+// burning the remaining attempts re-trying known-bad packages.
+func TestBootConsumerAllExcludedFallsBackEarly(t *testing.T) {
+	site, data := siteAndPackageBytes(t)
+	store := NewStore()
+	for i := 0; i < 2; i++ {
+		bad := append([]byte{}, data...)
+		bad[30+i] ^= 0x3c
+		store.Publish(0, 0, bad)
+	}
+	_, info, err := BootConsumer(site, store, BootConfig{
+		Server: fastServerConfig(), MaxAttempts: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.UsedJumpStart {
+		t.Fatal("all-corrupt store must fall back")
+	}
+	if info.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (one per package, then immediate fallback)", info.Attempts)
 	}
 	if !strings.Contains(info.FallbackReason, "undecodable") {
 		t.Fatalf("reason = %q", info.FallbackReason)

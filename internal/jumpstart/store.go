@@ -34,8 +34,17 @@ type StoredPackage struct {
 type Store struct {
 	mu     sync.Mutex
 	nextID PackageID
-	pkgs   map[storeKey][]*StoredPackage
-	quar   []*StoredPackage
+
+	pkgs map[storeKey][]*StoredPackage
+
+	// Quarantine is a bounded ring (most recent quarCap entries kept,
+	// older ones dropped and counted) mirroring the event tracer's
+	// design: a long fleet run with a persistently bad seeder must not
+	// grow the store without bound.
+	quar     []*StoredPackage
+	quarHead int // index of the oldest quarantined entry
+	quarCap  int
+	quarDrop uint64
 
 	// tel/clock observe store traffic (publish, pick, quarantine,
 	// remove). Both may be nil; telemetry never alters store behavior.
@@ -45,9 +54,16 @@ type Store struct {
 
 type storeKey struct{ region, bucket int }
 
+// DefaultQuarantineCap bounds the quarantine ring when no explicit cap
+// is set.
+const DefaultQuarantineCap = 64
+
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{pkgs: make(map[storeKey][]*StoredPackage)}
+	return &Store{
+		pkgs:    make(map[storeKey][]*StoredPackage),
+		quarCap: DefaultQuarantineCap,
+	}
 }
 
 // SetTelemetry installs the observation set and the virtual clock used
@@ -90,13 +106,39 @@ func (s *Store) Publish(region, bucket int, data []byte) PackageID {
 	return p.ID
 }
 
-// Quarantine records a package that failed validation.
+// SetQuarantineCap resizes the quarantine ring, keeping the most
+// recent k entries (k <= 0 restores the default cap).
+func (s *Store) SetQuarantineCap(k int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if k <= 0 {
+		k = DefaultQuarantineCap
+	}
+	kept := s.quarantinedLocked()
+	if len(kept) > k {
+		s.quarDrop += uint64(len(kept) - k)
+		kept = kept[len(kept)-k:]
+	}
+	s.quarCap = k
+	s.quar = append(make([]*StoredPackage, 0, k), kept...)
+	s.quarHead = 0
+}
+
+// Quarantine records a package that failed validation. When the
+// bounded ring is full the oldest entry is overwritten and counted as
+// dropped.
 func (s *Store) Quarantine(region, bucket int, data []byte) PackageID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
 	p := &StoredPackage{ID: s.nextID, Region: region, Bucket: bucket, Data: data}
-	s.quar = append(s.quar, p)
+	if len(s.quar) < s.quarCap {
+		s.quar = append(s.quar, p)
+	} else {
+		s.quar[s.quarHead] = p
+		s.quarHead = (s.quarHead + 1) % len(s.quar)
+		s.quarDrop++
+	}
 	s.tel.Counter("store.quarantined_total").Inc()
 	s.tel.Event(s.now(), "store", "quarantine",
 		telemetry.I("id", int64(p.ID)),
@@ -113,26 +155,64 @@ func (s *Store) Count(region, bucket int) int {
 	return len(s.pkgs[storeKey{region, bucket}])
 }
 
-// QuarantinedCount returns the number of quarantined packages.
+// QuarantinedCount returns the number of quarantined packages held in
+// the ring.
 func (s *Store) QuarantinedCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.quar)
 }
 
-// Quarantined returns the quarantined packages (debugging workflow).
+// QuarantineDropped returns how many quarantined packages were evicted
+// from the bounded ring.
+func (s *Store) QuarantineDropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarDrop
+}
+
+// Quarantined returns the quarantined packages, oldest first
+// (debugging workflow).
 func (s *Store) Quarantined() []*StoredPackage {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]*StoredPackage{}, s.quar...)
+	return s.quarantinedLocked()
+}
+
+// quarantinedLocked copies the ring oldest-first; callers hold s.mu.
+func (s *Store) quarantinedLocked() []*StoredPackage {
+	out := make([]*StoredPackage, 0, len(s.quar))
+	for i := 0; i < len(s.quar); i++ {
+		out = append(out, s.quar[(s.quarHead+i)%len(s.quar)])
+	}
+	return out
+}
+
+// Get returns the published package with the given id (the transport
+// server resolves chunk requests through this).
+func (s *Store) Get(id PackageID) (*StoredPackage, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, list := range s.pkgs {
+		for _, p := range list {
+			if p.ID == id {
+				return p, true
+			}
+		}
+	}
+	return nil, false
 }
 
 // Pick returns a uniformly random package for (region, bucket), using
 // the caller-supplied random value (consumers re-pick on every
 // restart, which is what makes crash loops decay exponentially —
-// Section VI-A2). exclude lists package ids to avoid when possible
-// (a consumer retrying after a crash avoids the package that just
-// failed it).
+// Section VI-A2). exclude lists package ids to avoid (a consumer
+// retrying after a crash avoids the packages that already failed it).
+// When every candidate is excluded Pick reports no package rather than
+// silently re-offering a known-bad one: handing the retrying consumer
+// the exact package that just crashed it would burn its remaining
+// attempts and defeat the VI-A2 crash-loop-decay argument, so the
+// caller is expected to fall back immediately.
 func (s *Store) Pick(region, bucket int, rnd uint64, exclude ...PackageID) (*StoredPackage, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -152,9 +232,14 @@ func (s *Store) Pick(region, bucket int, rnd uint64, exclude ...PackageID) (*Sto
 				filtered = append(filtered, p)
 			}
 		}
-		if len(filtered) > 0 {
-			candidates = filtered
+		if len(filtered) == 0 {
+			s.tel.Counter("store.picks_exhausted_total").Inc()
+			s.tel.Event(s.now(), "store", "pick-exhausted",
+				telemetry.I("candidates", int64(len(all))),
+				telemetry.I("excluded", int64(len(exclude))))
+			return nil, false
 		}
+		candidates = filtered
 	}
 	// Fixed-point bounded draw (multiply-shift): floor(rnd·n / 2^64).
 	// Unlike rnd % n, which systematically over-selects low-index

@@ -39,6 +39,52 @@ func TestRemoveDropsReference(t *testing.T) {
 	}
 }
 
+// TestQuarantineRingBounded pins the bounded-quarantine fix: the store
+// keeps only the most recent K quarantined packages, counts evictions,
+// and returns survivors oldest-first — mirroring the event tracer's
+// bounded ring.
+func TestQuarantineRingBounded(t *testing.T) {
+	s := NewStore()
+	s.SetQuarantineCap(4)
+	var ids []PackageID
+	for i := 0; i < 10; i++ {
+		ids = append(ids, s.Quarantine(0, 0, []byte{byte(i)}))
+	}
+	if got := s.QuarantinedCount(); got != 4 {
+		t.Fatalf("count = %d, want cap 4", got)
+	}
+	if got := s.QuarantineDropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	q := s.Quarantined()
+	for i, p := range q {
+		if p.ID != ids[6+i] {
+			t.Fatalf("ring[%d] = id %d, want %d (most recent, oldest-first)", i, p.ID, ids[6+i])
+		}
+	}
+	// Shrinking the cap keeps the newest survivors and counts the rest.
+	s.SetQuarantineCap(2)
+	if s.QuarantinedCount() != 2 || s.QuarantineDropped() != 8 {
+		t.Fatalf("after shrink: count=%d dropped=%d", s.QuarantinedCount(), s.QuarantineDropped())
+	}
+	if q := s.Quarantined(); q[0].ID != ids[8] || q[1].ID != ids[9] {
+		t.Fatalf("shrink kept wrong entries: %d %d", q[0].ID, q[1].ID)
+	}
+}
+
+// TestStoreGet covers the transport server's package lookup.
+func TestStoreGet(t *testing.T) {
+	s := NewStore()
+	id := s.Publish(1, 2, []byte("data"))
+	p, ok := s.Get(id)
+	if !ok || p.Region != 1 || p.Bucket != 2 || string(p.Data) != "data" {
+		t.Fatalf("get = %+v ok=%v", p, ok)
+	}
+	if _, ok := s.Get(id + 99); ok {
+		t.Fatal("unknown id found")
+	}
+}
+
 // TestPickNearUniform asserts the Section VI-A2 property the modulo
 // draw weakened: over many well-mixed draws, every package in a bucket
 // is selected at close to the uniform rate.

@@ -1,0 +1,361 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"jumpstart/internal/jumpstart"
+	"jumpstart/internal/netsim"
+	"jumpstart/internal/telemetry"
+	"jumpstart/internal/workload"
+)
+
+// Conn is one client's connection to a store server. Implementations
+// move the raw protocol messages (SimConn over the simulated fabric,
+// HTTPConn over real localhost/network sockets); the Client owns
+// retries, backoff, budgets, verification and reassembly.
+type Conn interface {
+	// Manifest asks the store to pick a package and describe it.
+	Manifest(region, bucket int, rnd uint64, exclude []jumpstart.PackageID) (*Manifest, error)
+	// Chunk fetches the compressed bytes of chunk idx of package id.
+	Chunk(id jumpstart.PackageID, idx int) ([]byte, error)
+	// Publish uploads a collected package.
+	Publish(region, bucket int, data []byte) (jumpstart.PackageID, error)
+}
+
+// Clock abstracts time for the client: virtual (netsim.VirtualClock)
+// in simulations, wall (WallClock) in real deployments. Sleep is used
+// for backoff; Conn implementations account RPC time themselves.
+type Clock interface {
+	Now() float64
+	Sleep(seconds float64)
+}
+
+// WallClock is the real-time Clock for two-process deployments.
+type WallClock struct{ start time.Time }
+
+// NewWallClock returns a wall clock measuring seconds from now.
+func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
+
+// Now returns wall seconds since the clock was created.
+func (c *WallClock) Now() float64 { return time.Since(c.start).Seconds() }
+
+// Sleep blocks for the given number of wall seconds.
+func (c *WallClock) Sleep(seconds float64) {
+	if seconds > 0 {
+		time.Sleep(time.Duration(seconds * float64(time.Second)))
+	}
+}
+
+// ClientConfig tunes the fetch state machine.
+type ClientConfig struct {
+	// RPCTimeout is the per-RPC deadline in seconds: a dropped RPC
+	// costs this long before the client retries.
+	RPCTimeout float64
+	// Budget is the per-boot deadline budget in seconds. The first
+	// Pick arms the deadline; once it passes, fetches fail with
+	// ErrBudget and the consumer falls back (Section VI-A3) instead of
+	// erroring.
+	Budget float64
+	// BackoffBase/BackoffCap shape the capped exponential backoff
+	// between attempts: min(cap, base·2^(attempt-1)), scaled by a
+	// deterministic jitter in [0.5, 1).
+	BackoffBase float64
+	BackoffCap  float64
+	// Seed drives the jitter stream; fetches within one client fork
+	// independent streams from it, so a fixed seed reproduces the
+	// exact retry timeline.
+	Seed uint64
+}
+
+// DefaultClientConfig returns production-shaped defaults (seconds).
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{
+		RPCTimeout:  1,
+		Budget:      30,
+		BackoffBase: 0.1,
+		BackoffCap:  5,
+		Seed:        1,
+	}
+}
+
+// withDefaults fills zero fields so a partially-specified config (or
+// the zero value) behaves sanely.
+func (c ClientConfig) withDefaults() ClientConfig {
+	d := DefaultClientConfig()
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = d.RPCTimeout
+	}
+	if c.Budget <= 0 {
+		c.Budget = d.Budget
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = d.BackoffBase
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = d.BackoffCap
+	}
+	return c
+}
+
+// FetchResult is a completed package download.
+type FetchResult struct {
+	ID       jumpstart.PackageID
+	Data     []byte
+	Attempts int // transfer attempts (1 = no retry)
+	RPCs     int // total RPCs issued, including failures
+	Chunks   int // chunks in the package
+	ChunkRPC int // chunk RPCs issued; < Attempts·Chunks proves resume
+	Elapsed  float64
+}
+
+// Client implements the consumer/seeder side of the protocol: pick
+// via manifest, download content-addressed chunks (resuming across
+// retries), verify, reassemble — under per-RPC timeouts, capped
+// exponential backoff with deterministic jitter, and the per-boot
+// deadline budget. It also implements jumpstart.PackageSource, so
+// BootConsumer can draw packages straight off the network.
+type Client struct {
+	conn  Conn
+	clock Clock
+	cfg   ClientConfig
+	tel   *telemetry.Set
+
+	fetches     uint64
+	deadline    float64
+	deadlineSet bool
+	lastFailure string
+}
+
+// NewClient builds a client over conn and clock.
+func NewClient(conn Conn, clock Clock, cfg ClientConfig) *Client {
+	return &Client{conn: conn, clock: clock, cfg: cfg.withDefaults()}
+}
+
+// SetTelemetry installs the observation set (may be nil). Events are
+// stamped with the client's clock.
+func (c *Client) SetTelemetry(tel *telemetry.Set) { c.tel = tel }
+
+// backoffBounds bucket retry backoff durations for the
+// transport.backoff_seconds histogram.
+var backoffBounds = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5}
+
+// fetchLatencyBounds bucket whole-fetch durations for the
+// transport.fetch_seconds histogram.
+var fetchLatencyBounds = []float64{0.01, 0.1, 0.5, 1, 5, 15, 30, 60}
+
+// PickFailure explains the most recent failed Pick/Fetch (empty after
+// a success); BootConsumer records it as the FallbackReason.
+func (c *Client) PickFailure() string { return c.lastFailure }
+
+// Pick implements jumpstart.PackageSource over the network.
+func (c *Client) Pick(region, bucket int, rnd uint64, exclude ...jumpstart.PackageID) (*jumpstart.StoredPackage, bool) {
+	res, err := c.Fetch(region, bucket, rnd, exclude)
+	if err != nil {
+		return nil, false
+	}
+	return &jumpstart.StoredPackage{ID: res.ID, Region: region, Bucket: bucket, Data: res.Data}, true
+}
+
+// armDeadline starts the per-boot budget on first use.
+func (c *Client) armDeadline() {
+	if !c.deadlineSet {
+		c.deadline = c.clock.Now() + c.cfg.Budget
+		c.deadlineSet = true
+	}
+}
+
+// backoff computes the capped exponential backoff for attempt n >= 1
+// with deterministic jitter in [0.5, 1).
+func (c *Client) backoff(attempt int, jit *netsim.Stream) float64 {
+	d := c.cfg.BackoffBase
+	for i := 1; i < attempt && d < c.cfg.BackoffCap; i++ {
+		d *= 2
+	}
+	if d > c.cfg.BackoffCap {
+		d = c.cfg.BackoffCap
+	}
+	return d * (0.5 + 0.5*jit.Float())
+}
+
+// retryable reports whether the fetch loop should back off and retry
+// after err. ErrNoPackage is terminal: waiting will not conjure a
+// package the store does not have (or has fully excluded).
+func retryable(err error) bool {
+	return !errors.Is(err, ErrNoPackage)
+}
+
+// sleepBackoff waits out the attempt's backoff, truncating at the
+// budget deadline. It reports false when the deadline was hit.
+func (c *Client) sleepBackoff(attempt int, jit *netsim.Stream) bool {
+	now := c.clock.Now()
+	if now >= c.deadline {
+		return false
+	}
+	b := c.backoff(attempt, jit)
+	c.tel.Histogram("transport.backoff_seconds", backoffBounds).Observe(b)
+	c.tel.Counter("transport.retries_total").Inc()
+	c.tel.Event(c.clock.Now(), "transport", "retry",
+		telemetry.I("attempt", int64(attempt)),
+		telemetry.F("backoff", b))
+	if now+b >= c.deadline {
+		// Sleeping through the deadline: consume what remains of the
+		// budget and give up, so Elapsed never overshoots it.
+		c.clock.Sleep(c.deadline - now)
+		return false
+	}
+	c.clock.Sleep(b)
+	return true
+}
+
+// Fetch downloads one package for (region, bucket): the store picks
+// with rnd/exclude, then chunks stream over with verification and
+// resume-on-retry. It fails with ErrBudget when the per-boot deadline
+// budget runs out, or ErrNoPackage when the store has nothing to
+// offer.
+func (c *Client) Fetch(region, bucket int, rnd uint64, exclude []jumpstart.PackageID) (*FetchResult, error) {
+	c.armDeadline()
+	start := c.clock.Now()
+	jit := netsim.NewStream(workload.Fork(c.cfg.Seed, c.fetches))
+	c.fetches++
+	c.lastFailure = ""
+	c.tel.Event(start, "transport", "fetch-start",
+		telemetry.I("region", int64(region)),
+		telemetry.I("bucket", int64(bucket)),
+		telemetry.I("exclude", int64(len(exclude))))
+
+	res := &FetchResult{}
+	chunks := map[uint64][]byte{} // content address -> verified chunk
+	var m *Manifest
+	fail := func(reason string, err error) (*FetchResult, error) {
+		c.lastFailure = reason
+		c.tel.Counter("transport.fetch_fail_total").Inc()
+		c.tel.Event(c.clock.Now(), "transport", "fetch-fail",
+			telemetry.S("reason", reason),
+			telemetry.I("attempts", int64(res.Attempts)),
+			telemetry.I("rpcs", int64(res.RPCs)))
+		return nil, err
+	}
+
+	for attempt := 1; ; attempt++ {
+		if c.clock.Now() >= c.deadline {
+			return fail("fetch budget exhausted", ErrBudget)
+		}
+		res.Attempts = attempt
+		data, err := c.tryOnce(region, bucket, rnd, exclude, &m, chunks, res)
+		if err == nil {
+			res.Data = data
+			res.ID = m.ID
+			res.Chunks = len(m.Chunks)
+			res.Elapsed = c.clock.Now() - start
+			c.tel.Counter("transport.fetch_ok_total").Inc()
+			c.tel.Histogram("transport.fetch_seconds", fetchLatencyBounds).Observe(res.Elapsed)
+			c.tel.Event(c.clock.Now(), "transport", "fetch-done",
+				telemetry.I("id", int64(res.ID)),
+				telemetry.I("attempts", int64(res.Attempts)),
+				telemetry.I("rpcs", int64(res.RPCs)),
+				telemetry.F("elapsed", res.Elapsed))
+			return res, nil
+		}
+		if !retryable(err) {
+			return fail("no package available", err)
+		}
+		c.tel.Counter("transport.rpc_failures_total").Inc()
+		if !c.sleepBackoff(attempt, jit) {
+			return fail("fetch budget exhausted", ErrBudget)
+		}
+	}
+}
+
+// tryOnce runs one transfer attempt: resolve the manifest if not yet
+// held, then fetch every chunk still missing from the cache. The
+// content-addressed cache is what makes a retry resume mid-transfer.
+func (c *Client) tryOnce(region, bucket int, rnd uint64, exclude []jumpstart.PackageID,
+	m **Manifest, chunks map[uint64][]byte, res *FetchResult) ([]byte, error) {
+	if *m == nil {
+		c.tel.Counter("transport.rpcs_total").Inc()
+		res.RPCs++
+		mm, err := c.conn.Manifest(region, bucket, rnd, exclude)
+		if err != nil {
+			return nil, err
+		}
+		if mm.ChunkSize <= 0 {
+			return nil, fmt.Errorf("%w: manifest chunk size %d", ErrRPC, mm.ChunkSize)
+		}
+		*m = mm
+	}
+	man := *m
+	for idx, h := range man.Chunks {
+		if _, ok := chunks[h]; ok {
+			continue
+		}
+		c.tel.Counter("transport.rpcs_total").Inc()
+		res.RPCs++
+		res.ChunkRPC++
+		wire, err := c.conn.Chunk(man.ID, idx)
+		if err != nil {
+			return nil, err
+		}
+		b, err := decompressChunk(wire, man.ChunkSize)
+		if err != nil {
+			return nil, err
+		}
+		if chunkHash(b) != h {
+			return nil, fmt.Errorf("%w: chunk %d content-address mismatch", ErrBadChunk, idx)
+		}
+		chunks[h] = b
+	}
+	// Reassemble in manifest order and verify the whole payload.
+	data := make([]byte, 0, man.Size)
+	for _, h := range man.Chunks {
+		data = append(data, chunks[h]...)
+	}
+	if len(data) != man.Size || crc32.ChecksumIEEE(data) != man.CRC32 {
+		// The cached chunks cannot produce the manifest's payload:
+		// drop everything and restart the transfer cleanly.
+		for h := range chunks {
+			delete(chunks, h)
+		}
+		*m = nil
+		return nil, fmt.Errorf("%w: reassembled payload failed checksum", ErrBadChunk)
+	}
+	return data, nil
+}
+
+// Publish uploads a collected package with the same retry/backoff
+// machinery, under its own budget window (armed per call, not shared
+// with boot fetches).
+func (c *Client) Publish(region, bucket int, data []byte) (jumpstart.PackageID, error) {
+	deadline := c.clock.Now() + c.cfg.Budget
+	jit := netsim.NewStream(workload.Fork(c.cfg.Seed, 1<<32+c.fetches))
+	c.fetches++
+	for attempt := 1; ; attempt++ {
+		c.tel.Counter("transport.rpcs_total").Inc()
+		id, err := c.conn.Publish(region, bucket, data)
+		if err == nil {
+			c.tel.Counter("transport.publish_ok_total").Inc()
+			c.tel.Event(c.clock.Now(), "transport", "publish",
+				telemetry.I("id", int64(id)),
+				telemetry.I("region", int64(region)),
+				telemetry.I("bucket", int64(bucket)),
+				telemetry.I("attempts", int64(attempt)))
+			return id, nil
+		}
+		c.tel.Counter("transport.rpc_failures_total").Inc()
+		now := c.clock.Now()
+		if now >= deadline {
+			c.tel.Counter("transport.publish_fail_total").Inc()
+			c.tel.Event(now, "transport", "publish-fail",
+				telemetry.I("attempts", int64(attempt)))
+			return 0, fmt.Errorf("%w: publish: %v", ErrBudget, err)
+		}
+		b := c.backoff(attempt, jit)
+		if now+b >= deadline {
+			c.clock.Sleep(deadline - now)
+		} else {
+			c.clock.Sleep(b)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"jumpstart/internal/jumpstart"
+	"jumpstart/internal/telemetry"
+)
+
+// maxPublishBytes bounds an uploaded package body (a misbehaving
+// seeder must not OOM the store).
+const maxPublishBytes = 64 << 20
+
+// Server fronts a jumpstart.Store with the chunked package protocol.
+// It is used two ways: directly (method calls) by the simulated
+// network's SimConn, and over HTTP via Handler for the real
+// two-process jumpstartd deployment.
+type Server struct {
+	store     *jumpstart.Store
+	chunkSize int
+
+	// tel/clock observe RPC traffic; telemetry never alters behavior.
+	tel   *telemetry.Set
+	clock func() float64
+}
+
+// NewServer builds a store server (chunkSize <= 0 selects
+// DefaultChunkSize).
+func NewServer(store *jumpstart.Store, chunkSize int) *Server {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	return &Server{store: store, chunkSize: chunkSize}
+}
+
+// Store returns the backing package store.
+func (s *Server) Store() *jumpstart.Store { return s.store }
+
+// SetTelemetry installs the observation set and virtual clock for
+// server-side RPC events. Either may be nil.
+func (s *Server) SetTelemetry(tel *telemetry.Set, clock func() float64) {
+	s.tel = tel
+	s.clock = clock
+}
+
+func (s *Server) now() float64 {
+	if s.clock == nil {
+		return 0
+	}
+	return s.clock()
+}
+
+// Manifest picks a package for (region, bucket) with the given random
+// value and exclusion list, and returns its chunk manifest.
+func (s *Server) Manifest(region, bucket int, rnd uint64, exclude []jumpstart.PackageID) (*Manifest, error) {
+	p, ok := s.store.Pick(region, bucket, rnd, exclude...)
+	if !ok {
+		s.tel.Counter("transport.server.no_package_total").Inc()
+		return nil, ErrNoPackage
+	}
+	s.tel.Counter("transport.server.manifests_total").Inc()
+	return manifestFor(p, s.chunkSize), nil
+}
+
+// Chunk returns the gzip-compressed bytes of chunk idx of package id.
+func (s *Server) Chunk(id jumpstart.PackageID, idx int) ([]byte, error) {
+	p, ok := s.store.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: package %d not found", ErrRPC, id)
+	}
+	lo, hi, err := chunkBounds(len(p.Data), s.chunkSize, idx)
+	if err != nil {
+		return nil, err
+	}
+	s.tel.Counter("transport.server.chunks_total").Inc()
+	return compressChunk(p.Data[lo:hi]), nil
+}
+
+// Publish stores an uploaded package and returns its id.
+func (s *Server) Publish(region, bucket int, data []byte) jumpstart.PackageID {
+	s.tel.Counter("transport.server.publishes_total").Inc()
+	return s.store.Publish(region, bucket, data)
+}
+
+// Handler returns the HTTP surface of the protocol:
+//
+//	GET  /manifest?region=R&bucket=B&rnd=N&exclude=1,2  -> Manifest JSON (404 when none)
+//	GET  /chunk?id=I&idx=K                              -> gzip chunk bytes
+//	POST /publish?region=R&bucket=B                     -> {"id": N}
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/manifest", s.handleManifest)
+	mux.HandleFunc("/chunk", s.handleChunk)
+	mux.HandleFunc("/publish", s.handlePublish)
+	return mux
+}
+
+func queryInt(r *http.Request, key string) (int, error) {
+	v, err := strconv.Atoi(r.URL.Query().Get(key))
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %v", key, err)
+	}
+	return v, nil
+}
+
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	region, err := queryInt(r, "region")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	bucket, err := queryInt(r, "bucket")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rnd, err := strconv.ParseUint(r.URL.Query().Get("rnd"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad rnd: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var exclude []jumpstart.PackageID
+	if ex := r.URL.Query().Get("exclude"); ex != "" {
+		for _, part := range strings.Split(ex, ",") {
+			id, err := strconv.ParseInt(part, 10, 64)
+			if err != nil {
+				http.Error(w, "bad exclude: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			exclude = append(exclude, jumpstart.PackageID(id))
+		}
+	}
+	m, err := s.Manifest(region, bucket, rnd, exclude)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(m)
+}
+
+func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
+	id, err := queryInt(r, "id")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	idx, err := queryInt(r, "idx")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	wire, err := s.Chunk(jumpstart.PackageID(id), idx)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(wire)
+}
+
+func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "publish requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	region, err := queryInt(r, "region")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	bucket, err := queryInt(r, "bucket")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxPublishBytes+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(data) > maxPublishBytes {
+		http.Error(w, "package too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	id := s.Publish(region, bucket, data)
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"id\":%d}\n", id)
+}

@@ -1,0 +1,406 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"jumpstart/internal/jumpstart"
+	"jumpstart/internal/netsim"
+	"jumpstart/internal/telemetry"
+	"jumpstart/internal/workload"
+)
+
+// testPayload builds a deterministic pseudo-package of n bytes. The
+// transport layer never decodes packages, so arbitrary bytes exercise
+// it fully.
+func testPayload(n int, seed uint64) []byte {
+	s := netsim.NewStream(workload.Fork(seed, 0))
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(s.Uint64())
+	}
+	return out
+}
+
+// newTestStack publishes one payload and wires a healthy sim client
+// over it.
+func newTestStack(t *testing.T, payload []byte, chunkSize int, net netsim.Config,
+	ccfg ClientConfig) (*Server, *Client, *netsim.VirtualClock, jumpstart.PackageID) {
+	t.Helper()
+	store := jumpstart.NewStore()
+	id := store.Publish(0, 0, payload)
+	srv := NewServer(store, chunkSize)
+	clock := netsim.NewVirtualClock(0)
+	conn := NewSimConn(srv, netsim.NewFabric(net), "client", clock,
+		netsim.NewStream(workload.Fork(42, 7)), ccfg.withDefaults().RPCTimeout)
+	return srv, NewClient(conn, clock, ccfg), clock, id
+}
+
+func TestFetchRoundTripHealthy(t *testing.T) {
+	payload := testPayload(10_000, 1)
+	_, cli, clock, id := newTestStack(t, payload, 1024, netsim.Config{}, ClientConfig{})
+	res, err := cli.Fetch(0, 0, 12345, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != id || !bytes.Equal(res.Data, payload) {
+		t.Fatalf("payload mismatch: id=%d len=%d", res.ID, len(res.Data))
+	}
+	if res.Chunks != 10 || res.ChunkRPC != 10 || res.Attempts != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	// Healthy zero-latency network: the fetch is free in virtual time
+	// (this is the transport's perf-neutrality contract).
+	if res.Elapsed != 0 || clock.Now() != 0 {
+		t.Fatalf("healthy fetch cost %v virtual seconds", res.Elapsed)
+	}
+}
+
+func TestFetchNoPackage(t *testing.T) {
+	_, cli, _, id := newTestStack(t, testPayload(100, 2), 64, netsim.Config{}, ClientConfig{})
+	if _, err := cli.Fetch(3, 9, 1, nil); !errors.Is(err, ErrNoPackage) {
+		t.Fatalf("err = %v", err)
+	}
+	if cli.PickFailure() != "no package available" {
+		t.Fatalf("failure = %q", cli.PickFailure())
+	}
+	// All candidates excluded behaves identically (the Pick-exclusion
+	// fix reaches through the network).
+	if _, err := cli.Fetch(0, 0, 1, []jumpstart.PackageID{id}); !errors.Is(err, ErrNoPackage) {
+		t.Fatalf("excluded err = %v", err)
+	}
+	if _, ok := cli.Pick(0, 0, 1, id); ok {
+		t.Fatal("Pick must mirror Fetch failure")
+	}
+}
+
+// dropNthChunkConn fails the nth chunk RPC exactly once — the
+// mid-transfer drop of the resume test.
+type dropNthChunkConn struct {
+	Conn
+	n     int
+	calls int
+	fired bool
+}
+
+func (d *dropNthChunkConn) Chunk(id jumpstart.PackageID, idx int) ([]byte, error) {
+	d.calls++
+	if d.calls == d.n && !d.fired {
+		d.fired = true
+		return nil, ErrTimeout
+	}
+	return d.Conn.Chunk(id, idx)
+}
+
+// TestChunkResumeAfterMidTransferDrop pins the content-addressed
+// resume property: after a drop on chunk k, the retry fetches only the
+// chunks it does not already hold — one extra chunk RPC, not a full
+// restart.
+func TestChunkResumeAfterMidTransferDrop(t *testing.T) {
+	for _, dropAt := range []int{1, 5, 10} {
+		payload := testPayload(10_000, 3) // 10 chunks of 1024
+		store := jumpstart.NewStore()
+		store.Publish(0, 0, payload)
+		srv := NewServer(store, 1024)
+		clock := netsim.NewVirtualClock(0)
+		base := NewSimConn(srv, netsim.NewFabric(netsim.Config{}), "c", clock,
+			netsim.NewStream(1), 1)
+		conn := &dropNthChunkConn{Conn: base, n: dropAt}
+		cli := NewClient(conn, clock, ClientConfig{})
+		res, err := cli.Fetch(0, 0, 99, nil)
+		if err != nil {
+			t.Fatalf("dropAt=%d: %v", dropAt, err)
+		}
+		if !bytes.Equal(res.Data, payload) {
+			t.Fatalf("dropAt=%d: payload corrupted", dropAt)
+		}
+		if res.Attempts != 2 {
+			t.Fatalf("dropAt=%d: attempts = %d", dropAt, res.Attempts)
+		}
+		// 10 successful chunk fetches + the 1 dropped RPC. A restart
+		// would have cost 10 + dropAt.
+		if res.ChunkRPC != 11 {
+			t.Fatalf("dropAt=%d: chunk RPCs = %d, want 11 (resume, not restart)", dropAt, res.ChunkRPC)
+		}
+	}
+}
+
+// corruptOnceConn corrupts the first chunk's wire bytes once; the
+// client must reject it by content address and re-fetch.
+type corruptOnceConn struct {
+	Conn
+	fired bool
+}
+
+func (c *corruptOnceConn) Chunk(id jumpstart.PackageID, idx int) ([]byte, error) {
+	wire, err := c.Conn.Chunk(id, idx)
+	if err != nil || c.fired {
+		return wire, err
+	}
+	c.fired = true
+	bad := append([]byte{}, wire...)
+	bad[len(bad)/2] ^= 0xff
+	return bad, nil
+}
+
+func TestChunkVerificationRejectsCorruption(t *testing.T) {
+	payload := testPayload(5_000, 4)
+	store := jumpstart.NewStore()
+	store.Publish(0, 0, payload)
+	srv := NewServer(store, 2048)
+	clock := netsim.NewVirtualClock(0)
+	base := NewSimConn(srv, netsim.NewFabric(netsim.Config{}), "c", clock, netsim.NewStream(2), 1)
+	cli := NewClient(&corruptOnceConn{Conn: base}, clock, ClientConfig{})
+	res, err := cli.Fetch(0, 0, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, payload) {
+		t.Fatal("corrupted chunk reached the payload")
+	}
+	if res.Attempts < 2 {
+		t.Fatal("corruption never forced a retry")
+	}
+}
+
+// retryTimeline fetches under a lossy fabric and returns the virtual
+// times of every retry event.
+func retryTimeline(t *testing.T, seed uint64) ([]float64, error) {
+	t.Helper()
+	store := jumpstart.NewStore()
+	store.Publish(0, 0, testPayload(4_000, 5))
+	srv := NewServer(store, 1024)
+	clock := netsim.NewVirtualClock(0)
+	// 70% drop: plenty of retries, but fetches eventually succeed.
+	fab := netsim.NewFabric(netsim.Config{DropRate: 0.7, BaseLatency: 0.01})
+	conn := NewSimConn(srv, fab, "c", clock, netsim.NewStream(workload.Fork(seed, 0)), 0.5)
+	cli := NewClient(conn, clock, ClientConfig{Seed: seed, Budget: 300})
+	tel := telemetry.NewSet()
+	cli.SetTelemetry(tel)
+	_, err := cli.Fetch(0, 0, 11, nil)
+	var times []float64
+	for _, ev := range tel.Trace.Events() {
+		if ev.Cat == "transport" && ev.Name == "retry" {
+			times = append(times, ev.T)
+		}
+	}
+	return times, err
+}
+
+// TestBackoffScheduleDeterministic pins the deterministic-jitter
+// contract: the same seed produces the exact same retry timeline, a
+// different seed a different one.
+func TestBackoffScheduleDeterministic(t *testing.T) {
+	a, errA := retryTimeline(t, 1001)
+	b, errB := retryTimeline(t, 1001)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("outcome diverged: %v vs %v", errA, errB)
+	}
+	if len(a) < 2 {
+		t.Fatalf("only %d retries; lossy fabric not exercised", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("retry counts diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("retry %d at %v vs %v", i, a[i], b[i])
+		}
+	}
+	c, _ := retryTimeline(t, 2002)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical retry timelines")
+	}
+}
+
+// TestBackoffCappedExponential checks the schedule's shape directly:
+// doubling up to the cap, jitter within [0.5, 1).
+func TestBackoffCappedExponential(t *testing.T) {
+	cli := NewClient(nil, netsim.NewVirtualClock(0), ClientConfig{
+		BackoffBase: 0.1, BackoffCap: 1, Seed: 9,
+	})
+	for attempt := 1; attempt <= 8; attempt++ {
+		ideal := 0.1 * float64(int(1)<<(attempt-1))
+		if ideal > 1 {
+			ideal = 1
+		}
+		for trial := 0; trial < 20; trial++ {
+			got := cli.backoff(attempt, netsim.NewStream(workload.Fork(9, uint64(trial))))
+			if got < 0.5*ideal-1e-12 || got >= ideal {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v)", attempt, got, 0.5*ideal, ideal)
+			}
+		}
+	}
+}
+
+// TestBudgetExhaustionFallsBack: a fully dropped network exhausts the
+// per-boot deadline budget; the failure is ErrBudget with the
+// fallback reason recorded, and virtual time never overshoots the
+// budget.
+func TestBudgetExhaustionFallsBack(t *testing.T) {
+	_, cli, clock, _ := newTestStack(t, testPayload(2_000, 6), 512,
+		netsim.Config{DropRate: 1}, ClientConfig{Budget: 20, RPCTimeout: 1})
+	res, err := cli.Fetch(0, 0, 5, nil)
+	if !errors.Is(err, ErrBudget) || res != nil {
+		t.Fatalf("err = %v res = %v", err, res)
+	}
+	if cli.PickFailure() != "fetch budget exhausted" {
+		t.Fatalf("failure = %q", cli.PickFailure())
+	}
+	if now := clock.Now(); now < 19 || now > 20+1e-9 {
+		t.Fatalf("budget window not honored: spent %v of 20", now)
+	}
+	// The budget is per boot: a second Pick on the same client is
+	// already out of budget and fails immediately.
+	before := clock.Now()
+	if _, ok := cli.Pick(0, 0, 6); ok {
+		t.Fatal("post-budget pick succeeded")
+	}
+	if clock.Now() != before {
+		t.Fatal("post-budget pick burned more time")
+	}
+}
+
+// TestFetchSurvivesBrownout: a brownout window delays but does not
+// doom a fetch with enough budget; the elapsed time lands inside the
+// window's tail or after it.
+func TestFetchSurvivesBrownout(t *testing.T) {
+	net := netsim.Config{
+		BaseLatency: 0.01,
+		Faults:      []netsim.Fault{netsim.Brownout(0, 15, 0.95, 0.2)},
+	}
+	payload := testPayload(4_000, 8)
+	_, cli, clock, _ := newTestStack(t, payload, 1024, net, ClientConfig{Budget: 120, RPCTimeout: 1})
+	res, err := cli.Fetch(0, 0, 21, nil)
+	if err != nil {
+		t.Fatalf("fetch died in brownout: %v", err)
+	}
+	if !bytes.Equal(res.Data, payload) {
+		t.Fatal("payload mismatch")
+	}
+	if res.Attempts < 2 {
+		t.Fatal("brownout produced no retries")
+	}
+	if clock.Now() <= 1 {
+		t.Fatalf("brownout cost no time: %v", clock.Now())
+	}
+}
+
+// TestHTTPRoundTrip drives the real HTTP path end to end on localhost:
+// publish over POST, manifest+chunks over GET, byte-exact payload.
+func TestHTTPRoundTrip(t *testing.T) {
+	store := jumpstart.NewStore()
+	srv := NewServer(store, 2048)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	payload := testPayload(9_000, 9)
+	conn := NewHTTPConn(ts.URL, 5)
+	cli := NewClient(conn, NewWallClock(), ClientConfig{Budget: 10})
+
+	id, err := cli.Publish(2, 3, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Count(2, 3) != 1 {
+		t.Fatal("publish did not land in the store")
+	}
+	res, err := cli.Fetch(2, 3, 77, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != id || !bytes.Equal(res.Data, payload) {
+		t.Fatalf("HTTP round trip corrupted payload (id=%d len=%d)", res.ID, len(res.Data))
+	}
+	// Wrong bucket 404s into ErrNoPackage.
+	if _, err := cli.Fetch(2, 4, 77, nil); !errors.Is(err, ErrNoPackage) {
+		t.Fatalf("missing bucket err = %v", err)
+	}
+}
+
+// TestHTTPHandlerRejectsBadRequests covers the handler's validation
+// surface.
+func TestHTTPHandlerRejectsBadRequests(t *testing.T) {
+	srv := NewServer(jumpstart.NewStore(), 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, path := range []string{
+		"/manifest?region=x&bucket=0&rnd=1",
+		"/manifest?region=0&bucket=0&rnd=no",
+		"/manifest?region=0&bucket=0&rnd=1&exclude=a",
+		"/chunk?id=1&idx=zz",
+		"/publish?region=0&bucket=0", // GET, needs POST
+	} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == 200 {
+			t.Fatalf("%s accepted", path)
+		}
+	}
+}
+
+// TestServerChunkBounds covers direct chunk-range validation.
+func TestServerChunkBounds(t *testing.T) {
+	store := jumpstart.NewStore()
+	id := store.Publish(0, 0, testPayload(1000, 10))
+	srv := NewServer(store, 256)
+	if _, err := srv.Chunk(id, 4); err == nil {
+		t.Fatal("chunk past end accepted")
+	}
+	if _, err := srv.Chunk(id, -1); err == nil {
+		t.Fatal("negative chunk accepted")
+	}
+	if _, err := srv.Chunk(id+5, 0); err == nil {
+		t.Fatal("unknown package accepted")
+	}
+	wire, err := srv.Chunk(id, 3) // tail chunk, 1000-768 = 232 bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := decompressChunk(wire, 256)
+	if err != nil || len(b) != 232 {
+		t.Fatalf("tail chunk: len=%d err=%v", len(b), err)
+	}
+}
+
+// TestSimFetchTelemetryZeroPerturbation: the same seeded lossy fetch
+// with and without telemetry produces the same outcome and timeline.
+func TestSimFetchTelemetryZeroPerturbation(t *testing.T) {
+	run := func(withTel bool) (float64, int) {
+		store := jumpstart.NewStore()
+		store.Publish(0, 0, testPayload(4_000, 11))
+		srv := NewServer(store, 1024)
+		clock := netsim.NewVirtualClock(0)
+		fab := netsim.NewFabric(netsim.Config{DropRate: 0.5, BaseLatency: 0.02})
+		conn := NewSimConn(srv, fab, "c", clock, netsim.NewStream(workload.Fork(77, 0)), 0.5)
+		cli := NewClient(conn, clock, ClientConfig{Seed: 77, Budget: 120})
+		if withTel {
+			cli.SetTelemetry(telemetry.NewSet())
+			srv.SetTelemetry(telemetry.NewSet(), clock.Now)
+		}
+		res, err := cli.Fetch(0, 0, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed, res.RPCs
+	}
+	e1, r1 := run(false)
+	e2, r2 := run(true)
+	if e1 != e2 || r1 != r2 {
+		t.Fatalf("telemetry perturbed the fetch: %v/%d vs %v/%d", e1, r1, e2, r2)
+	}
+}

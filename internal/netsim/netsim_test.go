@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"testing"
+
+	"jumpstart/internal/workload"
+)
+
+// TestSampleDeterminism pins the fabric contract: the same seed gives
+// the same verdict sequence, draw for draw.
+func TestSampleDeterminism(t *testing.T) {
+	cfg := Config{
+		BaseLatency:   0.05,
+		LatencyJitter: 0.02,
+		DropRate:      0.3,
+		ErrorRate:     0.2,
+		Faults:        []Fault{Brownout(10, 20, 0.5, 1)},
+	}
+	run := func() []Verdict {
+		f := NewFabric(cfg)
+		r := NewStream(workload.Fork(7, 0))
+		out := make([]Verdict, 0, 200)
+		for i := 0; i < 200; i++ {
+			out = append(out, f.Sample("store", float64(i)*0.2, r))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestHealthyFabricIsFreeAndLossless: the zero config (no latency, no
+// faults) must deliver every RPC instantly — this is what makes the
+// transport perf-neutral when the network is healthy.
+func TestHealthyFabricIsFreeAndLossless(t *testing.T) {
+	f := NewFabric(Config{})
+	r := NewStream(1)
+	for i := 0; i < 100; i++ {
+		v := f.Sample("store", float64(i), r)
+		if v.Drop || v.Err || v.Latency != 0 {
+			t.Fatalf("healthy fabric produced %+v", v)
+		}
+	}
+}
+
+// TestBrownoutWindow: inside the window the drop rate applies; outside
+// it the base (zero) rates are back in force.
+func TestBrownoutWindow(t *testing.T) {
+	f := NewFabric(Config{
+		BaseLatency: 0.1,
+		Faults:      []Fault{Brownout(100, 200, 1.0, 2.5)},
+	})
+	r := NewStream(workload.Fork(3, 1))
+	for _, tm := range []float64{0, 99.9, 200, 500} {
+		if v := f.Sample("store", tm, r); v.Drop || v.Err {
+			t.Fatalf("t=%v outside window dropped: %+v", tm, v)
+		}
+	}
+	for _, tm := range []float64{100, 150, 199.9} {
+		v := f.Sample("store", tm, r)
+		if !v.Drop {
+			t.Fatalf("t=%v inside brownout delivered: %+v", tm, v)
+		}
+		if v.Latency < 2.6 {
+			t.Fatalf("t=%v brownout latency %v, want base+extra", tm, v.Latency)
+		}
+	}
+}
+
+// TestPartitionAndLinkScoping: a partition on one link loses all its
+// traffic and leaves other links untouched.
+func TestPartitionAndLinkScoping(t *testing.T) {
+	f := NewFabric(Config{Faults: []Fault{Partition(0, 100, "region0")}})
+	r := NewStream(workload.Fork(5, 2))
+	for i := 0; i < 50; i++ {
+		if v := f.Sample("region0", 50, r); !v.Drop {
+			t.Fatalf("partitioned link delivered: %+v", v)
+		}
+		if v := f.Sample("region1", 50, r); v.Drop {
+			t.Fatalf("unpartitioned link dropped: %+v", v)
+		}
+	}
+}
+
+// TestLatencyFactorAndClamping covers the multiplicative latency knob
+// and the rate clamp when stacked faults exceed 1.
+func TestLatencyFactorAndClamping(t *testing.T) {
+	f := NewFabric(Config{
+		BaseLatency: 0.2,
+		DropRate:    0.6,
+		Faults: []Fault{
+			{From: 0, To: 10, LatencyFactor: 3},
+			{From: 0, To: 10, DropRate: 0.9}, // 0.6+0.9 clamps to 1
+		},
+	})
+	r := NewStream(workload.Fork(9, 0))
+	for i := 0; i < 30; i++ {
+		v := f.Sample("x", 5, r)
+		if !v.Drop {
+			t.Fatalf("clamped drop rate 1 still delivered: %+v", v)
+		}
+		if v.Latency < 0.6-1e-12 {
+			t.Fatalf("latency factor not applied: %v", v.Latency)
+		}
+	}
+}
+
+// TestSampleDrawCountConstant: every Sample consumes exactly three
+// draws, so verdicts never shift the stream position.
+func TestSampleDrawCountConstant(t *testing.T) {
+	cfg := Config{DropRate: 1} // every RPC drops
+	fDrop := NewFabric(cfg)
+	fOK := NewFabric(Config{})
+	r1 := NewStream(workload.Fork(11, 0))
+	r2 := NewStream(workload.Fork(11, 0))
+	for i := 0; i < 10; i++ {
+		fDrop.Sample("x", 0, r1)
+		fOK.Sample("x", 0, r2)
+	}
+	if r1.Uint64() != r2.Uint64() {
+		t.Fatal("verdict changed stream draw count")
+	}
+}
+
+func TestVirtualClock(t *testing.T) {
+	c := NewVirtualClock(10)
+	c.Sleep(2.5)
+	c.Sleep(-1) // no-op
+	c.Sleep(0)  // no-op
+	if c.Now() != 12.5 {
+		t.Fatalf("now = %v", c.Now())
+	}
+}
