@@ -5,7 +5,9 @@ GO ?= go
 # there silently blind every other layer.
 TELEMETRY_COVER_FLOOR ?= 80
 
-.PHONY: build test bench verify cover faultsweep
+.PHONY: build test bench alloccheck verify cover faultsweep
+
+BENCH_DATE ?= $(shell date +%Y-%m-%d)
 
 build:
 	$(GO) build ./...
@@ -13,8 +15,22 @@ build:
 test:
 	$(GO) test ./...
 
+# Benchmark trajectory: run the figure benchmarks and record every
+# metric (ns/op per figure, custom headline metrics, replay-cache hit
+# rate) as a dated JSON file. CI uploads it as an artifact; A/B the
+# replay cache with:
+#   go test -bench=. -benchmem . -replay-cache=off
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem . > bench.out || { cat bench.out; exit 1; }
+	cat bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json bench.out
+
+# Allocation regressions: the interpreter hot path must stay at zero
+# machinery allocations and the steady-state request path under its
+# per-request ceiling.
+alloccheck:
+	$(GO) test -count=1 -v -run 'AllocFree|AllocRegression|TestStreamAllocFree' \
+		./internal/interp/ ./internal/microarch/ ./internal/server/
 
 # CI gate: vet plus the full suite under the race detector. The
 # parallel-vs-sequential determinism tests run here, so this also

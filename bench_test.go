@@ -9,11 +9,18 @@
 package main
 
 import (
+	"flag"
 	"sync"
 	"testing"
 
 	"jumpstart/internal/experiments"
+	"jumpstart/internal/replay"
 )
+
+// -replay-cache=off reruns the suite without the translation replay
+// memoization; figure metrics are byte-identical, only ns/op moves.
+// `make bench` records both sides in BENCH_<date>.json.
+var replayCacheFlag = flag.String("replay-cache", "on", "translation replay memoization: on | off")
 
 var (
 	benchOnce sync.Once
@@ -24,12 +31,23 @@ var (
 func lab(b *testing.B) *experiments.Lab {
 	b.Helper()
 	benchOnce.Do(func() {
-		benchLab, benchErr = experiments.NewLab(experiments.Quick())
+		cfg := experiments.Quick()
+		cfg.ServerCfg.ReplayCache = *replayCacheFlag != "off"
+		benchLab, benchErr = experiments.NewLab(cfg)
 	})
 	if benchErr != nil {
 		b.Fatal(benchErr)
 	}
 	return benchLab
+}
+
+// reportReplayRate attaches the process-wide replay-cache hit rate to
+// a benchmark, so the tracked BENCH_*.json trajectory carries it.
+func reportReplayRate(b *testing.B) {
+	hits, misses := replay.Totals()
+	if total := hits + misses; total > 0 {
+		b.ReportMetric(float64(hits)/float64(total)*100, "replay_hit_pct")
+	}
 }
 
 // BenchmarkFig1CodeSizeOverTime regenerates Figure 1: JITed code size
@@ -87,6 +105,7 @@ func BenchmarkFig4bRPS(b *testing.B) {
 		b.ReportMetric(res.NoJumpStart.CapacityLoss*100, "loss_nojs_pct")
 		b.ReportMetric(res.LossReduction*100, "loss_reduction_pct")
 	}
+	reportReplayRate(b)
 }
 
 // BenchmarkFig5SteadyState regenerates Figure 5: steady-state speedup
@@ -105,6 +124,7 @@ func BenchmarkFig5SteadyState(b *testing.B) {
 		b.ReportMetric(res.L1DMR, "dcache_mr_pct")
 		b.ReportMetric(res.LLCMR, "llc_mr_pct")
 	}
+	reportReplayRate(b)
 }
 
 // BenchmarkFig6Ablations regenerates Figure 6: each Section V

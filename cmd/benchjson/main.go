@@ -1,0 +1,151 @@
+// Command benchjson converts `go test -bench=. -benchmem` output into
+// a dated JSON record, so the repository can track a benchmark
+// trajectory over time (`make bench` writes BENCH_<date>.json; CI
+// uploads it as an artifact).
+//
+// Every benchmark line is parsed into its name, iteration count, and
+// the full metric set — the standard ns/op, B/op and allocs/op plus
+// every custom b.ReportMetric unit the figure benchmarks emit
+// (speedup_pct, loss_reduction_pct, replay_hit_pct, ...).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem . > bench.out
+//	benchjson -out BENCH_2026-08-05.json bench.out
+//	benchjson -label replay-off < bench.out        # stdin, labeled run
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the file-level record.
+type Report struct {
+	Date       string      `json:"date"`
+	Label      string      `json:"label,omitempty"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("out", "", "output path (default BENCH_<date>.json)")
+	label := fs.String("label", "", "optional run label recorded in the report (e.g. replay-off)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var in io.Reader = os.Stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	benches, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	date := time.Now().Format("2006-01-02")
+	rep := Report{
+		Date:       date,
+		Label:      *label,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: benches,
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + date + ".json"
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d benchmarks)\n", path, len(benches))
+	return nil
+}
+
+// parse extracts benchmark result lines. The format is
+//
+//	BenchmarkName-8   <N>   <value> <unit>   <value> <unit> ...
+//
+// where units after the iteration count come in value/unit pairs.
+func parse(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			// Strip the -GOMAXPROCS suffix.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

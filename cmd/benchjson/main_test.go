@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: jumpstart
+BenchmarkFig5SteadyState-4       1    5123456789 ns/op    7.20 speedup_pct    91.5 replay_hit_pct    1024 B/op    12 allocs/op
+BenchmarkFig4bRPS-4              2    2000000000 ns/op    54.9 loss_reduction_pct
+PASS
+ok  	jumpstart	12.3s
+`
+	benches, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(benches))
+	}
+	// Sorted by name: Fig4bRPS first.
+	b4, b5 := benches[0], benches[1]
+	if b4.Name != "Fig4bRPS" || b5.Name != "Fig5SteadyState" {
+		t.Fatalf("names: %q, %q", b4.Name, b5.Name)
+	}
+	if b4.Iterations != 2 {
+		t.Fatalf("Fig4bRPS iterations = %d, want 2", b4.Iterations)
+	}
+	if got := b4.Metrics["loss_reduction_pct"]; got != 54.9 {
+		t.Fatalf("loss_reduction_pct = %v", got)
+	}
+	if got := b5.Metrics["ns/op"]; got != 5123456789 {
+		t.Fatalf("ns/op = %v", got)
+	}
+	if got := b5.Metrics["replay_hit_pct"]; got != 91.5 {
+		t.Fatalf("replay_hit_pct = %v", got)
+	}
+	if got := b5.Metrics["allocs/op"]; got != 12 {
+		t.Fatalf("allocs/op = %v", got)
+	}
+}
+
+func TestParseSkipsMalformed(t *testing.T) {
+	input := `Benchmark
+BenchmarkOdd-4 notanumber 5 ns/op
+BenchmarkGood-4 10 100 ns/op
+`
+	benches, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 1 || benches[0].Name != "Good" {
+		t.Fatalf("got %+v, want only Good", benches)
+	}
+}

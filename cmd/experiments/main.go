@@ -17,6 +17,8 @@
 //	experiments -quick              # reduced scale (faster, noisier)
 //	experiments -workers 1          # sequential (byte-identical output)
 //	experiments -sweep 5 -seed 42   # 5-seed repetition study (mean/min/max)
+//	experiments -replay-cache off   # disable the host-side replay memoization
+//	                                # (same figures, slower — A/B harness)
 package main
 
 import (
@@ -34,6 +36,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel fan-out width (<= 0: one worker per CPU)")
 	sweep := flag.Int("sweep", 0, "run an N-seed sweep of the headline metrics instead of single-seed figures")
 	seed := flag.Uint64("seed", 1, "base seed for -sweep (per-seed streams are forked from it)")
+	replayCache := flag.String("replay-cache", "on", "translation replay memoization: on | off (host-side speedup; figure output is byte-identical either way)")
 	flag.Parse()
 
 	cfg := experiments.Default()
@@ -41,6 +44,10 @@ func main() {
 		cfg = experiments.Quick()
 	}
 	cfg.Workers = *workers
+	if *replayCache != "on" && *replayCache != "off" {
+		fatal(fmt.Errorf("-replay-cache must be on or off, got %q", *replayCache))
+	}
+	cfg.ServerCfg.ReplayCache = *replayCache == "on"
 
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()

@@ -66,11 +66,16 @@ func run(args []string, stdout io.Writer) error {
 	brownStart := fs.Float64("brownout-start", 0, "store brownout start, virtual seconds (0 = none)")
 	brownSecs := fs.Float64("brownout-seconds", 0, "store brownout duration")
 	brownDrop := fs.Float64("brownout-drop", 0.95, "store RPC drop rate during the brownout")
+	replayCache := fs.String("replay-cache", "on", "translation replay memoization for the curve-measurement servers: on | off (output is byte-identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *replayCache != "on" && *replayCache != "off" {
+		return fmt.Errorf("-replay-cache must be on or off, got %q", *replayCache)
+	}
 
 	cfg := labConfig(*quick)
+	cfg.ServerCfg.ReplayCache = *replayCache == "on"
 	var tel *telemetry.Set
 	if *tracePath != "" || *metricsPath != "" || *cycleProf != "" {
 		tel = telemetry.NewSet()

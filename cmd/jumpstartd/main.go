@@ -67,8 +67,12 @@ func run(args []string, stdout io.Writer) error {
 	storeURL := fs.String("store-url", "", "networked profile store base URL (seeder uploads to it, consumer fetches from it)")
 	fetchBudget := fs.Float64("fetch-budget", 30, "consumer per-boot fetch deadline budget, wall seconds")
 	quick := fs.Bool("quick", false, "reduced-scale site and server config (fast demos and tests)")
+	replayCache := fs.String("replay-cache", "on", "translation replay memoization: on | off (host-side speedup; simulation output is byte-identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *replayCache != "on" && *replayCache != "off" {
+		return fmt.Errorf("-replay-cache must be on or off, got %q", *replayCache)
 	}
 
 	// Telemetry is allocated whenever any sink wants it; the simulation
@@ -108,6 +112,7 @@ func run(args []string, stdout io.Writer) error {
 		cfg.OfferedRPS = *rps
 	}
 	cfg.Telem = tel
+	cfg.ReplayCache = *replayCache == "on"
 
 	var s *server.Server
 	switch *mode {

@@ -127,6 +127,38 @@ type Lab struct {
 	curvesOnce sync.Once
 	curves     [2]cluster.WarmupCurve
 	curvesErr  error
+
+	// Baseline memo: the figures overlap heavily in the raw server runs
+	// they need (Figure 5's no-Jump-Start steady state is Figure 6's
+	// no-Jump-Start cell; Figure 2's long no-Jump-Start warmup contains
+	// Figure 4's shorter one and Figure 1's code-size curve; Figure 4's
+	// Jump-Start warmup is the fleet simulator's input curve). Each
+	// distinct underlying run is executed once, guarded by a per-cell
+	// sync.Once, and shared. Sharing is sound because every run is
+	// deterministic for its (variant, length) key; prefix reuse of
+	// warmup ticks is sound because Server.Run emits exactly
+	// int(horizon/TickSeconds) ticks from an identical boot.
+	mu         sync.Mutex
+	steadyMemo map[steadyKey]*steadyCell
+	warmMemo   map[core.Variant]*warmCell
+}
+
+// steadyKey identifies one memoized steady-state measurement.
+type steadyKey struct {
+	v core.Variant
+	n int
+}
+
+type steadyCell struct {
+	once sync.Once
+	st   server.SteadyStats
+	err  error
+}
+
+type warmCell struct {
+	once  sync.Once
+	ticks []server.TickStats
+	err   error
 }
 
 // NewLab generates the site, calibrates the offered load to it (the
@@ -160,6 +192,85 @@ func (l *Lab) clonePkg() *prof.Profile {
 	return p
 }
 
+// steadyState memoizes Scenario.SteadyState by (variant, request
+// count). Whichever figure asks first runs the measurement; concurrent
+// callers (the Figure 6 grid fans out under RunFigures) block on the
+// cell's Once and share the result. The package clone happens inside
+// the cell, so a shared run costs one decode no matter how many
+// figures read it.
+func (l *Lab) steadyState(v core.Variant, n int) (server.SteadyStats, error) {
+	l.mu.Lock()
+	if l.steadyMemo == nil {
+		l.steadyMemo = make(map[steadyKey]*steadyCell)
+	}
+	c, ok := l.steadyMemo[steadyKey{v, n}]
+	if !ok {
+		c = &steadyCell{}
+		l.steadyMemo[steadyKey{v, n}] = c
+	}
+	l.mu.Unlock()
+	c.once.Do(func() {
+		var pkg *prof.Profile
+		if v.JumpStart {
+			pkg = l.clonePkg()
+		}
+		c.st, c.err = l.Scenario.SteadyState(v, pkg, n)
+	})
+	return c.st, c.err
+}
+
+// warmHorizon is the horizon each variant's shared warmup run covers:
+// the longest window any figure reads. The no-Jump-Start curve serves
+// Figure 1, Figure 2 and the fleet curves at LongHorizon and Figure 4
+// at Horizon; the Jump-Start curve serves Figure 4 and the fleet
+// curves at Horizon.
+func (l *Lab) warmHorizon(v core.Variant) float64 {
+	if v == (core.Variant{}) {
+		return l.Cfg.LongHorizon
+	}
+	return l.Cfg.Horizon
+}
+
+// warmupTicks returns the tick series for a variant warmup over
+// horizon, reading a prefix of the variant's shared run when it fits.
+// A request past the shared horizon falls back to a direct, uncached
+// run.
+func (l *Lab) warmupTicks(v core.Variant, horizon float64) ([]server.TickStats, error) {
+	shared := l.warmHorizon(v)
+	if horizon > shared {
+		var pkg *prof.Profile
+		if v.JumpStart {
+			pkg = l.clonePkg()
+		}
+		return l.Scenario.WarmupRun(v, pkg, horizon)
+	}
+	l.mu.Lock()
+	if l.warmMemo == nil {
+		l.warmMemo = make(map[core.Variant]*warmCell)
+	}
+	c, ok := l.warmMemo[v]
+	if !ok {
+		c = &warmCell{}
+		l.warmMemo[v] = c
+	}
+	l.mu.Unlock()
+	c.once.Do(func() {
+		var pkg *prof.Profile
+		if v.JumpStart {
+			pkg = l.clonePkg()
+		}
+		c.ticks, c.err = l.Scenario.WarmupRun(v, pkg, shared)
+	})
+	if c.err != nil {
+		return nil, c.err
+	}
+	n := int(horizon / l.Cfg.ServerCfg.TickSeconds)
+	if n > len(c.ticks) {
+		n = len(c.ticks)
+	}
+	return c.ticks[:n:n], nil
+}
+
 // ---------------------------------------------------------------------
 // Figure 1: JITed code size over time (no Jump-Start).
 
@@ -181,13 +292,14 @@ type Fig1Result struct {
 }
 
 // Fig1 runs a no-Jump-Start server and records the code-size curve.
+// The underlying run is the shared long no-Jump-Start warmup, so
+// Figure 1 and Figure 2 cost one server between them.
 func (l *Lab) Fig1() (Fig1Result, error) {
-	s, err := l.Scenario.ServerFor(core.Variant{}, nil)
+	ticks, err := l.warmupTicks(core.Variant{}, l.Cfg.LongHorizon)
 	if err != nil {
 		return Fig1Result{}, err
 	}
 	res := Fig1Result{}
-	ticks := s.Run(l.Cfg.LongHorizon)
 	prevPhase := server.PhaseInit
 	for _, tk := range ticks {
 		res.Points = append(res.Points, Fig1Point{
@@ -231,7 +343,7 @@ type WarmupResult struct {
 // from a warmed no-Jump-Start server and cached.
 func (l *Lab) SteadyRPS() (float64, error) {
 	l.steadyOnce.Do(func() {
-		st, err := l.Scenario.SteadyState(core.Variant{}, nil, l.Cfg.SteadyRequests/2)
+		st, err := l.steadyState(core.Variant{}, l.Cfg.SteadyRequests/2)
 		if err != nil {
 			l.steadyErr = err
 			return
@@ -248,12 +360,12 @@ func (l *Lab) SteadyRPS() (float64, error) {
 // warmup runs a server variant over the horizon, normalizing by the
 // fully-warm completion rate (the paper normalizes "to those of
 // servers that are fully warmed up running the same workload").
-func (l *Lab) warmup(v core.Variant, pkg *prof.Profile, horizon float64) (WarmupResult, error) {
+func (l *Lab) warmup(v core.Variant, horizon float64) (WarmupResult, error) {
 	steady, err := l.SteadyRPS()
 	if err != nil {
 		return WarmupResult{}, err
 	}
-	ticks, err := l.Scenario.WarmupRun(v, pkg, horizon)
+	ticks, err := l.warmupTicks(v, horizon)
 	if err != nil {
 		return WarmupResult{}, err
 	}
@@ -269,7 +381,7 @@ func (l *Lab) warmup(v core.Variant, pkg *prof.Profile, horizon float64) (Warmup
 // deterministic.
 func (l *Lab) Fig2() (WarmupResult, error) {
 	l.fig2Once.Do(func() {
-		l.fig2Res, l.fig2Err = l.warmup(core.Variant{}, nil, l.Cfg.LongHorizon)
+		l.fig2Res, l.fig2Err = l.warmup(core.Variant{}, l.Cfg.LongHorizon)
 	})
 	return l.fig2Res, l.fig2Err
 }
@@ -298,11 +410,11 @@ func (l *Lab) Fig4() (Fig4Result, error) {
 }
 
 func (l *Lab) fig4() (Fig4Result, error) {
-	js, err := l.warmup(core.FullJumpStart(), l.clonePkg(), l.Cfg.Horizon)
+	js, err := l.warmup(core.FullJumpStart(), l.Cfg.Horizon)
 	if err != nil {
 		return Fig4Result{}, err
 	}
-	no, err := l.warmup(core.Variant{}, nil, l.Cfg.Horizon)
+	no, err := l.warmup(core.Variant{}, l.Cfg.Horizon)
 	if err != nil {
 		return Fig4Result{}, err
 	}
@@ -367,13 +479,15 @@ func pctReduction(baseline, improved float64) float64 {
 	return (baseline - improved) / baseline * 100
 }
 
-// Fig5 reproduces the steady-state comparison.
+// Fig5 reproduces the steady-state comparison. Both runs go through
+// the Lab memo: the no-Jump-Start column is the same measurement as
+// Figure 6's no-Jump-Start cell.
 func (l *Lab) Fig5() (Fig5Result, error) {
-	js, err := l.Scenario.SteadyState(core.FullJumpStart(), l.clonePkg(), l.Cfg.SteadyRequests)
+	js, err := l.steadyState(core.FullJumpStart(), l.Cfg.SteadyRequests)
 	if err != nil {
 		return Fig5Result{}, err
 	}
-	no, err := l.Scenario.SteadyState(core.Variant{}, nil, l.Cfg.SteadyRequests)
+	no, err := l.steadyState(core.Variant{}, l.Cfg.SteadyRequests)
 	if err != nil {
 		return Fig5Result{}, err
 	}
@@ -416,11 +530,7 @@ func (l *Lab) Fig6() (Fig6Result, error) {
 		{JumpStart: true, PropertyOrder: true},
 	}
 	stats, err := parallel.MapErr(l.Cfg.Workers, len(grid), func(i int) (server.SteadyStats, error) {
-		var pkg *prof.Profile
-		if grid[i].JumpStart {
-			pkg = l.clonePkg()
-		}
-		return l.Scenario.SteadyState(grid[i], pkg, l.Cfg.SteadyRequests)
+		return l.steadyState(grid[i], l.Cfg.SteadyRequests)
 	})
 	if err != nil {
 		return Fig6Result{}, err
@@ -640,11 +750,11 @@ func (l *Lab) fleetCurves() ([2]cluster.WarmupCurve, error) {
 }
 
 func (l *Lab) measureFleetCurves() ([2]cluster.WarmupCurve, error) {
-	js, err := l.warmup(core.FullJumpStart(), l.clonePkg(), l.Cfg.Horizon)
+	js, err := l.warmup(core.FullJumpStart(), l.Cfg.Horizon)
 	if err != nil {
 		return [2]cluster.WarmupCurve{}, err
 	}
-	no, err := l.warmup(core.Variant{}, nil, l.Cfg.LongHorizon)
+	no, err := l.warmup(core.Variant{}, l.Cfg.LongHorizon)
 	if err != nil {
 		return [2]cluster.WarmupCurve{}, err
 	}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFiguresReplayCacheDeterminism renders every figure through the
+// full cmd/experiments path with the translation replay cache on and
+// off and requires byte-identical output — the figure-level statement
+// of the cache's zero-observable contract (the server-level one is
+// TestReplayCacheDeterminism in internal/server).
+func TestFiguresReplayCacheDeterminism(t *testing.T) {
+	render := func(replayOn bool) []byte {
+		cfg := tinyConfig()
+		cfg.ServerCfg.ReplayCache = replayOn
+		lab, err := NewLab(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := lab.RunFigures(&buf, FigureOrder, 1); err != nil {
+			t.Fatalf("replay=%v: %v", replayOn, err)
+		}
+		return buf.Bytes()
+	}
+	on := render(true)
+	off := render(false)
+	if len(on) == 0 {
+		t.Fatal("replay-on run produced no output")
+	}
+	if !bytes.Equal(on, off) {
+		i := 0
+		for i < len(on) && i < len(off) && on[i] == off[i] {
+			i++
+		}
+		lo, hi := i-80, i+80
+		if lo < 0 {
+			lo = 0
+		}
+		clip := func(b []byte) []byte {
+			if hi > len(b) {
+				return b[lo:]
+			}
+			return b[lo:hi]
+		}
+		t.Fatalf("figure output diverged at byte %d:\n  on:  …%q…\n  off: …%q…",
+			i, clip(on), clip(off))
+	}
+}

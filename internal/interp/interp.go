@@ -7,6 +7,12 @@
 // and property-access counters, and through which the simulated JIT
 // charges translation costs and feeds the micro-architecture model.
 // With a nil Tracer the interpreter runs at full (host) speed.
+//
+// The steady-state request path allocates nothing: activation frames
+// (locals, evaluation stack, iterators) come from a per-depth pool
+// that is reused across calls, and arguments are passed as a view of
+// the caller's stack (the callee copies them into its locals before
+// touching its own stack).
 package interp
 
 import (
@@ -41,6 +47,28 @@ type Tracer interface {
 	OnOpTypes(fn *bytecode.Function, pc int, a, b value.Kind)
 }
 
+// Memoizer lets an external cache (internal/replay) intercept direct
+// calls. The interpreter consults it at every OpFCallD site:
+//
+//   - TryReplay may satisfy the call from a recorded entry. On ok it
+//     has already applied every side effect of the call (tracer
+//     charges, heap advance) and returns the result plus the fuel the
+//     real execution would have consumed.
+//   - Otherwise BeginCapture may arm recording for this call; if it
+//     returns true the interpreter reports the subtree's fuel, result
+//     and error to EndCapture exactly once, after the call completes
+//     and before unwinding a fault.
+//
+// The memoizer sees the call before OnCallSite fires, so call-site
+// tracer effects are part of the recorded entry and are skipped
+// entirely on replay.
+type Memoizer interface {
+	TryReplay(caller, callee *bytecode.Function, pc int, args []value.Value,
+		fuelLeft int64, depthRoom int) (ret value.Value, steps int64, ok bool)
+	BeginCapture(caller, callee *bytecode.Function, pc int, args []value.Value) bool
+	EndCapture(steps int64, ret value.Value, err error)
+}
+
 // Fault is a MiniHack runtime error carrying a VM-level stack trace.
 type Fault struct {
 	Msg   string
@@ -68,18 +96,49 @@ type Config struct {
 	MaxDepth int
 }
 
+// frame is one pooled activation record. Frames are allocated once per
+// nesting depth and reused for every subsequent activation at that
+// depth; their buffers only ever grow.
+type frame struct {
+	locals []value.Value
+	stack  []value.Value
+	iters  []iterState
+}
+
+func (f *frame) push(v value.Value) { f.stack = append(f.stack, v) }
+
+func (f *frame) pop() value.Value {
+	v := f.stack[len(f.stack)-1]
+	f.stack = f.stack[:len(f.stack)-1]
+	return v
+}
+
 // Interp executes bytecode against a runtime class registry.
 type Interp struct {
 	prog   *bytecode.Program
 	reg    *object.Registry
 	out    io.Writer
 	tracer Tracer
+	memo   Memoizer
 	fuel   int64
 	max    int64
 	depth  int
 	maxDep int
 
-	bsCache map[*bytecode.Function][]int32
+	frames  []*frame
+	bsCache [][]int32   // fn.ID -> pc-indexed block-start table
+	icCache [][]icEntry // fn.ID -> pc-indexed inline caches
+}
+
+// icEntry is a monomorphic inline cache for one property or method
+// instruction: rc is the receiver class last observed at this pc, idx
+// the resolved physical slot (OpPropGet/OpPropSet) or method FuncID
+// (OpFCallM). Receiver-class layouts are immutable for the life of a
+// Registry, so a pointer match makes the cached resolution valid; a
+// mismatch falls back to the full by-name lookup and re-caches.
+type icEntry struct {
+	rc  *object.RuntimeClass
+	idx int32
 }
 
 // New creates an interpreter for prog/reg.
@@ -112,6 +171,9 @@ func (ip *Interp) Program() *bytecode.Program { return ip.prog }
 // profiling and steady-state execution).
 func (ip *Interp) SetTracer(t Tracer) { ip.tracer = t }
 
+// SetMemoizer installs (or removes, with nil) the replay cache.
+func (ip *Interp) SetMemoizer(m Memoizer) { ip.memo = m }
+
 // CallByName invokes a free function by name from outside the VM.
 // The step budget resets per entry call.
 func (ip *Interp) CallByName(name string, args ...value.Value) (value.Value, error) {
@@ -142,6 +204,8 @@ type iterState struct {
 }
 
 // call runs one activation of fn. this is nil for free functions.
+// args may alias the caller's evaluation stack; it is copied into
+// locals before this activation touches its own stack.
 func (ip *Interp) call(fn *bytecode.Function, this *object.Object, args []value.Value) (value.Value, error) {
 	if len(args) != fn.NumParams {
 		return value.Null, ip.fault(fn, 0, "%s expects %d args, got %d",
@@ -150,16 +214,28 @@ func (ip *Interp) call(fn *bytecode.Function, this *object.Object, args []value.
 	if ip.depth >= ip.maxDep {
 		return value.Null, ip.fault(fn, 0, "stack overflow (depth %d)", ip.depth)
 	}
+	d := ip.depth
 	ip.depth++
 	defer func() { ip.depth-- }()
 
-	locals := make([]value.Value, fn.NumLocals)
-	copy(locals, args)
-	stack := make([]value.Value, 0, 16)
-	var iters []iterState
-	if fn.NumIters > 0 {
-		iters = make([]iterState, fn.NumIters)
+	if d >= len(ip.frames) {
+		ip.frames = append(ip.frames, &frame{})
 	}
+	fr := ip.frames[d]
+	if cap(fr.locals) < fn.NumLocals {
+		fr.locals = make([]value.Value, fn.NumLocals)
+	}
+	locals := fr.locals[:fn.NumLocals]
+	n := copy(locals, args)
+	clearTail := locals[n:]
+	for i := range clearTail {
+		clearTail[i] = value.Value{}
+	}
+	fr.stack = fr.stack[:0]
+	if cap(fr.iters) < fn.NumIters {
+		fr.iters = make([]iterState, fn.NumIters)
+	}
+	iters := fr.iters[:fn.NumIters]
 
 	tr := ip.tracer
 	if tr != nil {
@@ -173,14 +249,8 @@ func (ip *Interp) call(fn *bytecode.Function, this *object.Object, args []value.
 		blockStart = ip.blockStarts(fn)
 	}
 
-	push := func(v value.Value) { stack = append(stack, v) }
-	pop := func() value.Value {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		return v
-	}
-
 	code := fn.Code
+	ics := ip.inlineCaches(fn)
 	pc := 0
 	for {
 		if ip.fuel <= 0 {
@@ -196,50 +266,64 @@ func (ip *Interp) call(fn *bytecode.Function, this *object.Object, args []value.
 			// nothing
 
 		case bytecode.OpNull:
-			push(value.Null)
+			fr.push(value.Null)
 		case bytecode.OpTrue:
-			push(value.Bool(true))
+			fr.push(value.Bool(true))
 		case bytecode.OpFalse:
-			push(value.Bool(false))
+			fr.push(value.Bool(false))
 		case bytecode.OpInt:
-			push(value.Int(int64(in.A)))
+			fr.push(value.Int(int64(in.A)))
 		case bytecode.OpLit:
-			push(fn.Unit.Literal(in.A))
+			fr.push(fn.Unit.Literal(in.A))
 		case bytecode.OpDup:
-			push(stack[len(stack)-1])
+			fr.push(fr.stack[len(fr.stack)-1])
 		case bytecode.OpPopC:
-			pop()
+			fr.pop()
 
 		case bytecode.OpCGetL:
-			push(locals[in.A])
+			fr.push(locals[in.A])
 		case bytecode.OpSetL:
-			locals[in.A] = stack[len(stack)-1]
+			locals[in.A] = fr.stack[len(fr.stack)-1]
 		case bytecode.OpPushL:
-			push(locals[in.A])
+			fr.push(locals[in.A])
 			locals[in.A] = value.Null
 
 		case bytecode.OpAdd, bytecode.OpSub, bytecode.OpMul, bytecode.OpDiv, bytecode.OpMod:
-			b := pop()
-			a := pop()
+			n := len(fr.stack)
+			a, b := fr.stack[n-2], fr.stack[n-1]
+			fr.stack = fr.stack[:n-2]
 			if tr != nil {
 				tr.OnOpTypes(fn, pc, a.Kind(), b.Kind())
 			}
-			v, err := arith(in.Op, a, b)
+			var v value.Value
+			var err error
+			switch in.Op {
+			case bytecode.OpAdd:
+				v, err = value.Add(a, b)
+			case bytecode.OpSub:
+				v, err = value.Sub(a, b)
+			case bytecode.OpMul:
+				v, err = value.Mul(a, b)
+			case bytecode.OpDiv:
+				v, err = value.Div(a, b)
+			default:
+				v, err = value.Mod(a, b)
+			}
 			if err != nil {
 				return value.Null, ip.fault(fn, pc, "%v", err)
 			}
-			push(v)
+			fr.push(v)
 
 		case bytecode.OpConcat:
-			b := pop()
-			a := pop()
+			b := fr.pop()
+			a := fr.pop()
 			if tr != nil {
 				tr.OnOpTypes(fn, pc, a.Kind(), b.Kind())
 			}
-			push(value.Concat(a, b))
+			fr.push(value.Concat(a, b))
 
 		case bytecode.OpNeg:
-			a := pop()
+			a := fr.pop()
 			if tr != nil {
 				tr.OnOpTypes(fn, pc, a.Kind(), value.KindNull)
 			}
@@ -247,69 +331,84 @@ func (ip *Interp) call(fn *bytecode.Function, this *object.Object, args []value.
 			if err != nil {
 				return value.Null, ip.fault(fn, pc, "%v", err)
 			}
-			push(v)
+			fr.push(v)
 		case bytecode.OpNot:
-			push(value.Bool(!pop().Truthy()))
+			fr.push(value.Bool(!fr.pop().Truthy()))
 
 		case bytecode.OpBitAnd:
-			b := pop()
-			push(value.BitAnd(pop(), b))
+			b := fr.pop()
+			fr.push(value.BitAnd(fr.pop(), b))
 		case bytecode.OpBitOr:
-			b := pop()
-			push(value.BitOr(pop(), b))
+			b := fr.pop()
+			fr.push(value.BitOr(fr.pop(), b))
 		case bytecode.OpBitXor:
-			b := pop()
-			push(value.BitXor(pop(), b))
+			b := fr.pop()
+			fr.push(value.BitXor(fr.pop(), b))
 		case bytecode.OpShl:
-			b := pop()
-			push(value.Shl(pop(), b))
+			b := fr.pop()
+			fr.push(value.Shl(fr.pop(), b))
 		case bytecode.OpShr:
-			b := pop()
-			push(value.Shr(pop(), b))
+			b := fr.pop()
+			fr.push(value.Shr(fr.pop(), b))
 
 		case bytecode.OpCmpEq, bytecode.OpCmpNeq, bytecode.OpCmpSame,
 			bytecode.OpCmpNSame, bytecode.OpCmpLt, bytecode.OpCmpLte,
 			bytecode.OpCmpGt, bytecode.OpCmpGte:
-			b := pop()
-			a := pop()
+			n := len(fr.stack)
+			a, b := fr.stack[n-2], fr.stack[n-1]
+			fr.stack = fr.stack[:n-2]
 			if tr != nil {
 				tr.OnOpTypes(fn, pc, a.Kind(), b.Kind())
 			}
-			push(value.Bool(compare(in.Op, a, b)))
+			fr.push(value.Bool(compare(in.Op, a, b)))
 
 		case bytecode.OpJmp:
 			pc = int(in.A)
 			continue
 		case bytecode.OpJmpZ:
-			if !pop().Truthy() {
+			if !fr.pop().Truthy() {
 				pc = int(in.A)
 				continue
 			}
 		case bytecode.OpJmpNZ:
-			if pop().Truthy() {
+			if fr.pop().Truthy() {
 				pc = int(in.A)
 				continue
 			}
 
 		case bytecode.OpRet:
-			return pop(), nil
+			return fr.pop(), nil
 		case bytecode.OpFatal:
-			return value.Null, ip.fault(fn, pc, "fatal: %s", pop().ToStr())
+			return value.Null, ip.fault(fn, pc, "fatal: %s", fr.pop().ToStr())
 
 		case bytecode.OpFCallD:
 			callee := ip.prog.Funcs[in.A]
 			argc := int(in.B)
-			cargs := make([]value.Value, argc)
-			copy(cargs, stack[len(stack)-argc:])
-			stack = stack[:len(stack)-argc]
+			cargs := fr.stack[len(fr.stack)-argc:]
+			m := ip.memo
+			if m != nil {
+				if ret, steps, ok := m.TryReplay(fn, callee, pc, cargs,
+					ip.fuel, ip.maxDep-ip.depth); ok {
+					ip.fuel -= steps
+					fr.stack = fr.stack[:len(fr.stack)-argc]
+					fr.push(ret)
+					break
+				}
+			}
+			capturing := m != nil && m.BeginCapture(fn, callee, pc, cargs)
+			fuel0 := ip.fuel
 			if tr != nil {
 				tr.OnCallSite(fn, pc, callee)
 			}
 			ret, err := ip.call(callee, nil, cargs)
+			if capturing {
+				m.EndCapture(fuel0-ip.fuel, ret, err)
+			}
 			if err != nil {
 				return value.Null, ip.pushFrame(err, fn, pc)
 			}
-			push(ret)
+			fr.stack = fr.stack[:len(fr.stack)-argc]
+			fr.push(ret)
 
 		case bytecode.OpFCall:
 			name := fn.Unit.Literal(in.A).AsStr()
@@ -317,19 +416,25 @@ func (ip *Interp) call(fn *bytecode.Function, this *object.Object, args []value.
 
 		case bytecode.OpFCallM:
 			argc := int(in.B)
-			cargs := make([]value.Value, argc)
-			copy(cargs, stack[len(stack)-argc:])
-			stack = stack[:len(stack)-argc]
-			recv := pop()
+			cargs := fr.stack[len(fr.stack)-argc:]
+			recv := fr.stack[len(fr.stack)-argc-1]
 			if recv.Kind() != value.KindObj {
 				return value.Null, ip.fault(fn, pc, "method call on %s", recv.Kind())
 			}
 			obj := recv.AsObj().(*object.Object)
-			name := fn.Unit.Literal(in.A).AsStr()
-			mid, ok := obj.Class().Meta.LookupMethod(name)
-			if !ok {
-				return value.Null, ip.fault(fn, pc, "class %s has no method %q",
-					obj.ClassName(), name)
+			rc := obj.Class()
+			var mid bytecode.FuncID
+			if ic := &ics[pc]; ic.rc == rc {
+				mid = bytecode.FuncID(ic.idx)
+			} else {
+				name := fn.Unit.Literal(in.A).AsStr()
+				m, ok := rc.Meta.LookupMethod(name)
+				if !ok {
+					return value.Null, ip.fault(fn, pc, "class %s has no method %q",
+						obj.ClassName(), name)
+				}
+				mid = m
+				ic.rc, ic.idx = rc, int32(m)
 			}
 			callee := ip.prog.Funcs[mid]
 			if argc != callee.NumParams {
@@ -343,13 +448,12 @@ func (ip *Interp) call(fn *bytecode.Function, this *object.Object, args []value.
 			if err != nil {
 				return value.Null, ip.pushFrame(err, fn, pc)
 			}
-			push(ret)
+			fr.stack = fr.stack[:len(fr.stack)-argc-1]
+			fr.push(ret)
 
 		case bytecode.OpNewObj:
 			argc := int(in.B)
-			cargs := make([]value.Value, argc)
-			copy(cargs, stack[len(stack)-argc:])
-			stack = stack[:len(stack)-argc]
+			cargs := fr.stack[len(fr.stack)-argc:]
 			rc := ip.reg.Class(bytecode.ClassID(in.A))
 			obj := ip.reg.Heap().NewObject(rc)
 			if tr != nil {
@@ -370,7 +474,8 @@ func (ip *Interp) call(fn *bytecode.Function, this *object.Object, args []value.
 			} else if argc != 0 {
 				return value.Null, ip.fault(fn, pc, "class %s has no constructor", rc.Name())
 			}
-			push(value.Object(obj))
+			fr.stack = fr.stack[:len(fr.stack)-argc]
+			fr.push(value.Object(obj))
 
 		case bytecode.OpNewObjL:
 			name := fn.Unit.Literal(in.A).AsStr()
@@ -378,114 +483,139 @@ func (ip *Interp) call(fn *bytecode.Function, this *object.Object, args []value.
 
 		case bytecode.OpBuiltin:
 			argc := int(in.B)
-			cargs := stack[len(stack)-argc:]
+			cargs := fr.stack[len(fr.stack)-argc:]
 			ret, err := ip.builtin(bytecode.Builtin(in.A), cargs)
-			stack = stack[:len(stack)-argc]
+			fr.stack = fr.stack[:len(fr.stack)-argc]
 			if err != nil {
 				return value.Null, ip.pushFrame(err, fn, pc)
 			}
-			push(ret)
+			fr.push(ret)
 
 		case bytecode.OpThis:
 			if this == nil {
 				return value.Null, ip.fault(fn, pc, "'this' with no receiver")
 			}
-			push(value.Object(this))
+			fr.push(value.Object(this))
 
 		case bytecode.OpPropGet:
-			base := pop()
+			base := fr.pop()
 			if base.Kind() != value.KindObj {
 				return value.Null, ip.fault(fn, pc, "property access on %s", base.Kind())
 			}
 			obj := base.AsObj().(*object.Object)
-			name := fn.Unit.Literal(in.A).AsStr()
-			v, slot, ok := obj.GetProp(name)
-			if !ok {
-				return value.Null, ip.fault(fn, pc, "class %s has no property %q",
-					obj.ClassName(), name)
+			rc := obj.Class()
+			var v value.Value
+			var slot int
+			if ic := &ics[pc]; ic.rc == rc {
+				slot = int(ic.idx)
+				v = obj.GetSlot(slot)
+			} else {
+				name := fn.Unit.Literal(in.A).AsStr()
+				var ok bool
+				v, slot, ok = obj.GetProp(name)
+				if !ok {
+					return value.Null, ip.fault(fn, pc, "class %s has no property %q",
+						obj.ClassName(), name)
+				}
+				ic.rc, ic.idx = rc, int32(slot)
 			}
 			if tr != nil {
 				tr.OnPropAccess(obj, slot, false)
 			}
-			push(v)
+			fr.push(v)
 
 		case bytecode.OpPropSet:
-			v := pop()
-			base := pop()
+			v := fr.pop()
+			base := fr.pop()
 			if base.Kind() != value.KindObj {
 				return value.Null, ip.fault(fn, pc, "property write on %s", base.Kind())
 			}
 			obj := base.AsObj().(*object.Object)
-			name := fn.Unit.Literal(in.A).AsStr()
-			slot, ok := obj.SetProp(name, v)
-			if !ok {
-				return value.Null, ip.fault(fn, pc, "class %s has no property %q",
-					obj.ClassName(), name)
+			rc := obj.Class()
+			var slot int
+			if ic := &ics[pc]; ic.rc == rc {
+				slot = int(ic.idx)
+				obj.SetSlot(slot, v)
+			} else {
+				name := fn.Unit.Literal(in.A).AsStr()
+				var ok bool
+				slot, ok = obj.SetProp(name, v)
+				if !ok {
+					return value.Null, ip.fault(fn, pc, "class %s has no property %q",
+						obj.ClassName(), name)
+				}
+				ic.rc, ic.idx = rc, int32(slot)
 			}
 			if tr != nil {
 				tr.OnPropAccess(obj, slot, true)
 			}
-			push(v)
+			fr.push(v)
 
 		case bytecode.OpNewVec:
 			n := int(in.A)
 			a := value.NewArray(n)
-			for i := len(stack) - n; i < len(stack); i++ {
-				a.Append(stack[i])
+			for i := len(fr.stack) - n; i < len(fr.stack); i++ {
+				a.Append(fr.stack[i])
 			}
-			stack = stack[:len(stack)-n]
-			push(value.Arr(a))
+			fr.stack = fr.stack[:len(fr.stack)-n]
+			fr.push(value.Arr(a))
 
 		case bytecode.OpNewDict:
 			n := int(in.A)
 			a := value.NewArray(n)
-			base := len(stack) - 2*n
+			base := len(fr.stack) - 2*n
 			for i := 0; i < n; i++ {
-				a.Set(stack[base+2*i], stack[base+2*i+1])
+				a.Set(fr.stack[base+2*i], fr.stack[base+2*i+1])
 			}
-			stack = stack[:base]
-			push(value.Arr(a))
+			fr.stack = fr.stack[:base]
+			fr.push(value.Arr(a))
 
 		case bytecode.OpIdxGet:
-			key := pop()
-			base := pop()
+			key := fr.pop()
+			base := fr.pop()
 			if base.Kind() != value.KindArr {
 				return value.Null, ip.fault(fn, pc, "index read on %s", base.Kind())
 			}
 			v, _ := base.AsArr().Get(key) // absent key yields null, PHP-style
-			push(v)
+			fr.push(v)
 
 		case bytecode.OpIdxSet:
-			v := pop()
-			key := pop()
-			base := pop()
+			v := fr.pop()
+			key := fr.pop()
+			base := fr.pop()
 			if base.Kind() != value.KindArr {
 				return value.Null, ip.fault(fn, pc, "index write on %s", base.Kind())
 			}
 			base.AsArr().Set(key, v)
-			push(v)
+			fr.push(v)
 
 		case bytecode.OpIdxApp:
-			v := pop()
-			base := pop()
+			v := fr.pop()
+			base := fr.pop()
 			if base.Kind() != value.KindArr {
 				return value.Null, ip.fault(fn, pc, "append on %s", base.Kind())
 			}
 			base.AsArr().Append(v)
-			push(v)
+			fr.push(v)
 
 		case bytecode.OpIterInit:
-			seq := pop()
+			seq := fr.pop()
 			if seq.Kind() != value.KindArr {
 				return value.Null, ip.fault(fn, pc, "foreach over %s", seq.Kind())
 			}
 			arr := seq.AsArr()
-			entries := make([]value.Entry, arr.Len())
-			for i := 0; i < arr.Len(); i++ {
-				entries[i] = arr.At(i)
+			cnt := arr.Len()
+			it := &iters[in.A]
+			if cap(it.entries) < cnt {
+				it.entries = make([]value.Entry, cnt)
+			} else {
+				it.entries = it.entries[:cnt]
 			}
-			iters[in.A] = iterState{entries: entries}
-			if len(entries) == 0 {
+			for i := 0; i < cnt; i++ {
+				it.entries[i] = arr.At(i)
+			}
+			it.idx = 0
+			if cnt == 0 {
 				pc = int(in.B)
 				continue
 			}
@@ -497,19 +627,19 @@ func (ip *Interp) call(fn *bytecode.Function, this *object.Object, args []value.
 				pc = int(in.B)
 				continue
 			}
-			it.entries = nil // release
+			it.entries = it.entries[:0] // done; keep backing for reuse
 
 		case bytecode.OpIterKey:
 			it := &iters[in.A]
 			e := it.entries[it.idx]
 			if e.IsStr {
-				push(value.Str(e.StrKey))
+				fr.push(value.Str(e.StrKey))
 			} else {
-				push(value.Int(e.IntKey))
+				fr.push(value.Int(e.IntKey))
 			}
 
 		case bytecode.OpIterVal:
-			push(iters[in.A].entries[iters[in.A].idx].Val)
+			fr.push(iters[in.A].entries[iters[in.A].idx].Val)
 
 		default:
 			return value.Null, ip.fault(fn, pc, "unimplemented opcode %v", in.Op)
@@ -530,21 +660,6 @@ func (ip *Interp) pushFrame(err error, fn *bytecode.Function, pc int) error {
 		return f
 	}
 	return err
-}
-
-func arith(op bytecode.Op, a, b value.Value) (value.Value, error) {
-	switch op {
-	case bytecode.OpAdd:
-		return value.Add(a, b)
-	case bytecode.OpSub:
-		return value.Sub(a, b)
-	case bytecode.OpMul:
-		return value.Mul(a, b)
-	case bytecode.OpDiv:
-		return value.Div(a, b)
-	default:
-		return value.Mod(a, b)
-	}
 }
 
 func compare(op bytecode.Op, a, b value.Value) bool {
@@ -569,19 +684,47 @@ func compare(op bytecode.Op, a, b value.Value) bool {
 }
 
 // blockStarts caches, per function, a pc-indexed table of block ids
-// (+1; 0 = not a block start). The cache is per-Interp so concurrent
-// simulated servers do not share mutable state.
+// (+1; 0 = not a block start), indexed by FuncID so the steady-state
+// lookup is one bounds check instead of a map probe. The cache is
+// per-Interp so concurrent simulated servers do not share mutable
+// state.
 func (ip *Interp) blockStarts(fn *bytecode.Function) []int32 {
-	if bs, ok := ip.bsCache[fn]; ok {
+	id := int(fn.ID)
+	if id >= len(ip.bsCache) {
+		grown := make([][]int32, len(ip.prog.Funcs))
+		copy(grown, ip.bsCache)
+		for len(grown) <= id { // defensive: id beyond the program table
+			grown = append(grown, nil)
+		}
+		ip.bsCache = grown
+	}
+	if bs := ip.bsCache[id]; bs != nil {
 		return bs
 	}
 	bs := make([]int32, len(fn.Code)+1)
 	for _, b := range fn.Blocks() {
 		bs[b.Start] = int32(b.ID) + 1
 	}
-	if ip.bsCache == nil {
-		ip.bsCache = make(map[*bytecode.Function][]int32)
-	}
-	ip.bsCache[fn] = bs
+	ip.bsCache[id] = bs
 	return bs
+}
+
+// inlineCaches returns fn's pc-indexed inline-cache table, allocating
+// it on first use.
+func (ip *Interp) inlineCaches(fn *bytecode.Function) []icEntry {
+	id := int(fn.ID)
+	if id >= len(ip.icCache) {
+		grown := make([][]icEntry, len(ip.prog.Funcs))
+		copy(grown, ip.icCache)
+		for len(grown) <= id { // defensive: id beyond the program table
+			grown = append(grown, nil)
+		}
+		ip.icCache = grown
+	}
+	if ics := ip.icCache[id]; ics != nil {
+		return ics
+	}
+	ics := make([]icEntry, len(fn.Code))
+	ip.icCache[id] = ics
+	return ics
 }

@@ -173,6 +173,13 @@ type JIT struct {
 
 	active []*Translation // by FuncID; nil = interpreter
 
+	// epoch counts every change to the set of active translations or
+	// their addresses (compile, relocation, activation). Replay caches
+	// key on it: any entry recorded under an older epoch can no longer
+	// be trusted, because the code it charged for may have moved tiers
+	// or addresses.
+	epoch uint64
+
 	// Telemetry (all nil when disabled — the methods are nil-safe).
 	tel        *telemetry.Set
 	clock      func() float64
@@ -249,7 +256,16 @@ func (j *JIT) Cache() *CodeCache { return j.cc }
 func (j *JIT) Active(id bytecode.FuncID) *Translation { return j.active[id] }
 
 // SetActive installs t as fn's current translation.
-func (j *JIT) SetActive(id bytecode.FuncID, t *Translation) { j.active[id] = t }
+func (j *JIT) SetActive(id bytecode.FuncID, t *Translation) {
+	j.active[id] = t
+	j.epoch++
+}
+
+// Epoch returns the translation-layout epoch: a counter bumped every
+// time a translation is placed, relocated or (de)activated. Anything
+// derived from translation addresses or tiers (e.g. replay buffers) is
+// stale once the epoch moves.
+func (j *JIT) Epoch() uint64 { return j.epoch }
 
 // CompileProfiling builds and places the tier-1 translation for fn and
 // makes it active.
@@ -436,6 +452,7 @@ func estimateOptSize(fn *bytecode.Function) int {
 // place allocates addresses for a freshly lowered translation in the
 // given region using its current Order.
 func (j *JIT) place(t *Translation, region Region) error {
+	j.epoch++
 	size := 0
 	for _, b := range t.Order {
 		size += t.CFG.Blocks[b].Size()
@@ -455,6 +472,7 @@ func (j *JIT) place(t *Translation, region Region) error {
 // relocate assigns a tier-2 translation's final hot and cold section
 // addresses.
 func (j *JIT) relocate(t *Translation) error {
+	j.epoch++
 	hotBase, err := j.cc.Alloc(RegionHot, t.HotSize)
 	if err != nil {
 		return err

@@ -35,6 +35,11 @@ type Runtime struct {
 	guardFails uint64
 	microOn    bool
 
+	// rec, when non-nil, receives a copy of every charge and memory
+	// event (replay capture). Installed only for the duration of one
+	// capture, so the nil check is the entire steady-state cost.
+	rec Recorder
+
 	frames []rtFrame
 
 	callPairs map[prof.CallPair]uint64
@@ -53,6 +58,24 @@ type MemSim interface {
 	Fetch(addr uint64, size int) int
 	Data(addr uint64) int
 	Branch(pc uint64, taken bool) int
+}
+
+// Recorder mirrors the runtime's charge stream while a replay capture
+// is in flight (see internal/replay). Every cycle the runtime charges
+// and every memory event it feeds to the MemSim is echoed to the
+// recorder so the capture can be replayed later without re-executing.
+// MarkDirty poisons the capture: something happened that a replay
+// could not reproduce (a unit load, a compile, an instrumentation
+// write), so the entry must be discarded.
+type Recorder interface {
+	RecordBase(b telemetry.CycleBucket, cycles uint64)
+	RecordFetch(addr uint64, size int)
+	RecordData(addr uint64)
+	RecordBranch(pc uint64, taken bool)
+	RecordGuardFail()
+	RecordEnter(fn *bytecode.Function)
+	RecordReturn()
+	MarkDirty()
 }
 
 type rtFrame struct {
@@ -100,15 +123,70 @@ func (r *Runtime) TakeCycles() uint64 {
 func (r *Runtime) Cycles() uint64 { return r.cycles }
 
 // AddCycles charges extra cycles (used by the server for fixed
-// per-request overheads).
-func (r *Runtime) AddCycles(c uint64) { r.cycles += c }
+// per-request overheads). External charges are invisible to a replay
+// capture, so any capture in flight is poisoned.
+func (r *Runtime) AddCycles(c uint64) {
+	r.cycles += c
+	if r.rec != nil {
+		r.rec.MarkDirty()
+	}
+}
 
 // AddCyclesBucket charges extra cycles attributed to the given
 // telemetry bucket (used by the server for unit loads and compile
-// costs charged on the request path).
+// costs charged on the request path). Like AddCycles, it poisons any
+// capture in flight: unit loads and compiles are one-time effects a
+// replay could not reproduce.
 func (r *Runtime) AddCyclesBucket(c uint64, b telemetry.CycleBucket) {
 	r.cycles += c
 	r.cp.AddUint(b, c)
+	if r.rec != nil {
+		r.rec.MarkDirty()
+	}
+}
+
+// ReplayCharge credits cycles from a replayed capture to the given
+// bucket. Unlike AddCyclesBucket it does not poison captures — it is
+// only callable when no capture is in flight (replay and capture are
+// mutually exclusive by construction).
+func (r *Runtime) ReplayCharge(b telemetry.CycleBucket, c uint64) {
+	r.cycles += c
+	r.cp.AddUint(b, c)
+}
+
+// AddGuardFails credits guard failures observed during a replay.
+func (r *Runtime) AddGuardFails(n uint64) { r.guardFails += n }
+
+// SetRecorder installs (or, with nil, removes) the capture recorder.
+func (r *Runtime) SetRecorder(rec Recorder) { r.rec = rec }
+
+// MicroOn reports whether the current request feeds the
+// micro-architecture simulator.
+func (r *Runtime) MicroOn() bool { return r.microOn }
+
+// CallContext keys the dispatch behaviour of a direct call at pc in
+// the currently executing frame. It is non-zero only when the frame
+// runs an optimized translation with an inline or devirtualization
+// decision at that site — the cases where OnCallSite charges depend on
+// the caller's translation, so a replay captured under one caller
+// context must not be reused under another.
+func (r *Runtime) CallContext(pc int) uint64 {
+	n := len(r.frames)
+	if n == 0 {
+		return 0
+	}
+	f := &r.frames[n-1]
+	if f.inline != nil || f.trans == nil || f.trans.Tier != TierOptimized {
+		return 0
+	}
+	t := f.trans
+	if _, ok := t.Inlines[int32(pc)]; ok {
+		return uint64(f.fn.ID)<<20 | uint64(pc) + 1
+	}
+	if _, ok := t.Devirt[int32(pc)]; ok {
+		return uint64(f.fn.ID)<<20 | uint64(pc) + 1
+	}
+	return 0
 }
 
 // SetCycleProfile installs (or removes, with nil) the cycle
@@ -120,6 +198,9 @@ func (r *Runtime) GuardFails() uint64 { return r.guardFails }
 
 // OnEnter implements interp.Tracer.
 func (r *Runtime) OnEnter(fn *bytecode.Function) {
+	if r.rec != nil {
+		r.rec.RecordEnter(fn)
+	}
 	var f rtFrame
 	f.fn = fn
 	f.lastVasm = -1
@@ -136,6 +217,9 @@ func (r *Runtime) OnEnter(fn *bytecode.Function) {
 		f.trans = r.jit.Active(fn.ID)
 		if t := f.trans; t != nil && t.Tier == TierOptimized && t.Instrumented() {
 			t.EntryCount++
+			if r.rec != nil {
+				r.rec.MarkDirty() // instrumentation writes are unreplayable
+			}
 			// Accurate tier-2 call graph (Section V-B): record the
 			// caller/callee pair when the caller also runs optimized
 			// code. Inlined calls never reach here — exactly why this
@@ -153,6 +237,9 @@ func (r *Runtime) OnEnter(fn *bytecode.Function) {
 
 // OnReturn implements interp.Tracer.
 func (r *Runtime) OnReturn(fn *bytecode.Function) {
+	if r.rec != nil {
+		r.rec.RecordReturn()
+	}
 	if n := len(r.frames); n > 0 {
 		r.frames = r.frames[:n-1]
 	}
@@ -188,6 +275,9 @@ func (r *Runtime) OnBlock(fn *bytecode.Function, block int) {
 			c := uint64(blocks[block].Len()) * InterpCyclesPerInstr
 			r.cycles += c
 			r.cp.AddUint(telemetry.CycleInterp, c)
+			if r.rec != nil {
+				r.rec.RecordBase(telemetry.CycleInterp, c)
+			}
 		}
 		return
 	}
@@ -196,19 +286,31 @@ func (r *Runtime) OnBlock(fn *bytecode.Function, block int) {
 	c := uint64(blk.NInstrs) * CyclesPerVasmInstr
 	r.cycles += c
 	r.cp.AddUint(telemetry.CycleJITExec, c)
+	if r.rec != nil {
+		r.rec.RecordBase(telemetry.CycleJITExec, c)
+	}
 	if t.Counts != nil {
 		t.Counts[vb]++
+		if r.rec != nil {
+			r.rec.MarkDirty() // instrumentation writes are unreplayable
+		}
 	}
 	if r.microOn {
 		addr := t.BlockAddr[vb]
 		fetch := uint64(r.mem.Fetch(addr, blk.Size()))
 		r.cycles += fetch
 		r.cp.AddUint(telemetry.CycleIFetch, fetch)
+		if r.rec != nil {
+			r.rec.RecordFetch(addr, blk.Size())
+		}
 		if f.lastVasm >= 0 && f.lastCond {
 			taken := addr != f.lastAddr+uint64(f.lastSize)
 			br := uint64(r.mem.Branch(f.lastAddr, taken))
 			r.cycles += br
 			r.cp.AddUint(telemetry.CycleBranch, br)
+			if r.rec != nil {
+				r.rec.RecordBranch(f.lastAddr, taken)
+			}
 		}
 	}
 	f.lastVasm = vb
@@ -235,16 +337,24 @@ func (r *Runtime) OnCallSite(fn *bytecode.Function, pc int, callee *bytecode.Fun
 			f.pendingParent = t
 		} else {
 			// Inline guard failed: side exit, generic dispatch.
-			r.guardFails++
-			r.cycles += GuardFailPenalty
-			r.cp.AddUint(telemetry.CycleGuard, GuardFailPenalty)
+			r.chargeGuardFail()
 		}
 		return
 	}
 	if target, ok := t.Devirt[int32(pc)]; ok && target != callee.Name {
-		r.guardFails++
-		r.cycles += GuardFailPenalty
-		r.cp.AddUint(telemetry.CycleGuard, GuardFailPenalty)
+		r.chargeGuardFail()
+	}
+}
+
+// chargeGuardFail charges one failed guard (side exit + generic
+// fallback), echoing it to a capture in flight.
+func (r *Runtime) chargeGuardFail() {
+	r.guardFails++
+	r.cycles += GuardFailPenalty
+	r.cp.AddUint(telemetry.CycleGuard, GuardFailPenalty)
+	if r.rec != nil {
+		r.rec.RecordBase(telemetry.CycleGuard, GuardFailPenalty)
+		r.rec.RecordGuardFail()
 	}
 }
 
@@ -254,6 +364,9 @@ func (r *Runtime) OnNewObj(obj *object.Object) {
 		c := uint64(r.mem.Data(obj.Addr()))
 		r.cycles += c
 		r.cp.AddUint(telemetry.CycleData, c)
+		if r.rec != nil {
+			r.rec.RecordData(obj.Addr())
+		}
 	}
 }
 
@@ -265,6 +378,9 @@ func (r *Runtime) OnPropAccess(obj *object.Object, slot int, write bool) {
 		c := uint64(r.mem.Data(obj.SlotAddr(slot)))
 		r.cycles += c
 		r.cp.AddUint(telemetry.CycleData, c)
+		if r.rec != nil {
+			r.rec.RecordData(obj.SlotAddr(slot))
+		}
 	}
 }
 
@@ -287,9 +403,7 @@ func (r *Runtime) OnOpTypes(fn *bytecode.Function, pc int, a, b value.Kind) {
 	if want, ok := spec[int32(pc)]; ok {
 		got := uint16(a)<<8 | uint16(b)
 		if got != want {
-			r.guardFails++
-			r.cycles += GuardFailPenalty
-			r.cp.AddUint(telemetry.CycleGuard, GuardFailPenalty)
+			r.chargeGuardFail()
 		}
 	}
 }

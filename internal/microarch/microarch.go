@@ -110,9 +110,12 @@ func (s Stats) DTLBMissRate() float64 { return rate(s.DTLBMisses, s.DTLBAccs) }
 // BranchMissRate returns mispredictions per branch.
 func (s Stats) BranchMissRate() float64 { return rate(s.BranchMiss, s.Branches) }
 
-// cache is a set-associative cache with LRU replacement.
+// cache is a set-associative cache with LRU replacement. All ways of
+// all sets live in one flat slice (set s occupies lines[s*ways :
+// (s+1)*ways]) so an access touches a single allocation and the index
+// arithmetic stays branch-free.
 type cache struct {
-	sets     [][]line
+	lines    []line
 	ways     int
 	lineBits uint
 	setMask  uint64
@@ -126,16 +129,12 @@ type line struct {
 }
 
 func newCache(sets, ways, lineSize int) *cache {
-	c := &cache{
-		sets:     make([][]line, sets),
+	return &cache{
+		lines:    make([]line, sets*ways),
 		ways:     ways,
 		lineBits: log2(lineSize),
 		setMask:  uint64(sets - 1),
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, ways)
-	}
-	return c
 }
 
 func log2(n int) uint {
@@ -150,7 +149,8 @@ func log2(n int) uint {
 func (c *cache) access(addr uint64) bool {
 	c.tick++
 	tag := addr >> c.lineBits
-	set := c.sets[tag&c.setMask]
+	base := int(tag&c.setMask) * c.ways
+	set := c.lines[base : base+c.ways]
 	victim := 0
 	for i := range set {
 		if set[i].ok && set[i].tag == tag {
@@ -332,3 +332,46 @@ func (h *Hierarchy) Stats() Stats { return h.stats }
 // ResetStats zeroes the counters without flushing cache state (used to
 // measure steady-state windows after warmup).
 func (h *Hierarchy) ResetStats() { h.stats = Stats{} }
+
+// AccessKind discriminates the events in a batched access stream.
+type AccessKind uint8
+
+// Access kinds.
+const (
+	// AccessFetch is an instruction fetch of Aux bytes at Addr.
+	AccessFetch AccessKind = iota
+	// AccessData is one data access. Addr is stored relative to a
+	// caller-supplied base so recorded streams stay valid as the
+	// simulated heap grows (see Stream's dataBase).
+	AccessData
+	// AccessBranch is a conditional branch at Addr, taken iff Aux != 0.
+	AccessBranch
+)
+
+// Access is one element of a batched event stream — a recorded
+// Fetch/Data/Branch call.
+type Access struct {
+	Addr uint64
+	Aux  uint32
+	Kind AccessKind
+}
+
+// Stream feeds a recorded access stream through the hierarchy in
+// order, exactly as the equivalent sequence of Fetch/Data/Branch calls
+// would, and returns the penalty cycles accumulated per event class.
+// AccessData addresses are offsets added to dataBase. The call
+// allocates nothing, which is what makes replayed translations cheap.
+func (h *Hierarchy) Stream(accs []Access, dataBase uint64) (fetchPen, dataPen, branchPen uint64) {
+	for i := range accs {
+		a := &accs[i]
+		switch a.Kind {
+		case AccessFetch:
+			fetchPen += uint64(h.Fetch(a.Addr, int(a.Aux)))
+		case AccessData:
+			dataPen += uint64(h.Data(dataBase + a.Addr))
+		default:
+			branchPen += uint64(h.Branch(a.Addr, a.Aux != 0))
+		}
+	}
+	return fetchPen, dataPen, branchPen
+}

@@ -65,6 +65,21 @@ func (h *Heap) NewObject(rc *RuntimeClass) *Object {
 // Allocations returns the number of objects allocated.
 func (h *Heap) Allocations() uint64 { return h.objects }
 
+// Next returns the address the next allocation will receive. Replay
+// captures record object addresses relative to this watermark so a
+// recorded data stream stays valid when replayed later in the heap.
+func (h *Heap) Next() uint64 { return h.next }
+
+// AdvanceBy skips bytes of address space and objects allocation ids,
+// exactly as if the recorded allocations had been performed. This
+// keeps the addresses and ids of every allocation *after* a replayed
+// call identical to the ones real execution would have produced.
+func (h *Heap) AdvanceBy(bytes, objects uint64) {
+	h.next += bytes
+	h.nextID += objects
+	h.objects += objects
+}
+
 // ClassName implements value.Obj.
 func (o *Object) ClassName() string { return o.class.Name() }
 

@@ -11,25 +11,57 @@ import (
 // interp.Tracer and is installed while the server runs profiling
 // translations (the "JIT profile code / collect profile data" phases of
 // Figure 3). Snapshot converts the raw counters into a Profile.
+//
+// The tracer callbacks are the hottest host-side path of the whole
+// simulation (every block, call site and dynamic op of every profiled
+// request lands here), so the counters are flat slices indexed by
+// FuncID with packed integer keys, not nested maps; Snapshot unpacks
+// them into the Profile's map shape once, at the end.
 type Collector struct {
 	prog *bytecode.Program
 
-	entry  map[bytecode.FuncID]uint64
-	blocks map[bytecode.FuncID][]uint64
-	edges  map[bytecode.FuncID]map[EdgeKey]uint64
-	calls  map[bytecode.FuncID]map[int32]map[string]uint64
-	types  map[bytecode.FuncID]map[int32]map[uint16]uint64
+	entry  []uint64            // by FuncID
+	blocks [][]uint64          // by FuncID, sized len(fn.Blocks()) on first touch
+	edges  [][]edgeSite        // by FuncID, then src block
+	calls  []map[uint64]uint64 // by FuncID; key = pc<<32 | callee FuncID
+	types  [][]typeSite        // by FuncID, then pc
 	props  map[string]uint64
 	pairs  map[PropPair]uint64
 
+	// propKeys/propDecls cache the declaring-class "K::P" string and
+	// the declaring class name per (class, flat slot), so OnPropAccess
+	// never rebuilds them.
+	propKeys  [][]string // by ClassID, then flat slot index
+	propDecls [][]string // by ClassID, then flat slot index
+
 	unitOrder []string
 	unitSeen  map[string]bool
+	fnSeen    []bool // by FuncID: unit membership already recorded
 
 	// shadow stack tracking the last executed block per activation,
 	// for edge attribution.
 	stack []frameState
 
 	requests int64
+}
+
+// edgeSite counts CFG edges leaving one source block. Almost every
+// block transfers to a single successor in practice, so the first
+// observed destination gets an inline counter and only polymorphic
+// sources fall back to a map.
+type edgeSite struct {
+	dst   int32
+	count uint64
+	more  map[int32]uint64
+}
+
+// typeSite counts operand-kind observations at one pc. The inline slot
+// covers the (overwhelmingly common) monomorphic case; `more` holds any
+// additional kind pairs.
+type typeSite struct {
+	pair  uint16
+	count uint64
+	more  map[uint16]uint64
 }
 
 type frameState struct {
@@ -45,16 +77,20 @@ var _ interp.Tracer = (*Collector)(nil)
 
 // NewCollector returns an empty collector for prog.
 func NewCollector(prog *bytecode.Program) *Collector {
+	n := len(prog.Funcs)
 	return &Collector{
-		prog:     prog,
-		entry:    make(map[bytecode.FuncID]uint64),
-		blocks:   make(map[bytecode.FuncID][]uint64),
-		edges:    make(map[bytecode.FuncID]map[EdgeKey]uint64),
-		calls:    make(map[bytecode.FuncID]map[int32]map[string]uint64),
-		types:    make(map[bytecode.FuncID]map[int32]map[uint16]uint64),
-		props:    make(map[string]uint64),
-		pairs:    make(map[PropPair]uint64),
-		unitSeen: make(map[string]bool),
+		prog:      prog,
+		entry:     make([]uint64, n),
+		blocks:    make([][]uint64, n),
+		edges:     make([][]edgeSite, n),
+		calls:     make([]map[uint64]uint64, n),
+		types:     make([][]typeSite, n),
+		props:     make(map[string]uint64),
+		pairs:     make(map[PropPair]uint64),
+		propKeys:  make([][]string, len(prog.Classes)),
+		propDecls: make([][]string, len(prog.Classes)),
+		unitSeen:  make(map[string]bool),
+		fnSeen:    make([]bool, n),
 	}
 }
 
@@ -64,10 +100,14 @@ func (c *Collector) BeginRequest() { c.requests++ }
 
 // OnEnter implements interp.Tracer.
 func (c *Collector) OnEnter(fn *bytecode.Function) {
-	c.entry[fn.ID]++
-	if fn.Unit != nil && !c.unitSeen[fn.Unit.Name] {
-		c.unitSeen[fn.Unit.Name] = true
-		c.unitOrder = append(c.unitOrder, fn.Unit.Name)
+	id := fn.ID
+	c.entry[id]++
+	if !c.fnSeen[id] {
+		c.fnSeen[id] = true
+		if fn.Unit != nil && !c.unitSeen[fn.Unit.Name] {
+			c.unitSeen[fn.Unit.Name] = true
+			c.unitOrder = append(c.unitOrder, fn.Unit.Name)
+		}
 	}
 	c.stack = append(c.stack, frameState{fn: fn, lastBlock: -1})
 }
@@ -81,23 +121,34 @@ func (c *Collector) OnReturn(fn *bytecode.Function) {
 
 // OnBlock implements interp.Tracer.
 func (c *Collector) OnBlock(fn *bytecode.Function, block int) {
-	bc := c.blocks[fn.ID]
+	id := fn.ID
+	bc := c.blocks[id]
 	if bc == nil {
 		bc = make([]uint64, len(fn.Blocks()))
-		c.blocks[fn.ID] = bc
+		c.blocks[id] = bc
 	}
 	if block < len(bc) {
 		bc[block]++
 	}
 	if n := len(c.stack); n > 0 && c.stack[n-1].fn == fn {
 		top := &c.stack[n-1]
-		if top.lastBlock >= 0 {
-			em := c.edges[fn.ID]
-			if em == nil {
-				em = make(map[EdgeKey]uint64)
-				c.edges[fn.ID] = em
+		if src := top.lastBlock; src >= 0 && int(src) < len(bc) {
+			es := c.edges[id]
+			if es == nil {
+				es = make([]edgeSite, len(bc))
+				c.edges[id] = es
 			}
-			em[EdgeKey{Src: top.lastBlock, Dst: int32(block)}]++
+			e := &es[src]
+			switch {
+			case e.count == 0 || e.dst == int32(block):
+				e.dst = int32(block)
+				e.count++
+			default:
+				if e.more == nil {
+					e.more = make(map[int32]uint64)
+				}
+				e.more[int32(block)]++
+			}
 		}
 		top.lastBlock = int32(block)
 	}
@@ -107,15 +158,10 @@ func (c *Collector) OnBlock(fn *bytecode.Function, block int) {
 func (c *Collector) OnCallSite(fn *bytecode.Function, pc int, callee *bytecode.Function) {
 	sites := c.calls[fn.ID]
 	if sites == nil {
-		sites = make(map[int32]map[string]uint64)
+		sites = make(map[uint64]uint64)
 		c.calls[fn.ID] = sites
 	}
-	targets := sites[int32(pc)]
-	if targets == nil {
-		targets = make(map[string]uint64)
-		sites[int32(pc)] = targets
-	}
-	targets[callee.Name]++
+	sites[uint64(uint32(pc))<<32|uint64(uint32(callee.ID))]++
 }
 
 // OnNewObj implements interp.Tracer.
@@ -126,10 +172,22 @@ func (c *Collector) OnNewObj(obj *object.Object) {}
 // layer), matching the hash table of "K::P" keys in Section V-C.
 func (c *Collector) OnPropAccess(obj *object.Object, slot int, write bool) {
 	rc := obj.Class()
+	cid := rc.Meta.ID
+	keys := c.propKeys[cid]
+	if keys == nil {
+		keys = make([]string, len(rc.DeclaredProps()))
+		c.propKeys[cid] = keys
+		c.propDecls[cid] = make([]string, len(rc.DeclaredProps()))
+	}
 	decl := rc.DeclIndex(slot)
-	name := rc.DeclaredProps()[decl].Name
-	cls := c.declaringClass(rc.Meta, decl)
-	key := cls + "::" + name
+	key := keys[decl]
+	cls := c.propDecls[cid][decl]
+	if key == "" {
+		cls = c.declaringClass(rc.Meta, decl)
+		key = cls + "::" + rc.DeclaredProps()[decl].Name
+		keys[decl] = key
+		c.propDecls[cid][decl] = cls
+	}
 	c.props[key]++
 	// Affinity: consecutive accesses to two different properties of
 	// the same class within one activation.
@@ -170,15 +228,24 @@ func (c *Collector) declaringClass(cls *bytecode.Class, declIdx int) string {
 func (c *Collector) OnOpTypes(fn *bytecode.Function, pc int, a, b value.Kind) {
 	sites := c.types[fn.ID]
 	if sites == nil {
-		sites = make(map[int32]map[uint16]uint64)
+		sites = make([]typeSite, len(fn.Code))
 		c.types[fn.ID] = sites
 	}
-	obs := sites[int32(pc)]
-	if obs == nil {
-		obs = make(map[uint16]uint64)
-		sites[int32(pc)] = obs
+	if pc < 0 || pc >= len(sites) {
+		return
 	}
-	obs[uint16(a)<<8|uint16(b)]++
+	pair := uint16(a)<<8 | uint16(b)
+	s := &sites[pc]
+	switch {
+	case s.count == 0 || s.pair == pair:
+		s.pair = pair
+		s.count++
+	default:
+		if s.more == nil {
+			s.more = make(map[uint16]uint64)
+		}
+		s.more[pair]++
+	}
 }
 
 // Snapshot converts the collected counters into a Profile for meta.
@@ -188,6 +255,9 @@ func (c *Collector) Snapshot(meta Meta) *Profile {
 	p.Meta = meta
 	p.Units = append([]string{}, c.unitOrder...)
 	for id, cnt := range c.entry {
+		if cnt == 0 {
+			continue
+		}
 		fn := c.prog.Funcs[id]
 		fp := &FuncProfile{
 			Checksum:    FuncChecksum(fn),
@@ -196,27 +266,41 @@ func (c *Collector) Snapshot(meta Meta) *Profile {
 			CallTargets: map[int32]map[string]uint64{},
 			TypeObs:     map[int32]map[uint16]uint64{},
 		}
-		if bc, ok := c.blocks[id]; ok {
+		if bc := c.blocks[id]; bc != nil {
 			fp.BlockCounts = append([]uint64{}, bc...)
 		} else {
 			fp.BlockCounts = make([]uint64, len(fn.Blocks()))
 		}
-		for k, n := range c.edges[id] {
-			fp.EdgeCounts[k] = n
-		}
-		for pc, targets := range c.calls[id] {
-			m := make(map[string]uint64, len(targets))
-			for name, n := range targets {
-				m[name] = n
+		for src, e := range c.edges[id] {
+			if e.count > 0 {
+				fp.EdgeCounts[EdgeKey{Src: int32(src), Dst: e.dst}] = e.count
 			}
-			fp.CallTargets[pc] = m
-		}
-		for pc, obs := range c.types[id] {
-			m := make(map[uint16]uint64, len(obs))
-			for k, n := range obs {
-				m[k] = n
+			for dst, n := range e.more {
+				fp.EdgeCounts[EdgeKey{Src: int32(src), Dst: dst}] += n
 			}
-			fp.TypeObs[pc] = m
+		}
+		for key, n := range c.calls[id] {
+			pc := int32(key >> 32)
+			callee := c.prog.Funcs[bytecode.FuncID(uint32(key))]
+			m := fp.CallTargets[pc]
+			if m == nil {
+				m = make(map[string]uint64)
+				fp.CallTargets[pc] = m
+			}
+			m[callee.Name] += n
+		}
+		for pc, s := range c.types[id] {
+			if s.count == 0 && s.more == nil {
+				continue
+			}
+			m := make(map[uint16]uint64, 1+len(s.more))
+			if s.count > 0 {
+				m[s.pair] = s.count
+			}
+			for pair, n := range s.more {
+				m[pair] += n
+			}
+			fp.TypeObs[int32(pc)] = m
 		}
 		p.Funcs[fn.Name] = fp
 	}

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+
+	"jumpstart/internal/prof"
+)
+
+// runSeries boots a server, runs the warmup window, then a steady
+// measurement, returning everything observable: the tick series, the
+// steady stats, and cumulative counters. Any divergence between
+// replay-cache on and off must show up here.
+func runSeries(t *testing.T, mode Mode, replayOn bool) ([]TickStats, SteadyStats, float64, *Server) {
+	t.Helper()
+	site := testSite(t)
+	cfg := testConfig(mode)
+	cfg.ReplayCache = replayOn
+	var pkg []byte
+	if mode == ModeConsumer {
+		scfg := testConfig(ModeSeeder)
+		scfg.JITOpts.InstrumentOptimized = true
+		scfg.ReplayCache = replayOn
+		seeder, err := New(site, scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := seeder.WarmToServing(7200); err != nil {
+			t.Fatal(err)
+		}
+		p, ok := seeder.SeederPackage()
+		if !ok {
+			t.Fatal("no seeder package")
+		}
+		pkg = p.Encode()
+		dec, err := prof.Decode(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Package = dec
+		cfg.UsePropertyOrder = true
+	}
+	s, err := New(site, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := s.Run(400)
+	steady := s.MeasureSteady(200)
+	return ticks, steady, s.TotalCycles(), s
+}
+
+// TestReplayCacheDeterminism pins the tentpole's correctness contract:
+// every simulation observable — the full tick series, steady-state
+// stats including micro-architectural miss counts, and total charged
+// cycles — is byte-identical with the replay cache on and off. The
+// cache is purely a host-side speedup.
+func TestReplayCacheDeterminism(t *testing.T) {
+	for _, mode := range []Mode{ModeNoJumpStart, ModeConsumer} {
+		t.Run(mode.String(), func(t *testing.T) {
+			onTicks, onSteady, onTotal, onSrv := runSeries(t, mode, true)
+			offTicks, offSteady, offTotal, _ := runSeries(t, mode, false)
+			if !reflect.DeepEqual(onTicks, offTicks) {
+				for i := range onTicks {
+					if !reflect.DeepEqual(onTicks[i], offTicks[i]) {
+						t.Fatalf("tick %d diverged:\n on: %+v\noff: %+v",
+							i, onTicks[i], offTicks[i])
+					}
+				}
+				t.Fatal("tick series diverged")
+			}
+			if !reflect.DeepEqual(onSteady, offSteady) {
+				t.Fatalf("steady stats diverged:\n on: %+v\noff: %+v",
+					onSteady, offSteady)
+			}
+			if onTotal != offTotal {
+				t.Fatalf("total cycles diverged: on %v off %v", onTotal, offTotal)
+			}
+			c := onSrv.ReplayCache()
+			if c == nil {
+				t.Fatal("replay cache not installed")
+			}
+			if c.Hits() == 0 {
+				t.Fatal("replay cache never hit; determinism check is vacuous")
+			}
+			t.Logf("mode %s: %d hits, %d misses, %d entries",
+				mode, c.Hits(), c.Misses(), c.Entries())
+		})
+	}
+}
+
+// TestSteadyRequestAllocRegression bounds per-request heap
+// allocations on the fully-warm measurement path. The interpreter's
+// own machinery (frames, stacks, iterators, argument passing) is
+// allocation-free — pinned exactly by TestDispatchAllocFree in
+// internal/interp — so what remains here is the simulated program's
+// value allocations (the arrays/objects MiniHack code creates per
+// request). Replay hits elide even those, so the cache must never
+// allocate more than real execution.
+func TestSteadyRequestAllocRegression(t *testing.T) {
+	perReq := func(on bool) float64 {
+		site := testSite(t)
+		cfg := testConfig(ModeNoJumpStart)
+		cfg.ReplayCache = on
+		s, err := New(site, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.WarmToServing(7200); err != nil {
+			t.Fatal(err)
+		}
+		// Two rounds so the replay cache captures the measurement
+		// stream's key space before the pinned window.
+		s.MeasureSteady(400)
+		s.MeasureSteady(400)
+		stream := s.site.NewTraffic(s.cfg.Region, s.cfg.Bucket, measureSeed)
+		return testing.AllocsPerRun(400, func() {
+			s.measureOneFrom(stream)
+		})
+	}
+	on := perReq(true)
+	off := perReq(false)
+	t.Logf("allocs/request: replay on %.1f, off %.1f", on, off)
+	if on > off {
+		t.Fatalf("replay cache adds allocations: on %.1f > off %.1f", on, off)
+	}
+	// Regression ceiling: the interpreter rewrite took the machinery to
+	// zero; only workload value allocations remain. A jump past this
+	// bound means per-request garbage crept back into the harness.
+	if off > 40 {
+		t.Fatalf("per-request allocations regressed: %.1f > 40", off)
+	}
+}
+
+// TestReplayCacheInvalidation checks the epoch rule: once entries
+// exist, any new translation placement drops them all.
+func TestReplayCacheInvalidation(t *testing.T) {
+	site := testSite(t)
+	cfg := testConfig(ModeNoJumpStart)
+	s, err := New(site, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WarmToServing(7200); err != nil {
+		t.Fatal(err)
+	}
+	s.MeasureSteady(100)
+	c := s.ReplayCache()
+	if c.Entries() == 0 {
+		t.Fatal("no entries captured during steady measurement")
+	}
+	// Any compilation bumps the layout epoch; the next cache operation
+	// must observe it and drop every entry.
+	fn := site.Endpoints[0].Fn
+	if _, err := s.JIT().CompileLive(fn); err != nil {
+		t.Skipf("code cache full, cannot force a placement: %v", err)
+	}
+	s.MeasureSteady(1)
+	if got := c.Entries(); got != 0 && uint64(got) > c.Hits() {
+		// After the flush the single measured request may legitimately
+		// recapture a handful of entries; what must NOT survive is the
+		// pre-flush population.
+		t.Fatalf("entries survived an epoch bump: %d", got)
+	}
+}

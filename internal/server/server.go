@@ -21,6 +21,7 @@ import (
 	"jumpstart/internal/microarch"
 	"jumpstart/internal/object"
 	"jumpstart/internal/prof"
+	"jumpstart/internal/replay"
 	"jumpstart/internal/telemetry"
 	"jumpstart/internal/workload"
 )
@@ -120,6 +121,14 @@ type Config struct {
 	// N-th request (1 = every request).
 	MicroSampleEvery int
 
+	// ReplayCache enables translation-replay memoization: repeated
+	// direct calls with the same argument signature replay their
+	// recorded cycle charges and micro-architecture event stream
+	// instead of re-interpreting bytecode. Simulation output is
+	// byte-identical on or off (pinned by TestReplayCacheDeterminism);
+	// only host-side speed differs.
+	ReplayCache bool
+
 	// Tier transition thresholds.
 	ProfileTriggerCalls int // calls before a tier-1 translation
 	LiveTriggerCalls    int // calls before a live translation (post-C)
@@ -191,6 +200,7 @@ func DefaultConfig() Config {
 		CacheCfg:         jit.DefaultCacheConfig(),
 		MemCfg:           microarch.DefaultConfig(),
 		MicroSampleEvery: 4,
+		ReplayCache:      true,
 
 		ProfileTriggerCalls: 2,
 		LiveTriggerCalls:    2,
@@ -230,13 +240,14 @@ type Server struct {
 	site    *workload.Site
 	traffic *workload.Traffic
 
-	reg *object.Registry
-	ip  *interp.Interp
-	j   *jit.JIT
-	rt  *jit.Runtime
-	col *prof.Collector
-	mem *microarch.Hierarchy
-	st  *serverTracer
+	reg    *object.Registry
+	ip     *interp.Interp
+	j      *jit.JIT
+	rt     *jit.Runtime
+	col    *prof.Collector
+	mem    *microarch.Hierarchy
+	st     *serverTracer
+	replay *replay.Cache
 
 	phase Phase
 	now   float64 // virtual seconds since process start
@@ -316,6 +327,17 @@ func New(site *workload.Site, cfg Config) (*Server, error) {
 	s.st = &serverTracer{s: s}
 	s.phase = PhaseInit
 	s.initRemaining = cfg.InitCycles
+	if cfg.ReplayCache {
+		s.replay = replay.NewCache(replay.Config{
+			JIT:       s.j,
+			Runtime:   s.rt,
+			Heap:      reg.Heap(),
+			Mem:       s.mem,
+			NumFuncs:  len(site.Prog.Funcs),
+			CanReplay: s.canReplayEnters,
+			Tel:       cfg.Telem,
+		})
+	}
 
 	s.tel = cfg.Telem
 	s.j.SetTelemetry(cfg.Telem, func() float64 { return s.now })
@@ -368,14 +390,59 @@ func (s *Server) TotalCycles() float64 { return s.totalCharged }
 
 // applyTracer installs the tracer stack for the current phase: the
 // server tracer and cost-charging runtime always, plus the tier-1
-// collector while profiling.
+// collector while profiling. The replay memoizer is active exactly
+// when the collector is not: tier-1 profiling must observe every real
+// execution, so memoization pauses for that window.
 func (s *Server) applyTracer() {
 	if s.col != nil {
 		s.ip.SetTracer(interp.MultiTracer{s.st, s.col, s.rt})
+		s.ip.SetMemoizer(nil)
 	} else {
 		s.ip.SetTracer(interp.MultiTracer{s.st, s.rt})
+		if s.replay != nil {
+			s.ip.SetMemoizer(s.replay)
+		}
 	}
 }
+
+// canReplayEnters is the replay cache's trigger gate: it re-creates,
+// in batch, what serverTracer.OnEnter's per-call bookkeeping would do
+// for a memoized subtree. If any bump would cross a JIT trigger
+// threshold (the real execution would compile mid-request, which a
+// replay cannot reproduce), it refuses without side effects;
+// otherwise it applies all call-count bumps and allows the replay.
+func (s *Server) canReplayEnters(enters []replay.FnCount) bool {
+	t := s.st
+	if t.calls == nil {
+		t.calls = make([]uint32, len(s.site.Prog.Funcs))
+	}
+	var trigger uint32
+	triggered := false
+	switch s.phase {
+	case PhaseProfiling:
+		// Defensive: the memoizer is uninstalled while the collector
+		// runs, so this branch should be unreachable.
+		trigger, triggered = uint32(s.cfg.ProfileTriggerCalls), true
+	case PhaseOptimizing, PhaseServing, PhaseCollecting:
+		if !s.liveFull {
+			trigger, triggered = uint32(s.cfg.LiveTriggerCalls), true
+		}
+	}
+	if triggered {
+		for _, e := range enters {
+			if s.j.Active(e.ID) == nil && t.calls[e.ID]+e.Count >= trigger {
+				return false
+			}
+		}
+	}
+	for _, e := range enters {
+		t.calls[e.ID] += e.Count
+	}
+	return true
+}
+
+// ReplayCache returns the replay memoizer, or nil when disabled.
+func (s *Server) ReplayCache() *replay.Cache { return s.replay }
 
 // Phase returns the server's current phase.
 func (s *Server) Phase() Phase { return s.phase }
@@ -779,4 +846,5 @@ func (s *Server) sealSeederPackage() {
 		telemetry.I("collect_reqs", int64(s.collectReqs)))
 	s.setPhase(PhaseExited)
 	s.ip.SetTracer(nil)
+	s.ip.SetMemoizer(nil)
 }

@@ -45,7 +45,7 @@ func intRepr(v Value) (int64, bool) {
 	case KindInt:
 		return v.AsInt(), true
 	case KindStr:
-		return parseIntPrefix(v.str)
+		return parseIntPrefix(v.AsStr())
 	default:
 		return 0, false
 	}
@@ -56,7 +56,7 @@ func arithOK(v Value) bool {
 	case KindNull, KindBool, KindInt, KindFloat:
 		return true
 	case KindStr:
-		return IsNumericStr(v.str)
+		return IsNumericStr(v.AsStr())
 	default:
 		return false
 	}
@@ -64,7 +64,19 @@ func arithOK(v Value) bool {
 
 // Add implements the Add bytecode: numeric addition with int overflow
 // promotion to float.
+//
+// The int+int case skips the generic classification entirely — it is by
+// far the most common operand pair on the interpreter's hot path, and
+// intRepr/arithOK would reach the same int64 math anyway.
 func Add(a, b Value) (Value, error) {
+	if a.kind == KindInt && b.kind == KindInt {
+		ai, bi := a.AsInt(), b.AsInt()
+		s := ai + bi
+		if (s > ai) == (bi > 0) || bi == 0 {
+			return Int(s), nil
+		}
+		return Float(float64(ai) + float64(bi)), nil
+	}
 	if !arithOK(a) || !arithOK(b) {
 		return Null, &ArithError{Op: "+", Left: a.kind, Right: b.kind}
 	}
@@ -81,6 +93,14 @@ func Add(a, b Value) (Value, error) {
 
 // Sub implements the Sub bytecode.
 func Sub(a, b Value) (Value, error) {
+	if a.kind == KindInt && b.kind == KindInt {
+		ai, bi := a.AsInt(), b.AsInt()
+		d := ai - bi
+		if (d < ai) == (bi > 0) || bi == 0 {
+			return Int(d), nil
+		}
+		return Float(float64(ai) - float64(bi)), nil
+	}
 	if !arithOK(a) || !arithOK(b) {
 		return Null, &ArithError{Op: "-", Left: a.kind, Right: b.kind}
 	}
@@ -97,6 +117,17 @@ func Sub(a, b Value) (Value, error) {
 
 // Mul implements the Mul bytecode.
 func Mul(a, b Value) (Value, error) {
+	if a.kind == KindInt && b.kind == KindInt {
+		ai, bi := a.AsInt(), b.AsInt()
+		if ai == 0 || bi == 0 {
+			return Int(0), nil
+		}
+		p := ai * bi
+		if p/bi == ai && !(ai == -1 && bi == math.MinInt64) && !(bi == -1 && ai == math.MinInt64) {
+			return Int(p), nil
+		}
+		return Float(float64(ai) * float64(bi)), nil
+	}
 	if !arithOK(a) || !arithOK(b) {
 		return Null, &ArithError{Op: "*", Left: a.kind, Right: b.kind}
 	}
@@ -118,6 +149,16 @@ func Mul(a, b Value) (Value, error) {
 // quotient yields an int; otherwise a float. Division by zero is an
 // error (PHP 8 semantics).
 func Div(a, b Value) (Value, error) {
+	if a.kind == KindInt && b.kind == KindInt {
+		ai, bi := a.AsInt(), b.AsInt()
+		if bi == 0 {
+			return Null, fmt.Errorf("value: division by zero")
+		}
+		if ai%bi == 0 && !(ai == math.MinInt64 && bi == -1) {
+			return Int(ai / bi), nil
+		}
+		return Float(float64(ai) / float64(bi)), nil
+	}
 	if !arithOK(a) || !arithOK(b) {
 		return Null, &ArithError{Op: "/", Left: a.kind, Right: b.kind}
 	}
@@ -139,6 +180,16 @@ func Div(a, b Value) (Value, error) {
 
 // Mod implements the Mod bytecode (integer modulus).
 func Mod(a, b Value) (Value, error) {
+	if a.kind == KindInt && b.kind == KindInt {
+		ai, bi := a.AsInt(), b.AsInt()
+		if bi == 0 {
+			return Null, fmt.Errorf("value: modulo by zero")
+		}
+		if ai == math.MinInt64 && bi == -1 {
+			return Int(0), nil
+		}
+		return Int(ai % bi), nil
+	}
 	if !arithOK(a) || !arithOK(b) {
 		return Null, &ArithError{Op: "%", Left: a.kind, Right: b.kind}
 	}
@@ -197,9 +248,9 @@ func Equals(a, b Value) bool {
 		return a.Truthy() == b.Truthy()
 	case isNumericKind(a) && isNumericKind(b):
 		return a.ToFloat() == b.ToFloat()
-	case a.kind == KindStr && isNumericKind(b) && IsNumericStr(a.str):
+	case a.kind == KindStr && isNumericKind(b) && IsNumericStr(a.AsStr()):
 		return a.ToFloat() == b.ToFloat()
-	case b.kind == KindStr && isNumericKind(a) && IsNumericStr(b.str):
+	case b.kind == KindStr && isNumericKind(a) && IsNumericStr(b.AsStr()):
 		return a.ToFloat() == b.ToFloat()
 	default:
 		return false
@@ -219,20 +270,20 @@ func sameKindEquals(a, b Value) bool {
 	case KindFloat:
 		return a.AsFloat() == b.AsFloat()
 	case KindStr:
-		if a.str == b.str {
+		if a.AsStr() == b.AsStr() {
 			return true
 		}
 		// PHP loose equality compares numeric strings numerically.
-		return IsNumericStr(a.str) && IsNumericStr(b.str) && Compare(a, b) == 0
+		return IsNumericStr(a.AsStr()) && IsNumericStr(b.AsStr()) && Compare(a, b) == 0
 	case KindArr:
-		if a.arr == b.arr {
+		if a.AsArr() == b.AsArr() {
 			return true
 		}
-		if a.arr.Len() != b.arr.Len() {
+		if a.AsArr().Len() != b.AsArr().Len() {
 			return false
 		}
-		for i := 0; i < a.arr.Len(); i++ {
-			ea, eb := a.arr.At(i), b.arr.At(i)
+		for i := 0; i < a.AsArr().Len(); i++ {
+			ea, eb := a.AsArr().At(i), b.AsArr().At(i)
 			if ea.IsStr != eb.IsStr || ea.IntKey != eb.IntKey || ea.StrKey != eb.StrKey {
 				return false
 			}
@@ -242,7 +293,7 @@ func sameKindEquals(a, b Value) bool {
 		}
 		return true
 	case KindObj:
-		return a.obj == b.obj
+		return a.AsObj() == b.AsObj()
 	default:
 		return false
 	}
@@ -255,7 +306,7 @@ func Identical(a, b Value) bool {
 		return false
 	}
 	if a.kind == KindStr {
-		return a.str == b.str // no numeric-string loosening under ===
+		return a.AsStr() == b.AsStr() // no numeric-string loosening under ===
 	}
 	return sameKindEquals(a, b)
 }
@@ -263,21 +314,26 @@ func Identical(a, b Value) bool {
 // Compare returns -1, 0, or +1 ordering a relative to b, with PHP-style
 // cross-type coercion. Used by relational bytecodes and array sorting.
 func Compare(a, b Value) int {
+	if a.kind == KindInt && b.kind == KindInt {
+		// Same float conversion as the generic path below, minus the
+		// ToFloat kind switches.
+		return cmpFloat(float64(a.AsInt()), float64(b.AsInt()))
+	}
 	if a.kind == KindStr && b.kind == KindStr {
-		if IsNumericStr(a.str) && IsNumericStr(b.str) {
+		if IsNumericStr(a.AsStr()) && IsNumericStr(b.AsStr()) {
 			return cmpFloat(a.ToFloat(), b.ToFloat())
 		}
 		switch {
-		case a.str < b.str:
+		case a.AsStr() < b.AsStr():
 			return -1
-		case a.str > b.str:
+		case a.AsStr() > b.AsStr():
 			return 1
 		default:
 			return 0
 		}
 	}
 	if a.kind == KindArr && b.kind == KindArr {
-		return cmpFloat(float64(a.arr.Len()), float64(b.arr.Len()))
+		return cmpFloat(float64(a.AsArr().Len()), float64(b.AsArr().Len()))
 	}
 	return cmpFloat(a.ToFloat(), b.ToFloat())
 }

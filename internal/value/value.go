@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"unsafe"
 )
 
 // Kind identifies the runtime type of a Value. The zero Kind is Null so
@@ -70,12 +71,27 @@ type Obj interface {
 
 // Value is a MiniHack runtime value. The active representation depends
 // on Kind; inactive fields are zero.
+//
+// The payload is a 3-word union rather than one field per type: values
+// are copied on every interpreter push/pop/local/argument move, so the
+// struct is kept at 32 bytes with two pointer words (vs. 56 bytes and
+// four pointer words for the naive layout) — the Go write barrier and
+// copy cost on the VM's hottest path scale with both. Strings are
+// stored decomposed as data pointer + length (in num), objects as
+// their decomposed interface words. The union is not comparable; all
+// equality goes through Equals/Identical, which compare semantically.
 type Value struct {
 	kind Kind
-	num  uint64 // bool (0/1), int64 bits, or float64 bits
-	str  string
-	arr  *Array
-	obj  Obj
+	num  uint64         // bool (0/1), int64 bits, float64 bits, or string length
+	p1   unsafe.Pointer // string data, *Array, or the Obj itab word
+	p2   unsafe.Pointer // the Obj data word
+}
+
+// iface mirrors the runtime layout of a 2-word interface value; it is
+// how Object/AsObj move an Obj in and out of the union.
+type iface struct {
+	tab  unsafe.Pointer
+	data unsafe.Pointer
 }
 
 // Null is the canonical null value (also the zero Value).
@@ -97,13 +113,21 @@ func Int(i int64) Value { return Value{kind: KindInt, num: uint64(i)} }
 func Float(f float64) Value { return Value{kind: KindFloat, num: math.Float64bits(f)} }
 
 // Str returns a string value.
-func Str(s string) Value { return Value{kind: KindStr, str: s} }
+func Str(s string) Value {
+	if len(s) == 0 {
+		return Value{kind: KindStr}
+	}
+	return Value{kind: KindStr, num: uint64(len(s)), p1: unsafe.Pointer(unsafe.StringData(s))}
+}
 
 // Arr returns an array value wrapping a (never nil for live values).
-func Arr(a *Array) Value { return Value{kind: KindArr, arr: a} }
+func Arr(a *Array) Value { return Value{kind: KindArr, p1: unsafe.Pointer(a)} }
 
 // Object returns an object value.
-func Object(o Obj) Value { return Value{kind: KindObj, obj: o} }
+func Object(o Obj) Value {
+	i := (*iface)(unsafe.Pointer(&o))
+	return Value{kind: KindObj, p1: i.tab, p2: i.data}
+}
 
 // Kind reports the value's runtime type.
 func (v Value) Kind() Kind { return v.kind }
@@ -121,13 +145,29 @@ func (v Value) AsInt() int64 { return int64(v.num) }
 func (v Value) AsFloat() float64 { return math.Float64frombits(v.num) }
 
 // AsStr returns the string payload; valid only when Kind is KindStr.
-func (v Value) AsStr() string { return v.str }
+func (v Value) AsStr() string {
+	if v.num == 0 {
+		return ""
+	}
+	return unsafe.String((*byte)(v.p1), int(v.num))
+}
 
 // AsArr returns the array payload; valid only when Kind is KindArr.
-func (v Value) AsArr() *Array { return v.arr }
+func (v Value) AsArr() *Array { return (*Array)(v.p1) }
 
 // AsObj returns the object payload; valid only when Kind is KindObj.
-func (v Value) AsObj() Obj { return v.obj }
+func (v Value) AsObj() Obj {
+	var o Obj
+	i := (*iface)(unsafe.Pointer(&o))
+	i.tab, i.data = v.p1, v.p2
+	return o
+}
+
+// strEmptyOrZero reports whether a string value is "" or "0" (the two
+// falsy strings) without materializing a string header.
+func (v Value) strEmptyOrZero() bool {
+	return v.num == 0 || (v.num == 1 && *(*byte)(v.p1) == '0')
+}
 
 // Truthy implements PHP-style boolean coercion: null, false, 0, 0.0, "",
 // "0" and the empty array are falsy; every object is truthy.
@@ -142,9 +182,9 @@ func (v Value) Truthy() bool {
 	case KindFloat:
 		return v.AsFloat() != 0
 	case KindStr:
-		return v.str != "" && v.str != "0"
+		return !v.strEmptyOrZero()
 	case KindArr:
-		return v.arr.Len() > 0
+		return v.AsArr().Len() > 0
 	case KindObj:
 		return true
 	default:
@@ -168,10 +208,10 @@ func (v Value) ToInt() int64 {
 	case KindFloat:
 		return int64(v.AsFloat())
 	case KindStr:
-		if i, ok := parseIntPrefix(v.str); ok {
+		if i, ok := parseIntPrefix(v.AsStr()); ok {
 			return i
 		}
-		n, _ := parseNumericPrefix(v.str)
+		n, _ := parseNumericPrefix(v.AsStr())
 		return int64(n)
 	default:
 		if v.Truthy() {
@@ -187,7 +227,7 @@ func (v Value) ToFloat() float64 {
 	case KindFloat:
 		return v.AsFloat()
 	case KindStr:
-		n, _ := parseNumericPrefix(v.str)
+		n, _ := parseNumericPrefix(v.AsStr())
 		return n
 	default:
 		return float64(v.ToInt())
@@ -210,11 +250,11 @@ func (v Value) ToStr() string {
 	case KindFloat:
 		return formatFloat(v.AsFloat())
 	case KindStr:
-		return v.str
+		return v.AsStr()
 	case KindArr:
 		return "Array"
 	case KindObj:
-		return "<" + v.obj.ClassName() + ">"
+		return "<" + v.AsObj().ClassName() + ">"
 	default:
 		return ""
 	}
@@ -231,9 +271,9 @@ func (v Value) String() string {
 		}
 		return "false"
 	case KindStr:
-		return strconv.Quote(v.str)
+		return strconv.Quote(v.AsStr())
 	case KindArr:
-		return v.arr.String()
+		return v.AsArr().String()
 	default:
 		return v.ToStr()
 	}
