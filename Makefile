@@ -5,7 +5,7 @@ GO ?= go
 # there silently blind every other layer.
 TELEMETRY_COVER_FLOOR ?= 80
 
-.PHONY: build test bench alloccheck verify cover faultsweep
+.PHONY: build test bench alloccheck verify cover faultsweep churnsweep
 
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 
@@ -45,6 +45,16 @@ verify:
 # crashes, and a recorded reason for every no-Jump-Start boot.
 faultsweep:
 	$(GO) test -race -count=1 -v -run 'TestFleetBrownoutDeterminism' ./internal/cluster/
+
+# Continuous-deployment gate: the churn determinism test (pushes on a
+# cadence, remap-tolerant package carry-over, remapped-boot curves;
+# byte-identical at -workers 1, 4 and NumCPU, direct and over the
+# networked transport), the store-policy semantics at a push, the
+# remapper edge cases, and the mutator's golden revision hashes.
+churnsweep:
+	$(GO) test -race -count=1 -v -run 'TestFleetChurn' ./internal/cluster/
+	$(GO) test -race -count=1 -v -run 'TestRemap' ./internal/prof/
+	$(GO) test -race -count=1 -v -run 'TestChain|TestPrinterRoundTrip' ./internal/release/
 
 # Coverage gate: reports per-package coverage and enforces the floor
 # on internal/telemetry.

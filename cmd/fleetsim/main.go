@@ -12,6 +12,12 @@
 //	fleetsim -transport -brownout-start 250 -brownout-seconds 1200 \
 //	         -brownout-drop 0.97    # store brownout during the C3 fetch storm
 //
+// Continuous deployment under code churn:
+//
+//	fleetsim -push-every 480                          # a push every 480 virtual seconds
+//	fleetsim -push-every 480 -churn 0.1 \
+//	         -remap-policy remap-tolerant             # carry packages across pushes via the remapper
+//
 // Telemetry (all optional, zero simulation perturbation):
 //
 //	-trace out.jsonl        # fleet + warmup-measurement event trace
@@ -27,6 +33,7 @@ import (
 
 	"jumpstart/internal/cluster"
 	"jumpstart/internal/experiments"
+	"jumpstart/internal/jumpstart"
 	"jumpstart/internal/jumpstart/transport"
 	"jumpstart/internal/netsim"
 	"jumpstart/internal/telemetry"
@@ -67,11 +74,18 @@ func run(args []string, stdout io.Writer) error {
 	brownSecs := fs.Float64("brownout-seconds", 0, "store brownout duration")
 	brownDrop := fs.Float64("brownout-drop", 0.95, "store RPC drop rate during the brownout")
 	replayCache := fs.String("replay-cache", "on", "translation replay memoization for the curve-measurement servers: on | off (output is byte-identical either way)")
+	pushEvery := fs.Float64("push-every", 0, "start a new deployment every N virtual seconds (0 = the single initial push only)")
+	churn := fs.Float64("churn", 0, "code-churn mutation rate per push; > 0 measures the real remap hit rate and remapped warmup curve on a mutated site")
+	remapPolicy := fs.String("remap-policy", "exact-only", "store compatibility policy at a push: exact-only | remap-tolerant")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *replayCache != "on" && *replayCache != "off" {
 		return fmt.Errorf("-replay-cache must be on or off, got %q", *replayCache)
+	}
+	policy, err := jumpstart.ParseCompatPolicy(*remapPolicy)
+	if err != nil {
+		return err
 	}
 
 	cfg := labConfig(*quick)
@@ -99,6 +113,23 @@ func run(args []string, stdout io.Writer) error {
 	fcfg.JumpStartEnabled = !*noJS
 	fcfg.DefectRate = *defects
 	fcfg.Telem = tel
+	fcfg.PushEvery = *pushEvery
+	fcfg.RemapPolicy = policy
+	if *churn > 0 {
+		fmt.Fprintf(stdout, "# measuring remap hit rate and remapped warmup at churn rate %.2f...\n", *churn)
+		cr, err := lab.MeasureChurn(*churn)
+		if err != nil {
+			return err
+		}
+		fcfg.CurveRemapped = cr.Curve
+		fcfg.RemapHitRate = cr.Remap1.HitRate()
+		fmt.Fprintf(stdout, "# remap: exact=%d renamed=%d fuzzy=%d dropped=%d (hit rate %.1f%%), remapped warmup loss=%.1f%%\n",
+			cr.Remap1.Exact, cr.Remap1.Renamed, cr.Remap1.Fuzzy,
+			cr.Remap1.Dropped+cr.Remap1.Ambiguous, cr.Remap1.HitRate()*100, cr.LossRemapped*100)
+	} else if policy == jumpstart.RemapTolerant {
+		// No mutated-site measurement requested: carry every package.
+		fcfg.RemapHitRate = 1
+	}
 	if *useTransport || *brownStart > 0 || *netLatency > 0 {
 		net := netsim.Config{BaseLatency: *netLatency}
 		if *brownStart > 0 && *brownSecs > 0 {
@@ -131,6 +162,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "# capacity loss over push window = %.2f%%; crashes = %d; fallbacks = %d\n",
 		cluster.CapacityLoss(ticks, fcfg.TickSeconds)*100, fleet.Crashes(), fleet.Fallbacks())
+	if *pushEvery > 0 {
+		kept, lost := fleet.PackageChurn()
+		fmt.Fprintf(stdout, "# pushes completed = %d (policy %s); remapped boots = %d; packages kept/lost across pushes = %d/%d\n",
+			fleet.Revision()-1, policy, fleet.RemapBoots(), kept, lost)
+	}
 	for _, rc := range fleet.FallbackReasons() {
 		fmt.Fprintf(stdout, "# fallback reason: %q x%d\n", rc.Reason, rc.Count)
 	}

@@ -66,6 +66,7 @@ func run(args []string, stdout io.Writer) error {
 	serveSeconds := fs.Float64("serve-seconds", 0, "wall seconds to serve the store before exiting (0 = forever)")
 	storeURL := fs.String("store-url", "", "networked profile store base URL (seeder uploads to it, consumer fetches from it)")
 	fetchBudget := fs.Float64("fetch-budget", 30, "consumer per-boot fetch deadline budget, wall seconds")
+	revision := fs.Uint64("revision", 0, "build revision checksum: seeders stamp uploaded packages with it, consumers reject mismatched packages (0 disables checking)")
 	quick := fs.Bool("quick", false, "reduced-scale site and server config (fast demos and tests)")
 	replayCache := fs.String("replay-cache", "on", "translation replay memoization: on | off (host-side speedup; simulation output is byte-identical either way)")
 	if err := fs.Parse(args); err != nil {
@@ -129,7 +130,7 @@ func run(args []string, stdout io.Writer) error {
 			// Networked boot: fetch a package through the retrying
 			// transport client; BootConsumer handles the pick/decode
 			// retries and the automatic no-Jump-Start fallback.
-			srv, info, err := bootFromStore(site, cfg, *storeURL, *fetchBudget, *seed, tel)
+			srv, info, err := bootFromStore(site, cfg, *storeURL, *fetchBudget, *seed, *revision, tel)
 			if err != nil {
 				return err
 			}
@@ -197,8 +198,11 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "# wrote %s (%d bytes)\n", *pkgPath, len(pkg.Encode()))
 		}
 		if *storeURL != "" {
+			if *revision != 0 {
+				pkg.Meta.Revision = int64(*revision)
+			}
 			cli := storeClient(*storeURL, *fetchBudget, *seed, tel)
-			id, err := cli.Publish(*region, *bucket, pkg.Encode())
+			id, err := cli.Publish(*region, *bucket, *revision, pkg.Encode())
 			if err != nil {
 				return fmt.Errorf("publish to %s: %w", *storeURL, err)
 			}
@@ -228,12 +232,13 @@ func storeClient(url string, budget float64, seed uint64, tel *telemetry.Set) *t
 // resume, and the deadline budget all apply; budget exhaustion surfaces
 // as BootInfo.FallbackReason and the server comes up without Jump-Start.
 func bootFromStore(site *workload.Site, cfg server.Config, url string,
-	budget float64, seed uint64, tel *telemetry.Set) (*server.Server, jumpstart.BootInfo, error) {
+	budget float64, seed, revision uint64, tel *telemetry.Set) (*server.Server, jumpstart.BootInfo, error) {
 	cli := storeClient(url, budget, seed, tel)
 	rnd := seed
 	return jumpstart.BootConsumer(site, cli, jumpstart.BootConfig{
-		Server: cfg,
-		Telem:  tel,
+		Server:   cfg,
+		Telem:    tel,
+		Revision: revision,
 		Rand: func() uint64 {
 			rnd = rnd*6364136223846793005 + 1442695040888963407
 			return rnd

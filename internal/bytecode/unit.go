@@ -70,6 +70,11 @@ type Function struct {
 	// tracks this for code-cache budgeting and Figure 1's curve.
 	BytecodeSize int
 
+	// Fingerprint is the stable structural identity computed at link
+	// time (see Fingerprint); the cross-release profile remapper keys
+	// on it.
+	Fingerprint Fingerprint
+
 	blocks []Block // lazily computed basic blocks
 }
 
@@ -173,6 +178,7 @@ func NewProgram(units ...*Unit) (*Program, error) {
 		return nil, err
 	}
 	p.resolveCalls()
+	p.fingerprintFuncs()
 	return p, nil
 }
 

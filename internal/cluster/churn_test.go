@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"jumpstart/internal/jumpstart"
+	"jumpstart/internal/netsim"
+)
+
+// remappedCurve sits between the exact-package and cold curves: a
+// remapped package recovers most but not all of the warmup benefit.
+func remappedCurve() WarmupCurve {
+	return WarmupCurve{
+		Times:  []float64{0, 40, 90, 150},
+		Values: []float64{0.2, 0.6, 0.85, 1.0},
+	}
+}
+
+// churnConfig drives continuous pushes: a new revision lands every
+// 600 virtual seconds under the remap-tolerant store policy, with an
+// 80% per-package remap survival rate. The soak holds are shorter
+// than seeding so post-push boots actually race the seeders.
+func churnConfig(workers int, transport bool) Config {
+	cfg := fleetConfig(true)
+	if transport {
+		cfg = transportFleetConfig(netsim.Config{BaseLatency: 0.02})
+	}
+	cfg.Workers = workers
+	cfg.C1Hold = 30
+	cfg.C2Hold = 60
+	cfg.PushEvery = 600
+	cfg.RemapPolicy = jumpstart.RemapTolerant
+	cfg.RemapHitRate = 0.8
+	cfg.CurveRemapped = remappedCurve()
+	return cfg
+}
+
+// TestFleetChurnDeterminism: the continuous-deployment fleet — pushes
+// on a cadence, packages surviving via the remapper, remapped boots on
+// their own curve — is byte-identical at every worker count, both on
+// the direct in-memory store and through the networked transport
+// (which re-publishes surviving packages at the new revision).
+func TestFleetChurnDeterminism(t *testing.T) {
+	for _, transport := range []bool{false, true} {
+		name := "direct"
+		if transport {
+			name = "transport"
+		}
+		t.Run(name, func(t *testing.T) {
+			type run struct {
+				ticks     []FleetTick
+				fallbacks []ReasonCount
+				outcomes  []ServerOutcome
+			}
+			do := func(workers int) run {
+				f, ticks := runDeployment(t, churnConfig(workers, transport), 4000)
+				return run{ticks: ticks, fallbacks: f.FallbackReasons(), outcomes: f.Outcomes()}
+			}
+			base := do(1)
+
+			// The churn machinery must actually engage, or the
+			// determinism claim is vacuous.
+			last := base.ticks[len(base.ticks)-1]
+			if last.Revision < 3 {
+				t.Fatalf("only %d revisions pushed in 4000s at cadence 600", last.Revision)
+			}
+			if last.RemapBoots == 0 {
+				t.Fatal("no boots ever used a remapped package")
+			}
+
+			for _, workers := range []int{4, runtime.NumCPU()} {
+				got := do(workers)
+				if i, ok := ticksEqual(base.ticks, got.ticks); !ok {
+					t.Fatalf("workers=%d diverged at tick %d: %+v vs %+v",
+						workers, i, base.ticks[i], got.ticks[i])
+				}
+				if fmt.Sprintf("%v", got.fallbacks) != fmt.Sprintf("%v", base.fallbacks) {
+					t.Fatalf("workers=%d fallback reasons diverged", workers)
+				}
+				if fmt.Sprintf("%v", got.outcomes) != fmt.Sprintf("%v", base.outcomes) {
+					t.Fatalf("workers=%d server outcomes diverged", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestFleetChurnPolicies pins the store-policy semantics at a push:
+// exact-only wipes every package (all lost, none kept, no remapped
+// boots); remap-tolerant carries most packages across and serves
+// remapped boots from them.
+func TestFleetChurnPolicies(t *testing.T) {
+	exact := churnConfig(1, false)
+	exact.RemapPolicy = jumpstart.ExactOnly
+	fe, _ := runDeployment(t, exact, 4000)
+	kept, lost := fe.PackageChurn()
+	if kept != 0 {
+		t.Fatalf("exact-only kept %d packages across a push", kept)
+	}
+	if lost == 0 {
+		t.Fatal("exact-only pushes never wiped a package")
+	}
+	if fe.RemapBoots() != 0 {
+		t.Fatalf("exact-only served %d remapped boots", fe.RemapBoots())
+	}
+
+	fr, _ := runDeployment(t, churnConfig(1, false), 4000)
+	kept, lost = fr.PackageChurn()
+	if kept == 0 {
+		t.Fatal("remap-tolerant never carried a package across a push")
+	}
+	if lost == 0 {
+		t.Fatal("remap survival rate 0.8 never dropped a package — RNG not applied")
+	}
+	if fr.RemapBoots() == 0 {
+		t.Fatal("remap-tolerant never served a remapped boot")
+	}
+	if fr.Revision() < 3 || fe.Revision() < 3 {
+		t.Fatalf("revisions: exact=%d remap=%d, want >= 3", fe.Revision(), fr.Revision())
+	}
+}

@@ -58,6 +58,30 @@ type Config struct {
 	// warm up on their own (the paper's fleet-wide kill switch).
 	JumpStartEnabled bool
 
+	// CurveRemapped is the warmup curve for consumers booting from a
+	// package carried across a revision boundary by the cross-release
+	// remapper — between CurveJumpStart (exact profile) and
+	// CurveNoJumpStart (cold). Empty means remapped boots reuse
+	// CurveJumpStart.
+	CurveRemapped WarmupCurve
+
+	// PushEvery, when > 0, starts a new deployment (a code push of the
+	// next revision) every PushEvery virtual seconds for as long as the
+	// fleet runs — the paper's up-to-three-pushes-per-day churn regime,
+	// compressed. Zero keeps pushes manual (StartDeployment).
+	PushEvery float64
+	// RemapPolicy decides the fate of published packages when a push
+	// lands: ExactOnly (the zero value) invalidates every package, so
+	// consumers boot cold until seeders republish; RemapTolerant
+	// carries each package across the boundary through the remapper,
+	// surviving with probability RemapHitRate.
+	RemapPolicy jumpstart.CompatPolicy
+	// RemapHitRate is the probability a package survives remapping
+	// onto the next revision. Callers measure it on the real mutated
+	// site with prof.Remap (internal/experiments does) rather than
+	// picking a number. Only read under RemapTolerant.
+	RemapHitRate float64
+
 	// Workers shards the per-server replay inside each Tick across
 	// goroutines (<= 0 means one per CPU). The tick result is
 	// byte-identical at every worker count: per-server stepping is
@@ -162,7 +186,9 @@ type simServer struct {
 
 type pkgInfo struct {
 	defective bool
+	remapped  bool                // carried across a push by the remapper
 	id        jumpstart.PackageID // store id when the transport is wired
+	payload   []byte              // uploaded body, kept so a remap-tolerant push can republish it
 }
 
 // Fleet is the running simulation.
@@ -179,11 +205,16 @@ type Fleet struct {
 	phase      int // 0 idle, 1..3 = C1..C3
 	phaseStart float64
 	c3Wave     int
+	lastPush   float64
+	revision   uint64 // current code revision, bumped per push
 
 	// Counters.
-	crashes   int
-	fallbacks int
-	fbReasons map[string]int
+	crashes    int
+	fallbacks  int
+	remapBoots int
+	pkgsKept   int // packages carried across pushes by the remapper
+	pkgsLost   int // packages dropped at a push (remap miss or exact-only wipe)
+	fbReasons  map[string]int
 
 	// Networked store path (nil when Config.Transport is nil). Every
 	// fetch/upload runs to completion inside the sequential merge phase
@@ -229,6 +260,7 @@ func NewFleet(cfg Config) (*Fleet, error) {
 		packages:  make(map[[2]int][]pkgInfo),
 		rng:       cfg.Seed*2862933555777941757 + 3037000493,
 		fbReasons: make(map[string]int),
+		revision:  1,
 	}
 	if cfg.Transport != nil {
 		tc := *cfg.Transport
@@ -309,17 +341,84 @@ func (f *Fleet) resetStore() {
 	f.pkgIdxByID = make(map[jumpstart.PackageID]int)
 }
 
-// StartDeployment begins a C1→C2→C3 push of a new revision.
+// StartDeployment begins a C1→C2→C3 push of a new revision. What
+// happens to the packages published against the previous revision is
+// the store compatibility policy: ExactOnly wipes them (consumers boot
+// cold until the new revision's seeders republish), RemapTolerant
+// carries them across the boundary through the remapper.
 func (f *Fleet) StartDeployment() {
 	f.deploying = true
 	f.phase = 0
 	f.phaseStart = f.now
-	// A new revision invalidates all existing packages.
-	f.packages = make(map[[2]int][]pkgInfo)
+	f.lastPush = f.now
+	f.revision++
+	if f.cfg.RemapPolicy == jumpstart.RemapTolerant {
+		f.remapPackages()
+	} else {
+		// A new revision invalidates all existing packages.
+		for _, list := range f.packages {
+			f.pkgsLost += len(list)
+		}
+		f.packages = make(map[[2]int][]pkgInfo)
+		if f.tcfg != nil {
+			f.resetStore()
+		}
+	}
+	f.tel.Event(f.now, "fleet", "deployment-start",
+		telemetry.I("revision", int64(f.revision)))
+}
+
+// remapPackages carries the published packages across a push: each
+// survives with probability RemapHitRate (measured on the real mutated
+// site by callers) and is marked remapped — consumers booting from it
+// warm on CurveRemapped. Buckets are walked in sorted order so the RNG
+// draw sequence never depends on map iteration.
+func (f *Fleet) remapPackages() {
+	keys := make([][2]int, 0, len(f.packages))
+	for k := range f.packages {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
 	if f.tcfg != nil {
+		// The new revision gets a fresh store namespace; survivors are
+		// republished into it below, stamped with the new revision.
 		f.resetStore()
 	}
-	f.tel.Event(f.now, "fleet", "deployment-start")
+	kept, lost := 0, 0
+	for _, key := range keys {
+		list := f.packages[key]
+		out := list[:0]
+		for i := range list {
+			info := list[i]
+			if f.randFloat() >= f.cfg.RemapHitRate {
+				lost++
+				continue
+			}
+			info.remapped = true
+			if f.tcfg != nil {
+				info.id = f.store.PublishRevision(key[0], key[1], info.payload, f.revision)
+				f.pkgIdxByID[info.id] = len(out)
+			}
+			out = append(out, info)
+			kept++
+		}
+		if len(out) == 0 {
+			delete(f.packages, key)
+		} else {
+			f.packages[key] = out
+		}
+	}
+	f.pkgsKept += kept
+	f.pkgsLost += lost
+	f.tel.Event(f.now, "fleet", "remap-packages",
+		telemetry.I("revision", int64(f.revision)),
+		telemetry.I("kept", int64(kept)),
+		telemetry.I("lost", int64(lost)))
 }
 
 // setDeployPhase advances the push phase and records the transition.
@@ -341,6 +440,8 @@ type FleetTick struct {
 	Phase      int
 	PkgsAvail  int
 	Deployment bool
+	Revision   uint64 // current code revision (bumps at each push)
+	RemapBoots int    // cumulative boots from remapped packages
 }
 
 // srvTick is one server's contribution to a tick, produced by the
@@ -409,6 +510,13 @@ func (f *Fleet) stepServer(s *simServer) srvTick {
 func (f *Fleet) Tick() FleetTick {
 	dt := f.cfg.TickSeconds
 	f.now += dt
+
+	// Continuous-deployment cadence: a push lands every PushEvery
+	// seconds. A still-running push defers the next one (pushes never
+	// overlap; the cadence clock restarts when the new push begins).
+	if f.cfg.PushEvery > 0 && !f.deploying && f.now-f.lastPush >= f.cfg.PushEvery {
+		f.StartDeployment()
+	}
 
 	f.advanceDeployment()
 
@@ -483,6 +591,8 @@ func (f *Fleet) Tick() FleetTick {
 		Phase:      f.phase,
 		PkgsAvail:  pkgs,
 		Deployment: f.deploying,
+		Revision:   f.revision,
+		RemapBoots: f.remapBoots,
 	}
 }
 
@@ -627,7 +737,7 @@ func (f *Fleet) bootServer(s *simServer) {
 			s.usedJS = true
 			s.fbReason = ""
 			s.state = stWarming
-			s.curve = &f.cfg.CurveJumpStart
+			s.curve = f.jsCurve(list[idx].remapped)
 			if list[idx].defective {
 				s.crashAt = f.now + f.cfg.CrashDelay
 			}
@@ -664,6 +774,20 @@ func (f *Fleet) fallback(s *simServer, reason string) {
 		telemetry.I("bucket", int64(s.bucket)),
 		telemetry.I("attempts", int64(s.attempts)),
 		telemetry.S("reason", reason))
+}
+
+// jsCurve picks the warmup curve for a Jump-Start boot: remapped
+// packages recover less warmup than exact ones, so they warm on
+// CurveRemapped when one is configured.
+func (f *Fleet) jsCurve(remapped bool) *WarmupCurve {
+	if remapped {
+		f.remapBoots++
+		f.tel.Counter("fleet.boots_remapped_total").Inc()
+		if len(f.cfg.CurveRemapped.Times) > 0 {
+			return &f.cfg.CurveRemapped
+		}
+	}
+	return &f.cfg.CurveJumpStart
 }
 
 // bootNoJS starts a server on the no-Jump-Start curve at startT (a
@@ -707,7 +831,7 @@ func (f *Fleet) bootViaTransport(s *simServer, rnd uint64, list []pkgInfo) {
 	s.fbReason = ""
 	s.state = stWarming
 	s.stateT = f.now + elapsed
-	s.curve = &f.cfg.CurveJumpStart
+	s.curve = f.jsCurve(idx >= 0 && list[idx].remapped)
 	if idx >= 0 && list[idx].defective {
 		s.crashAt = s.stateT + f.cfg.CrashDelay
 	}
@@ -756,8 +880,9 @@ func (f *Fleet) publishFrom(s *simServer) {
 	key := [2]int{s.region, s.bucket}
 	info := pkgInfo{defective: defective}
 	if f.tcfg != nil {
+		info.payload = f.packagePayload()
 		cli, _ := f.newTransportClient("seeder")
-		id, err := cli.Publish(s.region, s.bucket, f.packagePayload())
+		id, err := cli.Publish(s.region, s.bucket, f.revision, info.payload)
 		if err != nil {
 			f.tel.Counter("fleet.publish_failed_total").Inc()
 			f.tel.Event(f.now, "fleet", "publish-failed",
@@ -810,6 +935,17 @@ func (f *Fleet) Crashes() int { return f.crashes }
 
 // Fallbacks returns cumulative no-Jump-Start fallbacks.
 func (f *Fleet) Fallbacks() int { return f.fallbacks }
+
+// RemapBoots returns cumulative boots from remapped packages.
+func (f *Fleet) RemapBoots() int { return f.remapBoots }
+
+// Revision returns the current code revision (1 before any push).
+func (f *Fleet) Revision() uint64 { return f.revision }
+
+// PackageChurn reports how published packages fared across pushes:
+// kept counts packages the remapper carried over, lost counts packages
+// dropped at a push boundary (remap misses plus exact-only wipes).
+func (f *Fleet) PackageChurn() (kept, lost int) { return f.pkgsKept, f.pkgsLost }
 
 // ReasonCount is one fallback reason with its occurrence count.
 type ReasonCount struct {

@@ -1,0 +1,54 @@
+package experiments
+
+import "testing"
+
+// TestChurnDirections pins the acceptance criteria of the churn
+// experiment: the remapper recovers real warmup benefit (a remapped
+// boot beats a cold one), and at fleet scale the remap-tolerant store
+// policy loses less capacity than exact-only at every (rate, cadence)
+// cell.
+func TestChurnDirections(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Churn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rates) != len(churnRates) || len(res.Points) != len(churnRates)*len(churnCadences) {
+		t.Fatalf("unexpected sweep shape: %d rates, %d points", len(res.Rates), len(res.Points))
+	}
+	if res.LossExact >= res.LossCold {
+		t.Fatalf("exact-package warmup (%.3f) should beat cold (%.3f)", res.LossExact, res.LossCold)
+	}
+	for _, cr := range res.Rates {
+		if cr.Remap1.Exact == 0 {
+			t.Fatalf("rate %.2f: no exact remap matches — fingerprints broken", cr.Rate)
+		}
+		if cr.Remap1.Total() == 0 || cr.Remap2.Total() == 0 {
+			t.Fatalf("rate %.2f: empty remap stats", cr.Rate)
+		}
+		hit := cr.Remap1.HitRate()
+		if hit <= 0 || hit > 1 {
+			t.Fatalf("rate %.2f: hit rate %.3f out of range", cr.Rate, hit)
+		}
+		if cr.LossRemapped >= res.LossCold {
+			t.Fatalf("rate %.2f: remapped boot (loss %.3f) no better than cold (%.3f)",
+				cr.Rate, cr.LossRemapped, res.LossCold)
+		}
+		t.Logf("rate %.2f: stats=%+v remap1=%+v (hit %.1f%%) remap2 hit %.1f%% loss_remapped=%.3f (exact %.3f, cold %.3f)",
+			cr.Rate, cr.Stats, cr.Remap1, hit*100, cr.Remap2.HitRate()*100,
+			cr.LossRemapped, res.LossExact, res.LossCold)
+	}
+	for _, pt := range res.Points {
+		if pt.Gap <= 0 {
+			t.Errorf("rate %.2f cadence %.0f: remap-tolerant (%.4f) did not beat exact-only (%.4f)",
+				pt.Rate, pt.Cadence, pt.LossRemapTolerant, pt.LossExactOnly)
+		}
+		if pt.RemapBoots == 0 {
+			t.Errorf("rate %.2f cadence %.0f: no boots used remapped packages", pt.Rate, pt.Cadence)
+		}
+		t.Logf("rate %.2f cadence %.0f: exact_only=%.2f%% remap_tolerant=%.2f%% gap=%.2f%% pushes=%d/%d remap_boots=%d kept=%d lost=%d",
+			pt.Rate, pt.Cadence, pt.LossExactOnly*100, pt.LossRemapTolerant*100,
+			pt.Gap*100, pt.PushesExactOnly, pt.PushesRemapTolerant,
+			pt.RemapBoots, pt.PkgKept, pt.PkgLost)
+	}
+}

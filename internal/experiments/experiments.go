@@ -128,6 +128,10 @@ type Lab struct {
 	curves     [2]cluster.WarmupCurve
 	curvesErr  error
 
+	churnOnce sync.Once
+	churnRes  ChurnResult
+	churnErr  error
+
 	// Baseline memo: the figures overlap heavily in the raw server runs
 	// they need (Figure 5's no-Jump-Start steady state is Figure 6's
 	// no-Jump-Start cell; Figure 2's long no-Jump-Start warmup contains

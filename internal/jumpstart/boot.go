@@ -55,6 +55,19 @@ type BootConfig struct {
 	// Clock supplies the virtual time stamped onto boot events (nil
 	// stamps 0, like Store.SetTelemetry's clock).
 	Clock func() float64
+	// Revision is the consumer's build checksum (0 disables revision
+	// checking). A picked package whose decoded Meta.Revision differs
+	// is handled per Policy.
+	Revision uint64
+	// Policy decides what to do with a mismatched-revision package:
+	// ExactOnly skips it (and records the distinct "package revision
+	// mismatch" fallback reason if boot ultimately falls back);
+	// RemapTolerant passes it through Remap.
+	Policy CompatPolicy
+	// Remap translates a mismatched-revision profile onto this build
+	// (callers wire prof.Remap with both programs). Only consulted
+	// under RemapTolerant; nil skips mismatched packages.
+	Remap func(p *prof.Profile) (*prof.Profile, error)
 }
 
 // now reads the boot clock for event timestamps.
@@ -97,9 +110,15 @@ func BootConsumer(site *workload.Site, source PackageSource, cfg BootConfig) (*s
 			// (every candidate already failed this consumer — fall
 			// back immediately rather than retrying a known-bad
 			// package), or a networked source gave up and can say why.
-			if pf, okr := source.(pickFailureReporter); okr {
-				if r := pf.PickFailure(); r != "" {
-					info.FallbackReason = r
+			// A reason recorded on an earlier attempt (revision
+			// mismatch, undecodable package) explains why the store ran
+			// out of candidates — don't let the generic empty-store
+			// reason clobber it.
+			if info.FallbackReason == "" {
+				if pf, okr := source.(pickFailureReporter); okr {
+					if r := pf.PickFailure(); r != "" {
+						info.FallbackReason = r
+					}
 				}
 			}
 			if info.FallbackReason == "" {
@@ -114,6 +133,23 @@ func BootConsumer(site *workload.Site, source PackageSource, cfg BootConfig) (*s
 			failed = append(failed, pkg.ID)
 			info.FallbackReason = "packages undecodable"
 			continue
+		}
+		if cfg.Revision != 0 && uint64(p.Meta.Revision) != cfg.Revision {
+			// A package from a different build. Without remapping it
+			// would silently warm the server from arbitrarily different
+			// code; the distinct reason makes these fallbacks visible.
+			if cfg.Policy != RemapTolerant || cfg.Remap == nil {
+				failed = append(failed, pkg.ID)
+				info.FallbackReason = "package revision mismatch"
+				continue
+			}
+			remapped, err := cfg.Remap(p)
+			if err != nil || uint64(remapped.Meta.Revision) != cfg.Revision {
+				failed = append(failed, pkg.ID)
+				info.FallbackReason = "package revision mismatch"
+				continue
+			}
+			p = remapped
 		}
 		sc := cfg.Server
 		sc.Mode = server.ModeConsumer

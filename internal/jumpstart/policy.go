@@ -1,0 +1,46 @@
+package jumpstart
+
+import "fmt"
+
+// CompatPolicy is the store compatibility policy for packages whose
+// build revision differs from the consumer's. Every package is stamped
+// with the build checksum of the source revision its profile was
+// collected against; the policy decides what a consumer may do with a
+// package from a different build.
+type CompatPolicy int
+
+const (
+	// ExactOnly rejects any package whose revision stamp differs from
+	// the consumer's build. Every code push therefore invalidates the
+	// whole store and the fleet falls back to full reprofiling.
+	ExactOnly CompatPolicy = iota
+	// RemapTolerant allows a mismatched package to be carried across
+	// the push by the cross-release remapper (prof.Remap): profiles for
+	// unchanged or renamed-but-identical functions survive exactly,
+	// constant-tweaked functions survive fuzzily, the rest drop.
+	RemapTolerant
+)
+
+// String returns the flag-level name.
+func (p CompatPolicy) String() string {
+	switch p {
+	case ExactOnly:
+		return "exact-only"
+	case RemapTolerant:
+		return "remap-tolerant"
+	default:
+		return fmt.Sprintf("CompatPolicy(%d)", int(p))
+	}
+}
+
+// ParseCompatPolicy parses the flag-level name.
+func ParseCompatPolicy(s string) (CompatPolicy, error) {
+	switch s {
+	case "exact-only":
+		return ExactOnly, nil
+	case "remap-tolerant":
+		return RemapTolerant, nil
+	default:
+		return 0, fmt.Errorf("jumpstart: unknown compat policy %q (want exact-only or remap-tolerant)", s)
+	}
+}

@@ -21,7 +21,12 @@ type StoredPackage struct {
 	ID     PackageID
 	Region int
 	Bucket int
-	Data   []byte // serialized prof.Profile
+	// Revision is the build checksum of the source revision the
+	// profile was collected against (0 when the publisher predates
+	// revision stamping). Consumers on a different build reject or
+	// remap the package according to the CompatPolicy.
+	Revision uint64
+	Data     []byte // serialized prof.Profile
 }
 
 // Store is the profile-package database. Packages are keyed by
@@ -84,16 +89,24 @@ func (s *Store) now() float64 {
 }
 
 // Publish adds a validated package for (region, bucket) and returns
-// its id.
+// its id. The package carries no revision stamp; use PublishRevision
+// when the publisher knows its build checksum.
 func (s *Store) Publish(region, bucket int, data []byte) PackageID {
+	return s.PublishRevision(region, bucket, data, 0)
+}
+
+// PublishRevision adds a validated package stamped with the build
+// checksum of the source revision it was collected against.
+func (s *Store) PublishRevision(region, bucket int, data []byte, revision uint64) PackageID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
 	p := &StoredPackage{
-		ID:     s.nextID,
-		Region: region,
-		Bucket: bucket,
-		Data:   data,
+		ID:       s.nextID,
+		Region:   region,
+		Bucket:   bucket,
+		Revision: revision,
+		Data:     data,
 	}
 	k := storeKey{region, bucket}
 	s.pkgs[k] = append(s.pkgs[k], p)

@@ -21,8 +21,9 @@ type Conn interface {
 	Manifest(region, bucket int, rnd uint64, exclude []jumpstart.PackageID) (*Manifest, error)
 	// Chunk fetches the compressed bytes of chunk idx of package id.
 	Chunk(id jumpstart.PackageID, idx int) ([]byte, error)
-	// Publish uploads a collected package.
-	Publish(region, bucket int, data []byte) (jumpstart.PackageID, error)
+	// Publish uploads a collected package stamped with the publisher's
+	// build revision checksum (0 when unknown).
+	Publish(region, bucket int, revision uint64, data []byte) (jumpstart.PackageID, error)
 }
 
 // Clock abstracts time for the client: virtual (netsim.VirtualClock)
@@ -103,6 +104,7 @@ func (c ClientConfig) withDefaults() ClientConfig {
 // FetchResult is a completed package download.
 type FetchResult struct {
 	ID       jumpstart.PackageID
+	Revision uint64 // build checksum stamp from the manifest
 	Data     []byte
 	Attempts int // transfer attempts (1 = no retry)
 	RPCs     int // total RPCs issued, including failures
@@ -156,7 +158,10 @@ func (c *Client) Pick(region, bucket int, rnd uint64, exclude ...jumpstart.Packa
 	if err != nil {
 		return nil, false
 	}
-	return &jumpstart.StoredPackage{ID: res.ID, Region: region, Bucket: bucket, Data: res.Data}, true
+	return &jumpstart.StoredPackage{
+		ID: res.ID, Region: region, Bucket: bucket,
+		Revision: res.Revision, Data: res.Data,
+	}, true
 }
 
 // armDeadline starts the per-boot budget on first use.
@@ -248,6 +253,7 @@ func (c *Client) Fetch(region, bucket int, rnd uint64, exclude []jumpstart.Packa
 		if err == nil {
 			res.Data = data
 			res.ID = m.ID
+			res.Revision = m.Revision
 			res.Chunks = len(m.Chunks)
 			res.Elapsed = c.clock.Now() - start
 			c.tel.Counter("transport.fetch_ok_total").Inc()
@@ -326,14 +332,15 @@ func (c *Client) tryOnce(region, bucket int, rnd uint64, exclude []jumpstart.Pac
 
 // Publish uploads a collected package with the same retry/backoff
 // machinery, under its own budget window (armed per call, not shared
-// with boot fetches).
-func (c *Client) Publish(region, bucket int, data []byte) (jumpstart.PackageID, error) {
+// with boot fetches). revision stamps the package with the
+// publisher's build checksum (0 when unknown).
+func (c *Client) Publish(region, bucket int, revision uint64, data []byte) (jumpstart.PackageID, error) {
 	deadline := c.clock.Now() + c.cfg.Budget
 	jit := netsim.NewStream(workload.Fork(c.cfg.Seed, 1<<32+c.fetches))
 	c.fetches++
 	for attempt := 1; ; attempt++ {
 		c.tel.Counter("transport.rpcs_total").Inc()
-		id, err := c.conn.Publish(region, bucket, data)
+		id, err := c.conn.Publish(region, bucket, revision, data)
 		if err == nil {
 			c.tel.Counter("transport.publish_ok_total").Inc()
 			c.tel.Event(c.clock.Now(), "transport", "publish",

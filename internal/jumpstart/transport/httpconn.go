@@ -88,8 +88,8 @@ func (c *HTTPConn) Chunk(id jumpstart.PackageID, idx int) ([]byte, error) {
 }
 
 // Publish implements Conn.
-func (c *HTTPConn) Publish(region, bucket int, data []byte) (jumpstart.PackageID, error) {
-	url := fmt.Sprintf("%s/publish?region=%d&bucket=%d", c.base, region, bucket)
+func (c *HTTPConn) Publish(region, bucket int, revision uint64, data []byte) (jumpstart.PackageID, error) {
+	url := fmt.Sprintf("%s/publish?region=%d&bucket=%d&rev=%d", c.base, region, bucket, revision)
 	resp, err := c.http.Post(url, "application/octet-stream", bytes.NewReader(data))
 	if err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrTimeout, err)

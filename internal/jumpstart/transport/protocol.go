@@ -57,13 +57,18 @@ var (
 // Manifest describes one picked package: its identity, full-payload
 // checksum, and the content addresses of its chunks in order.
 type Manifest struct {
-	ID        jumpstart.PackageID `json:"id"`
-	Region    int                 `json:"region"`
-	Bucket    int                 `json:"bucket"`
-	Size      int                 `json:"size"`
-	CRC32     uint32              `json:"crc32"`
-	ChunkSize int                 `json:"chunk_size"`
-	Chunks    []uint64            `json:"chunks"` // FNV-1a 64 content addresses
+	ID     jumpstart.PackageID `json:"id"`
+	Region int                 `json:"region"`
+	Bucket int                 `json:"bucket"`
+	// Revision is the build checksum the package was collected
+	// against (0 from pre-revision publishers). Carried on the
+	// manifest so a consumer can check compatibility before spending
+	// its fetch budget on chunks.
+	Revision  uint64   `json:"revision"`
+	Size      int      `json:"size"`
+	CRC32     uint32   `json:"crc32"`
+	ChunkSize int      `json:"chunk_size"`
+	Chunks    []uint64 `json:"chunks"` // FNV-1a 64 content addresses
 }
 
 // chunkHash is the content address of one uncompressed chunk.
@@ -92,6 +97,7 @@ func manifestFor(p *jumpstart.StoredPackage, chunkSize int) *Manifest {
 		ID:        p.ID,
 		Region:    p.Region,
 		Bucket:    p.Bucket,
+		Revision:  p.Revision,
 		Size:      len(p.Data),
 		CRC32:     crc32.ChecksumIEEE(p.Data),
 		ChunkSize: chunkSize,

@@ -81,17 +81,18 @@ func (s *Server) Chunk(id jumpstart.PackageID, idx int) ([]byte, error) {
 	return compressChunk(p.Data[lo:hi]), nil
 }
 
-// Publish stores an uploaded package and returns its id.
-func (s *Server) Publish(region, bucket int, data []byte) jumpstart.PackageID {
+// Publish stores an uploaded package, stamped with the publisher's
+// build revision checksum, and returns its id.
+func (s *Server) Publish(region, bucket int, revision uint64, data []byte) jumpstart.PackageID {
 	s.tel.Counter("transport.server.publishes_total").Inc()
-	return s.store.Publish(region, bucket, data)
+	return s.store.PublishRevision(region, bucket, data, revision)
 }
 
 // Handler returns the HTTP surface of the protocol:
 //
 //	GET  /manifest?region=R&bucket=B&rnd=N&exclude=1,2  -> Manifest JSON (404 when none)
 //	GET  /chunk?id=I&idx=K                              -> gzip chunk bytes
-//	POST /publish?region=R&bucket=B                     -> {"id": N}
+//	POST /publish?region=R&bucket=B&rev=C               -> {"id": N}
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/manifest", s.handleManifest)
@@ -179,6 +180,14 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	var revision uint64
+	if rev := r.URL.Query().Get("rev"); rev != "" {
+		revision, err = strconv.ParseUint(rev, 10, 64)
+		if err != nil {
+			http.Error(w, "bad rev: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
 	data, err := io.ReadAll(io.LimitReader(r.Body, maxPublishBytes+1))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -188,7 +197,7 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "package too large", http.StatusRequestEntityTooLarge)
 		return
 	}
-	id := s.Publish(region, bucket, data)
+	id := s.Publish(region, bucket, revision, data)
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, "{\"id\":%d}\n", id)
 }

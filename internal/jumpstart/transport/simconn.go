@@ -66,9 +66,9 @@ func (c *SimConn) Chunk(id jumpstart.PackageID, idx int) ([]byte, error) {
 }
 
 // Publish implements Conn.
-func (c *SimConn) Publish(region, bucket int, data []byte) (jumpstart.PackageID, error) {
+func (c *SimConn) Publish(region, bucket int, revision uint64, data []byte) (jumpstart.PackageID, error) {
 	if err := c.rpc(); err != nil {
 		return 0, err
 	}
-	return c.srv.Publish(region, bucket, data), nil
+	return c.srv.Publish(region, bucket, revision, data), nil
 }

@@ -309,7 +309,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 	conn := NewHTTPConn(ts.URL, 5)
 	cli := NewClient(conn, NewWallClock(), ClientConfig{Budget: 10})
 
-	id, err := cli.Publish(2, 3, payload)
+	id, err := cli.Publish(2, 3, 0xfeed, payload)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,6 +322,9 @@ func TestHTTPRoundTrip(t *testing.T) {
 	}
 	if res.ID != id || !bytes.Equal(res.Data, payload) {
 		t.Fatalf("HTTP round trip corrupted payload (id=%d len=%d)", res.ID, len(res.Data))
+	}
+	if res.Revision != 0xfeed {
+		t.Fatalf("revision stamp lost over HTTP: got %x, want feed", res.Revision)
 	}
 	// Wrong bucket 404s into ErrNoPackage.
 	if _, err := cli.Fetch(2, 4, 77, nil); !errors.Is(err, ErrNoPackage) {

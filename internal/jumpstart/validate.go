@@ -29,6 +29,20 @@ type Validator struct {
 	Thresholds prof.Thresholds
 	// WarmupDeadline bounds the trial boot's virtual warmup seconds.
 	WarmupDeadline float64
+	// Revision is the build checksum of the source revision this
+	// validator serves (0 disables revision checking, for callers that
+	// predate revision stamping).
+	Revision uint64
+	// Policy decides what happens to a package whose Meta.Revision
+	// differs from Revision: ExactOnly rejects it with ErrRevision;
+	// RemapTolerant passes it through Remap first and validates the
+	// remapped profile end to end (trial boot included).
+	Policy CompatPolicy
+	// Remap translates a mismatched-revision profile onto this build
+	// (wired to prof.Remap by callers that hold both programs). Only
+	// consulted under RemapTolerant; nil means mismatches are rejected
+	// even under RemapTolerant.
+	Remap func(p *prof.Profile) (*prof.Profile, error)
 	// Telem observes validation outcomes (may be nil). The trial server
 	// itself runs without telemetry so validation cost stays identical
 	// with observation on or off.
@@ -41,6 +55,7 @@ var (
 	ErrCorrupt   = errors.New("jumpstart: package failed decode")
 	ErrBoot      = errors.New("jumpstart: consumer trial boot failed")
 	ErrUnhealthy = errors.New("jumpstart: consumer trial unhealthy")
+	ErrRevision  = errors.New("jumpstart: package revision mismatch")
 )
 
 // Validate checks a serialized package end to end: decodability,
@@ -62,6 +77,21 @@ func (v *Validator) validate(data []byte) error {
 	p, err := prof.Decode(data)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if v.Revision != 0 && uint64(p.Meta.Revision) != v.Revision {
+		if v.Policy != RemapTolerant || v.Remap == nil {
+			return fmt.Errorf("%w: package %x, build %x (policy %s)",
+				ErrRevision, uint64(p.Meta.Revision), v.Revision, v.Policy)
+		}
+		remapped, err := v.Remap(p)
+		if err != nil {
+			return fmt.Errorf("%w: remap failed: %v", ErrRevision, err)
+		}
+		if uint64(remapped.Meta.Revision) != v.Revision {
+			return fmt.Errorf("%w: remap stamped %x, want %x",
+				ErrRevision, uint64(remapped.Meta.Revision), v.Revision)
+		}
+		p = remapped
 	}
 	if !p.MeetsThresholds(v.Thresholds) {
 		c := p.Coverage()
@@ -133,13 +163,19 @@ func SeedAndPublish(site *workload.Site, seederCfg server.Config, v *Validator,
 			lastErr = errors.New("jumpstart: seeder produced no package")
 			continue
 		}
+		if v.Revision != 0 {
+			// Stamp the collected profile with the seeder's build; the
+			// store entry carries the same stamp so consumers can check
+			// compatibility before decoding.
+			pkg.Meta.Revision = int64(v.Revision)
+		}
 		data := pkg.Encode()
 		if err := v.Validate(data); err != nil {
 			store.Quarantine(cfg.Region, cfg.Bucket, data)
 			lastErr = err
 			continue
 		}
-		res.Published = store.Publish(cfg.Region, cfg.Bucket, data)
+		res.Published = store.PublishRevision(cfg.Region, cfg.Bucket, data, v.Revision)
 		res.Package = pkg
 		return res, nil
 	}

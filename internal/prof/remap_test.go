@@ -1,0 +1,182 @@
+package prof
+
+import (
+	"testing"
+
+	"jumpstart/internal/bytecode"
+	"jumpstart/internal/hackc"
+)
+
+func compileOne(t *testing.T, src string) *bytecode.Program {
+	t.Helper()
+	prog, err := hackc.CompileSources(
+		map[string]string{"unit0.mh": src}, []string{"unit0.mh"},
+		hackc.Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// funcProfileFor builds a minimal profile entry for fn, with marker
+// counters so tests can watch what survives.
+func funcProfileFor(t *testing.T, p *bytecode.Program, name string) *FuncProfile {
+	t.Helper()
+	fn, ok := p.FuncByName(name)
+	if !ok {
+		t.Fatalf("function %s not in program", name)
+	}
+	return &FuncProfile{
+		Checksum:    FuncChecksum(fn),
+		EntryCount:  10,
+		BlockCounts: []uint64{5},
+		VasmCounts:  []uint64{7},
+	}
+}
+
+const remapSrcA = `
+fun keep(a) { return a + 1; }
+fun tweaked(a) { return a + 10; }
+fun gone(a) { return a * 2; }
+fun oldname(a) { return a * 3 + 7; }
+`
+
+// Rev B: keep unchanged, tweaked's constant edited (CFG intact), gone
+// deleted, oldname renamed to newname with an identical body.
+const remapSrcB = `
+fun keep(a) { return a + 1; }
+fun tweaked(a) { return a + 99; }
+fun newname(a) { return a * 3 + 7; }
+`
+
+// TestRemapCascade drives every arm of the cascade at once: exact,
+// rename (identical body under a new name), fuzzy (constant changed,
+// shape kept), and drop (function deleted).
+func TestRemapCascade(t *testing.T) {
+	from := compileOne(t, remapSrcA)
+	to := compileOne(t, remapSrcB)
+
+	p := NewProfile()
+	p.Meta.Revision = 1
+	for _, name := range []string{"keep", "tweaked", "gone", "oldname"} {
+		p.Funcs[name] = funcProfileFor(t, from, name)
+	}
+	p.Funcs["keep"].CallTargets = map[int32]map[string]uint64{0: {"oldname": 4}}
+	p.CallPairs[CallPair{Caller: "keep", Callee: "oldname"}] = 3
+	p.CallPairs[CallPair{Caller: "keep", Callee: "gone"}] = 2
+	p.FuncOrder = []string{"oldname", "keep", "gone", "tweaked"}
+
+	out, stats := Remap(p, from, to, 2)
+
+	want := RemapStats{Exact: 1, Renamed: 1, Fuzzy: 1, Dropped: 1}
+	if stats != want {
+		t.Fatalf("stats = %+v, want %+v", stats, want)
+	}
+	if out.Meta.Revision != 2 {
+		t.Fatalf("remapped profile stamped revision %d, want 2", out.Meta.Revision)
+	}
+
+	// Every surviving entry must carry the *target* function's checksum
+	// (the consumer JIT gate), not the stale source checksum.
+	for _, name := range []string{"keep", "tweaked", "newname"} {
+		fn, _ := to.FuncByName(name)
+		fp, ok := out.Funcs[name]
+		if !ok {
+			t.Fatalf("%s missing from remapped profile", name)
+		}
+		if fp.Checksum != FuncChecksum(fn) {
+			t.Fatalf("%s checksum not restamped onto the target build", name)
+		}
+	}
+	if _, ok := out.Funcs["gone"]; ok {
+		t.Fatal("deleted function's profile was not dropped")
+	}
+	if _, ok := out.Funcs["oldname"]; ok {
+		t.Fatal("renamed function kept its old key")
+	}
+
+	// VasmCounts describe the optimized translation: they survive exact
+	// and rename matches, never fuzzy ones.
+	if out.Funcs["keep"].VasmCounts == nil || out.Funcs["newname"].VasmCounts == nil {
+		t.Fatal("exact/renamed match lost VasmCounts")
+	}
+	if out.Funcs["tweaked"].VasmCounts != nil {
+		t.Fatal("fuzzy match must not carry VasmCounts")
+	}
+
+	// Call targets and the tier-2 call graph follow the rename; arcs to
+	// the deleted function drop.
+	if n := out.Funcs["keep"].CallTargets[0]["newname"]; n != 4 {
+		t.Fatalf("call target not rewritten through rename: %v", out.Funcs["keep"].CallTargets)
+	}
+	if n := out.CallPairs[CallPair{Caller: "keep", Callee: "newname"}]; n != 3 {
+		t.Fatalf("call pair not rewritten: %v", out.CallPairs)
+	}
+	if _, ok := out.CallPairs[CallPair{Caller: "keep", Callee: "gone"}]; ok {
+		t.Fatal("call pair to deleted function survived")
+	}
+
+	// FuncOrder: renamed entries follow, dead entries drop, order holds.
+	wantOrder := []string{"newname", "keep", "tweaked"}
+	if len(out.FuncOrder) != len(wantOrder) {
+		t.Fatalf("FuncOrder = %v, want %v", out.FuncOrder, wantOrder)
+	}
+	for i, name := range wantOrder {
+		if out.FuncOrder[i] != name {
+			t.Fatalf("FuncOrder = %v, want %v", out.FuncOrder, wantOrder)
+		}
+	}
+}
+
+// TestRemapAmbiguousCollision: two functions new in the target share
+// the source function's body fingerprint (and arity). The rename
+// target cannot be decided, so the profile must drop rather than
+// guess.
+func TestRemapAmbiguousCollision(t *testing.T) {
+	from := compileOne(t, `
+fun keep(a) { return a + 1; }
+fun oldname(a) { return a * 3 + 7; }
+`)
+	to := compileOne(t, `
+fun keep(a) { return a + 1; }
+fun twin1(a) { return a * 3 + 7; }
+fun twin2(a) { return a * 3 + 7; }
+`)
+	p := NewProfile()
+	p.Funcs["keep"] = funcProfileFor(t, from, "keep")
+	p.Funcs["oldname"] = funcProfileFor(t, from, "oldname")
+
+	out, stats := Remap(p, from, to, 2)
+	if stats.Ambiguous != 1 || stats.Exact != 1 || stats.Renamed != 0 {
+		t.Fatalf("stats = %+v, want 1 exact + 1 ambiguous", stats)
+	}
+	if _, ok := out.Funcs["twin1"]; ok {
+		t.Fatal("ambiguous rename guessed twin1")
+	}
+	if _, ok := out.Funcs["twin2"]; ok {
+		t.Fatal("ambiguous rename guessed twin2")
+	}
+}
+
+// TestRemapEmptyProfile: an empty package remaps to an empty package —
+// no matches, no drops, hit rate 1 (nothing to lose), new stamp.
+func TestRemapEmptyProfile(t *testing.T) {
+	from := compileOne(t, `fun keep(a) { return a + 1; }`)
+	to := compileOne(t, `fun keep(a) { return a + 2; }`)
+
+	p := NewProfile()
+	p.Meta.Revision = 1
+	out, stats := Remap(p, from, to, 9)
+	if stats.Total() != 0 {
+		t.Fatalf("empty profile produced stats %+v", stats)
+	}
+	if stats.HitRate() != 1 {
+		t.Fatalf("empty profile hit rate = %f, want 1", stats.HitRate())
+	}
+	if len(out.Funcs) != 0 {
+		t.Fatal("empty profile grew functions")
+	}
+	if out.Meta.Revision != 9 {
+		t.Fatalf("stamped revision %d, want 9", out.Meta.Revision)
+	}
+}

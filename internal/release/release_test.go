@@ -1,0 +1,129 @@
+package release
+
+import (
+	"testing"
+
+	"jumpstart/internal/lang"
+	"jumpstart/internal/workload"
+)
+
+func testSite(t *testing.T) *workload.Site {
+	t.Helper()
+	cfg := workload.DefaultSiteConfig()
+	cfg.Units = 4
+	cfg.HelpersPerUnit = 6
+	cfg.EndpointsPerUnit = 3
+	site, err := workload.GenerateSite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return site
+}
+
+func buildChain(t *testing.T, site *workload.Site, cfg ChurnConfig, revs int) *Chain {
+	t.Helper()
+	c, err := NewChain(site, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < revs; i++ {
+		if _, err := c.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// TestChainReproducible: rebuilding a chain from the same site and
+// config yields byte-identical sources, checksums and mutation stats
+// at every revision — the property the fleet's revision identities
+// rest on.
+func TestChainReproducible(t *testing.T) {
+	site := testSite(t)
+	cfg := ChurnConfig{Seed: 7, Rate: 0.25}
+	a := buildChain(t, site, cfg, 3)
+	b := buildChain(t, site, cfg, 3)
+	for i := 0; i < a.Len(); i++ {
+		ra, rb := a.Rev(i), b.Rev(i)
+		if ra.Checksum != rb.Checksum {
+			t.Fatalf("rev %d checksum %x vs %x across rebuilds", i, ra.Checksum, rb.Checksum)
+		}
+		if ra.Stats != rb.Stats {
+			t.Fatalf("rev %d stats %+v vs %+v", i, ra.Stats, rb.Stats)
+		}
+		for name, src := range ra.Sources {
+			if rb.Sources[name] != src {
+				t.Fatalf("rev %d unit %s differs across rebuilds", i, name)
+			}
+		}
+		if i > 0 {
+			if ra.Checksum == a.Rev(i-1).Checksum {
+				t.Fatalf("rev %d checksum identical to rev %d — mutator did nothing", i, i-1)
+			}
+			if ra.Stats.ConstTweaks+ra.Stats.StmtInserts+ra.Stats.FuncsAdded+
+				ra.Stats.FuncsRemoved+ra.Stats.FuncsRenamed+ra.Stats.PropReorders == 0 {
+				t.Fatalf("rev %d applied zero mutations at rate %.2f", i, cfg.Rate)
+			}
+		}
+	}
+
+	// A different seed must walk a different path.
+	other := buildChain(t, site, ChurnConfig{Seed: 8, Rate: 0.25}, 1)
+	if other.Rev(1).Checksum == a.Rev(1).Checksum {
+		t.Fatal("seeds 7 and 8 produced the same revision")
+	}
+
+	// Endpoints survive every revision (the mutator must never touch
+	// them), so the fleet can serve traffic on any head.
+	if _, err := a.Head().Site(site); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// goldenChecksums pins the exact revision identities produced by
+// seed 7 / rate 0.25 on the 4-unit test site. These freeze the whole
+// pipeline — site generator, parser, mutator, printer — so any silent
+// change to mutation behaviour fails loudly. Update deliberately if
+// the mutator's semantics change on purpose.
+var goldenChecksums = []uint64{
+	0x722a4ceae25f59b7, // rev 0: the unmutated site
+	0xa93be120cd9957dd,
+	0x7ddc17fd19be9e6b,
+	0x815315b70861a34d,
+}
+
+// TestChainGoldenChecksums verifies the pinned revision hashes.
+func TestChainGoldenChecksums(t *testing.T) {
+	c := buildChain(t, testSite(t), ChurnConfig{Seed: 7, Rate: 0.25}, 3)
+	for i := 0; i < c.Len(); i++ {
+		t.Logf("golden rev %d: %#x stats=%+v", i, c.Rev(i).Checksum, c.Rev(i).Stats)
+		if c.Rev(i).Checksum != goldenChecksums[i] {
+			t.Errorf("rev %d checksum %#x, golden %#x", i, c.Rev(i).Checksum, goldenChecksums[i])
+		}
+	}
+}
+
+// TestPrinterRoundTrip: PrintFile is a fixed point under reparsing for
+// every unit the mutator emits — print(parse(print(f))) == print(f).
+// Without this the chain's reparse step could drift sources even with
+// zero mutations.
+func TestPrinterRoundTrip(t *testing.T) {
+	c := buildChain(t, testSite(t), ChurnConfig{Seed: 7, Rate: 0.25}, 2)
+	for i := 0; i < c.Len(); i++ {
+		rev := c.Rev(i)
+		for _, name := range rev.UnitNames {
+			f, err := lang.Parse(name, rev.Sources[name])
+			if err != nil {
+				t.Fatalf("rev %d unit %s does not reparse: %v", i, name, err)
+			}
+			printed := lang.PrintFile(f)
+			f2, err := lang.Parse(name, printed)
+			if err != nil {
+				t.Fatalf("rev %d unit %s printed form does not reparse: %v", i, name, err)
+			}
+			if lang.PrintFile(f2) != printed {
+				t.Fatalf("rev %d unit %s: printer is not a fixed point", i, name)
+			}
+		}
+	}
+}
