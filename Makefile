@@ -5,7 +5,7 @@ GO ?= go
 # there silently blind every other layer.
 TELEMETRY_COVER_FLOOR ?= 80
 
-.PHONY: build test bench alloccheck verify cover faultsweep churnsweep
+.PHONY: build test bench alloccheck verify cover faultsweep churnsweep regionsweep
 
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 
@@ -26,11 +26,13 @@ bench:
 	$(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json bench.out
 
 # Allocation regressions: the interpreter hot path must stay at zero
-# machinery allocations and the steady-state request path under its
-# per-request ceiling.
+# machinery allocations, the steady-state request path under its
+# per-request ceiling, and the store's crash-retry pick path (exclusion
+# lists in force) at zero allocations.
 alloccheck:
 	$(GO) test -count=1 -v -run 'AllocFree|AllocRegression|TestStreamAllocFree' \
-		./internal/interp/ ./internal/microarch/ ./internal/server/
+		./internal/interp/ ./internal/microarch/ ./internal/server/ \
+		./internal/jumpstart/
 
 # CI gate: vet plus the full suite under the race detector. The
 # parallel-vs-sequential determinism tests run here, so this also
@@ -55,6 +57,18 @@ churnsweep:
 	$(GO) test -race -count=1 -v -run 'TestFleetChurn' ./internal/cluster/
 	$(GO) test -race -count=1 -v -run 'TestRemap' ./internal/prof/
 	$(GO) test -race -count=1 -v -run 'TestChain|TestPrinterRoundTrip' ./internal/release/
+
+# Multi-region gate: the sharded-store determinism test (per-region
+# shards, 2-way replication, seeder aggregation, long-haul brownout;
+# byte-identical at -workers 1, 4 and NumCPU), the replica-failover and
+# inter-region-partition fault drills, the consensus vote, the
+# multistore unit suite, the profile-aggregation merge rules, and the
+# regions experiment's direction checks.
+regionsweep:
+	$(GO) test -race -count=1 -v -run 'TestFleetRegions|TestFleetReplicaFailover|TestFleetInterRegion|TestConsensusVoting' ./internal/cluster/
+	$(GO) test -race -count=1 -v ./internal/jumpstart/multistore/
+	$(GO) test -race -count=1 -v -run 'TestAggregate' ./internal/prof/
+	$(GO) test -race -count=1 -v -run 'TestRegionsDirections' ./internal/experiments/
 
 # Coverage gate: reports per-package coverage and enforces the floor
 # on internal/telemetry.

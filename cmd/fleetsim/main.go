@@ -12,6 +12,12 @@
 //	fleetsim -transport -brownout-start 250 -brownout-seconds 1200 \
 //	         -brownout-drop 0.97    # store brownout during the C3 fetch storm
 //
+// Multi-region sharded stores (replication, failover, seeder aggregation):
+//
+//	fleetsim -replicas 2                              # 2-way replicated per-region store shards
+//	fleetsim -replicas 2 -regions 4 -store-nodes 3 \
+//	         -aggregate 2 -propagate-every 60         # consensus packages + cross-region propagation
+//
 // Continuous deployment under code churn:
 //
 //	fleetsim -push-every 480                          # a push every 480 virtual seconds
@@ -74,6 +80,12 @@ func run(args []string, stdout io.Writer) error {
 	brownSecs := fs.Float64("brownout-seconds", 0, "store brownout duration")
 	brownDrop := fs.Float64("brownout-drop", 0.95, "store RPC drop rate during the brownout")
 	replayCache := fs.String("replay-cache", "on", "translation replay memoization for the curve-measurement servers: on | off (output is byte-identical either way)")
+	regions := fs.Int("regions", 0, "override the number of fleet regions (0 = measurement-config default)")
+	replicas := fs.Int("replicas", 0, "K-way replication per store shard; > 0 routes packages through the multi-region sharded store hierarchy")
+	storeNodes := fs.Int("store-nodes", 3, "store nodes per region shard (with -replicas)")
+	aggregate := fs.Int("aggregate", 0, "publish one consensus package per N seeder outputs (with -replicas; 0 = every seeder publishes its own)")
+	propagateEvery := fs.Float64("propagate-every", 60, "cross-region package propagation cadence, virtual seconds (with -replicas)")
+	interLatency := fs.Float64("inter-latency", 0.3, "base one-way long-haul RPC latency between regions, virtual seconds (with -replicas)")
 	pushEvery := fs.Float64("push-every", 0, "start a new deployment every N virtual seconds (0 = the single initial push only)")
 	churn := fs.Float64("churn", 0, "code-churn mutation rate per push; > 0 measures the real remap hit rate and remapped warmup curve on a mutated site")
 	remapPolicy := fs.String("remap-policy", "exact-only", "store compatibility policy at a push: exact-only | remap-tolerant")
@@ -140,6 +152,26 @@ func run(args []string, stdout io.Writer) error {
 		ccfg.Budget = *fetchBudget
 		fcfg.Transport = &cluster.TransportConfig{Net: net, Client: ccfg}
 	}
+	if *regions > 0 {
+		fcfg.Regions = *regions
+	}
+	if *replicas > 0 {
+		if fcfg.Transport == nil {
+			ccfg := transport.DefaultClientConfig()
+			ccfg.Budget = *fetchBudget
+			fcfg.Transport = &cluster.TransportConfig{
+				Net:    netsim.Config{BaseLatency: *netLatency},
+				Client: ccfg,
+			}
+		}
+		fcfg.Transport.Multi = &cluster.MultiConfig{
+			NodesPerRegion:   *storeNodes,
+			Replicas:         *replicas,
+			PropagateEvery:   *propagateEvery,
+			InterNet:         netsim.Config{BaseLatency: *interLatency},
+			AggregateSeeders: *aggregate,
+		}
+	}
 	fleet, err := cluster.NewFleet(fcfg)
 	if err != nil {
 		return err
@@ -162,6 +194,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "# capacity loss over push window = %.2f%%; crashes = %d; fallbacks = %d\n",
 		cluster.CapacityLoss(ticks, fcfg.TickSeconds)*100, fleet.Crashes(), fleet.Fallbacks())
+	if *replicas > 0 {
+		propOK, propFail := fleet.Propagation()
+		fmt.Fprintf(stdout, "# multistore: replica failovers = %d; consensus packages = %d; aggregated boots = %d; propagation ok/fail = %d/%d\n",
+			fleet.Failovers(), fleet.ConsensusPackages(), fleet.AggregatedBoots(), propOK, propFail)
+	}
 	if *pushEvery > 0 {
 		kept, lost := fleet.PackageChurn()
 		fmt.Fprintf(stdout, "# pushes completed = %d (policy %s); remapped boots = %d; packages kept/lost across pushes = %d/%d\n",

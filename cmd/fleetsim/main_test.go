@@ -91,6 +91,31 @@ func TestRunSmokeWithTelemetry(t *testing.T) {
 	}
 }
 
+// TestRunMultiRegion smoke-tests the multi-region store flags: sharded
+// per-region stores with 2-way replication, seeder aggregation, and
+// cross-region propagation over the simulated long-haul links.
+func TestRunMultiRegion(t *testing.T) {
+	orig := labConfig
+	labConfig = microConfig
+	defer func() { labConfig = orig }()
+
+	var out strings.Builder
+	err := run([]string{"-seconds", "600", "-regions", "2", "-replicas", "2",
+		"-store-nodes", "2", "-aggregate", "2", "-propagate-every", "30"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(2 regions x 2 buckets)") {
+		t.Fatalf("-regions override not applied:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "# multistore: replica failovers = ") {
+		t.Fatalf("missing multistore summary:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "crashes = 0") {
+		t.Fatalf("multi-region run crashed servers:\n%s", out.String())
+	}
+}
+
 // TestRunTransportBrownout smoke-tests the networked-store flags: a
 // brownout over the fetch window must surface recorded fallback
 // reasons in the summary without crashing anything.

@@ -14,6 +14,11 @@
 //	jumpstartd -mode seeder   -store-url http://127.0.0.1:8099  # upload
 //	jumpstartd -mode consumer -store-url http://127.0.0.1:8099  # fetch + boot
 //
+// Seeder aggregation (merge N seeder packages into one consensus package):
+//
+//	jumpstartd -aggregate a.pkg,b.pkg,c.pkg -package merged.pkg   # merge only
+//	jumpstartd -mode consumer -aggregate a.pkg,b.pkg              # merge, then boot
+//
 // Telemetry (all optional, zero simulation perturbation):
 //
 //	-trace out.jsonl        # structured event trace
@@ -30,6 +35,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strings"
 	"time"
 
 	"jumpstart/internal/jumpstart"
@@ -54,6 +60,7 @@ func run(args []string, stdout io.Writer) error {
 	mode := fs.String("mode", "nojumpstart", "nojumpstart | seeder | consumer")
 	seconds := fs.Float64("seconds", 600, "virtual seconds to simulate")
 	pkgPath := fs.String("package", "", "profile package path (written by seeder, read by consumer)")
+	aggregatePkgs := fs.String("aggregate", "", "comma-separated seeder package files to merge into one consensus package (written to -package; -mode consumer boots from the merge)")
 	region := fs.Int("region", 0, "data-center region")
 	bucket := fs.Int("bucket", 0, "semantic bucket")
 	seed := fs.Uint64("seed", 1, "traffic seed")
@@ -74,6 +81,12 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *replayCache != "on" && *replayCache != "off" {
 		return fmt.Errorf("-replay-cache must be on or off, got %q", *replayCache)
+	}
+	if *aggregatePkgs != "" && *mode != "consumer" {
+		// Merge-only invocation: combine seeder packages into a
+		// consensus package without running a server.
+		_, err := mergePackages(*aggregatePkgs, *pkgPath, stdout)
+		return err
 	}
 
 	// Telemetry is allocated whenever any sink wants it; the simulation
@@ -137,10 +150,17 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "# boot: jumpstart=%v attempts=%d package=%d reason=%q\n",
 				info.UsedJumpStart, info.Attempts, info.PackageID, info.FallbackReason)
 			s = srv
+		} else if *aggregatePkgs != "" {
+			cfg.Mode = server.ModeConsumer
+			pkg, err := mergePackages(*aggregatePkgs, *pkgPath, stdout)
+			if err != nil {
+				return err
+			}
+			cfg.Package = pkg
 		} else {
 			cfg.Mode = server.ModeConsumer
 			if *pkgPath == "" {
-				return fmt.Errorf("consumer mode requires -package or -store-url")
+				return fmt.Errorf("consumer mode requires -package, -aggregate, or -store-url")
 			}
 			data, err := os.ReadFile(*pkgPath)
 			if err != nil {
@@ -212,6 +232,43 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	return tel.ExportFiles(*tracePath, *metricsPath, *cycleProf, "jumpstartd")
+}
+
+// mergePackages decodes the comma-separated seeder package files, merges
+// them into one consensus package via prof.Aggregate, optionally writes
+// the result to outPath, and reports the merge stats.
+func mergePackages(list, outPath string, stdout io.Writer) (*prof.Profile, error) {
+	var pkgs []*prof.Profile
+	for _, p := range strings.Split(list, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := prof.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	merged, stats, err := prof.Aggregate(pkgs)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(stdout, "# consensus merge: seeders=%d funcs=%d checksum_conflicts=%d type_sites_kept=%d type_sites_dropped=%d vasm_dropped=%d\n",
+		stats.Seeders, stats.Funcs, stats.ChecksumConflicts,
+		stats.TypeSitesKept, stats.TypeSitesDropped, stats.VasmDropped)
+	if outPath != "" {
+		enc := merged.Encode()
+		if err := os.WriteFile(outPath, enc, 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(stdout, "# wrote %s (%d bytes)\n", outPath, len(enc))
+	}
+	return merged, nil
 }
 
 // storeClient builds a retrying transport client against a real store

@@ -117,6 +117,47 @@ func TestStoreHandoff(t *testing.T) {
 	}
 }
 
+// TestAggregateMerge drives seeder aggregation end to end: two quick
+// seeders with different traffic seeds write their packages, a
+// merge-only run combines them into a consensus package on disk, and a
+// consumer boots from the merged profiles.
+func TestAggregateMerge(t *testing.T) {
+	dir := t.TempDir()
+	pkgs := []string{filepath.Join(dir, "a.pkg"), filepath.Join(dir, "b.pkg")}
+	for i, p := range pkgs {
+		var out strings.Builder
+		err := run([]string{"-mode", "seeder", "-quick", "-seconds", "600",
+			"-seed", []string{"1", "2"}[i], "-package", p}, &out)
+		if err != nil {
+			t.Fatalf("seeder %d: %v\n%s", i, err, out.String())
+		}
+	}
+
+	merged := filepath.Join(dir, "merged.pkg")
+	var mergeOut strings.Builder
+	err := run([]string{"-aggregate", pkgs[0] + "," + pkgs[1], "-package", merged}, &mergeOut)
+	if err != nil {
+		t.Fatalf("merge: %v\n%s", err, mergeOut.String())
+	}
+	if !strings.Contains(mergeOut.String(), "# consensus merge: seeders=2") {
+		t.Fatalf("missing merge stats:\n%s", mergeOut.String())
+	}
+	if fi, err := os.Stat(merged); err != nil || fi.Size() == 0 {
+		t.Fatalf("merged package not written: %v", err)
+	}
+
+	var consOut strings.Builder
+	err = run([]string{"-mode", "consumer", "-quick", "-seconds", "30",
+		"-aggregate", pkgs[0] + "," + pkgs[1]}, &consOut)
+	if err != nil {
+		t.Fatalf("consumer: %v\n%s", err, consOut.String())
+	}
+	if !strings.Contains(consOut.String(), "# consensus merge: seeders=2") ||
+		!strings.Contains(consOut.String(), "t_seconds,completed") {
+		t.Fatalf("aggregated consumer boot incomplete:\n%s", consOut.String())
+	}
+}
+
 // TestConsumerStoreURLFallback: with an unreachable store and a tiny
 // fetch budget the consumer must still come up — without Jump-Start,
 // with the budget exhaustion recorded as the reason.

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"jumpstart/internal/jumpstart"
+	"jumpstart/internal/jumpstart/multistore"
 	"jumpstart/internal/jumpstart/transport"
 	"jumpstart/internal/netsim"
 	"jumpstart/internal/parallel"
@@ -65,6 +66,14 @@ type Config struct {
 	// CurveJumpStart.
 	CurveRemapped WarmupCurve
 
+	// CurveAggregated is the warmup curve for consumers booting from a
+	// consensus package aggregated from several seeders' profiles
+	// (Transport.Multi.AggregateSeeders > 1) — typically at or above
+	// CurveJumpStart, since the merged profile covers more of the
+	// workload than any single seeder's. Empty means aggregated boots
+	// reuse CurveJumpStart.
+	CurveAggregated WarmupCurve
+
 	// PushEvery, when > 0, starts a new deployment (a code push of the
 	// next revision) every PushEvery virtual seconds for as long as the
 	// fleet runs — the paper's up-to-three-pushes-per-day churn regime,
@@ -122,6 +131,39 @@ type TransportConfig struct {
 	// ChunkSize is the server-side chunking granularity (<= 0 selects
 	// the transport default).
 	ChunkSize int
+	// Multi, when non-nil, replaces the single store with the
+	// multi-region hierarchy (per-region shards, K-way replication,
+	// consumer failover down the replica list, cross-region
+	// propagation) and optional seeder aggregation. In multi mode, Net
+	// above configures the healthy intra-region links and
+	// Multi.InterNet the lossy long-haul ones.
+	Multi *MultiConfig
+}
+
+// MultiConfig configures the multi-region store hierarchy and the
+// consensus-package pipeline.
+type MultiConfig struct {
+	// NodesPerRegion shards each region's buckets across store nodes
+	// (<= 0 selects 1).
+	NodesPerRegion int
+	// Replicas is the in-region replication factor K (<= 0 selects 1,
+	// capped at NodesPerRegion).
+	Replicas int
+	// PropagateEvery is the cross-region propagation cadence in
+	// virtual seconds (<= 0 selects 60).
+	PropagateEvery float64
+	// InterNet configures the inter-region long-haul links
+	// ("inter:r<SRC>-r<DST>" labels) — where brownouts and partitions
+	// are scheduled while intra-region links stay healthy.
+	InterNet netsim.Config
+	// AggregateSeeders, when > 1, buffers seeder outputs per (region,
+	// bucket) and publishes one consensus package per N seeders
+	// instead of N individual ones. The consensus package is defective
+	// only when a majority of its inputs were (validation by voting);
+	// consumers booting from it warm on CurveAggregated. Buffers still
+	// holding fewer than N outputs flush when the push reaches C3, so
+	// a bucket with a single seeder still publishes.
+	AggregateSeeders int
 }
 
 // DefaultConfig returns a modest fleet (3 regions × 10 buckets × 24
@@ -185,10 +227,12 @@ type simServer struct {
 }
 
 type pkgInfo struct {
-	defective bool
-	remapped  bool                // carried across a push by the remapper
-	id        jumpstart.PackageID // store id when the transport is wired
-	payload   []byte              // uploaded body, kept so a remap-tolerant push can republish it
+	defective  bool
+	remapped   bool                // carried across a push by the remapper
+	aggregated bool                // consensus package merged from several seeders
+	id         jumpstart.PackageID // store id when the single-store transport is wired
+	entry      *multistore.Entry   // logical entry when the multi-region hierarchy is wired
+	payload    []byte              // uploaded body, kept so a remap-tolerant push can republish it
 }
 
 // Fleet is the running simulation.
@@ -227,6 +271,20 @@ type Fleet struct {
 	fetchSeq   uint64
 	pubSeq     uint64
 	pkgIdxByID map[jumpstart.PackageID]int
+
+	// Multi-region hierarchy state (nil unless Transport.Multi is set).
+	// All of it is touched only from the sequential merge phase.
+	multi     *multistore.Hierarchy
+	mcfg      *MultiConfig
+	lastProp  float64
+	aggBuf    map[[2]int][]pkgInfo // buffered seeder outputs awaiting consensus
+	entryIdx  map[[2]int]map[int]int
+	entryInfo map[int]pkgInfo
+	failovers int // replica legs that failed before a fetch was served
+	aggPkgs   int // consensus packages published
+	aggBoots  int // boots from consensus packages
+	propOK    int // entries propagated across regions
+	propFail  int // propagation transfers defeated by the long-haul net
 
 	// scratch is the reusable per-tick result buffer for the parallel
 	// server-stepping phase.
@@ -268,7 +326,35 @@ func NewFleet(cfg Config) (*Fleet, error) {
 			tc.PackageBytes = 4096
 		}
 		f.tcfg = &tc
-		f.fab = netsim.NewFabric(tc.Net)
+		if tc.Multi != nil {
+			mc := *tc.Multi
+			if mc.NodesPerRegion <= 0 {
+				mc.NodesPerRegion = 1
+			}
+			if mc.Replicas <= 0 {
+				mc.Replicas = 1
+			}
+			if mc.Replicas > mc.NodesPerRegion {
+				mc.Replicas = mc.NodesPerRegion
+			}
+			if mc.PropagateEvery <= 0 {
+				mc.PropagateEvery = 60
+			}
+			f.mcfg = &mc
+			f.multi = multistore.New(multistore.Config{
+				Regions:        cfg.Regions,
+				NodesPerRegion: mc.NodesPerRegion,
+				Replicas:       mc.Replicas,
+				ChunkSize:      tc.ChunkSize,
+				Intra:          tc.Net,
+				Inter:          mc.InterNet,
+				Client:         tc.Client,
+				Seed:           workload.Fork(cfg.Seed, 0x9e610000),
+			})
+			f.multi.SetTelemetry(cfg.Telem)
+		} else {
+			f.fab = netsim.NewFabric(tc.Net)
+		}
 		f.resetStore()
 	}
 	total := cfg.Regions * cfg.Buckets * cfg.ServersPerBucket
@@ -335,6 +421,13 @@ func (f *Fleet) randFloat() float64 {
 // resetStore replaces the networked store — a new revision's packages
 // live in a fresh namespace.
 func (f *Fleet) resetStore() {
+	if f.multi != nil {
+		f.multi.Wipe()
+		f.entryIdx = make(map[[2]int]map[int]int)
+		f.entryInfo = make(map[int]pkgInfo)
+		f.aggBuf = make(map[[2]int][]pkgInfo)
+		return
+	}
 	f.store = jumpstart.NewStore()
 	f.tsrv = transport.NewServer(f.store, f.tcfg.ChunkSize)
 	f.tsrv.SetTelemetry(f.tel, func() float64 { return f.now })
@@ -400,7 +493,18 @@ func (f *Fleet) remapPackages() {
 				continue
 			}
 			info.remapped = true
-			if f.tcfg != nil {
+			if f.multi != nil {
+				// Carry-over is a control-plane copy, not a seeder upload:
+				// the survivor lands directly on its region's replica set.
+				info.entry = f.multi.PublishDirect(key[0], key[1], f.revision, info.payload)
+				m := f.entryIdx[key]
+				if m == nil {
+					m = make(map[int]int)
+					f.entryIdx[key] = m
+				}
+				m[info.entry.ID] = len(out)
+				f.entryInfo[info.entry.ID] = info
+			} else if f.tcfg != nil {
 				info.id = f.store.PublishRevision(key[0], key[1], info.payload, f.revision)
 				f.pkgIdxByID[info.id] = len(out)
 			}
@@ -520,6 +624,14 @@ func (f *Fleet) Tick() FleetTick {
 
 	f.advanceDeployment()
 
+	// Cross-region propagation cadence (multi-region mode). Runs in the
+	// sequential phase, before the parallel replay, so every transfer's
+	// stream forks land at a worker-count-independent point.
+	if f.multi != nil && f.now-f.lastProp >= f.mcfg.PropagateEvery {
+		f.lastProp = f.now
+		f.propagateTick()
+	}
+
 	if cap(f.scratch) < len(f.servers) {
 		f.scratch = make([]srvTick, len(f.servers))
 	}
@@ -612,6 +724,10 @@ func (f *Fleet) advanceDeployment() {
 		}
 	case 2:
 		if f.now-f.phaseStart >= f.cfg.C2Hold {
+			// Consumers are about to boot: flush partial consensus
+			// buffers so buckets with fewer seeders than
+			// AggregateSeeders still publish.
+			f.flushAggBuffers()
 			f.setDeployPhase(3)
 			f.c3Wave = 0
 			f.restartC3Wave()
@@ -637,6 +753,7 @@ func (f *Fleet) advanceDeployment() {
 			}
 		}
 		if done {
+			f.flushAggBuffers()
 			f.deploying = false
 			f.phase = 0
 			f.tel.Event(f.now, "fleet", "deployment-done",
@@ -722,6 +839,10 @@ func (f *Fleet) bootServer(s *simServer) {
 			// sequence identical is what makes a healthy transport
 			// byte-identical to the in-memory store.
 			rnd := f.rand()
+			if f.multi != nil {
+				f.bootViaMulti(s, rnd, list, key)
+				return
+			}
 			if f.tcfg != nil {
 				f.bootViaTransport(s, rnd, list)
 				return
@@ -879,6 +1000,11 @@ func (f *Fleet) publishFrom(s *simServer) {
 	}
 	key := [2]int{s.region, s.bucket}
 	info := pkgInfo{defective: defective}
+	if f.multi != nil {
+		info.payload = f.packagePayload()
+		f.publishMulti(key, info)
+		return
+	}
 	if f.tcfg != nil {
 		info.payload = f.packagePayload()
 		cli, _ := f.newTransportClient("seeder")
@@ -917,6 +1043,209 @@ func (f *Fleet) packagePayload() []byte {
 	return out
 }
 
+// publishMulti routes a seeder's output through the multi-region
+// hierarchy, buffering per (region, bucket) for consensus when
+// aggregation is on.
+func (f *Fleet) publishMulti(key [2]int, info pkgInfo) {
+	if n := f.mcfg.AggregateSeeders; n > 1 {
+		f.aggBuf[key] = append(f.aggBuf[key], info)
+		f.tel.Event(f.now, "fleet", "aggregate-buffer",
+			telemetry.I("region", int64(key[0])),
+			telemetry.I("bucket", int64(key[1])),
+			telemetry.I("buffered", int64(len(f.aggBuf[key]))))
+		if len(f.aggBuf[key]) < n {
+			return
+		}
+		buf := f.aggBuf[key]
+		delete(f.aggBuf, key)
+		info = f.consensusOf(buf)
+	}
+	f.publishMultiInfo(key, info)
+}
+
+// consensusOf folds buffered seeder outputs into one consensus
+// package: defective only when a majority of the inputs were
+// (validation by voting — one bad seeder is outvoted instead of
+// poisoning the bucket), with a fresh deterministic payload standing
+// in for the prof.Aggregate merge the real pipeline runs.
+func (f *Fleet) consensusOf(buf []pkgInfo) pkgInfo {
+	if len(buf) == 1 {
+		return buf[0]
+	}
+	bad := 0
+	for _, b := range buf {
+		if b.defective {
+			bad++
+		}
+	}
+	return pkgInfo{
+		defective:  bad*2 > len(buf),
+		aggregated: true,
+		payload:    f.packagePayload(),
+	}
+}
+
+// publishMultiInfo publishes one package (individual or consensus)
+// into the hierarchy over the network and, on success, registers it in
+// the origin region's package list.
+func (f *Fleet) publishMultiInfo(key [2]int, info pkgInfo) {
+	e, err := f.multi.Publish(key[0], key[1], f.revision, info.payload, f.now)
+	if err != nil {
+		f.tel.Counter("fleet.publish_failed_total").Inc()
+		f.tel.Event(f.now, "fleet", "publish-failed",
+			telemetry.I("region", int64(key[0])),
+			telemetry.I("bucket", int64(key[1])),
+			telemetry.S("err", err.Error()))
+		return
+	}
+	info.entry = e
+	if info.aggregated {
+		f.aggPkgs++
+		f.tel.Counter("fleet.consensus_published_total").Inc()
+	}
+	f.recordEntry(key, info)
+	f.tel.Counter("fleet.published_total").Inc()
+	f.tel.Event(f.now, "fleet", "publish",
+		telemetry.I("region", int64(key[0])),
+		telemetry.I("bucket", int64(key[1])),
+		telemetry.B("defective", info.defective),
+		telemetry.B("aggregated", info.aggregated))
+}
+
+// recordEntry appends info to a (region, bucket) package list and
+// indexes its logical entry for boot-time resolution.
+func (f *Fleet) recordEntry(key [2]int, info pkgInfo) {
+	m := f.entryIdx[key]
+	if m == nil {
+		m = make(map[int]int)
+		f.entryIdx[key] = m
+	}
+	m[info.entry.ID] = len(f.packages[key])
+	f.packages[key] = append(f.packages[key], info)
+	f.entryInfo[info.entry.ID] = info
+}
+
+// flushAggBuffers publishes every partial consensus buffer — called
+// when the push reaches C3 (consumers are about to boot) and again
+// when it completes, so a bucket with fewer seeders than
+// AggregateSeeders still publishes. Keys are walked sorted so the
+// publish order, and thus every downstream stream fork, is
+// deterministic.
+func (f *Fleet) flushAggBuffers() {
+	if f.multi == nil || len(f.aggBuf) == 0 {
+		return
+	}
+	keys := make([][2]int, 0, len(f.aggBuf))
+	for k := range f.aggBuf {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, key := range keys {
+		buf := f.aggBuf[key]
+		delete(f.aggBuf, key)
+		f.publishMultiInfo(key, f.consensusOf(buf))
+	}
+}
+
+// propagateTick runs one cross-region propagation round and registers
+// newly-arrived entries in their destination regions' package lists,
+// making them visible to that region's consumers.
+func (f *Fleet) propagateTick() {
+	stats := f.multi.Propagate(f.now)
+	f.propOK += stats.Transferred
+	f.propFail += stats.Failed
+	if stats.Transferred == 0 {
+		return
+	}
+	for _, e := range f.multi.Entries() {
+		info, ok := f.entryInfo[e.ID]
+		if !ok {
+			continue
+		}
+		for r := 0; r < f.cfg.Regions; r++ {
+			if !e.InRegion(r) {
+				continue
+			}
+			key := [2]int{r, e.Bucket}
+			if m := f.entryIdx[key]; m != nil {
+				if _, seen := m[e.ID]; seen {
+					continue
+				}
+			}
+			f.recordEntry(key, info)
+		}
+	}
+}
+
+// bootViaMulti runs one consumer boot through the multi-region
+// hierarchy: the fetch walks the region's replica set in deterministic
+// failover order, and a fully exhausted walk records the distinct
+// "replica failover exhausted" fallback reason.
+func (f *Fleet) bootViaMulti(s *simServer, rnd uint64, list []pkgInfo, key [2]int) {
+	// Mirror the direct path's crash-avoidance: exclude the logical
+	// entry that just took us down, but only when an alternative exists.
+	var exclude []*multistore.Entry
+	if s.attempts > 0 && s.pkg >= 0 && s.pkg < len(list) && len(list) > 1 &&
+		list[s.pkg].entry != nil {
+		exclude = append(exclude, list[s.pkg].entry)
+	}
+	s.attempts++
+	res, err := f.multi.Fetch(s.region, s.bucket, rnd, exclude, f.now)
+	f.failovers += res.Failovers
+	f.tel.Histogram("fleet.fetch_seconds", fetchSecondsBounds).Observe(res.Elapsed)
+	if err != nil {
+		f.fallback(s, f.multi.FetchFailure())
+		f.bootNoJS(s, f.now+res.Elapsed)
+		return
+	}
+	idx := -1
+	if m := f.entryIdx[key]; m != nil {
+		if i, ok := m[res.Entry.ID]; ok {
+			idx = i
+		}
+	}
+	s.pkg = idx
+	s.usedJS = true
+	s.fbReason = ""
+	s.state = stWarming
+	s.stateT = f.now + res.Elapsed
+	var info pkgInfo
+	if idx >= 0 {
+		info = list[idx]
+	}
+	s.curve = f.jsCurveFor(info)
+	if info.defective {
+		s.crashAt = s.stateT + f.cfg.CrashDelay
+	}
+	f.cBoots[1].Inc()
+	f.tel.Event(f.now, "fleet", "boot-jumpstart",
+		telemetry.I("region", int64(s.region)),
+		telemetry.I("bucket", int64(s.bucket)),
+		telemetry.I("pkg", int64(idx)),
+		telemetry.I("attempt", int64(s.attempts)),
+		telemetry.I("failovers", int64(res.Failovers)),
+		telemetry.F("elapsed", res.Elapsed))
+}
+
+// jsCurveFor extends jsCurve with the consensus flavour: aggregated
+// packages warm on CurveAggregated when one is configured, taking
+// precedence over the remap downgrade.
+func (f *Fleet) jsCurveFor(info pkgInfo) *WarmupCurve {
+	if info.aggregated {
+		f.aggBoots++
+		f.tel.Counter("fleet.boots_aggregated_total").Inc()
+		if len(f.cfg.CurveAggregated.Times) > 0 {
+			return &f.cfg.CurveAggregated
+		}
+	}
+	return f.jsCurve(info.remapped)
+}
+
 // Run advances the fleet for the given duration.
 func (f *Fleet) Run(seconds float64) []FleetTick {
 	n := int(seconds / f.cfg.TickSeconds)
@@ -946,6 +1275,22 @@ func (f *Fleet) Revision() uint64 { return f.revision }
 // kept counts packages the remapper carried over, lost counts packages
 // dropped at a push boundary (remap misses plus exact-only wipes).
 func (f *Fleet) PackageChurn() (kept, lost int) { return f.pkgsKept, f.pkgsLost }
+
+// Failovers returns cumulative replica legs that failed before a fetch
+// was served (multi-region mode; zero otherwise).
+func (f *Fleet) Failovers() int { return f.failovers }
+
+// ConsensusPackages returns how many consensus packages the seeder
+// aggregation pipeline published.
+func (f *Fleet) ConsensusPackages() int { return f.aggPkgs }
+
+// AggregatedBoots returns cumulative boots from consensus packages.
+func (f *Fleet) AggregatedBoots() int { return f.aggBoots }
+
+// Propagation reports cross-region propagation outcomes: transfers
+// completed vs transfers the long-haul network defeated (those retry
+// on the next cadence).
+func (f *Fleet) Propagation() (transferred, failed int) { return f.propOK, f.propFail }
 
 // ReasonCount is one fallback reason with its occurrence count.
 type ReasonCount struct {

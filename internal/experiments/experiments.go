@@ -132,6 +132,10 @@ type Lab struct {
 	churnRes  ChurnResult
 	churnErr  error
 
+	regionsOnce sync.Once
+	regionsRes  RegionsResult
+	regionsErr  error
+
 	// Baseline memo: the figures overlap heavily in the raw server runs
 	// they need (Figure 5's no-Jump-Start steady state is Figure 6's
 	// no-Jump-Start cell; Figure 2's long no-Jump-Start warmup contains

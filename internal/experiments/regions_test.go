@@ -1,0 +1,78 @@
+package experiments
+
+import "testing"
+
+// TestRegionsDirections pins the acceptance criteria of the regions
+// experiment: the consensus merge actually merges (N seeders, real
+// stats), a consumer boots from it no worse than from the best single
+// seeder, and at fleet scale the multi-region hierarchy degrades
+// gracefully under node outages, a region outage, and an inter-region
+// partition — zero crashes, failovers absorbed, the distinct
+// failover-exhausted reason recorded, and propagation defeated only by
+// the long-haul partition.
+func TestRegionsDirections(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Regions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeders) != regionsSeeders || res.AggStats.Seeders != regionsSeeders {
+		t.Fatalf("seeder shape: %d seeders, stats %+v", len(res.Seeders), res.AggStats)
+	}
+	if res.AggStats.Funcs == 0 {
+		t.Fatal("consensus profile carries no functions")
+	}
+	for _, s := range res.Seeders {
+		if s.Requests == 0 || s.Loss <= 0 || s.Loss >= 1 {
+			t.Fatalf("seeder %d: requests=%d loss=%.3f", s.Seed, s.Requests, s.Loss)
+		}
+	}
+	// The merged profile covers at least what the best single seeder
+	// saw; allow a little simulation slack in the other direction.
+	if res.LossAggregated > res.LossBestSingle*1.1+0.02 {
+		t.Fatalf("aggregated consumer (loss %.3f) much worse than best single (%.3f)",
+			res.LossAggregated, res.LossBestSingle)
+	}
+	if res.SteadyAggregated <= 0 || res.SteadyBestSingle <= 0 {
+		t.Fatalf("steady capacities: agg=%.0f single=%.0f", res.SteadyAggregated, res.SteadyBestSingle)
+	}
+	if len(res.CurveAggregated.Times) == 0 {
+		t.Fatal("no aggregated warmup curve measured")
+	}
+
+	byName := map[string]RegionsPoint{}
+	for _, pt := range res.Points {
+		byName[pt.Name] = pt
+		if pt.Crashes != 0 {
+			t.Errorf("%s: %d crashes", pt.Name, pt.Crashes)
+		}
+		if pt.Loss <= 0 || pt.Loss >= 1 {
+			t.Errorf("%s: fleet loss %.3f out of range", pt.Name, pt.Loss)
+		}
+		// AggBoots is not asserted here: at tiny scale every
+		// multi-seeder bucket's servers are all seeders, so aggregated
+		// boots happen only via propagation — which the partition
+		// regime cuts by design.
+		if pt.Aggregate && pt.Consensus == 0 {
+			t.Errorf("%s: aggregation on but no consensus packages", pt.Name)
+		}
+		t.Logf("%s: loss=%.2f%% fallbacks=%d failovers=%d consensus=%d agg_boots=%d prop=%d/%d exhausted=%d",
+			pt.Name, pt.Loss*100, pt.Fallbacks, pt.Failovers, pt.Consensus,
+			pt.AggBoots, pt.PropOK, pt.PropFail, pt.Exhausted)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("expected 4 fleet regimes, got %d", len(res.Points))
+	}
+	if pt := byName["single"]; pt.Consensus != 0 || pt.PropOK == 0 || pt.Exhausted != 0 {
+		t.Errorf("single regime: %+v", pt)
+	}
+	if pt := byName["aggregated"]; pt.AggBoots == 0 || pt.PropOK == 0 || pt.Exhausted != 0 {
+		t.Errorf("aggregated regime: %+v", pt)
+	}
+	if pt := byName["node_outage"]; pt.Failovers == 0 {
+		t.Errorf("node outage never failed over to a replica: %+v", pt)
+	}
+	if pt := byName["region_outage_inter_partition"]; pt.Exhausted == 0 || pt.PropOK != 0 || pt.PropFail == 0 {
+		t.Errorf("region outage + inter partition: %+v", pt)
+	}
+}

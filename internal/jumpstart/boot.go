@@ -24,6 +24,14 @@ type pickFailureReporter interface {
 	PickFailure() string
 }
 
+// budgetResetter is optionally implemented by a PackageSource whose
+// fetch budget is per boot (the transport client). BootConsumer
+// re-arms it at the start of every boot so a reused source does not
+// carry a previous boot's expired deadline into this one.
+type budgetResetter interface {
+	ResetBudget()
+}
+
 // BootInfo describes how a consumer came up.
 type BootInfo struct {
 	// UsedJumpStart reports whether the server booted from a package.
@@ -102,6 +110,9 @@ func BootConsumer(site *workload.Site, source PackageSource, cfg BootConfig) (*s
 		}
 	}
 
+	if br, ok := source.(budgetResetter); ok {
+		br.ResetBudget()
+	}
 	var failed []PackageID
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
 		pkg, ok := source.Pick(cfg.Server.Region, cfg.Server.Bucket, rnd(), failed...)

@@ -41,6 +41,11 @@ type Store struct {
 	nextID PackageID
 
 	pkgs map[storeKey][]*StoredPackage
+	// byID indexes published packages by id. The transport server
+	// resolves every chunk RPC through Get, so the lookup must not scan
+	// every bucket; Publish and Remove keep the index in lockstep with
+	// pkgs.
+	byID map[PackageID]*StoredPackage
 
 	// Quarantine is a bounded ring (most recent quarCap entries kept,
 	// older ones dropped and counted) mirroring the event tracer's
@@ -67,6 +72,7 @@ const DefaultQuarantineCap = 64
 func NewStore() *Store {
 	return &Store{
 		pkgs:    make(map[storeKey][]*StoredPackage),
+		byID:    make(map[PackageID]*StoredPackage),
 		quarCap: DefaultQuarantineCap,
 	}
 }
@@ -110,6 +116,7 @@ func (s *Store) PublishRevision(region, bucket int, data []byte, revision uint64
 	}
 	k := storeKey{region, bucket}
 	s.pkgs[k] = append(s.pkgs[k], p)
+	s.byID[p.ID] = p
 	s.tel.Counter("store.published_total").Inc()
 	s.tel.Event(s.now(), "store", "publish",
 		telemetry.I("id", int64(p.ID)),
@@ -202,18 +209,13 @@ func (s *Store) quarantinedLocked() []*StoredPackage {
 }
 
 // Get returns the published package with the given id (the transport
-// server resolves chunk requests through this).
+// server resolves chunk requests through this, so it must be O(1), not
+// a scan over every bucket's package list).
 func (s *Store) Get(id PackageID) (*StoredPackage, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, list := range s.pkgs {
-		for _, p := range list {
-			if p.ID == id {
-				return p, true
-			}
-		}
-	}
-	return nil, false
+	p, ok := s.byID[id]
+	return p, ok
 }
 
 // Pick returns a uniformly random package for (region, bucket), using
@@ -233,62 +235,106 @@ func (s *Store) Pick(region, bucket int, rnd uint64, exclude ...PackageID) (*Sto
 	if len(all) == 0 {
 		return nil, false
 	}
-	candidates := all
+	// Exclusion lists are bounded by the crash-retry depth (a handful of
+	// ids at most), so two linear scans over exclude beat rebuilding a
+	// map plus a filtered slice on every retry — this path allocates
+	// nothing (pinned by TestPickExcludeAllocFree / make alloccheck).
+	n := len(all)
 	if len(exclude) > 0 {
-		excluded := make(map[PackageID]bool, len(exclude))
-		for _, id := range exclude {
-			excluded[id] = true
-		}
-		filtered := make([]*StoredPackage, 0, len(all))
+		n = 0
 		for _, p := range all {
-			if !excluded[p.ID] {
-				filtered = append(filtered, p)
+			if !idExcluded(p.ID, exclude) {
+				n++
 			}
 		}
-		if len(filtered) == 0 {
-			s.tel.Counter("store.picks_exhausted_total").Inc()
-			s.tel.Event(s.now(), "store", "pick-exhausted",
-				telemetry.I("candidates", int64(len(all))),
-				telemetry.I("excluded", int64(len(exclude))))
+		if n == 0 {
+			// Guarded rather than relying on the nil-safe telemetry
+			// receivers: the variadic Attr slice is built at the call
+			// site, which would put an allocation on the no-telemetry
+			// retry path the alloccheck test pins.
+			if s.tel != nil {
+				s.tel.Counter("store.picks_exhausted_total").Inc()
+				s.tel.Event(s.now(), "store", "pick-exhausted",
+					telemetry.I("candidates", int64(len(all))),
+					telemetry.I("excluded", int64(len(exclude))))
+			}
 			return nil, false
 		}
-		candidates = filtered
 	}
 	// Fixed-point bounded draw (multiply-shift): floor(rnd·n / 2^64).
 	// Unlike rnd % n, which systematically over-selects low-index
 	// packages whenever n does not divide 2^64, this spreads the
 	// unavoidable remainder evenly across indices, preserving the
 	// Section VI-A2 argument that consumers pick uniformly at random.
-	idx, _ := bits.Mul64(rnd, uint64(len(candidates)))
-	s.tel.Counter("store.picks_total").Inc()
-	s.tel.Event(s.now(), "store", "pick",
-		telemetry.I("id", int64(candidates[idx].ID)),
-		telemetry.I("candidates", int64(len(candidates))),
-		telemetry.I("excluded", int64(len(exclude))))
-	return candidates[idx], true
+	// Walking to the idx-th non-excluded package visits candidates in
+	// the same order the old filtered slice held them, so the pick
+	// distribution (and every deterministic replay) is unchanged.
+	idx, _ := bits.Mul64(rnd, uint64(n))
+	var pick *StoredPackage
+	if n == len(all) {
+		pick = all[idx]
+	} else {
+		k := uint64(0)
+		for _, p := range all {
+			if idExcluded(p.ID, exclude) {
+				continue
+			}
+			if k == idx {
+				pick = p
+				break
+			}
+			k++
+		}
+	}
+	if s.tel != nil {
+		s.tel.Counter("store.picks_total").Inc()
+		s.tel.Event(s.now(), "store", "pick",
+			telemetry.I("id", int64(pick.ID)),
+			telemetry.I("candidates", int64(n)),
+			telemetry.I("excluded", int64(len(exclude))))
+	}
+	return pick, true
 }
 
-// Remove deletes a published package (operational cleanup after a bad
-// package is identified in production).
-func (s *Store) Remove(id PackageID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for k, list := range s.pkgs {
-		for i, p := range list {
-			if p.ID == id {
-				copy(list[i:], list[i+1:])
-				// Nil the vacated tail slot: the shifted-down append
-				// idiom leaves a stale *StoredPackage in the backing
-				// array, retaining the package's profile bytes for as
-				// long as the bucket's slice lives.
-				list[len(list)-1] = nil
-				s.pkgs[k] = list[:len(list)-1]
-				s.tel.Event(s.now(), "store", "remove", telemetry.I("id", int64(id)))
-				return true
-			}
+// idExcluded reports whether id appears in exclude (linear scan; the
+// list is crash-retry-depth short).
+func idExcluded(id PackageID, exclude []PackageID) bool {
+	for _, e := range exclude {
+		if e == id {
+			return true
 		}
 	}
 	return false
+}
+
+// Remove deletes a published package (operational cleanup after a bad
+// package is identified in production). The byID index locates the
+// package's bucket directly, and the index entry is evicted alongside
+// the list entry so a removed id cannot resurface through Get.
+func (s *Store) Remove(id PackageID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.byID[id]
+	if !ok {
+		return false
+	}
+	k := storeKey{p.Region, p.Bucket}
+	list := s.pkgs[k]
+	for i, q := range list {
+		if q.ID == id {
+			copy(list[i:], list[i+1:])
+			// Nil the vacated tail slot: the shifted-down append
+			// idiom leaves a stale *StoredPackage in the backing
+			// array, retaining the package's profile bytes for as
+			// long as the bucket's slice lives.
+			list[len(list)-1] = nil
+			s.pkgs[k] = list[:len(list)-1]
+			break
+		}
+	}
+	delete(s.byID, id)
+	s.tel.Event(s.now(), "store", "remove", telemetry.I("id", int64(id)))
+	return true
 }
 
 // String summarizes the store.

@@ -1,6 +1,7 @@
 package jumpstart
 
 import (
+	"sync"
 	"testing"
 
 	"jumpstart/internal/workload"
@@ -82,6 +83,189 @@ func TestStoreGet(t *testing.T) {
 	}
 	if _, ok := s.Get(id + 99); ok {
 		t.Fatal("unknown id found")
+	}
+}
+
+// TestRemoveEvictsIndex pins the byID index maintenance: Remove must
+// evict the index entry alongside the bucket-list entry, or a removed
+// package resurfaces through Get (which the transport server uses to
+// resolve every chunk RPC).
+func TestRemoveEvictsIndex(t *testing.T) {
+	s := NewStore()
+	id1 := s.Publish(0, 0, []byte("pkg-a"))
+	id2 := s.Publish(0, 0, []byte("pkg-b"))
+	if !s.Remove(id1) {
+		t.Fatal("remove failed")
+	}
+	if _, ok := s.Get(id1); ok {
+		t.Fatal("removed package still resolvable through Get")
+	}
+	if _, ok := s.byID[id1]; ok {
+		t.Fatal("removed package still in the byID index")
+	}
+	// The survivor is untouched, and re-removing the dead id is a no-op.
+	if p, ok := s.Get(id2); !ok || string(p.Data) != "pkg-b" {
+		t.Fatalf("survivor lookup = %+v ok=%v", p, ok)
+	}
+	if s.Remove(id1) {
+		t.Fatal("double remove reported success")
+	}
+}
+
+// TestPickExcludeAllocFree pins the Pick exclusion fix: the retry path
+// (exclude list populated, no telemetry) must not allocate — crash
+// retries hit it at the consumer's worst moment. Run by make
+// alloccheck.
+func TestPickExcludeAllocFree(t *testing.T) {
+	s := NewStore()
+	ids := make([]PackageID, 8)
+	for i := range ids {
+		ids[i] = s.Publish(0, 0, []byte{byte(i)})
+	}
+	exclude := []PackageID{ids[1], ids[4], ids[6]}
+	rnd := uint64(0)
+	avg := testing.AllocsPerRun(200, func() {
+		rnd += 0x9e3779b97f4a7c15
+		p, ok := s.Pick(0, 0, rnd, exclude...)
+		if !ok {
+			t.Fatal("pick failed")
+		}
+		if idExcluded(p.ID, exclude) {
+			t.Fatalf("picked excluded package %d", p.ID)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Pick with exclusions allocates: %v allocs per call", avg)
+	}
+	// The exhausted path (everything excluded) is the same retry loop
+	// one failure deeper; it must be alloc-free too.
+	all := append([]PackageID(nil), ids...)
+	avg = testing.AllocsPerRun(200, func() {
+		if _, ok := s.Pick(0, 0, 12345, all...); ok {
+			t.Fatal("exhausted pick succeeded")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("exhausted Pick allocates: %v allocs per call", avg)
+	}
+}
+
+// TestPickExcludeUniform: with exclusions in force, the draw stays
+// near-uniform over the surviving candidates and never lands on an
+// excluded id (the linear-scan rewrite must preserve the VI-A2
+// distribution the filtered slice gave).
+func TestPickExcludeUniform(t *testing.T) {
+	s := NewStore()
+	ids := make([]PackageID, 5)
+	for i := range ids {
+		ids[i] = s.Publish(0, 0, []byte{byte(i)})
+	}
+	exclude := []PackageID{ids[0], ids[3]}
+	const n = 30000
+	counts := map[PackageID]int{}
+	for i := uint64(0); i < n; i++ {
+		p, ok := s.Pick(0, 0, workload.Fork(7, i), exclude...)
+		if !ok {
+			t.Fatal("pick failed")
+		}
+		counts[p.ID]++
+	}
+	if counts[ids[0]] != 0 || counts[ids[3]] != 0 {
+		t.Fatalf("excluded package picked: %v", counts)
+	}
+	want := float64(n) / 3
+	for _, id := range []PackageID{ids[1], ids[2], ids[4]} {
+		got := float64(counts[id])
+		if got < 0.95*want || got > 1.05*want {
+			t.Fatalf("package %d picked %d times, expected ~%.0f (counts %v)",
+				id, counts[id], want, counts)
+		}
+	}
+}
+
+// TestQuarantineCapShrinkThenGrow pins the resize edge cases: a shrink
+// keeps the newest entries and counts the evictions, a following grow
+// preserves oldest-first order and the drop count, and the regrown ring
+// fills and wraps correctly.
+func TestQuarantineCapShrinkThenGrow(t *testing.T) {
+	s := NewStore()
+	s.SetQuarantineCap(5)
+	var ids []PackageID
+	for i := 0; i < 5; i++ {
+		ids = append(ids, s.Quarantine(0, 0, []byte{byte(i)}))
+	}
+	s.SetQuarantineCap(3) // drops the 2 oldest
+	if s.QuarantinedCount() != 3 || s.QuarantineDropped() != 2 {
+		t.Fatalf("after shrink: count=%d dropped=%d", s.QuarantinedCount(), s.QuarantineDropped())
+	}
+	s.SetQuarantineCap(6) // grow: survivors and accounting untouched
+	if s.QuarantinedCount() != 3 || s.QuarantineDropped() != 2 {
+		t.Fatalf("after grow: count=%d dropped=%d", s.QuarantinedCount(), s.QuarantineDropped())
+	}
+	for i, p := range s.Quarantined() {
+		if p.ID != ids[2+i] {
+			t.Fatalf("grow reordered ring: [%d] = id %d, want %d", i, p.ID, ids[2+i])
+		}
+	}
+	// Fill the regrown ring past its cap: 3 survivors + 4 new = 7 > 6,
+	// so the oldest survivor is overwritten and counted.
+	for i := 5; i < 9; i++ {
+		ids = append(ids, s.Quarantine(0, 0, []byte{byte(i)}))
+	}
+	if s.QuarantinedCount() != 6 || s.QuarantineDropped() != 3 {
+		t.Fatalf("after refill: count=%d dropped=%d", s.QuarantinedCount(), s.QuarantineDropped())
+	}
+	for i, p := range s.Quarantined() {
+		if p.ID != ids[3+i] {
+			t.Fatalf("refill order: [%d] = id %d, want %d", i, p.ID, ids[3+i])
+		}
+	}
+}
+
+// TestQuarantineConcurrentWithResize interleaves Quarantine with
+// SetQuarantineCap under concurrent publishers (run under -race by
+// make verify). The invariants that must hold whatever the
+// interleaving: the ring never exceeds the final cap, every package is
+// either held or counted as dropped, and the survivors read back
+// oldest-first without duplicates.
+func TestQuarantineConcurrentWithResize(t *testing.T) {
+	s := NewStore()
+	s.SetQuarantineCap(8)
+	const publishers = 4
+	const perPublisher = 200
+	var wg sync.WaitGroup
+	for g := 0; g < publishers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				s.Quarantine(g, i, []byte{byte(g), byte(i)})
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, k := range []int{3, 16, 1, 8, 5, 12, 2, 8} {
+			s.SetQuarantineCap(k)
+		}
+	}()
+	wg.Wait()
+	s.SetQuarantineCap(8)
+	if got := s.QuarantinedCount(); got > 8 {
+		t.Fatalf("ring overflowed final cap: %d", got)
+	}
+	held := uint64(s.QuarantinedCount())
+	if held+s.QuarantineDropped() != publishers*perPublisher {
+		t.Fatalf("accounting leak: held %d + dropped %d != %d",
+			held, s.QuarantineDropped(), publishers*perPublisher)
+	}
+	seen := map[PackageID]bool{}
+	for _, p := range s.Quarantined() {
+		if seen[p.ID] {
+			t.Fatalf("duplicate id %d in ring", p.ID)
+		}
+		seen[p.ID] = true
 	}
 }
 

@@ -164,12 +164,23 @@ func (c *Client) Pick(region, bucket int, rnd uint64, exclude ...jumpstart.Packa
 	}, true
 }
 
-// armDeadline starts the per-boot budget on first use.
+// armDeadline starts the per-boot budget on first use. The budget is
+// per boot, not per client: a caller reusing one Client across boots
+// must call ResetBudget between them, or the second boot inherits the
+// first boot's (possibly already expired) deadline and fails instantly
+// with ErrBudget.
 func (c *Client) armDeadline() {
 	if !c.deadlineSet {
 		c.deadline = c.clock.Now() + c.cfg.Budget
 		c.deadlineSet = true
 	}
+}
+
+// ResetBudget clears the per-boot deadline so the next Fetch re-arms a
+// fresh budget window. Call it at the start of every boot when reusing
+// a Client; a freshly constructed Client does not need it.
+func (c *Client) ResetBudget() {
+	c.deadlineSet = false
 }
 
 // backoff computes the capped exponential backoff for attempt n >= 1

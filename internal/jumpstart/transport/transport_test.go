@@ -272,6 +272,43 @@ func TestBudgetExhaustionFallsBack(t *testing.T) {
 	}
 }
 
+// TestBudgetResetBetweenBoots pins the reused-client fix: boot 1
+// exhausts its budget against a partitioned store; once the partition
+// lifts, a second boot through the same client must succeed after
+// ResetBudget re-arms a fresh window — without it the client would
+// inherit boot 1's expired deadline and fail instantly with ErrBudget.
+func TestBudgetResetBetweenBoots(t *testing.T) {
+	net := netsim.Config{
+		BaseLatency: 0.01,
+		Faults:      []netsim.Fault{netsim.Partition(0, 100, "")},
+	}
+	payload := testPayload(2_000, 12)
+	_, cli, clock, _ := newTestStack(t, payload, 512, net,
+		ClientConfig{Budget: 10, RPCTimeout: 1})
+
+	// Boot 1: the partition eats the whole budget.
+	if _, err := cli.Fetch(0, 0, 5, nil); !errors.Is(err, ErrBudget) {
+		t.Fatalf("boot 1 err = %v, want ErrBudget", err)
+	}
+	if clock.Now() > 10+1e-9 {
+		t.Fatalf("boot 1 overshot its budget: %v", clock.Now())
+	}
+
+	// The partition ends; boot 2 starts well after boot 1's deadline.
+	clock.Sleep(100 - clock.Now())
+	cli.ResetBudget()
+	res, err := cli.Fetch(0, 0, 6, nil)
+	if err != nil {
+		t.Fatalf("boot 2 after ResetBudget: %v", err)
+	}
+	if !bytes.Equal(res.Data, payload) {
+		t.Fatal("boot 2 payload mismatch")
+	}
+	if res.Elapsed > 1 {
+		t.Fatalf("boot 2 on a healthy link took %v", res.Elapsed)
+	}
+}
+
 // TestFetchSurvivesBrownout: a brownout window delays but does not
 // doom a fetch with enough budget; the elapsed time lands inside the
 // window's tail or after it.

@@ -41,8 +41,14 @@ func (s *Stream) Float() float64 {
 type Fault struct {
 	// From/To bound the virtual-time window [From, To).
 	From, To float64
-	// Link restricts the fault to one link label ("" = every link).
+	// Link restricts the fault to one link label ("" = every link,
+	// unless LinkPrefix is set).
 	Link string
+	// LinkPrefix restricts the fault to links whose label starts with
+	// the prefix — one fault can blanket a family of links (e.g. every
+	// inter-region long-haul link labeled "inter:..." while the
+	// intra-region links stay healthy). Ignored when Link is set.
+	LinkPrefix string
 	// ExtraLatency is added to the base RTT while active.
 	ExtraLatency float64
 	// LatencyFactor multiplies the base RTT while active (0 = 1).
@@ -59,7 +65,13 @@ func (f *Fault) active(link string, t float64) bool {
 	if t < f.From || t >= f.To {
 		return false
 	}
-	return f.Link == "" || f.Link == link
+	if f.Link != "" {
+		return f.Link == link
+	}
+	if f.LinkPrefix != "" {
+		return len(link) >= len(f.LinkPrefix) && link[:len(f.LinkPrefix)] == f.LinkPrefix
+	}
+	return true
 }
 
 // Brownout builds the common degradation: elevated drop rate and extra
@@ -71,6 +83,21 @@ func Brownout(from, to, dropRate, extraLatency float64) Fault {
 // Partition builds a total loss window on one link ("" = all links).
 func Partition(from, to float64, link string) Fault {
 	return Fault{From: from, To: to, Link: link, Partition: true}
+}
+
+// PartitionPrefix builds a total loss window on every link whose label
+// starts with prefix (e.g. all "inter:" long-haul links).
+func PartitionPrefix(from, to float64, prefix string) Fault {
+	return Fault{From: from, To: to, LinkPrefix: prefix, Partition: true}
+}
+
+// BrownoutPrefix builds a brownout (elevated drop rate plus extra
+// latency) confined to links whose label starts with prefix — the
+// lossy-long-haul shape: inter-region links degrade, intra-region
+// links stay healthy.
+func BrownoutPrefix(from, to, dropRate, extraLatency float64, prefix string) Fault {
+	return Fault{From: from, To: to, LinkPrefix: prefix,
+		DropRate: dropRate, ExtraLatency: extraLatency}
 }
 
 // Config parameterizes a Fabric.

@@ -86,6 +86,60 @@ func TestPartitionAndLinkScoping(t *testing.T) {
 	}
 }
 
+// TestLinkPrefixScoping: a prefix fault blankets every link sharing
+// the prefix and nothing else; an exact Link match takes precedence
+// over LinkPrefix when both are set.
+func TestLinkPrefixScoping(t *testing.T) {
+	f := NewFabric(Config{Faults: []Fault{PartitionPrefix(0, 100, "inter:")}})
+	r := NewStream(workload.Fork(13, 0))
+	for i := 0; i < 50; i++ {
+		for _, link := range []string{"inter:r0-r1", "inter:r1-r0", "inter:"} {
+			if v := f.Sample(link, 50, r); !v.Drop {
+				t.Fatalf("prefixed link %q delivered: %+v", link, v)
+			}
+		}
+		for _, link := range []string{"intra:r0/n1", "inte", "x"} {
+			if v := f.Sample(link, 50, r); v.Drop {
+				t.Fatalf("unprefixed link %q dropped: %+v", link, v)
+			}
+		}
+	}
+	// Outside the window the prefix fault is inert.
+	if v := f.Sample("inter:r0-r1", 100, r); v.Drop {
+		t.Fatalf("expired prefix fault dropped: %+v", v)
+	}
+	// Link wins over LinkPrefix: the exact label scopes the fault.
+	g := NewFabric(Config{Faults: []Fault{{
+		From: 0, To: 100, Link: "inter:r0-r1", LinkPrefix: "intra:", Partition: true,
+	}}})
+	if v := g.Sample("intra:r0/n0", 50, r); v.Drop {
+		t.Fatalf("LinkPrefix overrode exact Link: %+v", v)
+	}
+	if v := g.Sample("inter:r0-r1", 50, r); !v.Drop {
+		t.Fatalf("exact Link match delivered: %+v", v)
+	}
+}
+
+// TestBrownoutPrefix: degraded drop rate and latency confined to the
+// prefixed links, healthy elsewhere — the lossy-long-haul shape the
+// multi-region store propagates over.
+func TestBrownoutPrefix(t *testing.T) {
+	f := NewFabric(Config{
+		BaseLatency: 0.1,
+		Faults:      []Fault{BrownoutPrefix(0, 100, 1.0, 2.0, "inter:")},
+	})
+	r := NewStream(workload.Fork(17, 0))
+	for i := 0; i < 30; i++ {
+		if v := f.Sample("inter:r0-r1", 50, r); !v.Drop {
+			t.Fatalf("browned-out long-haul delivered: %+v", v)
+		}
+		v := f.Sample("intra:r0/n0", 50, r)
+		if v.Drop || v.Err || v.Latency != 0.1 {
+			t.Fatalf("intra link degraded: %+v", v)
+		}
+	}
+}
+
 // TestLatencyFactorAndClamping covers the multiplicative latency knob
 // and the rate clamp when stacked faults exceed 1.
 func TestLatencyFactorAndClamping(t *testing.T) {

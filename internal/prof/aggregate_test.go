@@ -1,0 +1,235 @@
+package prof
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// seederProfile builds a one-function profile with tunable request
+// count, checksum and type observations — the knobs the consensus
+// merge votes over.
+func seederProfile(requests int64, checksum uint64, entry uint64, typeObs map[uint16]uint64) *Profile {
+	p := NewProfile()
+	p.Meta = Meta{Region: 1, Bucket: 2, SeederID: 7, Revision: 5, RequestCount: requests}
+	fp := &FuncProfile{
+		Checksum:    checksum,
+		EntryCount:  entry,
+		BlockCounts: []uint64{entry, entry / 2},
+		EdgeCounts:  map[EdgeKey]uint64{{Src: 0, Dst: 1}: entry},
+		CallTargets: map[int32]map[string]uint64{3: {"callee": entry}},
+		TypeObs:     map[int32]map[uint16]uint64{},
+		VasmCounts:  []uint64{entry, entry},
+	}
+	if typeObs != nil {
+		obs := map[uint16]uint64{}
+		for k, n := range typeObs {
+			obs[k] = n
+		}
+		fp.TypeObs[9] = obs
+	}
+	p.Funcs["hot"] = fp
+	p.Units = []string{"unit0"}
+	p.FuncOrder = []string{"hot"}
+	p.Props["C::x"] = entry
+	p.CallPairs[CallPair{Caller: "hot", Callee: "callee"}] = entry
+	return p
+}
+
+// TestAggregateWeightNormalization: seeders get equal votes regardless
+// of traffic volume — a seeder with half the requests has its counts
+// doubled before the union.
+func TestAggregateWeightNormalization(t *testing.T) {
+	big := seederProfile(1000, 42, 1000, nil)
+	small := seederProfile(500, 42, 100, nil)
+	out, stats, err := Aggregate([]*Profile{big, small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Seeders != 2 || stats.Funcs != 1 || stats.ChecksumConflicts != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// big scales by 1000/1000 = 1, small by 1000/500 = 2.
+	if got := out.Funcs["hot"].EntryCount; got != 1000+200 {
+		t.Fatalf("EntryCount = %d, want 1200", got)
+	}
+	if got := out.Funcs["hot"].BlockCounts[0]; got != 1200 {
+		t.Fatalf("BlockCounts[0] = %d, want 1200", got)
+	}
+	if got := out.Props["C::x"]; got != 1200 {
+		t.Fatalf("Props = %d, want 1200", got)
+	}
+	if got := out.CallPairs[CallPair{Caller: "hot", Callee: "callee"}]; got != 1200 {
+		t.Fatalf("CallPairs = %d, want 1200", got)
+	}
+	if out.Meta.RequestCount != 1500 || out.Meta.SeederID != -1 || out.Meta.Revision != 5 {
+		t.Fatalf("meta = %+v", out.Meta)
+	}
+}
+
+// TestAggregateChecksumMajority: when seeders disagree on a function's
+// bytecode checksum, the majority-weight checksum wins and the losing
+// seeder's counters for that function are discarded.
+func TestAggregateChecksumMajority(t *testing.T) {
+	a := seederProfile(100, 42, 50, nil)
+	b := seederProfile(100, 42, 60, nil)
+	c := seederProfile(100, 99, 70, nil) // disagrees, outvoted 110 vs 70
+	out, stats, err := Aggregate([]*Profile{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ChecksumConflicts != 1 {
+		t.Fatalf("conflicts = %d, want 1", stats.ChecksumConflicts)
+	}
+	fp := out.Funcs["hot"]
+	if fp.Checksum != 42 {
+		t.Fatalf("checksum = %d, want majority 42", fp.Checksum)
+	}
+	if fp.EntryCount != 110 {
+		t.Fatalf("EntryCount = %d, want 110 (loser discarded)", fp.EntryCount)
+	}
+}
+
+// TestAggregateTypeSiteVoting: a strict majority of observers keeps a
+// type site (merged); a split vote drops it to generic.
+func TestAggregateTypeSiteVoting(t *testing.T) {
+	// 2 of 3 seeders see kind 0x0101 dominant; the third sees 0x0202.
+	a := seederProfile(10, 1, 10, map[uint16]uint64{0x0101: 90, 0x0202: 10})
+	b := seederProfile(10, 1, 10, map[uint16]uint64{0x0101: 80})
+	c := seederProfile(10, 1, 10, map[uint16]uint64{0x0202: 70})
+	out, stats, err := Aggregate([]*Profile{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TypeSitesKept != 1 || stats.TypeSitesDropped != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	obs := out.Funcs["hot"].TypeObs[9]
+	if obs == nil || obs[0x0101] != 170 || obs[0x0202] != 80 {
+		t.Fatalf("merged obs = %v", obs)
+	}
+
+	// 1-vs-1: no strict majority, the site drops.
+	d := seederProfile(10, 1, 10, map[uint16]uint64{0x0101: 90})
+	e := seederProfile(10, 1, 10, map[uint16]uint64{0x0202: 90})
+	out2, stats2, err := Aggregate([]*Profile{d, e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.TypeSitesKept != 0 || stats2.TypeSitesDropped != 1 {
+		t.Fatalf("split-vote stats = %+v", stats2)
+	}
+	if len(out2.Funcs["hot"].TypeObs) != 0 {
+		t.Fatalf("split-vote site survived: %v", out2.Funcs["hot"].TypeObs)
+	}
+}
+
+// TestAggregateVasmShapeUnanimity: optimized-translation counters
+// survive only when every contributing seeder agrees on the
+// translation's block count.
+func TestAggregateVasmShapeUnanimity(t *testing.T) {
+	a := seederProfile(10, 1, 10, nil)
+	b := seederProfile(10, 1, 10, nil)
+	out, stats, err := Aggregate([]*Profile{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Funcs["hot"].VasmCounts == nil || stats.VasmDropped != 0 {
+		t.Fatalf("agreeing vasm dropped: %+v", stats)
+	}
+	c := seederProfile(10, 1, 10, nil)
+	c.Funcs["hot"].VasmCounts = []uint64{1, 2, 3} // different shape
+	out2, stats2, err := Aggregate([]*Profile{a, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Funcs["hot"].VasmCounts != nil || stats2.VasmDropped != 1 {
+		t.Fatalf("disagreeing vasm survived: %+v", stats2)
+	}
+}
+
+// TestAggregateRevisionMismatch: mixing revisions is an error — the
+// consensus package carries one stamp.
+func TestAggregateRevisionMismatch(t *testing.T) {
+	a := seederProfile(10, 1, 10, nil)
+	b := seederProfile(10, 1, 10, nil)
+	b.Meta.Revision = 6
+	if _, _, err := Aggregate([]*Profile{a, b}); !errors.Is(err, ErrAggregateRevisions) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := Aggregate(nil); err == nil {
+		t.Fatal("empty aggregate accepted")
+	}
+}
+
+// TestAggregateDeterministic: the merge is a pure function of its
+// inputs — two runs encode byte-identically.
+func TestAggregateDeterministic(t *testing.T) {
+	mk := func() []*Profile {
+		a := seederProfile(100, 42, 50, map[uint16]uint64{0x0101: 9})
+		b := seederProfile(300, 42, 60, map[uint16]uint64{0x0101: 8, 0x0303: 2})
+		c := seederProfile(200, 99, 70, map[uint16]uint64{0x0202: 7})
+		b.Units = []string{"unit1", "unit0"}
+		b.FuncOrder = []string{"hot", "cold"}
+		return []*Profile{a, b, c}
+	}
+	enc := func() []byte {
+		out, _, err := Aggregate(mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Encode()
+	}
+	x, y := enc(), enc()
+	if !bytes.Equal(x, y) {
+		t.Fatal("aggregate not deterministic")
+	}
+	// The heaviest seeder's first-touch ordering leads the unit list.
+	out, _, _ := Aggregate(mk())
+	if len(out.Units) != 2 || out.Units[0] != "unit1" {
+		t.Fatalf("units = %v, want heaviest seeder's order first", out.Units)
+	}
+}
+
+// TestAggregateThenRemap: the consensus package preserves its revision
+// stamp, so the cross-release remap cascade applies to it exactly as
+// to a single-seeder package.
+func TestAggregateThenRemap(t *testing.T) {
+	from := compileOne(t, remapSrcA)
+	to := compileOne(t, remapSrcB)
+
+	mkSeed := func(entry uint64) *Profile {
+		p := NewProfile()
+		p.Meta = Meta{Revision: 1, RequestCount: int64(entry)}
+		for _, name := range []string{"keep", "tweaked", "gone", "oldname"} {
+			fp := funcProfileFor(t, from, name)
+			fp.EntryCount = entry
+			p.Funcs[name] = fp
+		}
+		p.FuncOrder = []string{"oldname", "keep"}
+		return p
+	}
+	agg, _, err := Aggregate([]*Profile{mkSeed(10), mkSeed(20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Meta.Revision != 1 {
+		t.Fatalf("aggregate lost the revision stamp: %d", agg.Meta.Revision)
+	}
+	// Round-trip through the wire format like a real consensus package.
+	decoded, err := Decode(agg.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, stats := Remap(decoded, from, to, 2)
+	want := RemapStats{Exact: 1, Renamed: 1, Fuzzy: 1, Dropped: 1}
+	if stats != want {
+		t.Fatalf("remap stats = %+v, want %+v", stats, want)
+	}
+	if out.Meta.Revision != 2 || out.Meta.SeederID != -1 {
+		t.Fatalf("remapped consensus meta = %+v", out.Meta)
+	}
+	if _, ok := out.Funcs["newname"]; !ok {
+		t.Fatal("rename arm did not fire on the consensus package")
+	}
+}
