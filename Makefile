@@ -5,7 +5,11 @@ GO ?= go
 # there silently blind every other layer.
 TELEMETRY_COVER_FLOOR ?= 80
 
-.PHONY: build test bench alloccheck verify cover faultsweep churnsweep regionsweep
+# Same reasoning for the observability package: span validation and
+# changepoint classification are the tools that audit everything else.
+OBS_COVER_FLOOR ?= 80
+
+.PHONY: build test bench alloccheck verify cover faultsweep churnsweep regionsweep obssweep
 
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 
@@ -70,15 +74,30 @@ regionsweep:
 	$(GO) test -race -count=1 -v -run 'TestAggregate' ./internal/prof/
 	$(GO) test -race -count=1 -v -run 'TestRegionsDirections' ./internal/experiments/
 
-# Coverage gate: reports per-package coverage and enforces the floor
-# on internal/telemetry.
+# Observability gate: the causal-span determinism test (span traces in
+# both export formats byte-identical at -workers 1, 4 and NumCPU, with
+# zero simulation perturbation and every tree passing the
+# duration-conservation check), the fleet warmup-series classification
+# loop, the classifier's golden curve labels, and the span/quantile
+# unit suites.
+obssweep:
+	$(GO) test -race -count=1 -v -run 'TestFleetSpanDeterminism|TestFleetWarmupSeriesClassification' ./internal/cluster/
+	$(GO) test -race -count=1 -v ./internal/obs/
+	$(GO) test -race -count=1 -v -run 'TestSpan|TestTraceWraparound|TestHistogramQuantile|TestChromeTrace|TestExportSpans' ./internal/telemetry/
+
+# Coverage gate: reports per-package coverage and enforces the floors
+# on internal/telemetry and internal/obs.
 cover:
 	$(GO) test -cover ./...
-	@pct=$$($(GO) test -cover ./internal/telemetry/ | \
-		sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
-	if [ -z "$$pct" ]; then echo "cover: no coverage reported"; exit 1; fi; \
-	ok=$$(awk -v p="$$pct" -v f="$(TELEMETRY_COVER_FLOOR)" 'BEGIN{print (p>=f)?1:0}'); \
-	if [ "$$ok" != 1 ]; then \
-		echo "cover: internal/telemetry $$pct% < $(TELEMETRY_COVER_FLOOR)% floor"; exit 1; \
-	fi; \
-	echo "cover: internal/telemetry $$pct% >= $(TELEMETRY_COVER_FLOOR)% floor"
+	@check() { \
+		pct=$$($(GO) test -cover $$1 | \
+			sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage reported for $$1"; exit 1; fi; \
+		ok=$$(awk -v p="$$pct" -v f="$$2" 'BEGIN{print (p>=f)?1:0}'); \
+		if [ "$$ok" != 1 ]; then \
+			echo "cover: $$1 $$pct% < $$2% floor"; exit 1; \
+		fi; \
+		echo "cover: $$1 $$pct% >= $$2% floor"; \
+	}; \
+	check ./internal/telemetry/ $(TELEMETRY_COVER_FLOOR) && \
+	check ./internal/obs/ $(OBS_COVER_FLOOR)

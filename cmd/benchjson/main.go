@@ -13,6 +13,12 @@
 //	go test -bench=. -benchmem . > bench.out
 //	benchjson -out BENCH_2026-08-05.json bench.out
 //	benchjson -label replay-off < bench.out        # stdin, labeled run
+//
+// Two dated records can be compared; the exit status gates CI on
+// performance regressions:
+//
+//	benchjson -diff BENCH_old.json BENCH_new.json                # fails >10% ns/op regression
+//	benchjson -diff -threshold 5 BENCH_old.json BENCH_new.json   # stricter gate
 package main
 
 import (
@@ -57,8 +63,16 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	out := fs.String("out", "", "output path (default BENCH_<date>.json)")
 	label := fs.String("label", "", "optional run label recorded in the report (e.g. replay-off)")
+	diff := fs.Bool("diff", false, "compare two benchmark JSON reports (old.json new.json) and fail on ns/op regressions")
+	threshold := fs.Float64("threshold", 10, "max tolerated ns/op regression percent in -diff mode")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *diff {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-diff needs exactly two reports: benchjson -diff old.json new.json")
+		}
+		return runDiff(fs.Arg(0), fs.Arg(1), *threshold, stdout)
 	}
 
 	var in io.Reader = os.Stdin
@@ -101,6 +115,89 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "wrote %s (%d benchmarks)\n", path, len(benches))
+	return nil
+}
+
+// runDiff compares two dated reports benchmark-by-benchmark on ns/op
+// and fails when any shared benchmark slowed down by more than
+// threshold percent. Benchmarks present in only one report are listed
+// but never fail the gate — a renamed or new benchmark is not a
+// regression.
+func runDiff(oldPath, newPath string, threshold float64, stdout io.Writer) error {
+	load := func(path string) (map[string]Benchmark, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var rep Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		m := make(map[string]Benchmark, len(rep.Benchmarks))
+		for _, b := range rep.Benchmarks {
+			m[b.Name] = b
+		}
+		return m, nil
+	}
+	oldBench, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newBench, err := load(newPath)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(oldBench))
+	for name := range oldBench {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	compared := 0
+	for _, name := range names {
+		ob := oldBench[name]
+		nb, ok := newBench[name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-40s only in %s\n", name, oldPath)
+			continue
+		}
+		oldNS, okOld := ob.Metrics["ns/op"]
+		newNS, okNew := nb.Metrics["ns/op"]
+		if !okOld || !okNew || oldNS == 0 {
+			continue
+		}
+		compared++
+		delta := (newNS/oldNS - 1) * 100
+		verdict := "ok"
+		if delta > threshold {
+			verdict = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%% > %.1f%%)",
+					name, oldNS, newNS, delta, threshold))
+		}
+		fmt.Fprintf(stdout, "%-40s %12.0f %12.0f ns/op  %+7.1f%%  %s\n",
+			name, oldNS, newNS, delta, verdict)
+	}
+	var newOnly []string
+	for name := range newBench {
+		if _, ok := oldBench[name]; !ok {
+			newOnly = append(newOnly, name)
+		}
+	}
+	sort.Strings(newOnly)
+	for _, name := range newOnly {
+		fmt.Fprintf(stdout, "%-40s only in %s\n", name, newPath)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmarks with ns/op shared between %s and %s", oldPath, newPath)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.1f%%:\n  %s",
+			len(regressions), threshold, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(stdout, "no regressions beyond %.1f%% across %d benchmarks\n", threshold, compared)
 	return nil
 }
 

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -54,5 +58,80 @@ BenchmarkGood-4 10 100 ns/op
 	}
 	if len(benches) != 1 || benches[0].Name != "Good" {
 		t.Fatalf("got %+v, want only Good", benches)
+	}
+}
+
+// writeReport marshals a report fixture for the diff tests.
+func writeReport(t *testing.T, dir, name string, benches []Benchmark) string {
+	t.Helper()
+	data, err := json.Marshal(Report{Date: "2026-08-08", Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffPassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", []Benchmark{
+		{Name: "A", Metrics: map[string]float64{"ns/op": 1000}},
+		{Name: "B", Metrics: map[string]float64{"ns/op": 2000}},
+		{Name: "Gone", Metrics: map[string]float64{"ns/op": 10}},
+	})
+	newPath := writeReport(t, dir, "new.json", []Benchmark{
+		{Name: "A", Metrics: map[string]float64{"ns/op": 1050}}, // +5%
+		{Name: "B", Metrics: map[string]float64{"ns/op": 1800}}, // faster
+		{Name: "New", Metrics: map[string]float64{"ns/op": 5}},
+	})
+	var buf bytes.Buffer
+	if err := run([]string{"-diff", oldPath, newPath}, &buf); err != nil {
+		t.Fatalf("diff within threshold failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"no regressions", "only in " + oldPath, "only in " + newPath} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", []Benchmark{
+		{Name: "A", Metrics: map[string]float64{"ns/op": 1000}},
+	})
+	newPath := writeReport(t, dir, "new.json", []Benchmark{
+		{Name: "A", Metrics: map[string]float64{"ns/op": 1200}}, // +20%
+	})
+	var buf bytes.Buffer
+	err := run([]string{"-diff", oldPath, newPath}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("err = %v, want regression failure", err)
+	}
+	// A looser gate tolerates the same slowdown.
+	buf.Reset()
+	if err := run([]string{"-diff", "-threshold", "25", oldPath, newPath}, &buf); err != nil {
+		t.Fatalf("diff with -threshold 25 failed: %v", err)
+	}
+}
+
+func TestDiffRejectsBadInvocations(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-diff", "only-one.json"}, &buf); err == nil {
+		t.Fatal("one-argument -diff accepted")
+	}
+	dir := t.TempDir()
+	a := writeReport(t, dir, "a.json", []Benchmark{
+		{Name: "A", Metrics: map[string]float64{"speedup_pct": 5}},
+	})
+	b := writeReport(t, dir, "b.json", []Benchmark{
+		{Name: "B", Metrics: map[string]float64{"ns/op": 5}},
+	})
+	if err := run([]string{"-diff", a, b}, &buf); err == nil {
+		t.Fatal("disjoint reports with no shared ns/op accepted")
 	}
 }

@@ -29,6 +29,9 @@
 //	-trace out.jsonl        # fleet + warmup-measurement event trace
 //	-metrics out.json       # metrics registry snapshot
 //	-cycleprof out.folded   # warmup-measurement cycle profile
+//	-spans boot.json        # causal boot-span trace; .json = Chrome
+//	                        # trace_event (load in ui.perfetto.dev),
+//	                        # any other extension = JSONL
 package main
 
 import (
@@ -42,6 +45,7 @@ import (
 	"jumpstart/internal/jumpstart"
 	"jumpstart/internal/jumpstart/transport"
 	"jumpstart/internal/netsim"
+	"jumpstart/internal/obs"
 	"jumpstart/internal/telemetry"
 )
 
@@ -73,6 +77,7 @@ func run(args []string, stdout io.Writer) error {
 	tracePath := fs.String("trace", "", "write the structured event trace as JSONL")
 	metricsPath := fs.String("metrics", "", "write the metrics registry snapshot as JSON")
 	cycleProf := fs.String("cycleprof", "", "write the virtual-cycle profile as folded stacks")
+	spansPath := fs.String("spans", "", "write the causal boot-span trace (.json = Chrome trace_event for Perfetto, else JSONL)")
 	useTransport := fs.Bool("transport", false, "route package publishes/fetches through the networked store over the simulated fabric")
 	netLatency := fs.Float64("net-latency", 0, "base one-way store RPC latency, virtual seconds")
 	fetchBudget := fs.Float64("fetch-budget", 30, "per-boot fetch deadline budget, virtual seconds")
@@ -103,8 +108,13 @@ func run(args []string, stdout io.Writer) error {
 	cfg := labConfig(*quick)
 	cfg.ServerCfg.ReplayCache = *replayCache == "on"
 	var tel *telemetry.Set
-	if *tracePath != "" || *metricsPath != "" || *cycleProf != "" {
+	if *tracePath != "" || *metricsPath != "" || *cycleProf != "" || *spansPath != "" {
 		tel = telemetry.NewSet()
+		if *spansPath != "" {
+			// A full deployment's span tree outgrows the default ring;
+			// a roomy one keeps parents resident for their children.
+			tel.Trace = telemetry.NewTrace(1 << 17)
+		}
 		// The curve-measurement servers and the fleet run strictly
 		// sequentially here, so they can share one single-writer set.
 		cfg.ServerCfg.Telem = tel
@@ -208,5 +218,17 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "# fallback reason: %q x%d\n", rc.Reason, rc.Count)
 	}
 
+	if *spansPath != "" {
+		check := obs.ValidateSpans(tel.Trace.Events())
+		status := "OK"
+		if !check.OK() {
+			status = fmt.Sprintf("%d VIOLATIONS", len(check.Violations))
+		}
+		fmt.Fprintf(stdout, "# spans: %d spans, %d instants, %d roots, %d orphans — %s\n",
+			check.Spans, check.Instants, check.Roots, check.Orphans, status)
+		if err := tel.ExportSpans(*spansPath); err != nil {
+			return err
+		}
+	}
 	return tel.ExportFiles(*tracePath, *metricsPath, *cycleProf, "fleetsim")
 }

@@ -143,3 +143,65 @@ func TestRunTransportBrownout(t *testing.T) {
 		t.Fatalf("missing fallback-reason summary:\n%s", out.String())
 	}
 }
+
+// TestRunSpansExport smoke-tests -spans end to end: the deployment's
+// causal boot spans export in both formats, the summary line reports a
+// clean conservation check, and the Chrome file parses as trace_event
+// JSON with complete ("X") boot spans.
+func TestRunSpansExport(t *testing.T) {
+	orig := labConfig
+	labConfig = microConfig
+	defer func() { labConfig = orig }()
+
+	dir := t.TempDir()
+	chrome := filepath.Join(dir, "spans.json")
+	jsonl := filepath.Join(dir, "spans.jsonl")
+
+	var out strings.Builder
+	// Nonzero fabric latency gives fetch spans real virtual-time
+	// durations; zero-latency RPCs would degrade them to instants.
+	if err := run([]string{"-seconds", "900", "-transport", "-net-latency", "0.02", "-spans", chrome}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "orphans — OK") {
+		t.Fatalf("missing clean span-check summary:\n%s", out.String())
+	}
+	cb, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string  `json:"ph"`
+			Name string  `json:"name"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(cb, &doc); err != nil {
+		t.Fatalf("Chrome trace does not parse: %v", err)
+	}
+	var boots, fetches int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "boot" {
+			boots++
+		}
+		if ev.Ph == "X" && ev.Name == "transport.fetch" {
+			fetches++
+		}
+	}
+	if boots == 0 || fetches == 0 {
+		t.Fatalf("Chrome trace missing spans: boots=%d fetches=%d", boots, fetches)
+	}
+
+	out.Reset()
+	if err := run([]string{"-seconds", "900", "-spans", jsonl}, &out); err != nil {
+		t.Fatal(err)
+	}
+	jb, err := os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(jb), `"name":"boot"`) || !strings.Contains(string(jb), `"parent":`) {
+		t.Fatal("JSONL span trace missing boot spans or parent links")
+	}
+}

@@ -24,6 +24,9 @@
 //	-trace out.jsonl        # structured event trace
 //	-metrics out.json       # metrics registry snapshot
 //	-cycleprof out.folded   # virtual-cycle flame profile (folded stacks)
+//	-spans boot.json        # causal boot-span trace; .json = Chrome
+//	                        # trace_event (load in ui.perfetto.dev),
+//	                        # any other extension = JSONL
 //	-http :8080             # live /metrics endpoint + net/http/pprof
 package main
 
@@ -40,6 +43,7 @@ import (
 
 	"jumpstart/internal/jumpstart"
 	"jumpstart/internal/jumpstart/transport"
+	"jumpstart/internal/obs"
 	"jumpstart/internal/prof"
 	"jumpstart/internal/server"
 	"jumpstart/internal/telemetry"
@@ -68,6 +72,7 @@ func run(args []string, stdout io.Writer) error {
 	tracePath := fs.String("trace", "", "write the structured event trace as JSONL")
 	metricsPath := fs.String("metrics", "", "write the metrics registry snapshot as JSON")
 	cycleProf := fs.String("cycleprof", "", "write the virtual-cycle profile as folded stacks")
+	spansPath := fs.String("spans", "", "write the causal boot-span trace (.json = Chrome trace_event for Perfetto, else JSONL)")
 	httpAddr := fs.String("http", "", "serve /metrics and /debug/pprof on this address while simulating")
 	serveStore := fs.String("serve-store", "", "run as a networked profile-store server on this address instead of simulating")
 	serveSeconds := fs.Float64("serve-seconds", 0, "wall seconds to serve the store before exiting (0 = forever)")
@@ -92,12 +97,21 @@ func run(args []string, stdout io.Writer) error {
 	// Telemetry is allocated whenever any sink wants it; the simulation
 	// output is byte-identical either way.
 	var tel *telemetry.Set
-	if *tracePath != "" || *metricsPath != "" || *cycleProf != "" || *httpAddr != "" {
+	if *tracePath != "" || *metricsPath != "" || *cycleProf != "" || *httpAddr != "" || *spansPath != "" {
 		tel = telemetry.NewSet()
+		if *spansPath != "" {
+			// Keep whole span trees resident: a long run's phase spans
+			// and a networked boot's retry children must not evict each
+			// other's parents.
+			tel.Trace = telemetry.NewTrace(1 << 17)
+		}
 	}
 
 	if *serveStore != "" {
 		if err := runStoreServer(*serveStore, *serveSeconds, *pkgPath, *region, *bucket, tel, stdout); err != nil {
+			return err
+		}
+		if err := exportSpans(tel, *spansPath, stdout); err != nil {
 			return err
 		}
 		return tel.ExportFiles(*tracePath, *metricsPath, *cycleProf, "jumpstartd")
@@ -231,7 +245,27 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	if err := exportSpans(tel, *spansPath, stdout); err != nil {
+		return err
+	}
 	return tel.ExportFiles(*tracePath, *metricsPath, *cycleProf, "jumpstartd")
+}
+
+// exportSpans validates the recorded span trees (duration conservation,
+// no orphans) and writes them to path — Chrome trace_event when it ends
+// in .json, JSONL otherwise. No-op when path is empty.
+func exportSpans(tel *telemetry.Set, path string, stdout io.Writer) error {
+	if path == "" {
+		return nil
+	}
+	check := obs.ValidateSpans(tel.Trace.Events())
+	status := "OK"
+	if !check.OK() {
+		status = fmt.Sprintf("%d VIOLATIONS", len(check.Violations))
+	}
+	fmt.Fprintf(stdout, "# spans: %d spans, %d instants, %d roots, %d orphans — %s\n",
+		check.Spans, check.Instants, check.Roots, check.Orphans, status)
+	return tel.ExportSpans(path)
 }
 
 // mergePackages decodes the comma-separated seeder package files, merges
@@ -290,11 +324,20 @@ func storeClient(url string, budget float64, seed uint64, tel *telemetry.Set) *t
 // as BootInfo.FallbackReason and the server comes up without Jump-Start.
 func bootFromStore(site *workload.Site, cfg server.Config, url string,
 	budget float64, seed, revision uint64, tel *telemetry.Set) (*server.Server, jumpstart.BootInfo, error) {
-	cli := storeClient(url, budget, seed, tel)
+	// One wall clock for both the transport client and the boot
+	// protocol: the boot span and its nested fetch spans must share a
+	// timebase or the children would escape the parent's window.
+	wall := transport.NewWallClock()
+	ccfg := transport.DefaultClientConfig()
+	ccfg.Budget = budget
+	ccfg.Seed = seed
+	cli := transport.NewClient(transport.NewHTTPConn(url, ccfg.RPCTimeout), wall, ccfg)
+	cli.SetTelemetry(tel)
 	rnd := seed
 	return jumpstart.BootConsumer(site, cli, jumpstart.BootConfig{
 		Server:   cfg,
 		Telem:    tel,
+		Clock:    wall.Now,
 		Revision: revision,
 		Rand: func() uint64 {
 			rnd = rnd*6364136223846793005 + 1442695040888963407

@@ -10,6 +10,7 @@ import (
 
 	"jumpstart/internal/jumpstart"
 	"jumpstart/internal/jumpstart/transport"
+	"jumpstart/internal/obs"
 	"jumpstart/internal/telemetry"
 )
 
@@ -217,5 +218,67 @@ func TestTelemetryMux(t *testing.T) {
 	telemetryMux(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
 	if rec.Code != 200 || !json.Valid(rec.Body.Bytes()) {
 		t.Fatalf("nil-set metrics endpoint: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestRunSpansExport smoke-tests -spans on a networked consumer boot:
+// the boot span tree — store pick, transport fetch with its RPC
+// children, validation — exports as JSONL with parent links intact and
+// passes the duration-conservation check.
+func TestRunSpansExport(t *testing.T) {
+	store := jumpstart.NewStore()
+	ts := httptest.NewServer(transport.NewServer(store, 4096).Handler())
+	defer ts.Close()
+
+	var seedOut strings.Builder
+	if err := run([]string{"-mode", "seeder", "-quick", "-seconds", "600",
+		"-store-url", ts.URL}, &seedOut); err != nil {
+		t.Fatalf("seeder: %v", err)
+	}
+
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "boot.jsonl")
+	var out strings.Builder
+	if err := run([]string{"-mode", "consumer", "-quick", "-seconds", "30",
+		"-store-url", ts.URL, "-spans", jsonl}, &out); err != nil {
+		t.Fatalf("consumer: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "# boot: jumpstart=true") {
+		t.Fatalf("consumer did not jump-start:\n%s", out.String())
+	}
+
+	data, err := os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name":"boot"`, `"name":"store.pick"`,
+		`"name":"transport.fetch"`, `"name":"validate"`, `"parent":`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("span trace missing %s:\n%s", want, data)
+		}
+	}
+
+	var evs []telemetry.Event
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var raw struct {
+			Seq    uint64  `json:"seq"`
+			Parent uint64  `json:"parent"`
+			T      float64 `json:"t"`
+			Dur    float64 `json:"dur"`
+			Cat    string  `json:"cat"`
+			Name   string  `json:"name"`
+		}
+		if err := json.Unmarshal([]byte(line), &raw); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", line, err)
+		}
+		evs = append(evs, telemetry.Event{Seq: raw.Seq, Parent: raw.Parent,
+			T: raw.T, Dur: raw.Dur, Cat: raw.Cat, Name: raw.Name})
+	}
+	check := obs.ValidateSpans(evs)
+	if check.Spans == 0 {
+		t.Fatal("no spans in exported trace")
+	}
+	if !check.OK() {
+		t.Fatalf("span conservation violated: %v", check.Violations)
 	}
 }

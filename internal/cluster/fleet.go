@@ -99,6 +99,14 @@ type Config struct {
 	// a single sequential pass in server-index order.
 	Workers int
 
+	// RecordSeries, when true, retains each server's per-tick capacity
+	// series plus per-boot latency and time-to-steady samples for
+	// post-run classification and SLO reporting (internal/obs). Off by
+	// default: memory grows with ticks × servers. Samples are appended
+	// in the sequential merge phase, in server-index order, so they are
+	// byte-identical at every worker count.
+	RecordSeries bool
+
 	// Telem observes the fleet (may be nil). Per-server metrics are
 	// recorded into per-shard collectors during the parallel replay and
 	// merged in shard-index order, so enabling telemetry never changes
@@ -210,6 +218,7 @@ const (
 )
 
 type simServer struct {
+	idx            int // position in Fleet.servers
 	region, bucket int
 	group          int // 1, 2, 3 = deployment phase
 	state          srvState
@@ -224,6 +233,22 @@ type simServer struct {
 	fellBack   bool
 	everCrashd int
 	fbReason   string // why the last boot skipped Jump-Start ("" = it didn't)
+
+	// Causal span state: the open boot span (0 = none) and the time the
+	// boot began. The span opens in bootServer and closes — always from
+	// the sequential merge phase — when the server reaches steady
+	// capacity, crashes, or is force-restarted by the next push.
+	bootSpan uint64
+	bootT    float64
+
+	// seriesFrom is the index into the server's recorded capacity
+	// series where its first boot of the current push began — the
+	// start of the suffix WarmupSeries slices out. Crash reboots do
+	// not move it (seriesMarked), so a crash-looping server's curve
+	// keeps the dips and classifies as non-monotonic rather than as a
+	// clean warmup. Only maintained under Config.RecordSeries.
+	seriesFrom   int
+	seriesMarked bool
 }
 
 type pkgInfo struct {
@@ -289,6 +314,12 @@ type Fleet struct {
 	// scratch is the reusable per-tick result buffer for the parallel
 	// server-stepping phase.
 	scratch []srvTick
+
+	// Observability samples (allocated only under Config.RecordSeries;
+	// appended in the sequential merge phase, server-index order).
+	series  [][]float64 // per-server per-tick capacity
+	bootLat []float64   // completed boots: boot start → steady capacity
+	tts     []float64   // completed boots: warmup start → steady capacity
 
 	// Telemetry. shardTel holds one collector per replay shard; every
 	// parallel-phase observation goes to the stepping shard's collector
@@ -371,7 +402,7 @@ func NewFleet(cfg Config) (*Fleet, error) {
 	for r := 0; r < cfg.Regions; r++ {
 		for b := 0; b < cfg.Buckets; b++ {
 			for k := 0; k < cfg.ServersPerBucket; k++ {
-				s := simServer{region: r, bucket: b, state: stRunning, pkg: -1}
+				s := simServer{idx: idx, region: r, bucket: b, state: stRunning, pkg: -1}
 				switch {
 				case idx < n1:
 					s.group = 1
@@ -384,6 +415,9 @@ func NewFleet(cfg Config) (*Fleet, error) {
 				idx++
 			}
 		}
+	}
+	if cfg.RecordSeries {
+		f.series = make([][]float64, total)
 	}
 	f.tel = cfg.Telem
 	if f.tel != nil {
@@ -441,6 +475,13 @@ func (f *Fleet) resetStore() {
 // carries them across the boundary through the remapper.
 func (f *Fleet) StartDeployment() {
 	f.deploying = true
+	if f.series != nil {
+		// A new push starts a new lifecycle: WarmupSeries re-anchors
+		// at each server's first boot under this push.
+		for i := range f.servers {
+			f.servers[i].seriesMarked = false
+		}
+	}
 	f.phase = 0
 	f.phaseStart = f.now
 	f.lastPush = f.now
@@ -554,6 +595,7 @@ type srvTick struct {
 	capacity      float64
 	down, warming int
 	crashed       bool // increments the fleet crash counter
+	warmed        bool // reached steady capacity this tick: spans close in the merge
 	needsBoot     bool // bootServer draws fleet RNG: deferred to the merge
 	needsPublish  bool // publishFrom draws fleet RNG: deferred to the merge
 }
@@ -600,6 +642,10 @@ func (f *Fleet) stepServer(s *simServer) srvTick {
 		r.capacity = v
 		if v >= s.curve.SteadyValue()-1e-9 {
 			s.state = stRunning
+			// Only the flag: recording the warmup span draws a trace
+			// sequence number, which must happen on the sequential
+			// merge pass to stay worker-count deterministic.
+			r.warmed = true
 		} else {
 			r.warming = 1
 		}
@@ -659,23 +705,54 @@ func (f *Fleet) Tick() FleetTick {
 	down, warming := 0, 0
 	for i := range res {
 		r := &res[i]
+		s := &f.servers[i]
 		if r.crashed {
 			f.crashes++
 			f.cCrashes.Inc()
 			f.tel.Event(f.now, "fleet", "crash",
 				telemetry.I("server", int64(i)),
-				telemetry.I("region", int64(f.servers[i].region)),
-				telemetry.I("bucket", int64(f.servers[i].bucket)))
+				telemetry.I("region", int64(s.region)),
+				telemetry.I("bucket", int64(s.bucket)))
+			if s.bootSpan != 0 {
+				// The boot never reached steady capacity: close its
+				// span at the crash with the outcome attached.
+				f.tel.EndSpan(s.bootSpan, 0, s.bootT, f.now, "boot", "boot",
+					telemetry.I("server", int64(i)),
+					telemetry.S("outcome", "crash"))
+				s.bootSpan = 0
+			}
+		}
+		if r.warmed {
+			// The server reached steady capacity this tick: the warmup
+			// span tiles [warmup start, now] and the boot span closes
+			// over [boot start, now] — children (fetch + warmup) sum
+			// exactly to the parent duration.
+			if s.bootSpan != 0 {
+				f.tel.SpanUnder(s.bootSpan, s.stateT, f.now, "boot", "warmup",
+					telemetry.B("jumpstart", s.usedJS))
+				f.tel.EndSpan(s.bootSpan, 0, s.bootT, f.now, "boot", "boot",
+					telemetry.I("server", int64(i)),
+					telemetry.S("outcome", "warmed"),
+					telemetry.B("jumpstart", s.usedJS))
+				s.bootSpan = 0
+				if f.cfg.RecordSeries {
+					f.bootLat = append(f.bootLat, f.now-s.bootT)
+					f.tts = append(f.tts, f.now-s.stateT)
+				}
+			}
 		}
 		// Publish before boot preserves the sequential intra-tick
 		// ordering: a package published by server i is visible to any
 		// server j > i booting in the same tick (and a server never
 		// does both).
 		if r.needsPublish {
-			f.publishFrom(&f.servers[i])
+			f.publishFrom(s)
 		}
 		if r.needsBoot {
-			f.bootServer(&f.servers[i])
+			f.bootServer(s)
+		}
+		if f.series != nil {
+			f.series[i] = append(f.series[i], r.capacity)
 		}
 		capacity += r.capacity
 		down += r.down
@@ -788,6 +865,7 @@ func (f *Fleet) restartC3Wave() {
 	}
 	for _, idx := range members[lo:hi] {
 		s := &f.servers[idx]
+		f.closeBootSpan(s, "restarted")
 		s.state = stDown
 		s.stateT = f.now
 		s.pkg = -1
@@ -807,6 +885,7 @@ func (f *Fleet) restartGroup(group int) {
 		if s.group != group {
 			continue
 		}
+		f.closeBootSpan(s, "restarted")
 		s.state = stDown
 		s.stateT = f.now
 		s.pkg = -1
@@ -816,11 +895,34 @@ func (f *Fleet) restartGroup(group int) {
 	}
 }
 
+// closeBootSpan closes a server's open boot span (a boot interrupted
+// before reaching steady capacity — a forced restart at a push), so no
+// child span is left referencing a parent that never lands.
+func (f *Fleet) closeBootSpan(s *simServer, outcome string) {
+	if s.bootSpan == 0 {
+		return
+	}
+	f.tel.EndSpan(s.bootSpan, 0, s.bootT, f.now, "boot", "boot",
+		telemetry.S("outcome", outcome))
+	s.bootSpan = 0
+}
+
 // bootServer starts a stopped server: C2 servers come up as seeders;
 // others consume a package when Jump-Start is on and one is available,
 // with the randomized-selection + fallback protections.
 func (f *Fleet) bootServer(s *simServer) {
 	s.stateT = f.now
+	// Open the boot's causal root span. bootServer only runs on the
+	// sequential merge pass, so the span-ID draw order is independent
+	// of the worker count.
+	s.bootT = f.now
+	s.bootSpan = f.tel.BeginSpan()
+	if f.series != nil && !s.seriesMarked {
+		// This tick's capacity sample has not been appended yet, so the
+		// current length is exactly where the restart dip begins.
+		s.seriesFrom = len(f.series[s.idx])
+		s.seriesMarked = true
+	}
 	if s.group == 2 {
 		s.state = stSeeding
 		s.curve = &f.cfg.CurveNoJumpStart
@@ -853,6 +955,10 @@ func (f *Fleet) bootServer(s *simServer) {
 			if idx == s.pkg && len(list) > 1 {
 				idx = (idx + 1) % len(list)
 			}
+			// The in-memory pick costs no virtual time: an instant
+			// child marks it in the boot tree.
+			f.tel.SpanUnder(s.bootSpan, f.now, f.now, "boot", "store.pick",
+				telemetry.I("pkg", int64(idx)))
 			s.pkg = idx
 			s.attempts++
 			s.usedJS = true
@@ -935,6 +1041,7 @@ func (f *Fleet) bootViaTransport(s *simServer, rnd uint64, list []pkgInfo) {
 	}
 	s.attempts++
 	cli, clock := f.newTransportClient("consumer")
+	cli.SetSpanParent(s.bootSpan)
 	res, err := cli.Fetch(s.region, s.bucket, rnd, exclude)
 	elapsed := clock.Now() - f.now
 	f.tel.Histogram("fleet.fetch_seconds", fetchSecondsBounds).Observe(elapsed)
@@ -1059,6 +1166,11 @@ func (f *Fleet) publishMulti(key [2]int, info pkgInfo) {
 		buf := f.aggBuf[key]
 		delete(f.aggBuf, key)
 		info = f.consensusOf(buf)
+		f.tel.SpanUnder(0, f.now, f.now, "fleet", "aggregate.consume",
+			telemetry.I("region", int64(key[0])),
+			telemetry.I("bucket", int64(key[1])),
+			telemetry.I("inputs", int64(len(buf))),
+			telemetry.B("defective", info.defective))
 	}
 	f.publishMultiInfo(key, info)
 }
@@ -1148,7 +1260,13 @@ func (f *Fleet) flushAggBuffers() {
 	for _, key := range keys {
 		buf := f.aggBuf[key]
 		delete(f.aggBuf, key)
-		f.publishMultiInfo(key, f.consensusOf(buf))
+		info := f.consensusOf(buf)
+		f.tel.SpanUnder(0, f.now, f.now, "fleet", "aggregate.consume",
+			telemetry.I("region", int64(key[0])),
+			telemetry.I("bucket", int64(key[1])),
+			telemetry.I("inputs", int64(len(buf))),
+			telemetry.B("defective", info.defective))
+		f.publishMultiInfo(key, info)
 	}
 }
 
@@ -1195,7 +1313,9 @@ func (f *Fleet) bootViaMulti(s *simServer, rnd uint64, list []pkgInfo, key [2]in
 		exclude = append(exclude, list[s.pkg].entry)
 	}
 	s.attempts++
+	f.multi.SetSpanParent(s.bootSpan)
 	res, err := f.multi.Fetch(s.region, s.bucket, rnd, exclude, f.now)
+	f.multi.SetSpanParent(0)
 	f.failovers += res.Failovers
 	f.tel.Histogram("fleet.fetch_seconds", fetchSecondsBounds).Observe(res.Elapsed)
 	if err != nil {
@@ -1338,6 +1458,40 @@ func (f *Fleet) Outcomes() []ServerOutcome {
 
 // Servers returns the fleet size.
 func (f *Fleet) Servers() int { return len(f.servers) }
+
+// ServerSeries returns each server's per-tick capacity series (nil
+// unless Config.RecordSeries). The outer slice is indexed by server;
+// callers feed the inner series to obs.Classify.
+func (f *Fleet) ServerSeries() [][]float64 { return f.series }
+
+// WarmupSeries returns each server's capacity series from its first
+// boot of the latest push onward (nil unless Config.RecordSeries) —
+// the suffix that changepoint classification labels. A cleanly warmed
+// server yields a warmup-shaped curve; a crash-looping one keeps its
+// dips and classifies as non-monotonic; a server that never rebooted
+// contributes its whole (flat) series.
+func (f *Fleet) WarmupSeries() [][]float64 {
+	if f.series == nil {
+		return nil
+	}
+	out := make([][]float64, len(f.series))
+	for i := range f.series {
+		s := f.series[i][f.servers[i].seriesFrom:]
+		out[i] = s[:len(s):len(s)]
+	}
+	return out
+}
+
+// BootLatencies returns the boot-start → steady-capacity duration of
+// every completed boot, in completion order (nil unless
+// Config.RecordSeries).
+func (f *Fleet) BootLatencies() []float64 { return f.bootLat }
+
+// TimesToSteady returns the warmup-start → steady-capacity duration of
+// every completed boot, in completion order (nil unless
+// Config.RecordSeries). It differs from BootLatencies by the restart
+// downtime and any virtual time the package fetch burned.
+func (f *Fleet) TimesToSteady() []float64 { return f.tts }
 
 // CapacityLoss integrates (1 - capacity) over a tick series, returning
 // lost server-seconds divided by total server-seconds.

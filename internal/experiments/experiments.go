@@ -136,6 +136,10 @@ type Lab struct {
 	regionsRes  RegionsResult
 	regionsErr  error
 
+	warmclassOnce sync.Once
+	warmclassRes  WarmclassResult
+	warmclassErr  error
+
 	// Baseline memo: the figures overlap heavily in the raw server runs
 	// they need (Figure 5's no-Jump-Start steady state is Figure 6's
 	// no-Jump-Start cell; Figure 2's long no-Jump-Start warmup contains

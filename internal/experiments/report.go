@@ -10,7 +10,7 @@ import (
 
 // FigureOrder lists every known figure in report order. RunFigures
 // emits its output in this order regardless of scheduling.
-var FigureOrder = []string{"1", "2", "4", "5", "6", "lifespan", "reliability", "fleet", "brownout", "churn", "regions"}
+var FigureOrder = []string{"1", "2", "4", "5", "6", "lifespan", "reliability", "fleet", "brownout", "churn", "regions", "warmclass"}
 
 // KnownFigure reports whether name is a figure RunFigures can render.
 func KnownFigure(name string) bool {
@@ -71,6 +71,8 @@ func (l *Lab) WriteFigure(w io.Writer, fig string) error {
 		return l.WriteChurn(w)
 	case "regions":
 		return l.WriteRegions(w)
+	case "warmclass":
+		return l.WriteWarmclass(w)
 	}
 	return fmt.Errorf("experiments: unknown figure %q", fig)
 }

@@ -32,6 +32,15 @@ type budgetResetter interface {
 	ResetBudget()
 }
 
+// spanParented is optionally implemented by a PackageSource that
+// records its own causal spans (the transport client, the multi-store
+// hierarchy). BootConsumer hands it the current pick span's ID so the
+// source's spans nest under the boot tree instead of floating as
+// roots.
+type spanParented interface {
+	SetSpanParent(id uint64)
+}
+
 // BootInfo describes how a consumer came up.
 type BootInfo struct {
 	// UsedJumpStart reports whether the server booted from a package.
@@ -113,9 +122,26 @@ func BootConsumer(site *workload.Site, source PackageSource, cfg BootConfig) (*s
 	if br, ok := source.(budgetResetter); ok {
 		br.ResetBudget()
 	}
+	// The boot is the root of this consumer's causal span tree; every
+	// pick, validation and remap lands as a child, and a span-recording
+	// source nests its own fetch spans under the pick span.
+	bootSpan := cfg.Telem.BeginSpan()
+	bootStart := cfg.now()
+	sp, _ := source.(spanParented)
+	if sp != nil {
+		defer sp.SetSpanParent(0)
+	}
 	var failed []PackageID
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		pickSpan := cfg.Telem.BeginSpan()
+		if sp != nil {
+			sp.SetSpanParent(pickSpan)
+		}
+		pickStart := cfg.now()
 		pkg, ok := source.Pick(cfg.Server.Region, cfg.Server.Bucket, rnd(), failed...)
+		cfg.Telem.EndSpan(pickSpan, bootSpan, pickStart, cfg.now(), "boot", "store.pick",
+			telemetry.I("attempt", int64(attempt)),
+			telemetry.B("ok", ok))
 		if !ok {
 			// No package: either the store has none left to offer
 			// (every candidate already failed this consumer — fall
@@ -138,9 +164,16 @@ func BootConsumer(site *workload.Site, source PackageSource, cfg BootConfig) (*s
 			break
 		}
 		info.Attempts = attempt
+		// The validate span covers decode + revision check; a remap
+		// nests under it (not beside it — sibling overlap would break
+		// the duration-conservation invariant under a real clock).
+		vSpan := cfg.Telem.BeginSpan()
+		vStart := cfg.now()
 		p, err := prof.Decode(pkg.Data)
 		if err != nil {
 			// Corrupted package: never crash, try another (VI-A3).
+			cfg.Telem.EndSpan(vSpan, bootSpan, vStart, cfg.now(), "boot", "validate",
+				telemetry.B("ok", false), telemetry.S("reason", "undecodable"))
 			failed = append(failed, pkg.ID)
 			info.FallbackReason = "packages undecodable"
 			continue
@@ -150,18 +183,28 @@ func BootConsumer(site *workload.Site, source PackageSource, cfg BootConfig) (*s
 			// would silently warm the server from arbitrarily different
 			// code; the distinct reason makes these fallbacks visible.
 			if cfg.Policy != RemapTolerant || cfg.Remap == nil {
+				cfg.Telem.EndSpan(vSpan, bootSpan, vStart, cfg.now(), "boot", "validate",
+					telemetry.B("ok", false), telemetry.S("reason", "revision-mismatch"))
 				failed = append(failed, pkg.ID)
 				info.FallbackReason = "package revision mismatch"
 				continue
 			}
+			rStart := cfg.now()
 			remapped, err := cfg.Remap(p)
-			if err != nil || uint64(remapped.Meta.Revision) != cfg.Revision {
+			remapOK := err == nil && uint64(remapped.Meta.Revision) == cfg.Revision
+			cfg.Telem.SpanUnder(vSpan, rStart, cfg.now(), "boot", "remap",
+				telemetry.B("ok", remapOK))
+			if !remapOK {
+				cfg.Telem.EndSpan(vSpan, bootSpan, vStart, cfg.now(), "boot", "validate",
+					telemetry.B("ok", false), telemetry.S("reason", "revision-mismatch"))
 				failed = append(failed, pkg.ID)
 				info.FallbackReason = "package revision mismatch"
 				continue
 			}
 			p = remapped
 		}
+		cfg.Telem.EndSpan(vSpan, bootSpan, vStart, cfg.now(), "boot", "validate",
+			telemetry.B("ok", true))
 		sc := cfg.Server
 		sc.Mode = server.ModeConsumer
 		sc.Package = p
@@ -177,6 +220,9 @@ func BootConsumer(site *workload.Site, source PackageSource, cfg BootConfig) (*s
 		cfg.Telem.Event(cfg.now(), "boot", "jumpstart",
 			telemetry.I("package", int64(pkg.ID)),
 			telemetry.I("attempts", int64(info.Attempts)))
+		cfg.Telem.EndSpan(bootSpan, 0, bootStart, cfg.now(), "boot", "boot",
+			telemetry.S("outcome", "jumpstart"),
+			telemetry.I("attempts", int64(info.Attempts)))
 		return srv, info, nil
 	}
 
@@ -186,6 +232,8 @@ func BootConsumer(site *workload.Site, source PackageSource, cfg BootConfig) (*s
 	sc.Package = nil
 	srv, err := server.New(site, sc)
 	if err != nil {
+		cfg.Telem.EndSpan(bootSpan, 0, bootStart, cfg.now(), "boot", "boot",
+			telemetry.S("outcome", "error"))
 		return nil, info, errors.New("jumpstart: fallback boot failed: " + err.Error())
 	}
 	if info.FallbackReason == "" {
@@ -193,6 +241,10 @@ func BootConsumer(site *workload.Site, source PackageSource, cfg BootConfig) (*s
 	}
 	cfg.Telem.Counter("boot.fallback_total").Inc()
 	cfg.Telem.Event(cfg.now(), "boot", "fallback",
+		telemetry.S("reason", info.FallbackReason),
+		telemetry.I("attempts", int64(info.Attempts)))
+	cfg.Telem.EndSpan(bootSpan, 0, bootStart, cfg.now(), "boot", "boot",
+		telemetry.S("outcome", "fallback"),
 		telemetry.S("reason", info.FallbackReason),
 		telemetry.I("attempts", int64(info.Attempts)))
 	return srv, info, nil

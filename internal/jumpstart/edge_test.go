@@ -141,9 +141,21 @@ func TestBootEventsStampVirtualTime(t *testing.T) {
 	if err != nil || !info.UsedJumpStart {
 		t.Fatalf("boot: err=%v info=%+v", err, info)
 	}
-	evs := tel.Trace.Events()
-	if len(evs) != 1 || evs[0].Name != "jumpstart" || evs[0].T != 123 {
-		t.Fatalf("jumpstart event = %+v", evs)
+	ev := findEvent(tel, "jumpstart")
+	if ev == nil || ev.T != 123 {
+		t.Fatalf("jumpstart event = %+v", ev)
+	}
+	// The boot also lands as a causal span tree: a root "boot" span
+	// with the pick and validation as children.
+	boot := findEvent(tel, "boot")
+	if boot == nil || boot.T != 123 || boot.Parent != 0 {
+		t.Fatalf("boot span = %+v", boot)
+	}
+	for _, name := range []string{"store.pick", "validate"} {
+		child := findEvent(tel, name)
+		if child == nil || child.Parent != boot.Seq {
+			t.Fatalf("%s span = %+v, want child of %d", name, child, boot.Seq)
+		}
 	}
 
 	// Fallback boot at t=456.
@@ -156,10 +168,20 @@ func TestBootEventsStampVirtualTime(t *testing.T) {
 	if err != nil || info.UsedJumpStart {
 		t.Fatalf("fallback boot: err=%v info=%+v", err, info)
 	}
-	evs = tel.Trace.Events()
-	if len(evs) != 1 || evs[0].Name != "fallback" || evs[0].T != 456 {
-		t.Fatalf("fallback event = %+v", evs)
+	ev = findEvent(tel, "fallback")
+	if ev == nil || ev.T != 456 {
+		t.Fatalf("fallback event = %+v", ev)
 	}
+}
+
+// findEvent returns the first buffered trace event with the name.
+func findEvent(tel *telemetry.Set, name string) *telemetry.Event {
+	for _, ev := range tel.Trace.Events() {
+		if ev.Name == name {
+			return &ev
+		}
+	}
+	return nil
 }
 
 // failingSource is a PackageSource that never delivers and reports why

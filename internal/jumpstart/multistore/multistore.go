@@ -122,6 +122,9 @@ type Hierarchy struct {
 	lastFailure string
 
 	tel *telemetry.Set
+	// spanParent is the enclosing causal span every replica.leg span
+	// links under (0 = root); the booting consumer sets it per boot.
+	spanParent uint64
 }
 
 // New builds the hierarchy with empty stores on every node.
@@ -165,6 +168,11 @@ func New(cfg Config) *Hierarchy {
 // SetTelemetry installs the observation set (may be nil); telemetry
 // never alters behavior.
 func (h *Hierarchy) SetTelemetry(tel *telemetry.Set) { h.tel = tel }
+
+// SetSpanParent links subsequent Fetch replica.leg spans under the
+// given span ID (0 detaches them back to roots). The hierarchy is
+// shared across consumers, so callers set it per boot.
+func (h *Hierarchy) SetSpanParent(id uint64) { h.spanParent = id }
 
 // Regions returns the configured region count.
 func (h *Hierarchy) Regions() int { return h.cfg.Regions }
@@ -211,7 +219,9 @@ func (h *Hierarchy) legClient(region, n int, now float64) (*transport.Client, *n
 	ccfg.Seed = h.fork(0x3a110000)
 	conn := transport.NewSimConn(h.nodes[region][n].srv, h.intraFab, intraLink(region, n),
 		clock, netsim.NewStream(h.fork(0x3a120000)), ccfg.RPCTimeout)
-	return transport.NewClient(conn, clock, ccfg), clock
+	cli := transport.NewClient(conn, clock, ccfg)
+	cli.SetTelemetry(h.tel)
+	return cli, clock
 }
 
 // record indexes a node-local replica of e.
@@ -313,16 +323,26 @@ func (h *Hierarchy) Fetch(region, bucket int, rnd uint64, exclude []*Entry, now 
 	res := &FetchResult{Node: -1}
 	t := now
 	legReason := "no replicas configured"
-	for _, n := range h.ReplicaSet(bucket) {
+	for legIdx, n := range h.ReplicaSet(bucket) {
 		var legExclude []jumpstart.PackageID
 		for _, e := range exclude {
 			if id, ok := e.nodeIDs[nodeKey{region, n}]; ok {
 				legExclude = append(legExclude, id)
 			}
 		}
+		// Each failover leg is one span; the leg client's
+		// transport.fetch span (and its RPC/backoff children) nest
+		// under it.
+		legSpan := h.tel.BeginSpan()
+		legStart := t
 		cli, clock := h.legClient(region, n, t)
+		cli.SetSpanParent(legSpan)
 		fr, err := cli.Fetch(region, bucket, rnd, legExclude)
 		t = clock.Now()
+		h.tel.EndSpan(legSpan, h.spanParent, legStart, t, "multistore",
+			fmt.Sprintf("replica.leg[%d]", legIdx),
+			telemetry.I("node", int64(n)),
+			telemetry.B("ok", err == nil))
 		if err == nil {
 			e := h.byNode[nodeKey{region, n}][fr.ID]
 			if e == nil {

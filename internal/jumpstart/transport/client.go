@@ -129,6 +129,12 @@ type Client struct {
 	deadline    float64
 	deadlineSet bool
 	lastFailure string
+
+	// Causal span state: spanParent is the enclosing span every
+	// transport.fetch/publish span links under (0 = root); curSpan is
+	// the in-flight fetch's span, parent of its RPC and backoff spans.
+	spanParent uint64
+	curSpan    uint64
 }
 
 // NewClient builds a client over conn and clock.
@@ -139,6 +145,12 @@ func NewClient(conn Conn, clock Clock, cfg ClientConfig) *Client {
 // SetTelemetry installs the observation set (may be nil). Events are
 // stamped with the client's clock.
 func (c *Client) SetTelemetry(tel *telemetry.Set) { c.tel = tel }
+
+// SetSpanParent links this client's subsequent fetch/publish spans
+// under the given span ID (0 detaches them back to roots). Callers
+// running one boot per client set it once; a reused client is
+// re-parented per boot.
+func (c *Client) SetSpanParent(id uint64) { c.spanParent = id }
 
 // backoffBounds bucket retry backoff durations for the
 // transport.backoff_seconds histogram.
@@ -204,7 +216,8 @@ func retryable(err error) bool {
 }
 
 // sleepBackoff waits out the attempt's backoff, truncating at the
-// budget deadline. It reports false when the deadline was hit.
+// budget deadline. It reports false when the deadline was hit. The
+// slept window lands as a "backoff" span under the in-flight fetch.
 func (c *Client) sleepBackoff(attempt int, jit *netsim.Stream) bool {
 	now := c.clock.Now()
 	if now >= c.deadline {
@@ -220,9 +233,14 @@ func (c *Client) sleepBackoff(attempt int, jit *netsim.Stream) bool {
 		// Sleeping through the deadline: consume what remains of the
 		// budget and give up, so Elapsed never overshoots it.
 		c.clock.Sleep(c.deadline - now)
+		c.tel.SpanUnder(c.curSpan, now, c.clock.Now(), "transport", "backoff",
+			telemetry.I("attempt", int64(attempt)),
+			telemetry.B("truncated", true))
 		return false
 	}
 	c.clock.Sleep(b)
+	c.tel.SpanUnder(c.curSpan, now, c.clock.Now(), "transport", "backoff",
+		telemetry.I("attempt", int64(attempt)))
 	return true
 }
 
@@ -237,6 +255,8 @@ func (c *Client) Fetch(region, bucket int, rnd uint64, exclude []jumpstart.Packa
 	jit := netsim.NewStream(workload.Fork(c.cfg.Seed, c.fetches))
 	c.fetches++
 	c.lastFailure = ""
+	c.curSpan = c.tel.BeginSpan()
+	defer func() { c.curSpan = 0 }()
 	c.tel.Event(start, "transport", "fetch-start",
 		telemetry.I("region", int64(region)),
 		telemetry.I("bucket", int64(bucket)),
@@ -252,6 +272,9 @@ func (c *Client) Fetch(region, bucket int, rnd uint64, exclude []jumpstart.Packa
 			telemetry.S("reason", reason),
 			telemetry.I("attempts", int64(res.Attempts)),
 			telemetry.I("rpcs", int64(res.RPCs)))
+		c.tel.EndSpan(c.curSpan, c.spanParent, start, c.clock.Now(), "transport", "transport.fetch",
+			telemetry.S("outcome", reason),
+			telemetry.I("attempts", int64(res.Attempts)))
 		return nil, err
 	}
 
@@ -274,6 +297,10 @@ func (c *Client) Fetch(region, bucket int, rnd uint64, exclude []jumpstart.Packa
 				telemetry.I("attempts", int64(res.Attempts)),
 				telemetry.I("rpcs", int64(res.RPCs)),
 				telemetry.F("elapsed", res.Elapsed))
+			c.tel.EndSpan(c.curSpan, c.spanParent, start, c.clock.Now(), "transport", "transport.fetch",
+				telemetry.S("outcome", "ok"),
+				telemetry.I("id", int64(res.ID)),
+				telemetry.I("attempts", int64(res.Attempts)))
 			return res, nil
 		}
 		if !retryable(err) {
@@ -294,7 +321,10 @@ func (c *Client) tryOnce(region, bucket int, rnd uint64, exclude []jumpstart.Pac
 	if *m == nil {
 		c.tel.Counter("transport.rpcs_total").Inc()
 		res.RPCs++
+		t0 := c.clock.Now()
 		mm, err := c.conn.Manifest(region, bucket, rnd, exclude)
+		c.tel.SpanUnder(c.curSpan, t0, c.clock.Now(), "transport", "rpc.manifest",
+			telemetry.B("ok", err == nil))
 		if err != nil {
 			return nil, err
 		}
@@ -311,7 +341,11 @@ func (c *Client) tryOnce(region, bucket int, rnd uint64, exclude []jumpstart.Pac
 		c.tel.Counter("transport.rpcs_total").Inc()
 		res.RPCs++
 		res.ChunkRPC++
+		t0 := c.clock.Now()
 		wire, err := c.conn.Chunk(man.ID, idx)
+		c.tel.SpanUnder(c.curSpan, t0, c.clock.Now(), "transport", "rpc.chunk",
+			telemetry.I("idx", int64(idx)),
+			telemetry.B("ok", err == nil))
 		if err != nil {
 			return nil, err
 		}
@@ -346,18 +380,27 @@ func (c *Client) tryOnce(region, bucket int, rnd uint64, exclude []jumpstart.Pac
 // with boot fetches). revision stamps the package with the
 // publisher's build checksum (0 when unknown).
 func (c *Client) Publish(region, bucket int, revision uint64, data []byte) (jumpstart.PackageID, error) {
-	deadline := c.clock.Now() + c.cfg.Budget
+	start := c.clock.Now()
+	deadline := start + c.cfg.Budget
 	jit := netsim.NewStream(workload.Fork(c.cfg.Seed, 1<<32+c.fetches))
 	c.fetches++
+	span := c.tel.BeginSpan()
 	for attempt := 1; ; attempt++ {
 		c.tel.Counter("transport.rpcs_total").Inc()
+		t0 := c.clock.Now()
 		id, err := c.conn.Publish(region, bucket, revision, data)
+		c.tel.SpanUnder(span, t0, c.clock.Now(), "transport", "rpc.publish",
+			telemetry.I("attempt", int64(attempt)),
+			telemetry.B("ok", err == nil))
 		if err == nil {
 			c.tel.Counter("transport.publish_ok_total").Inc()
 			c.tel.Event(c.clock.Now(), "transport", "publish",
 				telemetry.I("id", int64(id)),
 				telemetry.I("region", int64(region)),
 				telemetry.I("bucket", int64(bucket)),
+				telemetry.I("attempts", int64(attempt)))
+			c.tel.EndSpan(span, c.spanParent, start, c.clock.Now(), "transport", "transport.publish",
+				telemetry.S("outcome", "ok"),
 				telemetry.I("attempts", int64(attempt)))
 			return id, nil
 		}
@@ -367,13 +410,19 @@ func (c *Client) Publish(region, bucket int, revision uint64, data []byte) (jump
 			c.tel.Counter("transport.publish_fail_total").Inc()
 			c.tel.Event(now, "transport", "publish-fail",
 				telemetry.I("attempts", int64(attempt)))
+			c.tel.EndSpan(span, c.spanParent, start, now, "transport", "transport.publish",
+				telemetry.S("outcome", "budget-exhausted"),
+				telemetry.I("attempts", int64(attempt)))
 			return 0, fmt.Errorf("%w: publish: %v", ErrBudget, err)
 		}
 		b := c.backoff(attempt, jit)
+		t0 = c.clock.Now()
 		if now+b >= deadline {
 			c.clock.Sleep(deadline - now)
 		} else {
 			c.clock.Sleep(b)
 		}
+		c.tel.SpanUnder(span, t0, c.clock.Now(), "transport", "backoff",
+			telemetry.I("attempt", int64(attempt)))
 	}
 }

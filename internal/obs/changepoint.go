@@ -1,0 +1,245 @@
+// Package obs is the deterministic observability layer on top of
+// internal/telemetry: changepoint-based warmup classification of
+// per-server throughput curves (after Barrett et al.'s VM-warmup
+// methodology), causal span-tree reconstruction and validation, and
+// fleet SLO reports. Everything here is a pure function of its inputs
+// — no randomness, no wall clocks, no map-order dependence — so every
+// report and label is byte-identical across worker counts.
+package obs
+
+import (
+	"fmt"
+	"math"
+)
+
+// Label classifies one per-server throughput curve, following the
+// taxonomy of Barrett et al. ("Virtual Machine Warmup Blows Hot and
+// Cold"): a curve either warms up to its best segment, slows down from
+// it, was flat all along, or never settles.
+type Label uint8
+
+const (
+	// LabelFlat: no changepoint moves the mean outside tolerance.
+	LabelFlat Label = iota
+	// LabelWarmup: segment means rise monotonically to the steady state.
+	LabelWarmup
+	// LabelSlowdown: segment means fall monotonically to the steady state.
+	LabelSlowdown
+	// LabelNonMonotonic: segment means both rise and fall — the curve
+	// has no well-defined steady state.
+	LabelNonMonotonic
+	numLabels
+)
+
+// Labels lists every label in deterministic report order.
+var Labels = [...]Label{LabelFlat, LabelWarmup, LabelSlowdown, LabelNonMonotonic}
+
+// String returns the report name of the label.
+func (l Label) String() string {
+	switch l {
+	case LabelFlat:
+		return "flat"
+	case LabelWarmup:
+		return "warmup"
+	case LabelSlowdown:
+		return "slowdown"
+	case LabelNonMonotonic:
+		return "non-monotonic"
+	}
+	return fmt.Sprintf("label(%d)", uint8(l))
+}
+
+// Classification is the changepoint analysis of one throughput curve.
+type Classification struct {
+	Label        Label
+	Changepoints []int     // segment start indices, excluding 0
+	SegmentMeans []float64 // one mean per segment
+	// SteadyStart is the sample index where the steady-state segment
+	// begins: 0 for flat curves, the last segment's start for warmup
+	// and slowdown, -1 for non-monotonic curves (no steady state).
+	SteadyStart int
+	// TimeToSteady is SteadyStart converted to virtual seconds via the
+	// sample spacing handed to Classify (-1 when there is none).
+	TimeToSteady float64
+	// SteadyMean is the mean of the steady-state segment (0 when none).
+	SteadyMean float64
+}
+
+// relTolerance is the relative band within which two segment means are
+// considered "the same level" when labeling. Barrett et al. use a
+// confidence-interval overlap test; with deterministic simulated
+// series a fixed relative band serves the same purpose without
+// resampling noise.
+const relTolerance = 0.05
+
+// Changepoints segments xs into piecewise-constant-mean runs with the
+// PELT algorithm (Killick et al.): exact minimisation of
+//
+//	sum_i segcost(seg_i) + penalty * (#segments - 1)
+//
+// under an L2 segment cost, computed with prefix sums so each
+// candidate cost is O(1). Returned indices are the starts of the
+// second and later segments, ascending. penalty <= 0 picks
+// DefaultPenalty(xs).
+func Changepoints(xs []float64, penalty float64) []int {
+	n := len(xs)
+	if n < 2 {
+		return nil
+	}
+	if penalty <= 0 {
+		penalty = DefaultPenalty(xs)
+	}
+	// Prefix sums: s1[i] = sum(xs[:i]), s2[i] = sum(xs[:i]^2).
+	s1 := make([]float64, n+1)
+	s2 := make([]float64, n+1)
+	for i, x := range xs {
+		s1[i+1] = s1[i] + x
+		s2[i+1] = s2[i] + x*x
+	}
+	// cost of the half-open segment [a, b): sum of squared deviations
+	// from the segment mean.
+	cost := func(a, b int) float64 {
+		d := s1[b] - s1[a]
+		c := s2[b] - s2[a] - d*d/float64(b-a)
+		if c < 0 { // guard accumulated rounding
+			c = 0
+		}
+		return c
+	}
+	f := make([]float64, n+1) // f[t]: optimal cost of xs[:t]
+	f[0] = -penalty
+	last := make([]int, n+1) // last[t]: final changepoint of the optimum
+	cands := []int{0}        // PELT candidate set (pruned)
+	next := make([]int, 0, 8)
+	for t := 1; t <= n; t++ {
+		best := math.Inf(1)
+		bestS := 0
+		for _, s := range cands {
+			c := f[s] + cost(s, t) + penalty
+			if c < best {
+				best = c
+				bestS = s
+			}
+		}
+		f[t] = best
+		last[t] = bestS
+		// Prune: a candidate s can never win again once even a free
+		// continuation cannot catch the current optimum.
+		next = next[:0]
+		for _, s := range cands {
+			if f[s]+cost(s, t) <= f[t] {
+				next = append(next, s)
+			}
+		}
+		next = append(next, t)
+		cands = append(cands[:0], next...)
+	}
+	// Backtrack.
+	var cps []int
+	for t := n; last[t] > 0; t = last[t] {
+		cps = append(cps, last[t])
+	}
+	// Reverse into ascending order.
+	for i, j := 0, len(cps)-1; i < j; i, j = i+1, j-1 {
+		cps[i], cps[j] = cps[j], cps[i]
+	}
+	return cps
+}
+
+// DefaultPenalty returns the BIC-style penalty 2·σ²·log(n) used when
+// the caller does not pick one, with a small floor so constant series
+// (σ = 0) do not fragment on rounding noise.
+func DefaultPenalty(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 1
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	varsum := 0.0
+	for _, x := range xs {
+		d := x - mean
+		varsum += d * d
+	}
+	variance := varsum / float64(n)
+	p := 2 * variance * math.Log(float64(n))
+	if floor := 1e-9 * (1 + mean*mean); p < floor {
+		p = floor
+	}
+	return p
+}
+
+// Classify segments the per-tick series xs (samples dt virtual seconds
+// apart) and labels the curve. A nil/short or all-equal series is
+// flat. The analysis is a pure function of (xs, dt).
+func Classify(xs []float64, dt float64) Classification {
+	c := Classification{SteadyStart: 0, TimeToSteady: 0}
+	if len(xs) == 0 {
+		c.SegmentMeans = []float64{0}
+		return c
+	}
+	c.Changepoints = Changepoints(xs, 0)
+	// Segment means.
+	starts := append([]int{0}, c.Changepoints...)
+	c.SegmentMeans = make([]float64, len(starts))
+	for i, a := range starts {
+		b := len(xs)
+		if i+1 < len(starts) {
+			b = starts[i+1]
+		}
+		sum := 0.0
+		for _, x := range xs[a:b] {
+			sum += x
+		}
+		c.SegmentMeans[i] = sum / float64(b-a)
+	}
+	// Direction of each mean-to-mean step, with a relative tolerance
+	// band scaled by the larger magnitude (so tolerance is symmetric).
+	rose, fell := false, false
+	for i := 1; i < len(c.SegmentMeans); i++ {
+		prev, cur := c.SegmentMeans[i-1], c.SegmentMeans[i]
+		scale := math.Max(math.Abs(prev), math.Abs(cur))
+		if d := cur - prev; d > relTolerance*scale {
+			rose = true
+		} else if d < -relTolerance*scale {
+			fell = true
+		}
+	}
+	lastStart := starts[len(starts)-1]
+	lastMean := c.SegmentMeans[len(c.SegmentMeans)-1]
+	switch {
+	case !rose && !fell:
+		c.Label = LabelFlat
+		c.SteadyStart = 0
+		c.SteadyMean = mean(xs)
+	case rose && fell:
+		c.Label = LabelNonMonotonic
+		c.SteadyStart = -1
+		c.TimeToSteady = -1
+		return c
+	case rose:
+		c.Label = LabelWarmup
+		c.SteadyStart = lastStart
+		c.SteadyMean = lastMean
+	default:
+		c.Label = LabelSlowdown
+		c.SteadyStart = lastStart
+		c.SteadyMean = lastMean
+	}
+	c.TimeToSteady = float64(c.SteadyStart) * dt
+	return c
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

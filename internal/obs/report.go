@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Quantile returns the q-th quantile of samples with deterministic
+// linear interpolation between order statistics (the "R-7" rule:
+// position q·(n-1) on the sorted sample). It sorts a copy, so callers
+// may pass accumulation slices directly. Empty input reports 0; q is
+// clamped to [0, 1].
+func Quantile(samples []float64, q float64) float64 {
+	n := len(samples)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + frac*(sorted[hi]-sorted[lo])
+}
+
+// SLO is the fleet service-level objective a Report judges each regime
+// against. Zero-valued fields disable the corresponding verdict.
+type SLO struct {
+	// BootP99 caps the p99 boot latency in virtual seconds.
+	BootP99 float64
+	// TimeToSteadyP95 caps the p95 time-to-steady in virtual seconds.
+	TimeToSteadyP95 float64
+	// CapacityLoss caps the capacity lost versus ideal, as a fraction
+	// in [0, 1] (the paper's headline metric: Jump-Start halves it).
+	CapacityLoss float64
+}
+
+// Regime accumulates observations for one experiment regime (e.g.
+// "jumpstart" vs "nojumpstart"). Feed it from the deterministic merge
+// phase only — it is not goroutine-safe, by design (same single-writer
+// contract as telemetry.Trace).
+type Regime struct {
+	Name      string
+	bootLat   []float64
+	tts       []float64
+	labels    [numLabels]int
+	curves    int
+	fallbacks map[string]int
+	capLoss   float64
+	hasCap    bool
+}
+
+// AddBootLatency records one server's boot latency in virtual seconds.
+func (rg *Regime) AddBootLatency(lat float64) {
+	rg.bootLat = append(rg.bootLat, lat)
+}
+
+// AddClassification records one classified throughput curve; warmup
+// curves also contribute their time-to-steady.
+func (rg *Regime) AddClassification(c Classification) {
+	rg.curves++
+	rg.labels[c.Label]++
+	if c.SteadyStart >= 0 && c.Label == LabelWarmup {
+		rg.tts = append(rg.tts, c.TimeToSteady)
+	}
+}
+
+// AddFallback counts n boots that fell back for the given reason.
+func (rg *Regime) AddFallback(reason string, n int) {
+	if n == 0 {
+		return
+	}
+	if rg.fallbacks == nil {
+		rg.fallbacks = make(map[string]int)
+	}
+	rg.fallbacks[reason] += n
+}
+
+// SetCapacityLoss records the regime's capacity lost versus ideal as a
+// fraction in [0, 1].
+func (rg *Regime) SetCapacityLoss(frac float64) {
+	rg.capLoss = frac
+	rg.hasCap = true
+}
+
+// BootQuantile returns the q-th quantile of recorded boot latencies.
+func (rg *Regime) BootQuantile(q float64) float64 { return Quantile(rg.bootLat, q) }
+
+// SteadyQuantile returns the q-th quantile of recorded times-to-steady.
+func (rg *Regime) SteadyQuantile(q float64) float64 { return Quantile(rg.tts, q) }
+
+// LabelCount returns how many curves carried the label.
+func (rg *Regime) LabelCount(l Label) int { return rg.labels[l] }
+
+// Curves returns how many curves were classified.
+func (rg *Regime) Curves() int { return rg.curves }
+
+// Verdict is one SLO judgment line of a regime.
+type Verdict struct {
+	Name   string
+	Value  float64
+	Bound  float64
+	Passed bool
+}
+
+// Verdicts judges the regime against slo, in deterministic order.
+// Disabled (zero) SLO fields produce no verdict.
+func (rg *Regime) Verdicts(slo SLO) []Verdict {
+	var vs []Verdict
+	if slo.BootP99 > 0 && len(rg.bootLat) > 0 {
+		v := rg.BootQuantile(0.99)
+		vs = append(vs, Verdict{"boot-p99", v, slo.BootP99, v <= slo.BootP99})
+	}
+	if slo.TimeToSteadyP95 > 0 && len(rg.tts) > 0 {
+		v := rg.SteadyQuantile(0.95)
+		vs = append(vs, Verdict{"time-to-steady-p95", v, slo.TimeToSteadyP95, v <= slo.TimeToSteadyP95})
+	}
+	if slo.CapacityLoss > 0 && rg.hasCap {
+		vs = append(vs, Verdict{"capacity-loss", rg.capLoss, slo.CapacityLoss, rg.capLoss <= slo.CapacityLoss})
+	}
+	return vs
+}
+
+// Report rolls spans, classifications and fallback tallies into a
+// per-regime fleet SLO report. Regimes render in insertion order;
+// everything else is sorted, so WriteText output is byte-identical for
+// identical inputs.
+type Report struct {
+	SLO     SLO
+	regimes []*Regime
+	byName  map[string]*Regime
+	check   *SpanCheck
+}
+
+// NewReport builds an empty report judged against slo.
+func NewReport(slo SLO) *Report {
+	return &Report{SLO: slo, byName: make(map[string]*Regime)}
+}
+
+// Regime returns the accumulator for name, creating it on first use.
+func (r *Report) Regime(name string) *Regime {
+	rg := r.byName[name]
+	if rg == nil {
+		rg = &Regime{Name: name}
+		r.byName[name] = rg
+		r.regimes = append(r.regimes, rg)
+	}
+	return rg
+}
+
+// AttachSpanCheck records a span-validation result to render with the
+// report.
+func (r *Report) AttachSpanCheck(c SpanCheck) { r.check = &c }
+
+// Passed reports whether every verdict of every regime passed (and the
+// attached span check, if any).
+func (r *Report) Passed() bool {
+	if r.check != nil && !r.check.OK() {
+		return false
+	}
+	for _, rg := range r.regimes {
+		for _, v := range rg.Verdicts(r.SLO) {
+			if !v.Passed {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// WriteText renders the report as a deterministic plain-text table.
+func (r *Report) WriteText(w io.Writer) error {
+	for _, rg := range r.regimes {
+		if _, err := fmt.Fprintf(w, "regime %s\n", rg.Name); err != nil {
+			return err
+		}
+		if n := len(rg.bootLat); n > 0 {
+			if _, err := fmt.Fprintf(w,
+				"  boot latency (n=%d): p50=%.3fs p95=%.3fs p99=%.3fs\n",
+				n, rg.BootQuantile(0.50), rg.BootQuantile(0.95), rg.BootQuantile(0.99)); err != nil {
+				return err
+			}
+		}
+		if n := len(rg.tts); n > 0 {
+			if _, err := fmt.Fprintf(w,
+				"  time-to-steady (n=%d): p50=%.1fs p95=%.1fs p99=%.1fs\n",
+				n, rg.SteadyQuantile(0.50), rg.SteadyQuantile(0.95), rg.SteadyQuantile(0.99)); err != nil {
+				return err
+			}
+		}
+		if rg.curves > 0 {
+			if _, err := fmt.Fprintf(w, "  curves (n=%d):", rg.curves); err != nil {
+				return err
+			}
+			for _, l := range Labels {
+				if _, err := fmt.Fprintf(w, " %s=%d (%.0f%%)",
+					l, rg.labels[l], 100*float64(rg.labels[l])/float64(rg.curves)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if len(rg.fallbacks) > 0 {
+			reasons := make([]string, 0, len(rg.fallbacks))
+			for reason := range rg.fallbacks {
+				reasons = append(reasons, reason)
+			}
+			sort.Strings(reasons)
+			if _, err := fmt.Fprint(w, "  fallbacks:"); err != nil {
+				return err
+			}
+			for _, reason := range reasons {
+				if _, err := fmt.Fprintf(w, " %s=%d", reason, rg.fallbacks[reason]); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		for _, v := range rg.Verdicts(r.SLO) {
+			status := "PASS"
+			if !v.Passed {
+				status = "FAIL"
+			}
+			if _, err := fmt.Fprintf(w, "  slo %-18s %8.3f <= %8.3f  %s\n",
+				v.Name, v.Value, v.Bound, status); err != nil {
+				return err
+			}
+		}
+	}
+	if r.check != nil {
+		status := "OK"
+		if !r.check.OK() {
+			status = fmt.Sprintf("%d VIOLATIONS", len(r.check.Violations))
+		}
+		if _, err := fmt.Fprintf(w,
+			"span check: %d spans, %d instants, %d roots, %d orphans — %s\n",
+			r.check.Spans, r.check.Instants, r.check.Roots, r.check.Orphans, status); err != nil {
+			return err
+		}
+		for _, v := range r.check.Violations {
+			if _, err := fmt.Fprintf(w, "  violation: %s\n", v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

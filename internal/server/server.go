@@ -249,8 +249,9 @@ type Server struct {
 	st     *serverTracer
 	replay *replay.Cache
 
-	phase Phase
-	now   float64 // virtual seconds since process start
+	phase  Phase
+	phaseT float64 // virtual time the current phase began
+	now    float64 // virtual seconds since process start
 
 	initRemaining float64 // cycles of init work left
 	queue         float64 // queued requests (fractional arrivals)
@@ -361,15 +362,21 @@ func New(site *workload.Site, cfg Config) (*Server, error) {
 }
 
 // setPhase transitions the lifecycle phase, recording it in the trace,
-// the phase gauge and the cycle profile.
+// the phase gauge and the cycle profile. The finished phase also lands
+// as a span covering its whole window — a root span, deliberately:
+// server time is process-relative (0 = this process's start), a
+// different timebase from the fleet clock, so parenting these under a
+// fleet boot span would break the containment invariant.
 func (s *Server) setPhase(p Phase) {
 	if p == s.phase {
 		return
 	}
+	s.tel.SpanUnder(0, s.phaseT, s.now, "server", "phase:"+s.phase.String())
 	s.tel.Event(s.now, "server", "phase-transition",
 		telemetry.S("from", s.phase.String()),
 		telemetry.S("to", p.String()))
 	s.phase = p
+	s.phaseT = s.now
 	s.gPhase.Set(float64(p))
 	s.tel.CycleProf().SetPhase(p.String())
 }

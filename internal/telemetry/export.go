@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"os"
+	"strings"
 )
 
 // ExportFiles writes the set's accumulated data to files: the event
@@ -34,6 +35,24 @@ func (s *Set) ExportFiles(tracePath, metricsPath, foldedPath, foldedRoot string)
 		}); err != nil {
 			return fmt.Errorf("telemetry: cycle-profile export: %w", err)
 		}
+	}
+	return nil
+}
+
+// ExportSpans writes the event trace — span tree included — to path,
+// picking the format from the extension: ".json" selects the Chrome
+// trace_event format (loadable in Perfetto), anything else the JSONL
+// stream. A nil set or empty path writes nothing.
+func (s *Set) ExportSpans(path string) error {
+	if s == nil || path == "" {
+		return nil
+	}
+	write := s.Trace.WriteJSONL
+	if strings.HasSuffix(path, ".json") {
+		write = s.Trace.WriteChromeTrace
+	}
+	if err := writeFile(path, func(f *os.File) error { return write(f) }); err != nil {
+		return fmt.Errorf("telemetry: span export: %w", err)
 	}
 	return nil
 }

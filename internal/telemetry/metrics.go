@@ -115,6 +115,67 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// Quantile estimates the q-th quantile (q in [0, 1]) of the observed
+// distribution from the bucket counts, with a deterministic
+// interpolation rule:
+//
+//   - The target rank is q·count (continuous, not rounded).
+//   - Observations in bucket i are assumed uniformly spread over
+//     (lower_i, bounds[i]], where lower_i is the previous bound (0 for
+//     the first bucket — bounds are assumed non-negative, which every
+//     histogram in this codebase satisfies).
+//   - The overflow bucket has no upper edge, so any rank landing there
+//     reports the largest finite bound (a deliberate lower-bound
+//     estimate rather than an invented extrapolation).
+//
+// Edge cases: an empty histogram reports 0; a histogram whose every
+// observation sits in the overflow bucket reports the largest finite
+// bound, or 0 when there are no bounds at all. q outside [0, 1] is
+// clamped. The result is a pure function of the bucket snapshot, so
+// exports built on it stay byte-identical across worker counts.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			if i == len(h.bounds) {
+				// Overflow bucket: no upper edge to interpolate toward.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - cum) / n
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum += n
+	}
+	// All mass below rank (q == 1 with rounding): the largest bound.
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Buckets returns (bounds, counts) snapshots; counts has one extra
 // trailing overflow entry.
 func (h *Histogram) Buckets() ([]float64, []uint64) {
@@ -301,6 +362,12 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		b = strconv.AppendUint(b, h.Count(), 10)
 		b = append(b, `,"sum":`...)
 		b = appendJSONFloat(b, h.Sum())
+		b = append(b, `,"p50":`...)
+		b = appendJSONFloat(b, h.Quantile(0.50))
+		b = append(b, `,"p95":`...)
+		b = appendJSONFloat(b, h.Quantile(0.95))
+		b = append(b, `,"p99":`...)
+		b = appendJSONFloat(b, h.Quantile(0.99))
 		b = append(b, `,"le":[`...)
 		for j, bound := range bounds {
 			if j > 0 {

@@ -85,6 +85,34 @@ func (s *Set) Span(t0, t1 float64, cat, name string, attrs ...Attr) {
 	s.Trace.Span(t0, t1, cat, name, attrs...)
 }
 
+// BeginSpan reserves a causal span ID (0 when tracing is off). Close
+// it with EndSpan once the end time is known; children recorded in the
+// meantime reference it as their parent.
+func (s *Set) BeginSpan() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.Trace.BeginSpan()
+}
+
+// EndSpan records the span reserved by BeginSpan (no-op when tracing
+// is off or id is 0).
+func (s *Set) EndSpan(id, parent uint64, t0, t1 float64, cat, name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.Trace.EndSpan(id, parent, t0, t1, cat, name, attrs...)
+}
+
+// SpanUnder records a complete child span under parent and returns its
+// ID (0 when tracing is off).
+func (s *Set) SpanUnder(parent uint64, t0, t1 float64, cat, name string, attrs ...Attr) uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.Trace.SpanUnder(parent, t0, t1, cat, name, attrs...)
+}
+
 // CycleProf returns the cycle profiler, or nil when profiling is off.
 func (s *Set) CycleProf() *CycleProfile {
 	if s == nil {

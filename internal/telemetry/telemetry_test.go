@@ -124,8 +124,8 @@ func TestRegistryWriteJSONDeterministic(t *testing.T) {
 		t.Fatal("counter names not sorted")
 	}
 	var parsed struct {
-		Counters map[string]uint64 `json:"counters"`
-		Gauges   map[string]float64
+		Counters   map[string]uint64 `json:"counters"`
+		Gauges     map[string]float64
 		Histograms map[string]struct {
 			Count   uint64
 			Sum     float64

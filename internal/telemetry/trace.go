@@ -49,13 +49,22 @@ func B(key string, val bool) Attr {
 // Event is one structured trace record. T is virtual seconds (the
 // simulation clock, never wall time — wall time would break
 // determinism). Dur is non-zero for spans.
+//
+// Seq doubles as the event's span ID: it is drawn from the trace's
+// single monotonic counter, so IDs are deterministic (no randomness)
+// and unique for the life of the trace. Parent links a span into a
+// causal tree — 0 means root. Children may be recorded before their
+// parent (the parent's ID is reserved with BeginSpan and the parent
+// event lands once its end time is known), so Seq is not monotonic in
+// buffer order when span trees are in play.
 type Event struct {
-	Seq   uint64
-	T     float64
-	Dur   float64
-	Cat   string
-	Name  string
-	Attrs []Attr
+	Seq    uint64
+	Parent uint64
+	T      float64
+	Dur    float64
+	Cat    string
+	Name   string
+	Attrs  []Attr
 }
 
 // Trace is a bounded ring buffer of events. When full, the oldest
@@ -89,7 +98,46 @@ func (tr *Trace) Span(t0, t1 float64, cat, name string, attrs ...Attr) {
 		return
 	}
 	tr.seq++
-	ev := Event{Seq: tr.seq, T: t0, Dur: t1 - t0, Cat: cat, Name: name, Attrs: attrs}
+	tr.record(Event{Seq: tr.seq, T: t0, Dur: t1 - t0, Cat: cat, Name: name, Attrs: attrs})
+}
+
+// BeginSpan reserves a span ID without recording anything. Use it when
+// a span's end time is not yet known but its children need a parent to
+// reference; close it later with EndSpan. IDs come off the same
+// sequence counter as every other event, so they are deterministic. A
+// nil trace returns 0 (the root/none ID).
+func (tr *Trace) BeginSpan() uint64 {
+	if tr == nil {
+		return 0
+	}
+	tr.seq++
+	return tr.seq
+}
+
+// EndSpan records the span reserved by BeginSpan: id is the reserved
+// ID, parent the enclosing span (0 for root), [t0, t1] the covered
+// virtual-time window. No-op when id is 0 (the nil-trace BeginSpan
+// result), so instrumented code needs no "is tracing on?" branch.
+func (tr *Trace) EndSpan(id, parent uint64, t0, t1 float64, cat, name string, attrs ...Attr) {
+	if tr == nil || id == 0 {
+		return
+	}
+	tr.record(Event{Seq: id, Parent: parent, T: t0, Dur: t1 - t0, Cat: cat, Name: name, Attrs: attrs})
+}
+
+// SpanUnder records a complete child span under parent and returns its
+// ID (0 on a nil trace).
+func (tr *Trace) SpanUnder(parent uint64, t0, t1 float64, cat, name string, attrs ...Attr) uint64 {
+	if tr == nil {
+		return 0
+	}
+	tr.seq++
+	tr.record(Event{Seq: tr.seq, Parent: parent, T: t0, Dur: t1 - t0, Cat: cat, Name: name, Attrs: attrs})
+	return tr.seq
+}
+
+// record appends ev to the ring, overwriting the oldest when full.
+func (tr *Trace) record(ev Event) {
 	if len(tr.events) < cap(tr.events) {
 		tr.events = append(tr.events, ev)
 		tr.n++
@@ -147,6 +195,10 @@ func (tr *Trace) WriteJSONL(w io.Writer) error {
 		if ev.Dur != 0 {
 			b = append(b, `,"dur":`...)
 			b = appendJSONFloat(b, ev.Dur)
+		}
+		if ev.Parent != 0 {
+			b = append(b, `,"parent":`...)
+			b = strconv.AppendUint(b, ev.Parent, 10)
 		}
 		b = append(b, `,"cat":`...)
 		b = strconv.AppendQuote(b, ev.Cat)
