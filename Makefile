@@ -9,7 +9,7 @@ TELEMETRY_COVER_FLOOR ?= 80
 # changepoint classification are the tools that audit everything else.
 OBS_COVER_FLOOR ?= 80
 
-.PHONY: build test bench alloccheck verify cover faultsweep churnsweep regionsweep obssweep
+.PHONY: build test bench alloccheck verify cover faultsweep churnsweep regionsweep obssweep poolsweep
 
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 
@@ -84,6 +84,18 @@ obssweep:
 	$(GO) test -race -count=1 -v -run 'TestFleetSpanDeterminism|TestFleetWarmupSeriesClassification' ./internal/cluster/
 	$(GO) test -race -count=1 -v ./internal/obs/
 	$(GO) test -race -count=1 -v -run 'TestSpan|TestTraceWraparound|TestHistogramQuantile|TestChromeTrace|TestExportSpans' ./internal/telemetry/
+
+# Warm-pool + lazy-paging gate: the pooled + lazy fleet determinism
+# test (standby swaps, throttled backfill, crash reboots, and lazy-mode
+# boots byte-identical at -workers 1, 4 and NumCPU under the race
+# detector), the pool conservation and edge-case suite, the lazy
+# consumer's server-level contract, the per-fetch budget and pager
+# regression tests, and the pool experiment's direction checks.
+poolsweep:
+	$(GO) test -race -count=1 -v -run 'TestPool|TestLazyModeUsesLazyCurve|TestWarmupSeriesReanchorsPerPush' ./internal/cluster/
+	$(GO) test -race -count=1 -v -run 'TestLazy' ./internal/server/
+	$(GO) test -race -count=1 -v -run 'TestFetchChunkFreshBudgetPerCall|TestLazyPager' ./internal/jumpstart/transport/
+	$(GO) test -race -count=1 -v -run 'TestPoolFigure' ./internal/experiments/
 
 # Coverage gate: reports per-package coverage and enforces the floors
 # on internal/telemetry and internal/obs.

@@ -120,9 +120,11 @@ func run(args []string, stdout io.Writer) error {
 
 // runDiff compares two dated reports benchmark-by-benchmark on ns/op
 // and fails when any shared benchmark slowed down by more than
-// threshold percent. Benchmarks present in only one report are listed
-// but never fail the gate — a renamed or new benchmark is not a
-// regression.
+// threshold percent. Benchmarks present in only one report are
+// reported as removed (only in the old report) or added (only in the
+// new one) — visibly, so a renamed benchmark can't silently fall out
+// of the comparison — but they never fail the gate: an added or
+// removed benchmark is not a regression.
 func runDiff(oldPath, newPath string, threshold float64, stdout io.Writer) error {
 	load := func(path string) (map[string]Benchmark, error) {
 		data, err := os.ReadFile(path)
@@ -155,12 +157,13 @@ func runDiff(oldPath, newPath string, threshold float64, stdout io.Writer) error
 	sort.Strings(names)
 
 	var regressions []string
+	var removed []string
 	compared := 0
 	for _, name := range names {
 		ob := oldBench[name]
 		nb, ok := newBench[name]
 		if !ok {
-			fmt.Fprintf(stdout, "%-40s only in %s\n", name, oldPath)
+			removed = append(removed, name)
 			continue
 		}
 		oldNS, okOld := ob.Metrics["ns/op"]
@@ -180,15 +183,18 @@ func runDiff(oldPath, newPath string, threshold float64, stdout io.Writer) error
 		fmt.Fprintf(stdout, "%-40s %12.0f %12.0f ns/op  %+7.1f%%  %s\n",
 			name, oldNS, newNS, delta, verdict)
 	}
-	var newOnly []string
+	var added []string
 	for name := range newBench {
 		if _, ok := oldBench[name]; !ok {
-			newOnly = append(newOnly, name)
+			added = append(added, name)
 		}
 	}
-	sort.Strings(newOnly)
-	for _, name := range newOnly {
-		fmt.Fprintf(stdout, "%-40s only in %s\n", name, newPath)
+	sort.Strings(added)
+	for _, name := range removed {
+		fmt.Fprintf(stdout, "%-40s removed (only in %s)\n", name, oldPath)
+	}
+	for _, name := range added {
+		fmt.Fprintf(stdout, "%-40s added (only in %s)\n", name, newPath)
 	}
 	if compared == 0 {
 		return fmt.Errorf("no benchmarks with ns/op shared between %s and %s", oldPath, newPath)
@@ -197,7 +203,8 @@ func runDiff(oldPath, newPath string, threshold float64, stdout io.Writer) error
 		return fmt.Errorf("%d benchmark(s) regressed beyond %.1f%%:\n  %s",
 			len(regressions), threshold, strings.Join(regressions, "\n  "))
 	}
-	fmt.Fprintf(stdout, "no regressions beyond %.1f%% across %d benchmarks\n", threshold, compared)
+	fmt.Fprintf(stdout, "no regressions beyond %.1f%% across %d benchmarks: %d added, %d removed\n",
+		threshold, compared, len(added), len(removed))
 	return nil
 }
 

@@ -99,6 +99,45 @@ func TestDiffPassesWithinThreshold(t *testing.T) {
 	}
 }
 
+// TestDiffReportsAddedAndRemoved pins the one-sided-benchmark
+// reporting: a benchmark present only in the old report is "removed",
+// one present only in the new report is "added", and the closing
+// summary counts both. Before the fix these rows were formatted as a
+// bare "only in <path>" indistinguishable from each other and absent
+// from the summary.
+func TestDiffReportsAddedAndRemoved(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", []Benchmark{
+		{Name: "Shared", Metrics: map[string]float64{"ns/op": 1000}},
+		{Name: "GoneB", Metrics: map[string]float64{"ns/op": 10}},
+		{Name: "GoneA", Metrics: map[string]float64{"ns/op": 10}},
+	})
+	newPath := writeReport(t, dir, "new.json", []Benchmark{
+		{Name: "Shared", Metrics: map[string]float64{"ns/op": 1000}},
+		{Name: "Fresh", Metrics: map[string]float64{"ns/op": 5}},
+	})
+	var buf bytes.Buffer
+	if err := run([]string{"-diff", oldPath, newPath}, &buf); err != nil {
+		t.Fatalf("diff failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"GoneA",
+		"removed (only in " + oldPath + ")",
+		"Fresh",
+		"added (only in " + newPath + ")",
+		"1 added, 2 removed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Removed rows come out sorted, like every other section.
+	if strings.Index(out, "GoneA") > strings.Index(out, "GoneB") {
+		t.Fatalf("removed rows not sorted:\n%s", out)
+	}
+}
+
 func TestDiffFailsOnRegression(t *testing.T) {
 	dir := t.TempDir()
 	oldPath := writeReport(t, dir, "old.json", []Benchmark{

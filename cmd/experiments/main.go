@@ -16,6 +16,8 @@
 //	experiments -fig fleet          # C1/C2/C3 fleet deployment
 //	experiments -fig churn          # continuous deployment + cross-release remap
 //	experiments -fig regions        # multi-region stores + seeder aggregation
+//	experiments -fig warmclass      # changepoint warmup classification + SLO report
+//	experiments -fig pool           # standby warm pool + lazy package paging
 //	experiments -quick              # reduced scale (faster, noisier)
 //	experiments -workers 1          # sequential (byte-identical output)
 //	experiments -sweep 5 -seed 42   # 5-seed repetition study (mean/min/max)
@@ -33,7 +35,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate (1, 2, 4, 5, 6, lifespan, reliability, fleet, brownout, churn, regions, all)")
+	fig := flag.String("fig", "all", "which figure to regenerate (1, 2, 4, 5, 6, lifespan, reliability, fleet, brownout, churn, regions, warmclass, pool, all)")
 	quick := flag.Bool("quick", false, "use the reduced-scale configuration")
 	workers := flag.Int("workers", 0, "parallel fan-out width (<= 0: one worker per CPU)")
 	sweep := flag.Int("sweep", 0, "run an N-seed sweep of the headline metrics instead of single-seed figures")

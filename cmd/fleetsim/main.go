@@ -24,6 +24,13 @@
 //	fleetsim -push-every 480 -churn 0.1 \
 //	         -remap-policy remap-tolerant             # carry packages across pushes via the remapper
 //
+// Standby warm pool and lazy package paging:
+//
+//	fleetsim -pool-size 32                            # C3 waves swap in pre-booted standbys
+//	fleetsim -pool-size 32 -pool-backfill 0.05        # throttle pool re-admission
+//	fleetsim -warmup-mode lazy                        # consumers serve immediately and
+//	                                                  # page translations in on first call
+//
 // Telemetry (all optional, zero simulation perturbation):
 //
 //	-trace out.jsonl        # fleet + warmup-measurement event trace
@@ -94,6 +101,9 @@ func run(args []string, stdout io.Writer) error {
 	pushEvery := fs.Float64("push-every", 0, "start a new deployment every N virtual seconds (0 = the single initial push only)")
 	churn := fs.Float64("churn", 0, "code-churn mutation rate per push; > 0 measures the real remap hit rate and remapped warmup curve on a mutated site")
 	remapPolicy := fs.String("remap-policy", "exact-only", "store compatibility policy at a push: exact-only | remap-tolerant")
+	poolSize := fs.Int("pool-size", 0, "standby warm-pool size: pre-booted consumers swapped in during C3 waves (0 = off)")
+	poolBackfill := fs.Float64("pool-backfill", 0, "max rebooted instances re-admitted to the pool per virtual second (0 = unthrottled)")
+	warmupMode := fs.String("warmup-mode", "eager", "consumer warmup: eager | lazy (lazy boots serve immediately and replay the measured on-demand page-in curve)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,6 +111,10 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-replay-cache must be on or off, got %q", *replayCache)
 	}
 	policy, err := jumpstart.ParseCompatPolicy(*remapPolicy)
+	if err != nil {
+		return err
+	}
+	wmode, err := jumpstart.ParseWarmupMode(*warmupMode)
 	if err != nil {
 		return err
 	}
@@ -137,6 +151,19 @@ func run(args []string, stdout io.Writer) error {
 	fcfg.Telem = tel
 	fcfg.PushEvery = *pushEvery
 	fcfg.RemapPolicy = policy
+	fcfg.PoolSize = *poolSize
+	fcfg.PoolBackfillRate = *poolBackfill
+	if wmode == jumpstart.WarmupLazy {
+		fmt.Fprintln(stdout, "# measuring lazy warmup curve (on-demand page-ins over the fabric)...")
+		lc, err := lab.MeasureLazyCurve(netsim.Config{BaseLatency: *netLatency})
+		if err != nil {
+			return err
+		}
+		fcfg.WarmupMode = wmode
+		fcfg.CurveLazy = lc.Curve
+		fmt.Fprintf(stdout, "# lazy boot: armed=%d paged=%d page-ins=%d misses=%d\n",
+			lc.Stats.Armed, lc.Stats.Paged, lc.PageIns, lc.Misses)
+	}
 	if *churn > 0 {
 		fmt.Fprintf(stdout, "# measuring remap hit rate and remapped warmup at churn rate %.2f...\n", *churn)
 		cr, err := lab.MeasureChurn(*churn)
@@ -204,6 +231,14 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "# capacity loss over push window = %.2f%%; crashes = %d; fallbacks = %d\n",
 		cluster.CapacityLoss(ticks, fcfg.TickSeconds)*100, fleet.Crashes(), fleet.Fallbacks())
+	if *poolSize > 0 {
+		ps := fleet.PoolStats()
+		fmt.Fprintf(stdout, "# pool: size=%d avail=%d pending=%d drains=%d backfills=%d misses=%d pooled_boots=%d\n",
+			ps.Size, ps.Avail, ps.Pending, ps.Drains, ps.Backfills, ps.Misses, ps.Pooled)
+	}
+	if wmode == jumpstart.WarmupLazy {
+		fmt.Fprintf(stdout, "# lazy boots = %d\n", fleet.LazyBoots())
+	}
 	if *replicas > 0 {
 		propOK, propFail := fleet.Propagation()
 		fmt.Fprintf(stdout, "# multistore: replica failovers = %d; consensus packages = %d; aggregated boots = %d; propagation ok/fail = %d/%d\n",

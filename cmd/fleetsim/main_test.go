@@ -205,3 +205,41 @@ func TestRunSpansExport(t *testing.T) {
 		t.Fatal("JSONL span trace missing boot spans or parent links")
 	}
 }
+
+// TestRunPoolLazy smoke-tests the warm-pool and lazy-warmup flags
+// together: the run must measure a lazy curve, report the pool flow
+// accounting with actual standby swap-ins, and count lazy boots. A
+// one-slot pool with a near-zero backfill rate guarantees both pool
+// paths appear: the first C3 wave drains the standby, later waves miss
+// the empty pool and boot on the lazy curve instead.
+func TestRunPoolLazy(t *testing.T) {
+	orig := labConfig
+	labConfig = microConfig
+	defer func() { labConfig = orig }()
+
+	var out strings.Builder
+	err := run([]string{"-seconds", "900", "-pool-size", "1",
+		"-pool-backfill", "0.001", "-warmup-mode", "lazy"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"# lazy boot: armed=",
+		"# pool: size=1 ",
+		"# lazy boots = ",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "drains=0 ") {
+		t.Fatalf("pool never drained:\n%s", s)
+	}
+	if strings.Contains(s, "# lazy boots = 0\n") {
+		t.Fatalf("no lazy boots counted:\n%s", s)
+	}
+	if err := run([]string{"-warmup-mode", "bogus"}, &out); err == nil {
+		t.Fatal("bogus -warmup-mode accepted")
+	}
+}

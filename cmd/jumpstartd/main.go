@@ -7,6 +7,9 @@
 //	jumpstartd -mode nojumpstart -seconds 600
 //	jumpstartd -mode seeder -package /tmp/profile.pkg         # write a package
 //	jumpstartd -mode consumer -package /tmp/profile.pkg       # read a package
+//	jumpstartd -mode consumer -package /tmp/profile.pkg \
+//	           -warmup-mode lazy                              # serve immediately, page
+//	                                                          # translations in on first call
 //
 // Networked profile store (two-process handoff over localhost):
 //
@@ -81,11 +84,19 @@ func run(args []string, stdout io.Writer) error {
 	revision := fs.Uint64("revision", 0, "build revision checksum: seeders stamp uploaded packages with it, consumers reject mismatched packages (0 disables checking)")
 	quick := fs.Bool("quick", false, "reduced-scale site and server config (fast demos and tests)")
 	replayCache := fs.String("replay-cache", "on", "translation replay memoization: on | off (host-side speedup; simulation output is byte-identical either way)")
+	warmupMode := fs.String("warmup-mode", "eager", "consumer package materialization: eager | lazy (lazy serves immediately and pages translations in on first call; with -store-url page-ins re-fetch chunks over the transport)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *replayCache != "on" && *replayCache != "off" {
 		return fmt.Errorf("-replay-cache must be on or off, got %q", *replayCache)
+	}
+	wmode, err := jumpstart.ParseWarmupMode(*warmupMode)
+	if err != nil {
+		return err
+	}
+	if wmode == jumpstart.WarmupLazy && *mode != "consumer" {
+		return fmt.Errorf("-warmup-mode lazy requires -mode consumer")
 	}
 	if *aggregatePkgs != "" && *mode != "consumer" {
 		// Merge-only invocation: combine seeder packages into a
@@ -143,6 +154,7 @@ func run(args []string, stdout io.Writer) error {
 	cfg.ReplayCache = *replayCache == "on"
 
 	var s *server.Server
+	var pager *transport.LazyPager
 	switch *mode {
 	case "nojumpstart":
 		cfg.Mode = server.ModeNoJumpStart
@@ -153,17 +165,18 @@ func run(args []string, stdout io.Writer) error {
 		cfg.UsePropertyOrder = true
 		cfg.JITOpts.UseVasmCounters = true
 		cfg.JITOpts.UseSeededCallGraph = true
+		cfg.LazyWarmup = wmode == jumpstart.WarmupLazy
 		if *storeURL != "" {
 			// Networked boot: fetch a package through the retrying
 			// transport client; BootConsumer handles the pick/decode
 			// retries and the automatic no-Jump-Start fallback.
-			srv, info, err := bootFromStore(site, cfg, *storeURL, *fetchBudget, *seed, *revision, tel)
+			srv, info, pg, err := bootFromStore(site, cfg, *storeURL, *fetchBudget, *seed, *revision, wmode, tel)
 			if err != nil {
 				return err
 			}
 			fmt.Fprintf(stdout, "# boot: jumpstart=%v attempts=%d package=%d reason=%q\n",
 				info.UsedJumpStart, info.Attempts, info.PackageID, info.FallbackReason)
-			s = srv
+			s, pager = srv, pg
 		} else if *aggregatePkgs != "" {
 			cfg.Mode = server.ModeConsumer
 			pkg, err := mergePackages(*aggregatePkgs, *pkgPath, stdout)
@@ -215,6 +228,15 @@ func run(args []string, stdout io.Writer) error {
 		if s.Phase() == server.PhaseExited {
 			break
 		}
+	}
+	if wmode == jumpstart.WarmupLazy {
+		ls := s.LazyStats()
+		fmt.Fprintf(stdout, "# lazy: armed=%d paged=%d misses=%d", ls.Armed, ls.Paged, ls.Misses)
+		if pager != nil {
+			ins, misses := pager.Stats()
+			fmt.Fprintf(stdout, " (transport page-ins=%d misses=%d)", ins, misses)
+		}
+		fmt.Fprintln(stdout)
 	}
 
 	if *mode == "seeder" {
@@ -322,8 +344,13 @@ func storeClient(url string, budget float64, seed uint64, tel *telemetry.Set) *t
 // transport client is the package source, so fetch retries, chunk
 // resume, and the deadline budget all apply; budget exhaustion surfaces
 // as BootInfo.FallbackReason and the server comes up without Jump-Start.
+// In lazy warmup mode the same client doubles as the pager: the pager
+// is built before the boot (so the server config can carry it) and
+// armed with the boot fetch's manifest afterwards, before any request
+// is served.
 func bootFromStore(site *workload.Site, cfg server.Config, url string,
-	budget float64, seed, revision uint64, tel *telemetry.Set) (*server.Server, jumpstart.BootInfo, error) {
+	budget float64, seed, revision uint64, wmode jumpstart.WarmupMode,
+	tel *telemetry.Set) (*server.Server, jumpstart.BootInfo, *transport.LazyPager, error) {
 	// One wall clock for both the transport client and the boot
 	// protocol: the boot span and its nested fetch spans must share a
 	// timebase or the children would escape the parent's window.
@@ -333,17 +360,27 @@ func bootFromStore(site *workload.Site, cfg server.Config, url string,
 	ccfg.Seed = seed
 	cli := transport.NewClient(transport.NewHTTPConn(url, ccfg.RPCTimeout), wall, ccfg)
 	cli.SetTelemetry(tel)
+	var pager *transport.LazyPager
+	if wmode == jumpstart.WarmupLazy {
+		pager = transport.NewLazyPager(cli, nil, cfg.ClockHz)
+		cfg.Pager = pager
+	}
 	rnd := seed
-	return jumpstart.BootConsumer(site, cli, jumpstart.BootConfig{
+	srv, info, err := jumpstart.BootConsumer(site, cli, jumpstart.BootConfig{
 		Server:   cfg,
 		Telem:    tel,
 		Clock:    wall.Now,
 		Revision: revision,
+		Warmup:   wmode,
 		Rand: func() uint64 {
 			rnd = rnd*6364136223846793005 + 1442695040888963407
 			return rnd
 		},
 	})
+	if err == nil && pager != nil {
+		pager.SetManifest(cli.LastManifest())
+	}
+	return srv, info, pager, err
 }
 
 // runStoreServer runs the networked profile store: a jumpstart.Store

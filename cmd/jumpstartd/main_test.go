@@ -282,3 +282,50 @@ func TestRunSpansExport(t *testing.T) {
 		t.Fatalf("span conservation violated: %v", check.Violations)
 	}
 }
+
+// TestLazyStoreHandoff runs the networked handoff with lazy warmup:
+// the consumer boots from the store immediately and pages translation
+// chunks back in over the same transport client on first call, so the
+// lazy summary must show transport page-ins with zero misses against
+// the healthy store.
+func TestLazyStoreHandoff(t *testing.T) {
+	store := jumpstart.NewStore()
+	ts := httptest.NewServer(transport.NewServer(store, 4096).Handler())
+	defer ts.Close()
+
+	var seedOut strings.Builder
+	err := run([]string{"-mode", "seeder", "-quick", "-seconds", "600",
+		"-store-url", ts.URL}, &seedOut)
+	if err != nil {
+		t.Fatalf("seeder: %v\n%s", err, seedOut.String())
+	}
+
+	var consOut strings.Builder
+	err = run([]string{"-mode", "consumer", "-quick", "-seconds", "30",
+		"-store-url", ts.URL, "-warmup-mode", "lazy"}, &consOut)
+	if err != nil {
+		t.Fatalf("lazy consumer: %v\n%s", err, consOut.String())
+	}
+	out := consOut.String()
+	if !strings.Contains(out, "# boot: jumpstart=true") {
+		t.Fatalf("lazy consumer did not jump-start:\n%s", out)
+	}
+	if !strings.Contains(out, "# lazy: armed=") || strings.Contains(out, "armed=0 ") {
+		t.Fatalf("lazy summary missing or armed nothing:\n%s", out)
+	}
+	if !strings.Contains(out, "(transport page-ins=") ||
+		strings.Contains(out, "page-ins=0 ") {
+		t.Fatalf("page-ins did not travel the transport:\n%s", out)
+	}
+	if !strings.Contains(out, "misses=0)") {
+		t.Fatalf("healthy store missed page-ins:\n%s", out)
+	}
+
+	// The mode only makes sense for consumers.
+	if err := run([]string{"-mode", "seeder", "-warmup-mode", "lazy"}, &consOut); err == nil {
+		t.Fatal("-warmup-mode lazy with -mode seeder accepted")
+	}
+	if err := run([]string{"-mode", "consumer", "-warmup-mode", "bogus"}, &consOut); err == nil {
+		t.Fatal("bogus -warmup-mode accepted")
+	}
+}

@@ -74,6 +74,33 @@ type Config struct {
 	// reuse CurveJumpStart.
 	CurveAggregated WarmupCurve
 
+	// PoolSize, when > 0, maintains a standby warm-pool boot tier: a
+	// pool of pre-booted, pre-jump-started consumers that deployments
+	// drain. When a C3 wave restarts a consumer and a standby is
+	// available, the slot is swapped to the standby — at full capacity
+	// on CurvePooled — while the replaced instance reboots into the
+	// pool in the background and becomes available again once warm.
+	// An empty pool (drained faster than backfill) books a pool miss
+	// and the server takes the normal restart path.
+	PoolSize int
+	// PoolBackfillRate caps how many rebooted instances may re-enter
+	// the pool per virtual second (<= 0 means unthrottled): the knob
+	// that trades pool freshness against churn pressure on the tier.
+	PoolBackfillRate float64
+	// CurvePooled is the warmup curve a swapped-in standby replays.
+	// Standbys are pre-warmed, so the empty curve — instant full
+	// capacity — is the natural default.
+	CurvePooled WarmupCurve
+
+	// WarmupMode selects eager (default) or lazy consumer warmup for
+	// Jump-Start boots. Lazy boots serve immediately and page
+	// translations in on first call; their capacity curve is CurveLazy.
+	WarmupMode jumpstart.WarmupMode
+	// CurveLazy is the warmup curve for lazy-mode Jump-Start boots,
+	// measured by internal/server with a transport-backed pager. Empty
+	// means lazy boots reuse CurveJumpStart.
+	CurveLazy WarmupCurve
+
 	// PushEvery, when > 0, starts a new deployment (a code push of the
 	// next revision) every PushEvery virtual seconds for as long as the
 	// fleet runs — the paper's up-to-three-pushes-per-day churn regime,
@@ -277,9 +304,21 @@ type Fleet struct {
 	lastPush   float64
 	revision   uint64 // current code revision, bumped per push
 
+	// Warm-pool tier state. All of it is touched only from sequential
+	// code (Tick preamble + wave restarts), so pool behaviour is
+	// worker-count deterministic by construction.
+	poolAvail      int       // standbys ready to swap in now
+	poolPending    []float64 // ready times of instances rebooting into the pool (ascending)
+	backfillCredit float64   // accumulated PoolBackfillRate admissions
+	poolDrains     int
+	poolBackfills  int
+	poolMisses     int
+	pooledBoots    int
+
 	// Counters.
 	crashes    int
 	fallbacks  int
+	lazyBoots  int
 	remapBoots int
 	pkgsKept   int // packages carried across pushes by the remapper
 	pkgsLost   int // packages dropped at a push (remap miss or exact-only wipe)
@@ -351,6 +390,7 @@ func NewFleet(cfg Config) (*Fleet, error) {
 		fbReasons: make(map[string]int),
 		revision:  1,
 	}
+	f.poolAvail = cfg.PoolSize
 	if cfg.Transport != nil {
 		tc := *cfg.Transport
 		if tc.PackageBytes <= 0 {
@@ -477,9 +517,15 @@ func (f *Fleet) StartDeployment() {
 	f.deploying = true
 	if f.series != nil {
 		// A new push starts a new lifecycle: WarmupSeries re-anchors
-		// at each server's first boot under this push.
+		// at each server's first boot under this push. seriesFrom must
+		// be re-anchored along with the mark — a server that never
+		// boots in this push (a pooled slot the wave skipped, a group
+		// the push never reaches) would otherwise slice from the
+		// previous push's offset and replay that push's warmup instead
+		// of contributing its flat series under this one.
 		for i := range f.servers {
 			f.servers[i].seriesMarked = false
+			f.servers[i].seriesFrom = len(f.series[i])
 		}
 	}
 	f.phase = 0
@@ -587,6 +633,7 @@ type FleetTick struct {
 	Deployment bool
 	Revision   uint64 // current code revision (bumps at each push)
 	RemapBoots int    // cumulative boots from remapped packages
+	PoolAvail  int    // standbys available in the warm pool
 }
 
 // srvTick is one server's contribution to a tick, produced by the
@@ -660,6 +707,11 @@ func (f *Fleet) stepServer(s *simServer) srvTick {
 func (f *Fleet) Tick() FleetTick {
 	dt := f.cfg.TickSeconds
 	f.now += dt
+
+	// Admit rebooted instances back into the warm pool before any
+	// restart logic runs, so a standby that finished warming by this
+	// tick can serve the wave that fires on it.
+	f.backfillPool(dt)
 
 	// Continuous-deployment cadence: a push lands every PushEvery
 	// seconds. A still-running push defers the next one (pushes never
@@ -782,6 +834,7 @@ func (f *Fleet) Tick() FleetTick {
 		Deployment: f.deploying,
 		Revision:   f.revision,
 		RemapBoots: f.remapBoots,
+		PoolAvail:  f.poolAvail,
 	}
 }
 
@@ -863,8 +916,22 @@ func (f *Fleet) restartC3Wave() {
 	if hi > len(members) {
 		hi = len(members)
 	}
+	swapped := 0
 	for _, idx := range members[lo:hi] {
 		s := &f.servers[idx]
+		// Warm-pool tier: swap the restarting consumer for a standby
+		// when one is available; the replaced instance reboots into
+		// the pool in the background. An empty pool is a miss and the
+		// server takes the normal restart path below.
+		if f.cfg.PoolSize > 0 {
+			if f.poolAvail > 0 {
+				f.swapFromPool(s)
+				swapped++
+				continue
+			}
+			f.poolMisses++
+			f.tel.Counter("fleet.pool_misses_total").Inc()
+		}
 		f.closeBootSpan(s, "restarted")
 		s.state = stDown
 		s.stateT = f.now
@@ -875,8 +942,98 @@ func (f *Fleet) restartC3Wave() {
 	}
 	f.tel.Event(f.now, "fleet", "c3-wave",
 		telemetry.I("wave", int64(f.c3Wave)),
-		telemetry.I("restarted", int64(hi-lo)))
+		telemetry.I("restarted", int64(hi-lo-swapped)),
+		telemetry.I("swapped", int64(swapped)))
 	f.c3Wave++
+}
+
+// poolRebootSeconds is how long a replaced instance takes to reboot
+// and re-warm into the pool: the restart gap plus a full run of the
+// curve its boot flavour replays. Constant within a run, so pending
+// ready-times are appended in ascending order.
+func (f *Fleet) poolRebootSeconds() float64 {
+	curve := &f.cfg.CurveNoJumpStart
+	if f.cfg.JumpStartEnabled {
+		curve = f.jsCurveRO()
+	}
+	return f.cfg.RestartDowntime + curve.TimeToFraction(1)
+}
+
+// jsCurveRO returns the Jump-Start curve a fresh boot would replay,
+// without booking any boot-flavour counters (pool reboot-time math
+// must not perturb the remap/lazy accounting).
+func (f *Fleet) jsCurveRO() *WarmupCurve {
+	if f.cfg.WarmupMode == jumpstart.WarmupLazy && len(f.cfg.CurveLazy.Times) > 0 {
+		return &f.cfg.CurveLazy
+	}
+	return &f.cfg.CurveJumpStart
+}
+
+// swapFromPool replaces a restarting consumer with a warm standby: the
+// slot comes up immediately on CurvePooled (empty curve = instant full
+// capacity) while the old instance's reboot is queued to backfill the
+// pool. Only called from the sequential wave-restart path.
+func (f *Fleet) swapFromPool(s *simServer) {
+	f.closeBootSpan(s, "restarted")
+	f.poolAvail--
+	f.poolDrains++
+	f.pooledBoots++
+	f.poolPending = append(f.poolPending, f.now+f.poolRebootSeconds())
+	s.state = stWarming
+	s.stateT = f.now
+	s.bootT = f.now
+	s.bootSpan = f.tel.BeginSpan()
+	if f.series != nil && !s.seriesMarked {
+		s.seriesFrom = len(f.series[s.idx])
+		s.seriesMarked = true
+	}
+	s.pkg = -1
+	s.attempts = 0
+	s.crashAt = 0
+	s.usedJS = true
+	s.fbReason = ""
+	s.curve = &f.cfg.CurvePooled
+	f.tel.Counter("fleet.boots_pooled_total").Inc()
+	f.tel.Event(f.now, "fleet", "boot-pooled",
+		telemetry.I("region", int64(s.region)),
+		telemetry.I("bucket", int64(s.bucket)),
+		telemetry.I("pool_avail", int64(f.poolAvail)))
+}
+
+// backfillPool admits rebooted instances whose warmup has completed
+// back into the pool, throttled by PoolBackfillRate. Runs at the top
+// of every tick, before restart logic, in sequential code only.
+func (f *Fleet) backfillPool(dt float64) {
+	if f.cfg.PoolSize <= 0 || len(f.poolPending) == 0 {
+		return
+	}
+	if f.cfg.PoolBackfillRate > 0 {
+		f.backfillCredit += dt * f.cfg.PoolBackfillRate
+		// Credit never banks beyond one pool's worth: a long quiet
+		// stretch must not buy an instantaneous full refill later.
+		if max := float64(f.cfg.PoolSize); f.backfillCredit > max {
+			f.backfillCredit = max
+		}
+	}
+	n := 0
+	for n < len(f.poolPending) && f.poolPending[n] <= f.now && f.poolAvail < f.cfg.PoolSize {
+		if f.cfg.PoolBackfillRate > 0 {
+			if f.backfillCredit < 1 {
+				break
+			}
+			f.backfillCredit--
+		}
+		f.poolAvail++
+		f.poolBackfills++
+		n++
+	}
+	if n > 0 {
+		f.poolPending = append(f.poolPending[:0], f.poolPending[n:]...)
+		f.tel.Counter("fleet.pool_backfills_total").Add(uint64(n))
+		f.tel.Event(f.now, "fleet", "pool-backfill",
+			telemetry.I("admitted", int64(n)),
+			telemetry.I("pool_avail", int64(f.poolAvail)))
+	}
 }
 
 func (f *Fleet) restartGroup(group int) {
@@ -1005,13 +1162,21 @@ func (f *Fleet) fallback(s *simServer, reason string) {
 
 // jsCurve picks the warmup curve for a Jump-Start boot: remapped
 // packages recover less warmup than exact ones, so they warm on
-// CurveRemapped when one is configured.
+// CurveRemapped when one is configured; lazy-mode boots replay
+// CurveLazy (serving starts immediately, capacity follows page-in).
 func (f *Fleet) jsCurve(remapped bool) *WarmupCurve {
 	if remapped {
 		f.remapBoots++
 		f.tel.Counter("fleet.boots_remapped_total").Inc()
 		if len(f.cfg.CurveRemapped.Times) > 0 {
 			return &f.cfg.CurveRemapped
+		}
+	}
+	if f.cfg.WarmupMode == jumpstart.WarmupLazy {
+		f.lazyBoots++
+		f.tel.Counter("fleet.boots_lazy_total").Inc()
+		if len(f.cfg.CurveLazy.Times) > 0 {
+			return &f.cfg.CurveLazy
 		}
 	}
 	return &f.cfg.CurveJumpStart
@@ -1388,6 +1553,34 @@ func (f *Fleet) Fallbacks() int { return f.fallbacks }
 // RemapBoots returns cumulative boots from remapped packages.
 func (f *Fleet) RemapBoots() int { return f.remapBoots }
 
+// LazyBoots returns cumulative lazy-mode Jump-Start boots.
+func (f *Fleet) LazyBoots() int { return f.lazyBoots }
+
+// PoolStats is the warm-pool tier's occupancy and flow accounting.
+type PoolStats struct {
+	Size      int // configured pool size
+	Avail     int // standbys ready to swap in now
+	Pending   int // replaced instances still rebooting toward the pool
+	Drains    int // cumulative standby swap-ins
+	Backfills int // cumulative re-admissions into the pool
+	Misses    int // wave restarts that found the pool empty
+	Pooled    int // cumulative CurvePooled boots (== Drains)
+}
+
+// PoolStats snapshots the warm-pool tier (zero value when PoolSize is
+// unset).
+func (f *Fleet) PoolStats() PoolStats {
+	return PoolStats{
+		Size:      f.cfg.PoolSize,
+		Avail:     f.poolAvail,
+		Pending:   len(f.poolPending),
+		Drains:    f.poolDrains,
+		Backfills: f.poolBackfills,
+		Misses:    f.poolMisses,
+		Pooled:    f.pooledBoots,
+	}
+}
+
 // Revision returns the current code revision (1 before any push).
 func (f *Fleet) Revision() uint64 { return f.revision }
 
@@ -1476,7 +1669,14 @@ func (f *Fleet) WarmupSeries() [][]float64 {
 	}
 	out := make([][]float64, len(f.series))
 	for i := range f.series {
-		s := f.series[i][f.servers[i].seriesFrom:]
+		// A server swap-booted on the final tick marks seriesFrom at
+		// the yet-unappended sample: clamp so the suffix is empty, not
+		// out of range. Classification must accept a length-0/1 suffix.
+		from := f.servers[i].seriesFrom
+		if from > len(f.series[i]) {
+			from = len(f.series[i])
+		}
+		s := f.series[i][from:]
 		out[i] = s[:len(s):len(s)]
 	}
 	return out

@@ -140,6 +140,10 @@ type Lab struct {
 	warmclassRes  WarmclassResult
 	warmclassErr  error
 
+	poolOnce sync.Once
+	poolRes  PoolResult
+	poolErr  error
+
 	// Baseline memo: the figures overlap heavily in the raw server runs
 	// they need (Figure 5's no-Jump-Start steady state is Figure 6's
 	// no-Jump-Start cell; Figure 2's long no-Jump-Start warmup contains

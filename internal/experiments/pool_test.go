@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPoolFigure pins the directional claims of the pool figure: the
+// standby pool reduces deployment capacity loss relative to the no-pool
+// baseline, throttled backfill never out-backfills the unthrottled
+// runs, the lazy boots really page translations in over both fabrics,
+// and all four crossover regimes render into the SLO report.
+func TestPoolFigure(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Pool()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Grid: baseline first, pool conservation per cell, and the largest
+	// unthrottled pool must beat the no-pool baseline.
+	if len(res.Grid) != len(poolGrid) {
+		t.Fatalf("grid has %d cells, want %d", len(res.Grid), len(poolGrid))
+	}
+	base := res.Grid[0]
+	if base.Size != 0 || base.Stats.Drains != 0 || base.Stats.Misses != 0 {
+		t.Fatalf("baseline cell not pool-free: %+v", base)
+	}
+	var best PoolCell
+	for _, c := range res.Grid {
+		if c.Stats.Drains+c.Stats.Misses == 0 && c.Size > 0 {
+			t.Fatalf("pooled cell %d/%g saw no C3 swaps", c.Size, c.Rate)
+		}
+		if c.Size >= best.Size && c.Rate == 0 {
+			best = c
+		}
+	}
+	if best.Loss >= base.Loss {
+		t.Fatalf("pool size %d loss %.4f not below baseline %.4f", best.Size, best.Loss, base.Loss)
+	}
+
+	// Lazy boots: translations are armed and paged in under both
+	// fabrics; the brownout must cost page-in misses or at least not
+	// page in more than the healthy run.
+	for name, ls := range map[string]struct {
+		armed, paged int
+	}{
+		"healthy":  {res.LazyHealthy.Armed, res.LazyHealthy.Paged},
+		"brownout": {res.LazyBrownout.Armed, res.LazyBrownout.Paged},
+	} {
+		if ls.armed == 0 {
+			t.Fatalf("%s lazy boot armed nothing", name)
+		}
+	}
+	if res.PageInsHealthy == 0 {
+		t.Fatal("healthy lazy boot never consulted the pager")
+	}
+	if res.MissesHealthy != 0 {
+		t.Fatalf("healthy lazy boot missed %d page-ins", res.MissesHealthy)
+	}
+	if res.LazyHealthy.Paged == 0 {
+		t.Fatal("healthy lazy boot paged nothing in")
+	}
+
+	// Crossover: all four regimes present, in declaration order.
+	if len(res.Crossover) != len(poolCrossRegimes) {
+		t.Fatalf("crossover has %d cells, want %d", len(res.Crossover), len(poolCrossRegimes))
+	}
+	for i, c := range res.Crossover {
+		if c.Name != poolCrossRegimes[i].name {
+			t.Fatalf("crossover[%d] = %q, want %q", i, c.Name, poolCrossRegimes[i].name)
+		}
+		if c.Loss <= 0 || c.Loss >= 1 {
+			t.Fatalf("crossover %s loss %.4f out of range", c.Name, c.Loss)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := l.WritePool(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"## Pool:",
+		"pool_size,backfill_per_s,capacity_loss_pct",
+		"mode_network,capacity_loss_pct",
+		"eager-healthy", "lazy-healthy", "eager-brownout", "lazy-brownout",
+		"# overall:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure output missing %q:\n%s", want, out)
+		}
+	}
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(out, bad) {
+			t.Fatalf("figure output contains %s:\n%s", bad, out)
+		}
+	}
+	t.Logf("pool: baseline loss %.2f%%, best pooled %.2f%% (size %d); crossover %+v",
+		base.Loss*100, best.Loss*100, best.Size, res.Crossover)
+}

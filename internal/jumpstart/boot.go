@@ -24,10 +24,11 @@ type pickFailureReporter interface {
 	PickFailure() string
 }
 
-// budgetResetter is optionally implemented by a PackageSource whose
-// fetch budget is per boot (the transport client). BootConsumer
-// re-arms it at the start of every boot so a reused source does not
-// carry a previous boot's expired deadline into this one.
+// budgetResetter is optionally implemented by a PackageSource with
+// resettable fetch-budget state. Historically the transport client
+// armed its deadline per boot and required this call between boots;
+// the client now re-arms per fetch and its ResetBudget is a no-op, but
+// BootConsumer keeps the hook for third-party sources.
 type budgetResetter interface {
 	ResetBudget()
 }
@@ -85,6 +86,13 @@ type BootConfig struct {
 	// (callers wire prof.Remap with both programs). Only consulted
 	// under RemapTolerant; nil skips mismatched packages.
 	Remap func(p *prof.Profile) (*prof.Profile, error)
+	// Warmup selects eager (the zero value) or lazy package
+	// materialization for the booted consumer. Lazy maps onto
+	// Server.LazyWarmup: the consumer serves as soon as init work is
+	// paid and pages translations in on first call through
+	// Server.Pager (set one — e.g. transport.NewLazyPager — or
+	// page-ins are local and instant).
+	Warmup WarmupMode
 }
 
 // now reads the boot clock for event timestamps.
@@ -208,6 +216,9 @@ func BootConsumer(site *workload.Site, source PackageSource, cfg BootConfig) (*s
 		sc := cfg.Server
 		sc.Mode = server.ModeConsumer
 		sc.Package = p
+		if cfg.Warmup == WarmupLazy {
+			sc.LazyWarmup = true
+		}
 		srv, err := server.New(site, sc)
 		if err != nil {
 			failed = append(failed, pkg.ID)

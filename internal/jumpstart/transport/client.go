@@ -55,10 +55,10 @@ type ClientConfig struct {
 	// RPCTimeout is the per-RPC deadline in seconds: a dropped RPC
 	// costs this long before the client retries.
 	RPCTimeout float64
-	// Budget is the per-boot deadline budget in seconds. The first
-	// Pick arms the deadline; once it passes, fetches fail with
-	// ErrBudget and the consumer falls back (Section VI-A3) instead of
-	// erroring.
+	// Budget is the per-fetch deadline budget in seconds. Every Fetch
+	// (and Publish) arms a fresh window when it starts; once the window
+	// passes, the request fails with ErrBudget and the consumer falls
+	// back (Section VI-A3) instead of erroring.
 	Budget float64
 	// BackoffBase/BackoffCap shape the capped exponential backoff
 	// between attempts: min(cap, base·2^(attempt-1)), scaled by a
@@ -111,6 +111,9 @@ type FetchResult struct {
 	Chunks   int // chunks in the package
 	ChunkRPC int // chunk RPCs issued; < Attempts·Chunks proves resume
 	Elapsed  float64
+	// Manifest is the package's chunk map, kept so a lazy consumer can
+	// page individual chunks back in post-boot (FetchChunk).
+	Manifest *Manifest
 }
 
 // Client implements the consumer/seeder side of the protocol: pick
@@ -127,8 +130,8 @@ type Client struct {
 
 	fetches     uint64
 	deadline    float64
-	deadlineSet bool
 	lastFailure string
+	lastMan     *Manifest // manifest of the most recent successful Fetch
 
 	// Causal span state: spanParent is the enclosing span every
 	// transport.fetch/publish span links under (0 = root); curSpan is
@@ -176,24 +179,12 @@ func (c *Client) Pick(region, bucket int, rnd uint64, exclude ...jumpstart.Packa
 	}, true
 }
 
-// armDeadline starts the per-boot budget on first use. The budget is
-// per boot, not per client: a caller reusing one Client across boots
-// must call ResetBudget between them, or the second boot inherits the
-// first boot's (possibly already expired) deadline and fails instantly
-// with ErrBudget.
-func (c *Client) armDeadline() {
-	if !c.deadlineSet {
-		c.deadline = c.clock.Now() + c.cfg.Budget
-		c.deadlineSet = true
-	}
-}
-
-// ResetBudget clears the per-boot deadline so the next Fetch re-arms a
-// fresh budget window. Call it at the start of every boot when reusing
-// a Client; a freshly constructed Client does not need it.
-func (c *Client) ResetBudget() {
-	c.deadlineSet = false
-}
+// ResetBudget is a compatibility no-op. The budget used to be armed
+// once per boot, which made a reused Client inherit a stale — possibly
+// already exhausted — deadline on any fetch issued after the boot
+// (lazy page-ins hit this instantly). Fetch now arms a fresh window
+// per call, so there is no cross-call state left to reset.
+func (c *Client) ResetBudget() {}
 
 // backoff computes the capped exponential backoff for attempt n >= 1
 // with deterministic jitter in [0.5, 1).
@@ -246,12 +237,12 @@ func (c *Client) sleepBackoff(attempt int, jit *netsim.Stream) bool {
 
 // Fetch downloads one package for (region, bucket): the store picks
 // with rnd/exclude, then chunks stream over with verification and
-// resume-on-retry. It fails with ErrBudget when the per-boot deadline
-// budget runs out, or ErrNoPackage when the store has nothing to
-// offer.
+// resume-on-retry. Each call arms its own deadline budget window; it
+// fails with ErrBudget when that budget runs out, or ErrNoPackage when
+// the store has nothing to offer.
 func (c *Client) Fetch(region, bucket int, rnd uint64, exclude []jumpstart.PackageID) (*FetchResult, error) {
-	c.armDeadline()
 	start := c.clock.Now()
+	c.deadline = start + c.cfg.Budget
 	jit := netsim.NewStream(workload.Fork(c.cfg.Seed, c.fetches))
 	c.fetches++
 	c.lastFailure = ""
@@ -290,6 +281,8 @@ func (c *Client) Fetch(region, bucket int, rnd uint64, exclude []jumpstart.Packa
 			res.Revision = m.Revision
 			res.Chunks = len(m.Chunks)
 			res.Elapsed = c.clock.Now() - start
+			res.Manifest = m
+			c.lastMan = m
 			c.tel.Counter("transport.fetch_ok_total").Inc()
 			c.tel.Histogram("transport.fetch_seconds", fetchLatencyBounds).Observe(res.Elapsed)
 			c.tel.Event(c.clock.Now(), "transport", "fetch-done",
@@ -309,6 +302,80 @@ func (c *Client) Fetch(region, bucket int, rnd uint64, exclude []jumpstart.Packa
 		c.tel.Counter("transport.rpc_failures_total").Inc()
 		if !c.sleepBackoff(attempt, jit) {
 			return fail("fetch budget exhausted", ErrBudget)
+		}
+	}
+}
+
+// LastManifest returns the manifest of the most recent successful
+// Fetch (nil before one) — the chunk map a LazyPager pages against.
+func (c *Client) LastManifest() *Manifest { return c.lastMan }
+
+// ChunkResult is one completed on-demand chunk fetch (lazy page-in).
+type ChunkResult struct {
+	Data     []byte
+	Attempts int
+	RPCs     int
+	Elapsed  float64
+}
+
+// FetchChunk downloads and verifies a single chunk of a previously
+// fetched package — the lazy page-in path. Like Fetch it arms its own
+// per-fetch deadline budget and retries under the capped exponential
+// backoff; a stale budget from the boot fetch can never leak in.
+func (c *Client) FetchChunk(man *Manifest, idx int) (*ChunkResult, error) {
+	if man == nil || idx < 0 || idx >= len(man.Chunks) {
+		return nil, fmt.Errorf("%w: page-in chunk %d out of range", ErrRPC, idx)
+	}
+	start := c.clock.Now()
+	c.deadline = start + c.cfg.Budget
+	jit := netsim.NewStream(workload.Fork(c.cfg.Seed, c.fetches))
+	c.fetches++
+	c.lastFailure = ""
+	c.curSpan = c.tel.BeginSpan()
+	defer func() { c.curSpan = 0 }()
+
+	res := &ChunkResult{}
+	fail := func(reason string, err error) (*ChunkResult, error) {
+		c.lastFailure = reason
+		c.tel.Counter("transport.pagein_fail_total").Inc()
+		c.tel.EndSpan(c.curSpan, c.spanParent, start, c.clock.Now(), "transport", "transport.pagein",
+			telemetry.S("outcome", reason),
+			telemetry.I("attempts", int64(res.Attempts)))
+		return nil, err
+	}
+	want := man.Chunks[idx]
+	for attempt := 1; ; attempt++ {
+		if c.clock.Now() >= c.deadline {
+			return fail("page-in budget exhausted", ErrBudget)
+		}
+		res.Attempts = attempt
+		c.tel.Counter("transport.rpcs_total").Inc()
+		res.RPCs++
+		t0 := c.clock.Now()
+		wire, err := c.conn.Chunk(man.ID, idx)
+		c.tel.SpanUnder(c.curSpan, t0, c.clock.Now(), "transport", "rpc.chunk",
+			telemetry.I("idx", int64(idx)),
+			telemetry.B("ok", err == nil))
+		if err == nil {
+			b, derr := decompressChunk(wire, man.ChunkSize)
+			if derr == nil && chunkHash(b) == want {
+				res.Data = b
+				res.Elapsed = c.clock.Now() - start
+				c.tel.Counter("transport.pagein_ok_total").Inc()
+				c.tel.EndSpan(c.curSpan, c.spanParent, start, c.clock.Now(), "transport", "transport.pagein",
+					telemetry.S("outcome", "ok"),
+					telemetry.I("idx", int64(idx)),
+					telemetry.I("attempts", int64(res.Attempts)))
+				return res, nil
+			}
+			err = fmt.Errorf("%w: chunk %d failed verification", ErrBadChunk, idx)
+		}
+		if !retryable(err) {
+			return fail("no package available", err)
+		}
+		c.tel.Counter("transport.rpc_failures_total").Inc()
+		if !c.sleepBackoff(attempt, jit) {
+			return fail("page-in budget exhausted", ErrBudget)
 		}
 	}
 }

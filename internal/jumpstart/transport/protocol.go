@@ -13,8 +13,8 @@
 // content-addressed, a retry after a mid-transfer failure re-fetches
 // only the chunks it is missing — transfers resume, they never
 // restart. The client layers per-RPC timeouts, capped exponential
-// backoff with deterministic jitter, and a per-boot deadline budget on
-// top; when the budget is exhausted the failure surfaces as a
+// backoff with deterministic jitter, and a per-fetch deadline budget
+// on top; when the budget is exhausted the failure surfaces as a
 // BootInfo.FallbackReason and the consumer takes the ordinary
 // no-Jump-Start fallback instead of crashing (Section VI-A3).
 package transport
@@ -50,7 +50,7 @@ var (
 	// ErrBadChunk means a chunk failed decompression or content-hash
 	// verification.
 	ErrBadChunk = errors.New("transport: chunk failed verification")
-	// ErrBudget means the per-boot fetch deadline budget ran out.
+	// ErrBudget means the per-fetch deadline budget ran out.
 	ErrBudget = errors.New("transport: fetch budget exhausted")
 )
 

@@ -245,9 +245,9 @@ func TestBackoffCappedExponential(t *testing.T) {
 }
 
 // TestBudgetExhaustionFallsBack: a fully dropped network exhausts the
-// per-boot deadline budget; the failure is ErrBudget with the
+// per-fetch deadline budget; the failure is ErrBudget with the
 // fallback reason recorded, and virtual time never overshoots the
-// budget.
+// budget window.
 func TestBudgetExhaustionFallsBack(t *testing.T) {
 	_, cli, clock, _ := newTestStack(t, testPayload(2_000, 6), 512,
 		netsim.Config{DropRate: 1}, ClientConfig{Budget: 20, RPCTimeout: 1})
@@ -261,23 +261,26 @@ func TestBudgetExhaustionFallsBack(t *testing.T) {
 	if now := clock.Now(); now < 19 || now > 20+1e-9 {
 		t.Fatalf("budget window not honored: spent %v of 20", now)
 	}
-	// The budget is per boot: a second Pick on the same client is
-	// already out of budget and fails immediately.
+	// The budget is per fetch: a second Pick on the same client arms a
+	// fresh window and burns it in full against the dead network rather
+	// than failing instantly on the first fetch's expired deadline.
 	before := clock.Now()
 	if _, ok := cli.Pick(0, 0, 6); ok {
-		t.Fatal("post-budget pick succeeded")
+		t.Fatal("post-budget pick succeeded on a fully dropped network")
 	}
-	if clock.Now() != before {
-		t.Fatal("post-budget pick burned more time")
+	// The window may overshoot by at most one in-flight RPC timeout.
+	if spent := clock.Now() - before; spent < 19 || spent > 21+1e-9 {
+		t.Fatalf("second pick spent %v of its own 20s budget", spent)
 	}
 }
 
-// TestBudgetResetBetweenBoots pins the reused-client fix: boot 1
-// exhausts its budget against a partitioned store; once the partition
-// lifts, a second boot through the same client must succeed after
-// ResetBudget re-arms a fresh window — without it the client would
-// inherit boot 1's expired deadline and fail instantly with ErrBudget.
-func TestBudgetResetBetweenBoots(t *testing.T) {
+// TestBudgetRearmsPerFetch is the regression test for the stale-budget
+// bug: the deadline used to be armed once per boot, so any fetch issued
+// after a budget-exhausting boot — a lazy page-in, a reused client's
+// next boot — inherited the expired deadline and failed instantly with
+// ErrBudget. A second fetch after a slow first one must get its own
+// fresh window, with no ResetBudget call in between.
+func TestBudgetRearmsPerFetch(t *testing.T) {
 	net := netsim.Config{
 		BaseLatency: 0.01,
 		Faults:      []netsim.Fault{netsim.Partition(0, 100, "")},
@@ -286,26 +289,26 @@ func TestBudgetResetBetweenBoots(t *testing.T) {
 	_, cli, clock, _ := newTestStack(t, payload, 512, net,
 		ClientConfig{Budget: 10, RPCTimeout: 1})
 
-	// Boot 1: the partition eats the whole budget.
+	// Fetch 1: the partition eats the whole budget.
 	if _, err := cli.Fetch(0, 0, 5, nil); !errors.Is(err, ErrBudget) {
-		t.Fatalf("boot 1 err = %v, want ErrBudget", err)
+		t.Fatalf("fetch 1 err = %v, want ErrBudget", err)
 	}
 	if clock.Now() > 10+1e-9 {
-		t.Fatalf("boot 1 overshot its budget: %v", clock.Now())
+		t.Fatalf("fetch 1 overshot its budget: %v", clock.Now())
 	}
 
-	// The partition ends; boot 2 starts well after boot 1's deadline.
+	// The partition ends; fetch 2 starts well after fetch 1's deadline
+	// and must succeed on its own window without any explicit reset.
 	clock.Sleep(100 - clock.Now())
-	cli.ResetBudget()
 	res, err := cli.Fetch(0, 0, 6, nil)
 	if err != nil {
-		t.Fatalf("boot 2 after ResetBudget: %v", err)
+		t.Fatalf("fetch 2 after exhausted fetch 1: %v", err)
 	}
 	if !bytes.Equal(res.Data, payload) {
-		t.Fatal("boot 2 payload mismatch")
+		t.Fatal("fetch 2 payload mismatch")
 	}
 	if res.Elapsed > 1 {
-		t.Fatalf("boot 2 on a healthy link took %v", res.Elapsed)
+		t.Fatalf("fetch 2 on a healthy link took %v", res.Elapsed)
 	}
 }
 
@@ -442,5 +445,110 @@ func TestSimFetchTelemetryZeroPerturbation(t *testing.T) {
 	e2, r2 := run(true)
 	if e1 != e2 || r1 != r2 {
 		t.Fatalf("telemetry perturbed the fetch: %v/%d vs %v/%d", e1, r1, e2, r2)
+	}
+}
+
+// TestFetchChunkFreshBudgetPerCall pins the page-in fetch path: each
+// FetchChunk call arms its own deadline window, verifies the chunk
+// against its content address, and a call issued long after a previous
+// budget exhaustion still succeeds.
+func TestFetchChunkFreshBudgetPerCall(t *testing.T) {
+	net := netsim.Config{
+		BaseLatency: 0.01,
+		Faults:      []netsim.Fault{netsim.Partition(5, 100, "")},
+	}
+	payload := testPayload(4_000, 13)
+	_, cli, clock, _ := newTestStack(t, payload, 1024, net,
+		ClientConfig{Budget: 10, RPCTimeout: 1})
+
+	// Boot fetch before the partition: succeeds and caches the manifest.
+	res, err := cli.Fetch(0, 0, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := res.Manifest
+	if man == nil || cli.LastManifest() != man {
+		t.Fatal("boot fetch did not surface its manifest")
+	}
+
+	// Page-in during the partition: burns its own window, then fails.
+	clock.Sleep(5 - clock.Now())
+	before := clock.Now()
+	if _, err := cli.FetchChunk(man, 0); !errors.Is(err, ErrBudget) {
+		t.Fatalf("partitioned page-in err = %v, want ErrBudget", err)
+	}
+	if spent := clock.Now() - before; spent < 9 || spent > 11+1e-9 {
+		t.Fatalf("page-in budget window off: spent %v of 10", spent)
+	}
+
+	// Page-in after the partition: a fresh window, an instant chunk.
+	clock.Sleep(100 - clock.Now())
+	cr, err := cli.FetchChunk(man, 1)
+	if err != nil {
+		t.Fatalf("post-partition page-in: %v", err)
+	}
+	if !bytes.Equal(cr.Data, payload[1024:2048]) {
+		t.Fatal("page-in returned wrong chunk bytes")
+	}
+	if cr.Elapsed > 1 {
+		t.Fatalf("healthy page-in took %v", cr.Elapsed)
+	}
+
+	// Out-of-range chunk indices are rejected without burning budget.
+	if _, err := cli.FetchChunk(man, len(man.Chunks)); err == nil {
+		t.Fatal("chunk index past end accepted")
+	}
+	if _, err := cli.FetchChunk(man, -1); err == nil {
+		t.Fatal("negative chunk index accepted")
+	}
+}
+
+// TestLazyPagerPageInAndMiss drives the pager the lazy server installs:
+// a healthy network pages in at its virtual-time cost, a dead one
+// reports a miss charged at the full budget, and the stats separate the
+// two.
+func TestLazyPagerPageInAndMiss(t *testing.T) {
+	payload := testPayload(4_000, 14)
+	const hz = 1e9
+
+	// Healthy: every page-in lands, zero-latency fabric → zero cycles.
+	_, cli, _, _ := newTestStack(t, payload, 1024, netsim.Config{}, ClientConfig{Budget: 10})
+	res, err := cli.Fetch(0, 0, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pager := NewLazyPager(cli, res.Manifest, hz)
+	for _, fn := range []string{"unit0::helper1", "unit3::endpoint2", "main"} {
+		cycles, ok := pager.PageIn(fn)
+		if !ok {
+			t.Fatalf("healthy page-in of %q missed", fn)
+		}
+		if cycles != 0 {
+			t.Fatalf("zero-latency page-in charged %v cycles", cycles)
+		}
+	}
+	if ins, misses := pager.Stats(); ins != 3 || misses != 0 {
+		t.Fatalf("stats = %d/%d, want 3/0", ins, misses)
+	}
+
+	// Dead network: the page-in misses and is charged the whole budget.
+	_, deadCli, _, _ := newTestStack(t, payload, 1024,
+		netsim.Config{DropRate: 1}, ClientConfig{Budget: 10, RPCTimeout: 1})
+	deadPager := NewLazyPager(deadCli, res.Manifest, hz)
+	cycles, ok := deadPager.PageIn("unit0::helper1")
+	if ok {
+		t.Fatal("page-in succeeded on a fully dropped network")
+	}
+	if cycles != 10*hz {
+		t.Fatalf("miss charged %v cycles, want full budget %v", cycles, 10*hz)
+	}
+	if ins, misses := deadPager.Stats(); ins != 1 || misses != 1 {
+		t.Fatalf("dead stats = %d/%d, want 1/1", ins, misses)
+	}
+
+	// No manifest (local boot, nothing to fetch): free and always ok.
+	local := NewLazyPager(deadCli, nil, hz)
+	if cycles, ok := local.PageIn("x"); cycles != 0 || !ok {
+		t.Fatalf("manifestless page-in = %v/%v, want 0/true", cycles, ok)
 	}
 }

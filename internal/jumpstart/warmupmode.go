@@ -1,0 +1,45 @@
+package jumpstart
+
+import "fmt"
+
+// WarmupMode selects how a consumer materializes the translations in
+// its Jump-Start package. Eager is the classic boot: preload, compile
+// and relocate everything before serving. Lazy starts serving
+// immediately and pages each hot function's translation in on its
+// first call — trading a slower first-touch tail for near-instant
+// availability, the VM-restore trick ported onto the Jump-Start loop.
+type WarmupMode int
+
+const (
+	// WarmupEager materializes the whole package during boot, before
+	// the server starts serving (the paper's behaviour).
+	WarmupEager WarmupMode = iota
+	// WarmupLazy serves immediately and fetches each translation
+	// on-demand at first call, falling back to the interpreter (and
+	// the normal live-JIT path) when a page-in misses its budget.
+	WarmupLazy
+)
+
+// String returns the flag-level name.
+func (m WarmupMode) String() string {
+	switch m {
+	case WarmupEager:
+		return "eager"
+	case WarmupLazy:
+		return "lazy"
+	default:
+		return fmt.Sprintf("WarmupMode(%d)", int(m))
+	}
+}
+
+// ParseWarmupMode parses the flag-level name.
+func ParseWarmupMode(s string) (WarmupMode, error) {
+	switch s {
+	case "eager":
+		return WarmupEager, nil
+	case "lazy":
+		return WarmupLazy, nil
+	default:
+		return 0, fmt.Errorf("jumpstart: unknown warmup mode %q (want eager or lazy)", s)
+	}
+}

@@ -322,3 +322,74 @@ func TestReportVerdictsAndText(t *testing.T) {
 		t.Fatalf("violations not rendered:\n%s", b3.String())
 	}
 }
+
+// TestClassifyDegenerateSeries pins the defined behavior for series
+// with fewer than two samples — the shape WarmupSeries hands over for a
+// server that never booted (or booted on the simulation's final tick).
+// Both must come back labeled, with a defined steady state, and with
+// no NaN anywhere; before the WarmupSeries suffix fix these could only
+// be reached by constructing the slices by hand, now the fleet produces
+// them routinely.
+func TestClassifyDegenerateSeries(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		xs   []float64
+	}{
+		{"empty", nil},
+		{"single", []float64{3.5}},
+	} {
+		c := Classify(tc.xs, 2.0)
+		if c.Label != LabelFlat {
+			t.Fatalf("%s: label = %v, want flat", tc.name, c.Label)
+		}
+		if c.SteadyStart != 0 || c.TimeToSteady != 0 {
+			t.Fatalf("%s: steady start %d at %v, want 0 at 0", tc.name, c.SteadyStart, c.TimeToSteady)
+		}
+		if len(c.SegmentMeans) != 1 {
+			t.Fatalf("%s: segment means %v, want exactly one", tc.name, c.SegmentMeans)
+		}
+		if math.IsNaN(c.SegmentMeans[0]) || math.IsNaN(c.SteadyMean) {
+			t.Fatalf("%s: NaN in classification %+v", tc.name, c)
+		}
+		if len(c.Changepoints) != 0 {
+			t.Fatalf("%s: changepoints %v, want none", tc.name, c.Changepoints)
+		}
+	}
+	if got := Classify([]float64{3.5}, 2.0).SteadyMean; got != 3.5 {
+		t.Fatalf("single-sample steady mean = %v, want 3.5", got)
+	}
+}
+
+// TestReportEmptyRegimeText pins the empty-snapshot report path: a
+// regime that accumulated nothing (a run aborted before any boot
+// completed) must still render — no NaN percentages, no 0/0 quantiles
+// — and empty-sample quantiles must report 0.
+func TestReportEmptyRegimeText(t *testing.T) {
+	if got := Quantile(nil, 0.99); got != 0 {
+		t.Fatalf("Quantile(nil) = %v, want 0", got)
+	}
+	rep := NewReport(SLO{BootP99: 1, TimeToSteadyP95: 1, CapacityLoss: 0.5})
+	empty := rep.Regime("aborted")
+	// Curves classified but zero boots recorded: the curve percentages
+	// must divide by the curve count, never by the boot count.
+	empty.AddClassification(Classify(nil, 1))
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("empty-regime report leaked NaN/Inf:\n%s", out)
+	}
+	if !strings.Contains(out, "regime aborted") || !strings.Contains(out, "flat=1 (100%)") {
+		t.Fatalf("empty-regime report missing expected lines:\n%s", out)
+	}
+	// With no boot/steady samples the corresponding SLO verdicts are
+	// suppressed rather than judged against empty data.
+	if vs := empty.Verdicts(rep.SLO); len(vs) != 0 {
+		t.Fatalf("verdicts over empty samples: %+v", vs)
+	}
+	if !rep.Passed() {
+		t.Fatal("empty report must pass vacuously")
+	}
+}

@@ -157,6 +157,15 @@ type Config struct {
 
 	// Consumer inputs.
 	Package *prof.Profile
+	// LazyWarmup switches the consumer to lazy package materialization
+	// (jumpstart.WarmupLazy): init skips the eager preload, precompile,
+	// relocate and warmup-request stages, and every hot function pages
+	// its optimized translation in on first call instead. The server
+	// starts serving as soon as InitCycles are paid.
+	LazyWarmup bool
+	// Pager fetches translation artifacts on demand in lazy mode (nil
+	// means page-ins are local: no fetch time, install cost only).
+	Pager Pager
 	// UsePropertyOrder applies the package's property-access counters
 	// to object layout (Section V-C).
 	UsePropertyOrder bool
@@ -270,6 +279,11 @@ type Server struct {
 	faults      int
 	liveFull    bool
 	startupDone bool
+
+	// Lazy warmup state: lazyPending[id] marks a hot function awaiting
+	// its first-call page-in (nil unless Config.LazyWarmup).
+	lazyPending []bool
+	lazyStats   LazyStats
 
 	// Telemetry. tel may be nil (all uses are nil-safe); the metric
 	// handles are resolved once in New so the serve path stays
@@ -422,6 +436,16 @@ func (s *Server) canReplayEnters(enters []replay.FnCount) bool {
 	t := s.st
 	if t.calls == nil {
 		t.calls = make([]uint32, len(s.site.Prog.Funcs))
+	}
+	// A pending lazy page-in inside the subtree would be skipped by a
+	// replay (the real execution would fetch and install a translation
+	// mid-request); refuse without side effects.
+	if s.lazyPending != nil {
+		for _, e := range enters {
+			if s.lazyPending[e.ID] {
+				return false
+			}
+		}
 	}
 	var trigger uint32
 	triggered := false
@@ -637,6 +661,9 @@ func (s *Server) startupCost() float64 {
 
 	switch s.cfg.Mode {
 	case ModeConsumer:
+		if s.cfg.LazyWarmup {
+			return s.armLazyWarmup()
+		}
 		p := s.cfg.Package
 		total := 0.0
 		// Preload the units named by the package, in parallel

@@ -46,6 +46,15 @@ func (t *serverTracer) OnEnter(fn *bytecode.Function) {
 	}
 	t.calls[fn.ID]++
 
+	// Lazy warmup: a marked hot function's first call materializes its
+	// packaged translation. The mark clears regardless of outcome, so a
+	// pager miss degrades to the live-JIT path below instead of
+	// re-fetching against a broken store on every call.
+	if s.lazyPending != nil && s.lazyPending[fn.ID] {
+		s.lazyPending[fn.ID] = false
+		s.lazyPageIn(fn)
+	}
+
 	switch s.phase {
 	case PhaseProfiling:
 		if s.j.Active(fn.ID) == nil && t.calls[fn.ID] >= uint32(s.cfg.ProfileTriggerCalls) {

@@ -42,6 +42,9 @@ const (
 	CycleData
 	// CycleGuard is specialization/devirtualization guard failures.
 	CycleGuard
+	// CyclePageIn is lazy-warmup translation page-in: the on-demand
+	// fetch plus install of a packaged translation at first call.
+	CyclePageIn
 
 	// NumCycleBuckets is the bucket count.
 	NumCycleBuckets
@@ -61,6 +64,7 @@ var cycleBucketNames = [NumCycleBuckets]string{
 	CycleBranch:       "branch-penalty",
 	CycleData:         "data-penalty",
 	CycleGuard:        "guard-fail",
+	CyclePageIn:       "lazy-pagein",
 }
 
 // String names the bucket.

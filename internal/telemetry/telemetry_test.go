@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -304,5 +305,47 @@ func TestSetBundle(t *testing.T) {
 	s.CycleProf().Add(CycleInterp, 2)
 	if s.Metrics.Counter("c").Value() != 1 || s.Trace.Len() != 1 || s.Cycles.Total() != 2 {
 		t.Fatal("set not wired")
+	}
+}
+
+// TestEmptySnapshotQuantilesAndJSON pins the empty-snapshot behavior a
+// fleet export depends on: a registered-but-never-observed histogram
+// must report quantile 0 (not NaN from a 0/0 rank division), and
+// WriteJSON over such a registry must stay legal JSON — including when
+// a gauge holds a value JSON cannot carry (NaN/Inf encode as null).
+func TestEmptySnapshotQuantilesAndJSON(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("boot.lat", []float64{1, 2, 4})
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	// A histogram registered with no bounds at all must also stay at 0,
+	// observed or not.
+	nb := r.Histogram("no.bounds", nil)
+	nb.Observe(7)
+	if got := nb.Quantile(0.5); got != 0 {
+		t.Fatalf("boundless histogram Quantile = %v, want 0", got)
+	}
+	r.Gauge("bad.gauge").Set(math.NaN())
+	r.Gauge("inf.gauge").Set(math.Inf(1))
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !json.Valid(out) {
+		t.Fatalf("empty-snapshot WriteJSON is not valid JSON:\n%s", out)
+	}
+	if bytes.Contains(out, []byte("NaN")) || bytes.Contains(out, []byte("Inf")) {
+		t.Fatalf("WriteJSON leaked a non-JSON float:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte(`"bad.gauge":null`)) {
+		t.Fatalf("NaN gauge did not encode as null:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte(`"boot.lat":{"count":0,"sum":0,"p50":0,"p95":0,"p99":0`)) {
+		t.Fatalf("unobserved histogram snapshot malformed:\n%s", out)
 	}
 }
