@@ -9,7 +9,13 @@ TELEMETRY_COVER_FLOOR ?= 80
 # changepoint classification are the tools that audit everything else.
 OBS_COVER_FLOOR ?= 80
 
-.PHONY: build test bench alloccheck verify cover faultsweep churnsweep regionsweep obssweep poolsweep
+# The scenario engine is pure functions of (region, t) and the
+# autotuner is pure search logic — both are cheap to cover completely,
+# and holes there silently skew every policy recommendation.
+SCENARIO_COVER_FLOOR ?= 80
+AUTOTUNE_COVER_FLOOR ?= 80
+
+.PHONY: build test bench alloccheck verify cover faultsweep churnsweep regionsweep obssweep poolsweep scenariosweep
 
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 
@@ -97,8 +103,20 @@ poolsweep:
 	$(GO) test -race -count=1 -v -run 'TestFetchChunkFreshBudgetPerCall|TestLazyPager' ./internal/jumpstart/transport/
 	$(GO) test -race -count=1 -v -run 'TestPoolFigure' ./internal/experiments/
 
+# Dynamic-traffic gate: the scenario determinism test (diurnal,
+# flash-crowd and failover fleets byte-identical at -workers 1, 4 and
+# NumCPU under the race detector, with geometry classes and demand
+# accounting), the scenario-engine unit suite, the autotuner search
+# invariants, and the time-varying traffic modulation tests.
+scenariosweep:
+	$(GO) test -race -count=1 -v -run 'TestScenario|TestGeometry|TestDiurnal|TestFailover|TestNoScenario' ./internal/cluster/
+	$(GO) test -race -count=1 -v ./internal/scenario/
+	$(GO) test -race -count=1 -v ./internal/autotune/
+	$(GO) test -race -count=1 -v -run 'TestTrafficMixShift|TestTrafficDiffersAcrossRegions' ./internal/workload/
+
 # Coverage gate: reports per-package coverage and enforces the floors
-# on internal/telemetry and internal/obs.
+# on internal/telemetry, internal/obs, internal/scenario and
+# internal/autotune.
 cover:
 	$(GO) test -cover ./...
 	@check() { \
@@ -112,4 +130,6 @@ cover:
 		echo "cover: $$1 $$pct% >= $$2% floor"; \
 	}; \
 	check ./internal/telemetry/ $(TELEMETRY_COVER_FLOOR) && \
-	check ./internal/obs/ $(OBS_COVER_FLOOR)
+	check ./internal/obs/ $(OBS_COVER_FLOOR) && \
+	check ./internal/scenario/ $(SCENARIO_COVER_FLOOR) && \
+	check ./internal/autotune/ $(AUTOTUNE_COVER_FLOOR)

@@ -18,6 +18,8 @@
 //	experiments -fig regions        # multi-region stores + seeder aggregation
 //	experiments -fig warmclass      # changepoint warmup classification + SLO report
 //	experiments -fig pool           # standby warm pool + lazy package paging
+//	experiments -fig scenario       # dynamic traffic + heterogeneous fleets
+//	experiments -tune               # SLO-driven policy autotuner (successive halving)
 //	experiments -quick              # reduced scale (faster, noisier)
 //	experiments -workers 1          # sequential (byte-identical output)
 //	experiments -sweep 5 -seed 42   # 5-seed repetition study (mean/min/max)
@@ -29,31 +31,61 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"jumpstart/internal/experiments"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate (1, 2, 4, 5, 6, lifespan, reliability, fleet, brownout, churn, regions, warmclass, pool, all)")
-	quick := flag.Bool("quick", false, "use the reduced-scale configuration")
-	workers := flag.Int("workers", 0, "parallel fan-out width (<= 0: one worker per CPU)")
-	sweep := flag.Int("sweep", 0, "run an N-seed sweep of the headline metrics instead of single-seed figures")
-	seed := flag.Uint64("seed", 1, "base seed for -sweep (per-seed streams are forked from it)")
-	replayCache := flag.String("replay-cache", "on", "translation replay memoization: on | off (host-side speedup; figure output is byte-identical either way)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
 
-	cfg := experiments.Default()
-	if *quick {
-		cfg = experiments.Quick()
+// labConfig resolves the measurement configuration. It is a variable
+// so the smoke test can substitute a micro-scale config; full-scale
+// figure generation is far too slow for the test suite.
+var labConfig = func(quick bool) experiments.Config {
+	if quick {
+		return experiments.Quick()
 	}
-	cfg.Workers = *workers
+	return experiments.Default()
+}
+
+// run executes the harness; main is only flag-error plumbing so tests
+// can drive the binary end to end in-process.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "which figure to regenerate (1, 2, 4, 5, 6, lifespan, reliability, fleet, brownout, churn, regions, warmclass, pool, scenario, all)")
+	quick := fs.Bool("quick", false, "use the reduced-scale configuration")
+	workers := fs.Int("workers", 0, "parallel fan-out width (<= 0: one worker per CPU)")
+	sweep := fs.Int("sweep", 0, "run an N-seed sweep of the headline metrics instead of single-seed figures")
+	seed := fs.Uint64("seed", 1, "base seed for -sweep (per-seed streams are forked from it)")
+	tune := fs.Bool("tune", false, "run the SLO-driven policy autotuner instead of figures")
+	replayCache := fs.String("replay-cache", "on", "translation replay memoization: on | off (host-side speedup; figure output is byte-identical either way)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *replayCache != "on" && *replayCache != "off" {
-		fatal(fmt.Errorf("-replay-cache must be on or off, got %q", *replayCache))
+		return fmt.Errorf("-replay-cache must be on or off, got %q (see experiments -h for usage)", *replayCache)
 	}
+	if *sweep < 0 {
+		return fmt.Errorf("-sweep must be >= 0 (see experiments -h for usage)")
+	}
+	if *fig != "all" && !experiments.KnownFigure(*fig) {
+		return fmt.Errorf("unknown figure %q (see experiments -h for usage)", *fig)
+	}
+	if *tune && *sweep > 0 {
+		return fmt.Errorf("-tune and -sweep are mutually exclusive (see experiments -h for usage)")
+	}
+
+	cfg := labConfig(*quick)
+	cfg.Workers = *workers
 	cfg.ServerCfg.ReplayCache = *replayCache == "on"
 
-	out := bufio.NewWriter(os.Stdout)
+	out := bufio.NewWriter(stdout)
 	defer out.Flush()
 
 	fmt.Fprintf(out, "# HHVM Jump-Start reproduction — experiment harness\n")
@@ -65,31 +97,25 @@ func main() {
 		out.Flush()
 		res, err := experiments.Sweep(cfg, *seed, *sweep)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		experiments.WriteSweep(out, res)
-		return
+		return nil
 	}
 
 	figs := []string{*fig}
 	if *fig == "all" {
 		figs = experiments.FigureOrder
-	} else if !experiments.KnownFigure(*fig) {
-		fatal(fmt.Errorf("unknown figure %q", *fig))
 	}
 	fmt.Fprintf(out, "# building site and seeding profile package...\n\n")
 	out.Flush()
 
 	lab, err := experiments.NewLab(cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	if err := lab.RunFigures(out, figs, cfg.Workers); err != nil {
-		fatal(err)
+	if *tune {
+		return lab.WriteTune(out)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	return lab.RunFigures(out, figs, cfg.Workers)
 }

@@ -31,6 +31,15 @@
 //	fleetsim -warmup-mode lazy                        # consumers serve immediately and
 //	                                                  # page translations in on first call
 //
+// Dynamic traffic scenarios and heterogeneous hardware:
+//
+//	fleetsim -scenario diurnal                        # phase-shifted per-region demand waves
+//	fleetsim -scenario flashcrowd                     # a spike ramps, holds, decays
+//	fleetsim -scenario failover                       # one region goes dark mid-push;
+//	                                                  # survivors absorb its demand
+//	fleetsim -geometry mixed                          # two hardware classes; cross-geometry
+//	                                                  # boots replay a stretched warmup curve
+//
 // Telemetry (all optional, zero simulation perturbation):
 //
 //	-trace out.jsonl        # fleet + warmup-measurement event trace
@@ -53,6 +62,7 @@ import (
 	"jumpstart/internal/jumpstart/transport"
 	"jumpstart/internal/netsim"
 	"jumpstart/internal/obs"
+	"jumpstart/internal/scenario"
 	"jumpstart/internal/telemetry"
 )
 
@@ -61,6 +71,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fleetsim:", err)
 		os.Exit(1)
 	}
+}
+
+// usageErr formats a flag-validation error with a usage pointer, so
+// nonsense values exit non-zero with a hint instead of silently
+// misbehaving deep in the simulation.
+func usageErr(format string, args ...any) error {
+	return fmt.Errorf(format+" (see fleetsim -h for usage)", args...)
 }
 
 // labConfig resolves the measurement configuration. It is a variable
@@ -104,19 +121,57 @@ func run(args []string, stdout io.Writer) error {
 	poolSize := fs.Int("pool-size", 0, "standby warm-pool size: pre-booted consumers swapped in during C3 waves (0 = off)")
 	poolBackfill := fs.Float64("pool-backfill", 0, "max rebooted instances re-admitted to the pool per virtual second (0 = unthrottled)")
 	warmupMode := fs.String("warmup-mode", "eager", "consumer warmup: eager | lazy (lazy boots serve immediately and replay the measured on-demand page-in curve)")
+	scenarioName := fs.String("scenario", "steady", "dynamic traffic scenario: steady | diurnal | flashcrowd | failover")
+	geometry := fs.String("geometry", "uniform", "fleet hardware mix: uniform | mixed (two geometry classes; cross-geometry boots replay a stretched Jump-Start curve)")
+	geomStretch := fs.Float64("geometry-stretch", 1.25, "warmup slowdown factor for cross-geometry boots (with -geometry mixed)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *replayCache != "on" && *replayCache != "off" {
-		return fmt.Errorf("-replay-cache must be on or off, got %q", *replayCache)
+		return usageErr("-replay-cache must be on or off, got %q", *replayCache)
 	}
 	policy, err := jumpstart.ParseCompatPolicy(*remapPolicy)
 	if err != nil {
-		return err
+		return usageErr("%v", err)
 	}
 	wmode, err := jumpstart.ParseWarmupMode(*warmupMode)
 	if err != nil {
-		return err
+		return usageErr("%v", err)
+	}
+	kind, err := scenario.ParseKind(*scenarioName)
+	if err != nil {
+		return usageErr("%v", err)
+	}
+	if *geometry != "uniform" && *geometry != "mixed" {
+		return usageErr("-geometry must be uniform or mixed, got %q", *geometry)
+	}
+	for _, c := range []struct {
+		bad  bool
+		name string
+		msg  string
+	}{
+		{*defects < 0 || *defects > 1, "-defects", "must be in [0, 1]"},
+		{*seconds < 0, "-seconds", "must be >= 0"},
+		{*netLatency < 0, "-net-latency", "must be >= 0"},
+		{*fetchBudget <= 0, "-fetch-budget", "must be > 0"},
+		{*brownStart < 0, "-brownout-start", "must be >= 0"},
+		{*brownSecs < 0, "-brownout-seconds", "must be >= 0"},
+		{*brownDrop < 0 || *brownDrop > 1, "-brownout-drop", "must be in [0, 1]"},
+		{*regions < 0, "-regions", "must be >= 0"},
+		{*replicas < 0, "-replicas", "must be >= 0"},
+		{*storeNodes <= 0, "-store-nodes", "must be > 0"},
+		{*aggregate < 0, "-aggregate", "must be >= 0"},
+		{*propagateEvery <= 0, "-propagate-every", "must be > 0"},
+		{*interLatency < 0, "-inter-latency", "must be >= 0"},
+		{*pushEvery < 0, "-push-every", "must be >= 0"},
+		{*churn < 0 || *churn > 1, "-churn", "must be in [0, 1]"},
+		{*poolSize < 0, "-pool-size", "must be >= 0"},
+		{*poolBackfill < 0, "-pool-backfill", "must be >= 0"},
+		{*geomStretch < 1, "-geometry-stretch", "must be >= 1"},
+	} {
+		if c.bad {
+			return usageErr("%s %s", c.name, c.msg)
+		}
 	}
 
 	cfg := labConfig(*quick)
@@ -192,6 +247,24 @@ func run(args []string, stdout io.Writer) error {
 	if *regions > 0 {
 		fcfg.Regions = *regions
 	}
+	dur := *seconds
+	if dur == 0 {
+		dur = 6 * cfg.Horizon
+	}
+	if kind != scenario.Steady {
+		eng, err := scenario.New(scenario.DefaultConfig(kind, fcfg.Regions, dur))
+		if err != nil {
+			return err
+		}
+		fcfg.Scenario = eng
+		// Boots that absorb a failed-over region's load warm under
+		// extra traffic: every milestone lands ~1.5x later.
+		fcfg.CurveFailover = jsCurve.Stretch(1.5)
+	}
+	if *geometry == "mixed" {
+		fcfg.GeometryClasses = 2
+		fcfg.CurveMismatch = jsCurve.Stretch(*geomStretch)
+	}
 	if *replicas > 0 {
 		if fcfg.Transport == nil {
 			ccfg := transport.DefaultClientConfig()
@@ -213,12 +286,8 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	dur := *seconds
-	if dur == 0 {
-		dur = 6 * cfg.Horizon
-	}
-	fmt.Fprintf(stdout, "# fleet: %d servers (%d regions x %d buckets), jumpstart=%v, defects=%.2f\n",
-		fleet.Servers(), fcfg.Regions, fcfg.Buckets, !*noJS, *defects)
+	fmt.Fprintf(stdout, "# fleet: %d servers (%d regions x %d buckets), jumpstart=%v, defects=%.2f, scenario=%s, geometry=%s\n",
+		fleet.Servers(), fcfg.Regions, fcfg.Buckets, !*noJS, *defects, kind, *geometry)
 	fleet.StartDeployment()
 	ticks := fleet.Run(dur)
 	fmt.Fprintln(stdout, "t_seconds,capacity,down,warming,phase,packages,crashes,fallbacks")
@@ -243,6 +312,20 @@ func run(args []string, stdout io.Writer) error {
 		propOK, propFail := fleet.Propagation()
 		fmt.Fprintf(stdout, "# multistore: replica failovers = %d; consensus packages = %d; aggregated boots = %d; propagation ok/fail = %d/%d\n",
 			fleet.Failovers(), fleet.ConsensusPackages(), fleet.AggregatedBoots(), propOK, propFail)
+	}
+	if kind != scenario.Steady {
+		ss := fleet.ScenarioStats()
+		fmt.Fprintf(stdout, "# scenario %s: demand-weighted loss = %.2f%%; demand peak/trough = %.2f/%.2f\n",
+			kind, cluster.ScenarioCapacityLoss(ticks, fcfg.TickSeconds)*100,
+			ss.PeakDemand, ss.TroughDemand)
+		if kind == scenario.Failover {
+			fmt.Fprintf(stdout, "# failover drill: dark ticks = %d; boots under absorbed load = %d\n",
+				ss.DarkTicks, ss.FailoverBoots)
+		}
+	}
+	if *geometry == "mixed" {
+		fmt.Fprintf(stdout, "# geometry: census %v; cross-geometry boots = %d (stretch %.2fx)\n",
+			fleet.GeometryCensus(), fleet.ScenarioStats().MismatchBoots, *geomStretch)
 	}
 	if *pushEvery > 0 {
 		kept, lost := fleet.PackageChurn()

@@ -243,3 +243,95 @@ func TestRunPoolLazy(t *testing.T) {
 		t.Fatal("bogus -warmup-mode accepted")
 	}
 }
+
+// TestRunScenarioFailover smoke-tests -scenario: the drill window must
+// show up in the dark-tick accounting and the demand-weighted loss
+// summary.
+func TestRunScenarioFailover(t *testing.T) {
+	orig := labConfig
+	labConfig = microConfig
+	defer func() { labConfig = orig }()
+
+	var out strings.Builder
+	err := run([]string{"-seconds", "900", "-regions", "2", "-scenario", "failover"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"scenario=failover",
+		"# scenario failover: demand-weighted loss = ",
+		"# failover drill: dark ticks = ",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "dark ticks = 0;") {
+		t.Fatalf("drill never darkened a region:\n%s", s)
+	}
+}
+
+// TestRunGeometryMixed smoke-tests -geometry mixed: two non-empty
+// hardware classes and at least one cross-geometry boot replaying the
+// stretched curve.
+func TestRunGeometryMixed(t *testing.T) {
+	orig := labConfig
+	labConfig = microConfig
+	defer func() { labConfig = orig }()
+
+	var out strings.Builder
+	err := run([]string{"-seconds", "600", "-geometry", "mixed"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "# geometry: census [") {
+		t.Fatalf("missing geometry census:\n%s", s)
+	}
+	if strings.Contains(s, "cross-geometry boots = 0 ") {
+		t.Fatalf("no cross-geometry boots recorded:\n%s", s)
+	}
+}
+
+// TestRunFlagValidation: nonsense flag values must fail fast with a
+// usage pointer, before any measurement starts.
+func TestRunFlagValidation(t *testing.T) {
+	orig := labConfig
+	labConfig = func(bool) experiments.Config {
+		t.Fatal("validation must reject flags before the lab is built")
+		return experiments.Quick()
+	}
+	defer func() { labConfig = orig }()
+
+	cases := [][]string{
+		{"-pool-size", "-1"},
+		{"-pool-backfill", "-0.5"},
+		{"-defects", "1.5"},
+		{"-seconds", "-10"},
+		{"-fetch-budget", "0"},
+		{"-brownout-drop", "2"},
+		{"-regions", "-2"},
+		{"-replicas", "-1"},
+		{"-store-nodes", "0"},
+		{"-propagate-every", "0"},
+		{"-push-every", "-5"},
+		{"-churn", "-0.1"},
+		{"-geometry-stretch", "0.5"},
+		{"-scenario", "hurricane"},
+		{"-geometry", "triangular"},
+		{"-remap-policy", "vibes"},
+		{"-replay-cache", "maybe"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		err := run(args, &out)
+		if err == nil {
+			t.Errorf("%v accepted", args)
+			continue
+		}
+		if !strings.Contains(err.Error(), "usage") {
+			t.Errorf("%v: error %q has no usage pointer", args, err)
+		}
+	}
+}

@@ -89,14 +89,35 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	if *replayCache != "on" && *replayCache != "off" {
-		return fmt.Errorf("-replay-cache must be on or off, got %q", *replayCache)
+		return fmt.Errorf("-replay-cache must be on or off, got %q (see jumpstartd -h for usage)", *replayCache)
 	}
 	wmode, err := jumpstart.ParseWarmupMode(*warmupMode)
 	if err != nil {
-		return err
+		return fmt.Errorf("%v (see jumpstartd -h for usage)", err)
+	}
+	switch *mode {
+	case "nojumpstart", "seeder", "consumer":
+	default:
+		return fmt.Errorf("-mode must be nojumpstart, seeder or consumer, got %q (see jumpstartd -h for usage)", *mode)
+	}
+	for _, c := range []struct {
+		bad  bool
+		name string
+		msg  string
+	}{
+		{*seconds <= 0, "-seconds", "must be > 0"},
+		{*region < 0, "-region", "must be >= 0"},
+		{*bucket < 0, "-bucket", "must be >= 0"},
+		{*rps < 0, "-rps", "must be >= 0"},
+		{*fetchBudget <= 0, "-fetch-budget", "must be > 0"},
+		{*serveSeconds < 0, "-serve-seconds", "must be >= 0"},
+	} {
+		if c.bad {
+			return fmt.Errorf("%s %s (see jumpstartd -h for usage)", c.name, c.msg)
+		}
 	}
 	if wmode == jumpstart.WarmupLazy && *mode != "consumer" {
-		return fmt.Errorf("-warmup-mode lazy requires -mode consumer")
+		return fmt.Errorf("-warmup-mode lazy requires -mode consumer (see jumpstartd -h for usage)")
 	}
 	if *aggregatePkgs != "" && *mode != "consumer" {
 		// Merge-only invocation: combine seeder packages into a

@@ -82,6 +82,34 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestRunFlagValidation: nonsense numeric flags must fail fast with a
+// usage pointer, before any simulation starts.
+func TestRunFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "bogus"},
+		{"-seconds", "0"},
+		{"-seconds", "-10"},
+		{"-region", "-1"},
+		{"-bucket", "-1"},
+		{"-rps", "-100"},
+		{"-fetch-budget", "0"},
+		{"-serve-seconds", "-1"},
+		{"-replay-cache", "maybe"},
+		{"-warmup-mode", "bogus"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		err := run(args, &out)
+		if err == nil {
+			t.Errorf("%v accepted", args)
+			continue
+		}
+		if !strings.Contains(err.Error(), "usage") {
+			t.Errorf("%v: error %q has no usage pointer", args, err)
+		}
+	}
+}
+
 // TestStoreHandoff drives the full networked seeder→consumer handoff
 // against a real store server: the seeder simulates, collects, and
 // uploads its package over HTTP; a separate consumer run fetches it

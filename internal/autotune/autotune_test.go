@@ -1,0 +1,210 @@
+package autotune
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"jumpstart/internal/jumpstart"
+)
+
+// syntheticEval scores candidates by a fixed deterministic function of
+// their knobs: frequent pushes and no pool hurt, remap tolerance and
+// the pool help, lazy warmup trades loss for time-to-steady. Noise
+// shrinks with budget, mimicking short-run measurement error.
+func syntheticEval(k Knobs, budget float64) (Measurement, error) {
+	loss := 0.05
+	if k.PushEvery > 0 {
+		loss += 0.5 / k.PushEvery // cadence pressure
+	}
+	if k.CompatPolicy == jumpstart.ExactOnly {
+		loss += 0.03
+	}
+	loss -= 0.002 * float64(k.PoolSize)
+	if loss < 0.01 {
+		loss = 0.01
+	}
+	tts := 120.0
+	if k.WarmupMode == jumpstart.WarmupLazy {
+		loss += 0.005
+		tts = 40
+	}
+	// Deterministic pseudo-noise, damped by budget.
+	h := uint64(k.PoolSize)*1_000_003 + uint64(k.PushEvery) + uint64(k.CompatPolicy)<<7
+	h ^= h << 13
+	h ^= h >> 7
+	noise := (float64(h%1000)/1000 - 0.5) * 0.01 * (1 - budget)
+	return Measurement{
+		CapLossP99:      loss + noise,
+		CapLossMean:     loss / 2,
+		TimeToSteadyP95: tts,
+	}, nil
+}
+
+func testGrid() Grid {
+	return Grid{
+		Base:      Knobs{PushEvery: 40, CompatPolicy: jumpstart.ExactOnly},
+		PushEvery: []float64{10, 40},
+		CompatPolicy: []jumpstart.CompatPolicy{
+			jumpstart.ExactOnly, jumpstart.RemapTolerant,
+		},
+		PoolSize:   []int{0, 8},
+		WarmupMode: []jumpstart.WarmupMode{jumpstart.WarmupEager, jumpstart.WarmupLazy},
+	}
+}
+
+func TestGridCandidates(t *testing.T) {
+	g := testGrid()
+	cands := g.Candidates()
+	if len(cands) != 16 {
+		t.Fatalf("got %d candidates, want 16", len(cands))
+	}
+	seen := map[string]bool{}
+	for _, k := range cands {
+		s := k.String()
+		if seen[s] {
+			t.Fatalf("duplicate candidate %q", s)
+		}
+		seen[s] = true
+	}
+	// Empty axes pin to Base.
+	pinned := Grid{Base: Knobs{PushEvery: 99, PoolSize: 7}}
+	cs := pinned.Candidates()
+	if len(cs) != 1 || cs[0] != pinned.Base {
+		t.Fatalf("empty grid = %+v, want just Base", cs)
+	}
+}
+
+func TestObjectiveScore(t *testing.T) {
+	m := Measurement{CapLossP99: 0.2, TimeToSteadyP95: 300}
+	if got := (Objective{}).Score(m); got != 0.2 {
+		t.Fatalf("default objective = %f, want CapLossP99 alone", got)
+	}
+	o := Objective{LossWeight: 1, SteadyWeight: 0.5, SteadyNorm: 600}
+	if got, want := o.Score(m), 0.2+0.5*300/600; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("weighted objective = %f, want %f", got, want)
+	}
+}
+
+func TestSearchRanksAndIsDeterministic(t *testing.T) {
+	cfg := Config{Grid: testGrid(), Eta: 3}
+	var ref []Result
+	for _, workers := range []int{1, 4, 0} {
+		cfg.Workers = workers
+		res, err := Search(cfg, syntheticEval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 16 {
+			t.Fatalf("workers=%d: %d results, want 16", workers, len(res))
+		}
+		if workers == 1 {
+			ref = res
+			continue
+		}
+		for i := range res {
+			if res[i] != ref[i] {
+				t.Fatalf("workers=%d: rank %d diverged:\n  %+v\n  %+v",
+					workers, i, res[i], ref[i])
+			}
+		}
+	}
+	// The known best region of the synthetic landscape: slow pushes,
+	// remap tolerance, a pool. The winner must come from it.
+	best := ref[0]
+	if best.Knobs.PushEvery != 40 || best.Knobs.CompatPolicy != jumpstart.RemapTolerant ||
+		best.Knobs.PoolSize != 8 {
+		t.Fatalf("winner %s is not from the known-best region", best.Knobs)
+	}
+	if best.Budget != 1 {
+		t.Fatalf("winner evaluated at budget %f, want full fidelity", best.Budget)
+	}
+	if best.Dominated {
+		t.Fatal("the ranked winner is marked dominated")
+	}
+	// Ranking invariant: rounds never increase down the table.
+	for i := 1; i < len(ref); i++ {
+		if ref[i].Rounds > ref[i-1].Rounds {
+			t.Fatalf("rank %d survived more rounds than rank %d", i, i-1)
+		}
+	}
+}
+
+func TestSearchBudgetsEscalate(t *testing.T) {
+	budgets := map[float64]int{}
+	cfg := Config{Grid: testGrid(), Eta: 3, Workers: 1}
+	res, err := Search(cfg, func(k Knobs, budget float64) (Measurement, error) {
+		budgets[budget]++
+		return syntheticEval(k, budget)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 candidates, eta 3 → rounds at budgets 1/9, 1/3, 1 with
+	// 16, 6, 2 evaluations.
+	if budgets[1.0/9] != 16 || budgets[1.0/3] != 6 || budgets[1] != 2 {
+		t.Fatalf("round sizes = %v, want 16@1/9, 6@1/3, 2@1", budgets)
+	}
+	finalists := 0
+	for _, r := range res {
+		if r.Rounds == 3 {
+			finalists++
+		}
+	}
+	if finalists != 2 {
+		t.Fatalf("%d finalists, want 2", finalists)
+	}
+}
+
+func TestSearchParetoMarksDominated(t *testing.T) {
+	// Two finalists where one wins both axes: the loser is dominated.
+	g := Grid{
+		Base:       Knobs{PushEvery: 40},
+		WarmupMode: []jumpstart.WarmupMode{jumpstart.WarmupEager, jumpstart.WarmupLazy},
+	}
+	eval := func(k Knobs, budget float64) (Measurement, error) {
+		if k.WarmupMode == jumpstart.WarmupLazy {
+			return Measurement{CapLossP99: 0.3, TimeToSteadyP95: 400}, nil
+		}
+		return Measurement{CapLossP99: 0.1, TimeToSteadyP95: 100}, nil
+	}
+	res, err := Search(Config{Grid: g, Eta: 3, Workers: 1}, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Dominated || !res[1].Dominated {
+		t.Fatalf("dominance flags wrong: %+v / %+v", res[0], res[1])
+	}
+	// A genuine trade-off leaves both on the frontier.
+	eval = func(k Knobs, budget float64) (Measurement, error) {
+		if k.WarmupMode == jumpstart.WarmupLazy {
+			return Measurement{CapLossP99: 0.3, TimeToSteadyP95: 50}, nil
+		}
+		return Measurement{CapLossP99: 0.1, TimeToSteadyP95: 100}, nil
+	}
+	res, err = Search(Config{Grid: g, Eta: 3, Workers: 1}, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Dominated || res[1].Dominated {
+		t.Fatalf("trade-off wrongly dominated: %+v / %+v", res[0], res[1])
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	// A knob-less grid degenerates to one candidate: a single
+	// full-budget evaluation, not an error.
+	res, err := Search(Config{}, syntheticEval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Rounds != 1 || res[0].Budget != 1 {
+		t.Fatalf("degenerate search = %+v", res)
+	}
+	boom := func(k Knobs, budget float64) (Measurement, error) {
+		return Measurement{}, fmt.Errorf("sim exploded")
+	}
+	if _, err := Search(Config{Grid: testGrid()}, boom); err == nil {
+		t.Fatal("evaluator error swallowed")
+	}
+}

@@ -71,6 +71,21 @@ func (c WarmupCurve) TimeToFraction(frac float64) float64 {
 	return c.Times[len(c.Times)-1]
 }
 
+// Stretch returns the curve slowed down by factor: the same capacity
+// levels, each reached factor× later. The standard model for warming
+// under extra load (absorbed failover traffic) or on weaker hardware
+// than the curve was measured on (cross-geometry package consumption).
+func (c WarmupCurve) Stretch(factor float64) WarmupCurve {
+	out := WarmupCurve{
+		Times:  make([]float64, len(c.Times)),
+		Values: append([]float64(nil), c.Values...),
+	}
+	for i, t := range c.Times {
+		out.Times[i] = t * factor
+	}
+	return out
+}
+
 // CurveFromTicks converts a detailed-server tick series into a warmup
 // curve normalized to steadyRPS.
 func CurveFromTicks(ticks []server.TickStats, steadyRPS float64) WarmupCurve {

@@ -10,6 +10,7 @@ import (
 	"jumpstart/internal/jumpstart/transport"
 	"jumpstart/internal/netsim"
 	"jumpstart/internal/parallel"
+	"jumpstart/internal/scenario"
 	"jumpstart/internal/telemetry"
 	"jumpstart/internal/workload"
 )
@@ -100,6 +101,36 @@ type Config struct {
 	// measured by internal/server with a transport-backed pager. Empty
 	// means lazy boots reuse CurveJumpStart.
 	CurveLazy WarmupCurve
+
+	// Scenario, when non-nil, modulates the fleet's traffic over
+	// virtual time (internal/scenario): diurnal demand waves, flash
+	// crowds, and regional failover drills. The engine is pure — every
+	// query is a function of (region, t) — so wiring it changes only
+	// the demand-weighted accounting (FleetTick.Demand/ScenCapacity)
+	// and the failover curve selection, never the worker-count
+	// determinism of the replay. Its Regions must match the fleet's.
+	Scenario *scenario.Engine
+	// CurveFailover is the warmup curve for Jump-Start boots in a
+	// region that is absorbing a failed-over region's load (the
+	// scenario says the region is Absorbing at boot time): warming
+	// under double demand is slower than the nominal curve. Empty
+	// means absorbed boots keep their flavour's normal curve; the
+	// failover-boot counter books them either way.
+	CurveFailover WarmupCurve
+
+	// GeometryClasses, when > 1, splits the fleet into hardware
+	// geometry classes (microarch.Config generations): each server is
+	// deterministically assigned a class from the fleet seed, and a
+	// package seeded on one geometry consumed on another books a
+	// mismatch boot — the remap/replay-cache cost of heterogeneous
+	// fleets. Zero or one means a uniform fleet.
+	GeometryClasses int
+	// CurveMismatch is the warmup curve for Jump-Start boots consuming
+	// a package seeded on a different geometry class — between
+	// CurveJumpStart (profile maps exactly) and CurveNoJumpStart
+	// (cold). Empty means mismatched boots keep their flavour's normal
+	// curve; the mismatch-boot counter books them either way.
+	CurveMismatch WarmupCurve
 
 	// PushEvery, when > 0, starts a new deployment (a code push of the
 	// next revision) every PushEvery virtual seconds for as long as the
@@ -248,6 +279,7 @@ type simServer struct {
 	idx            int // position in Fleet.servers
 	region, bucket int
 	group          int // 1, 2, 3 = deployment phase
+	geom           int // hardware geometry class (Config.GeometryClasses)
 	state          srvState
 	stateT         float64 // time the state was entered
 	curve          *WarmupCurve
@@ -282,6 +314,7 @@ type pkgInfo struct {
 	defective  bool
 	remapped   bool                // carried across a push by the remapper
 	aggregated bool                // consensus package merged from several seeders
+	geom       int                 // geometry class of the seeder that produced it
 	id         jumpstart.PackageID // store id when the single-store transport is wired
 	entry      *multistore.Entry   // logical entry when the multi-region hierarchy is wired
 	payload    []byte              // uploaded body, kept so a remap-tolerant push can republish it
@@ -323,6 +356,17 @@ type Fleet struct {
 	pkgsKept   int // packages carried across pushes by the remapper
 	pkgsLost   int // packages dropped at a push (remap miss or exact-only wipe)
 	fbReasons  map[string]int
+
+	// Scenario accounting. regionCap is per-tick scratch; everything
+	// else is touched only from sequential code, so scenarios never
+	// perturb worker-count determinism.
+	regionCap     []float64
+	failoverBoots int     // boots started while the region was absorbing failed-over load
+	mismatchBoots int     // Jump-Start boots consuming a cross-geometry package
+	darkTicks     int     // ticks with at least one region down
+	demandPeak    float64 // max fleet demand multiplier observed
+	demandTrough  float64 // min fleet demand multiplier observed
+	prevDark      bool    // failover drill state, for transition events
 
 	// Networked store path (nil when Config.Transport is nil). Every
 	// fetch/upload runs to completion inside the sequential merge phase
@@ -382,6 +426,13 @@ type Fleet struct {
 func NewFleet(cfg Config) (*Fleet, error) {
 	if cfg.Regions <= 0 || cfg.Buckets <= 0 || cfg.ServersPerBucket <= 0 {
 		return nil, fmt.Errorf("cluster: invalid fleet dimensions")
+	}
+	if cfg.Scenario != nil && cfg.Scenario.Config().Regions != cfg.Regions {
+		return nil, fmt.Errorf("cluster: scenario spans %d regions, fleet has %d",
+			cfg.Scenario.Config().Regions, cfg.Regions)
+	}
+	if cfg.GeometryClasses < 0 {
+		return nil, fmt.Errorf("cluster: negative GeometryClasses %d", cfg.GeometryClasses)
 	}
 	f := &Fleet{
 		cfg:       cfg,
@@ -443,6 +494,13 @@ func NewFleet(cfg Config) (*Fleet, error) {
 		for b := 0; b < cfg.Buckets; b++ {
 			for k := 0; k < cfg.ServersPerBucket; k++ {
 				s := simServer{idx: idx, region: r, bucket: b, state: stRunning, pkg: -1}
+				if cfg.GeometryClasses > 1 {
+					// Geometry is a property of the rack the server
+					// landed on: a fixed deterministic draw from the
+					// fleet seed, independent of everything else.
+					s.geom = int(workload.Fork(cfg.Seed, 0x6e00+uint64(idx)) %
+						uint64(cfg.GeometryClasses))
+				}
 				switch {
 				case idx < n1:
 					s.group = 1
@@ -459,6 +517,8 @@ func NewFleet(cfg Config) (*Fleet, error) {
 	if cfg.RecordSeries {
 		f.series = make([][]float64, total)
 	}
+	f.regionCap = make([]float64, cfg.Regions)
+	f.demandTrough = math.Inf(1)
 	f.tel = cfg.Telem
 	if f.tel != nil {
 		f.shardTel = telemetry.NewShards(f.tel.Metrics,
@@ -634,6 +694,12 @@ type FleetTick struct {
 	Revision   uint64 // current code revision (bumps at each push)
 	RemapBoots int    // cumulative boots from remapped packages
 	PoolAvail  int    // standbys available in the warm pool
+
+	// Scenario accounting, always populated: without a scenario,
+	// Demand is 1, ScenCapacity equals Capacity, and RegionsDark is 0.
+	Demand       float64 // fleet demand multiplier this tick (fraction of steady)
+	ScenCapacity float64 // demand-weighted capacity: served / demanded, 0..1
+	RegionsDark  int     // regions a failover drill has taken down this tick
 }
 
 // srvTick is one server's contribution to a tick, produced by the
@@ -708,6 +774,8 @@ func (f *Fleet) Tick() FleetTick {
 	dt := f.cfg.TickSeconds
 	f.now += dt
 
+	f.noteScenarioTransitions()
+
 	// Admit rebooted instances back into the warm pool before any
 	// restart logic runs, so a standby that finished warming by this
 	// tick can serve the wave that fires on it.
@@ -755,6 +823,9 @@ func (f *Fleet) Tick() FleetTick {
 
 	capacity := 0.0
 	down, warming := 0, 0
+	for r := range f.regionCap {
+		f.regionCap[r] = 0
+	}
 	for i := range res {
 		r := &res[i]
 		s := &f.servers[i]
@@ -807,6 +878,7 @@ func (f *Fleet) Tick() FleetTick {
 			f.series[i] = append(f.series[i], r.capacity)
 		}
 		capacity += r.capacity
+		f.regionCap[s.region] += r.capacity
 		down += r.down
 		warming += r.warming
 	}
@@ -816,6 +888,7 @@ func (f *Fleet) Tick() FleetTick {
 	for _, list := range f.packages {
 		pkgs += len(list)
 	}
+	demand, scenCap, dark := f.scenarioAccounting(capacity / total)
 	f.gCap.Set(capacity / total)
 	f.gDown.Set(float64(down))
 	f.gWarming.Set(float64(warming))
@@ -823,19 +896,89 @@ func (f *Fleet) Tick() FleetTick {
 	f.gPhase.Set(float64(f.phase))
 	f.gPkgs.Set(float64(pkgs))
 	return FleetTick{
-		T:          f.now,
-		Capacity:   capacity / total,
-		Down:       down,
-		Warming:    warming,
-		Crashes:    f.crashes,
-		Fallbacks:  f.fallbacks,
-		Phase:      f.phase,
-		PkgsAvail:  pkgs,
-		Deployment: f.deploying,
-		Revision:   f.revision,
-		RemapBoots: f.remapBoots,
-		PoolAvail:  f.poolAvail,
+		T:            f.now,
+		Capacity:     capacity / total,
+		Down:         down,
+		Warming:      warming,
+		Crashes:      f.crashes,
+		Fallbacks:    f.fallbacks,
+		Phase:        f.phase,
+		PkgsAvail:    pkgs,
+		Deployment:   f.deploying,
+		Revision:     f.revision,
+		RemapBoots:   f.remapBoots,
+		PoolAvail:    f.poolAvail,
+		Demand:       demand,
+		ScenCapacity: scenCap,
+		RegionsDark:  dark,
 	}
+}
+
+// scenarioAccounting folds the scenario's per-region demand against
+// the per-region capacity sums: ScenCapacity is served demand over
+// total demand, where a dark region's own capacity serves nothing (its
+// load has been dumped on the survivors) and capacity beyond a
+// region's demand is headroom, not service. Without a scenario the
+// fleet demands exactly its steady capacity everywhere, so the
+// demand-weighted view collapses to the plain capacity fraction.
+func (f *Fleet) scenarioAccounting(plainCap float64) (demand, scenCap float64, dark int) {
+	sc := f.cfg.Scenario
+	if sc == nil {
+		return 1, plainCap, 0
+	}
+	perRegion := float64(f.cfg.Buckets * f.cfg.ServersPerBucket)
+	totalDemand, served := 0.0, 0.0
+	for r := 0; r < f.cfg.Regions; r++ {
+		d := sc.EffectiveDemand(r, f.now) * perRegion
+		c := f.regionCap[r]
+		if sc.RegionDown(r, f.now) {
+			dark++
+			c = 0
+		}
+		if c > d {
+			c = d
+		}
+		served += c
+		totalDemand += d
+	}
+	scenCap = 1.0
+	if totalDemand > 0 {
+		scenCap = served / totalDemand
+	}
+	demand = totalDemand / float64(len(f.servers))
+	if demand > f.demandPeak {
+		f.demandPeak = demand
+	}
+	if demand < f.demandTrough {
+		f.demandTrough = demand
+	}
+	if dark > 0 {
+		f.darkTicks++
+	}
+	f.tel.Gauge("fleet.demand").Set(demand)
+	f.tel.Gauge("fleet.scen_capacity").Set(scenCap)
+	return demand, scenCap, dark
+}
+
+// noteScenarioTransitions emits region-down / region-up telemetry
+// events at the edges of a failover drill. Pure bookkeeping: it reads
+// the engine and writes telemetry, never the simulation state.
+func (f *Fleet) noteScenarioTransitions() {
+	sc := f.cfg.Scenario
+	if sc == nil {
+		return
+	}
+	down := sc.AnyRegionDown(f.now)
+	if down == f.prevDark {
+		return
+	}
+	f.prevDark = down
+	kind := "region-up"
+	if down {
+		kind = "region-down"
+	}
+	f.tel.Event(f.now, "fleet", kind,
+		telemetry.I("region", int64(sc.Config().FailRegion)))
 }
 
 // advanceDeployment moves the push through its phases.
@@ -1080,6 +1223,13 @@ func (f *Fleet) bootServer(s *simServer) {
 		s.seriesFrom = len(f.series[s.idx])
 		s.seriesMarked = true
 	}
+	if sc := f.cfg.Scenario; sc != nil && sc.Absorbing(s.region, f.now) {
+		// The region is carrying a failed-over region's load: every
+		// boot here — seeder, Jump-Start, or cold — warms under the
+		// absorbed demand, and the drill's cost shows up as these.
+		f.failoverBoots++
+		f.tel.Counter("fleet.boots_failover_total").Inc()
+	}
 	if s.group == 2 {
 		s.state = stSeeding
 		s.curve = &f.cfg.CurveNoJumpStart
@@ -1121,7 +1271,7 @@ func (f *Fleet) bootServer(s *simServer) {
 			s.usedJS = true
 			s.fbReason = ""
 			s.state = stWarming
-			s.curve = f.jsCurve(list[idx].remapped)
+			s.curve = f.jsCurveFor(s, list[idx])
 			if list[idx].defective {
 				s.crashAt = f.now + f.cfg.CrashDelay
 			}
@@ -1224,7 +1374,13 @@ func (f *Fleet) bootViaTransport(s *simServer, rnd uint64, list []pkgInfo) {
 	s.fbReason = ""
 	s.state = stWarming
 	s.stateT = f.now + elapsed
-	s.curve = f.jsCurve(idx >= 0 && list[idx].remapped)
+	// An unindexed package (fetched but no local record) defaults to
+	// the server's own geometry so it never books a phantom mismatch.
+	info := pkgInfo{geom: s.geom}
+	if idx >= 0 {
+		info = list[idx]
+	}
+	s.curve = f.jsCurveFor(s, info)
 	if idx >= 0 && list[idx].defective {
 		s.crashAt = s.stateT + f.cfg.CrashDelay
 	}
@@ -1271,7 +1427,9 @@ func (f *Fleet) publishFrom(s *simServer) {
 		defective = false
 	}
 	key := [2]int{s.region, s.bucket}
-	info := pkgInfo{defective: defective}
+	// A package carries its seeder's geometry class: consumers on a
+	// different class book a mismatch boot when they replay it.
+	info := pkgInfo{defective: defective, geom: s.geom}
 	if f.multi != nil {
 		info.payload = f.packagePayload()
 		f.publishMulti(key, info)
@@ -1358,7 +1516,11 @@ func (f *Fleet) consensusOf(buf []pkgInfo) pkgInfo {
 	return pkgInfo{
 		defective:  bad*2 > len(buf),
 		aggregated: true,
-		payload:    f.packagePayload(),
+		// The merged profile inherits the first input's geometry — the
+		// aggregation pipeline runs per (region, bucket), where seeder
+		// hardware is typically uniform.
+		geom:    buf[0].geom,
+		payload: f.packagePayload(),
 	}
 }
 
@@ -1499,11 +1661,11 @@ func (f *Fleet) bootViaMulti(s *simServer, rnd uint64, list []pkgInfo, key [2]in
 	s.fbReason = ""
 	s.state = stWarming
 	s.stateT = f.now + res.Elapsed
-	var info pkgInfo
+	info := pkgInfo{geom: s.geom}
 	if idx >= 0 {
 		info = list[idx]
 	}
-	s.curve = f.jsCurveFor(info)
+	s.curve = f.jsCurveFor(s, info)
 	if info.defective {
 		s.crashAt = s.stateT + f.cfg.CrashDelay
 	}
@@ -1517,16 +1679,30 @@ func (f *Fleet) bootViaMulti(s *simServer, rnd uint64, list []pkgInfo, key [2]in
 		telemetry.F("elapsed", res.Elapsed))
 }
 
-// jsCurveFor extends jsCurve with the consensus flavour: aggregated
-// packages warm on CurveAggregated when one is configured, taking
-// precedence over the remap downgrade.
-func (f *Fleet) jsCurveFor(info pkgInfo) *WarmupCurve {
+// jsCurveFor picks the warmup curve for one Jump-Start boot of server
+// s from package info, booking every flavour counter the boot matches
+// (counters record what happened even when the matching curve is
+// unconfigured). Curve precedence when several flavours apply:
+// failover-absorbed > aggregated > geometry mismatch > remap/lazy.
+func (f *Fleet) jsCurveFor(s *simServer, info pkgInfo) *WarmupCurve {
+	absorbed := f.cfg.Scenario != nil && f.cfg.Scenario.Absorbing(s.region, f.now)
+	mismatch := f.cfg.GeometryClasses > 1 && info.geom != s.geom
+	if mismatch {
+		f.mismatchBoots++
+		f.tel.Counter("fleet.boots_mismatch_total").Inc()
+	}
 	if info.aggregated {
 		f.aggBoots++
 		f.tel.Counter("fleet.boots_aggregated_total").Inc()
-		if len(f.cfg.CurveAggregated.Times) > 0 {
-			return &f.cfg.CurveAggregated
-		}
+	}
+	if absorbed && len(f.cfg.CurveFailover.Times) > 0 {
+		return &f.cfg.CurveFailover
+	}
+	if info.aggregated && len(f.cfg.CurveAggregated.Times) > 0 {
+		return &f.cfg.CurveAggregated
+	}
+	if mismatch && len(f.cfg.CurveMismatch.Times) > 0 {
+		return &f.cfg.CurveMismatch
 	}
 	return f.jsCurve(info.remapped)
 }
@@ -1693,6 +1869,44 @@ func (f *Fleet) BootLatencies() []float64 { return f.bootLat }
 // downtime and any virtual time the package fetch burned.
 func (f *Fleet) TimesToSteady() []float64 { return f.tts }
 
+// ScenarioStats is the scenario engine's fleet-side accounting.
+type ScenarioStats struct {
+	FailoverBoots int     // boots started in a region absorbing failed-over load
+	MismatchBoots int     // Jump-Start boots consuming a cross-geometry package
+	DarkTicks     int     // ticks with at least one region down
+	PeakDemand    float64 // max fleet demand multiplier observed
+	TroughDemand  float64 // min fleet demand multiplier observed
+}
+
+// ScenarioStats snapshots the scenario accounting (zero value when no
+// scenario is wired or no tick has run).
+func (f *Fleet) ScenarioStats() ScenarioStats {
+	trough := f.demandTrough
+	if math.IsInf(trough, 1) {
+		trough = 0
+	}
+	return ScenarioStats{
+		FailoverBoots: f.failoverBoots,
+		MismatchBoots: f.mismatchBoots,
+		DarkTicks:     f.darkTicks,
+		PeakDemand:    f.demandPeak,
+		TroughDemand:  trough,
+	}
+}
+
+// GeometryCensus counts servers per hardware geometry class (nil for a
+// uniform fleet).
+func (f *Fleet) GeometryCensus() []int {
+	if f.cfg.GeometryClasses <= 1 {
+		return nil
+	}
+	out := make([]int, f.cfg.GeometryClasses)
+	for i := range f.servers {
+		out[f.servers[i].geom]++
+	}
+	return out
+}
+
 // CapacityLoss integrates (1 - capacity) over a tick series, returning
 // lost server-seconds divided by total server-seconds.
 func CapacityLoss(ticks []FleetTick, dt float64) float64 {
@@ -1702,6 +1916,21 @@ func CapacityLoss(ticks []FleetTick, dt float64) float64 {
 	lost := 0.0
 	for _, t := range ticks {
 		lost += (1 - t.Capacity) * dt
+	}
+	return lost / (float64(len(ticks)) * dt)
+}
+
+// ScenarioCapacityLoss integrates (1 - ScenCapacity): the demand-
+// weighted shortfall. Under a scenario this is the loss users feel —
+// warming servers at the diurnal trough cost little, a dark region's
+// dumped load costs double — and without one it equals CapacityLoss.
+func ScenarioCapacityLoss(ticks []FleetTick, dt float64) float64 {
+	if len(ticks) == 0 {
+		return 0
+	}
+	lost := 0.0
+	for _, t := range ticks {
+		lost += (1 - t.ScenCapacity) * dt
 	}
 	return lost / (float64(len(ticks)) * dt)
 }

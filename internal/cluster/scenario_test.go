@@ -1,0 +1,270 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"jumpstart/internal/scenario"
+)
+
+// scenarioFleetConfig builds a fleet config with a scenario engine of
+// the given kind wired in, a heterogeneous two-class geometry, and the
+// defect/crash paths enabled so the RNG-drawing code runs hot.
+func scenarioFleetConfig(t *testing.T, kind scenario.Kind, horizon float64) Config {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.CurveJumpStart = jsCurve()
+	cfg.CurveNoJumpStart = noJSCurve()
+	cfg.CurveFailover = WarmupCurve{
+		Times:  []float64{0, 60, 150, 250},
+		Values: []float64{0.2, 0.5, 0.8, 1.0},
+	}
+	cfg.CurveMismatch = WarmupCurve{
+		Times:  []float64{0, 50, 120, 200},
+		Values: []float64{0.2, 0.6, 0.85, 1.0},
+	}
+	cfg.GeometryClasses = 2
+	cfg.DefectRate = 0.3
+	cfg.ValidationCatchRate = 0.5
+	cfg.CrashDelay = 30
+	sc, err := scenario.New(scenario.DefaultConfig(kind, cfg.Regions, horizon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scenario = sc
+	return cfg
+}
+
+// TestScenarioDeterminism pins the tentpole contract: a scenario-
+// modulated, geometry-heterogeneous fleet produces byte-identical tick
+// series at every worker count, for every scenario kind.
+func TestScenarioDeterminism(t *testing.T) {
+	const horizon = 1500
+	for _, kind := range []scenario.Kind{scenario.Diurnal, scenario.FlashCrowd, scenario.Failover} {
+		run := func(workers int) ([]FleetTick, int, int, ScenarioStats) {
+			cfg := scenarioFleetConfig(t, kind, horizon)
+			cfg.Workers = workers
+			f, err := NewFleet(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.StartDeployment()
+			return f.Run(horizon), f.Crashes(), f.Fallbacks(), f.ScenarioStats()
+		}
+		base, crashes, fallbacks, stats := run(1)
+		if crashes == 0 {
+			t.Fatalf("%v: no crashes; defect path untested", kind)
+		}
+		for _, w := range []int{4, 0} { // 0 = one worker per CPU
+			ticks, c, fb, st := run(w)
+			if c != crashes || fb != fallbacks {
+				t.Fatalf("%v workers=%d: crashes/fallbacks %d/%d, want %d/%d",
+					kind, w, c, fb, crashes, fallbacks)
+			}
+			if st != stats {
+				t.Fatalf("%v workers=%d: scenario stats %+v, want %+v", kind, w, st, stats)
+			}
+			if len(ticks) != len(base) {
+				t.Fatalf("%v workers=%d: %d ticks, want %d", kind, w, len(ticks), len(base))
+			}
+			for i := range base {
+				if ticks[i] != base[i] {
+					t.Fatalf("%v workers=%d: tick %d diverged:\n  seq %+v\n  par %+v",
+						kind, w, i, base[i], ticks[i])
+				}
+			}
+		}
+	}
+}
+
+func TestNewFleetScenarioValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CurveJumpStart = jsCurve()
+	cfg.CurveNoJumpStart = noJSCurve()
+	sc, err := scenario.New(scenario.DefaultConfig(scenario.Diurnal, cfg.Regions+1, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scenario = sc
+	if _, err := NewFleet(cfg); err == nil {
+		t.Fatal("region-count mismatch between scenario and fleet accepted")
+	}
+	cfg.Scenario = nil
+	cfg.GeometryClasses = -1
+	if _, err := NewFleet(cfg); err == nil {
+		t.Fatal("negative GeometryClasses accepted")
+	}
+}
+
+// TestNoScenarioAccountingIsNeutral: without a scenario the new
+// FleetTick fields collapse to the plain view, so every existing
+// consumer of the series sees exactly what it used to.
+func TestNoScenarioAccountingIsNeutral(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CurveJumpStart = jsCurve()
+	cfg.CurveNoJumpStart = noJSCurve()
+	f, err := NewFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.StartDeployment()
+	ticks := f.Run(1200)
+	for i, tk := range ticks {
+		if tk.Demand != 1 || tk.ScenCapacity != tk.Capacity || tk.RegionsDark != 0 {
+			t.Fatalf("tick %d: scenario fields not neutral: %+v", i, tk)
+		}
+	}
+	if st := f.ScenarioStats(); st != (ScenarioStats{}) {
+		t.Fatalf("scenario stats on a scenario-less fleet: %+v", st)
+	}
+	if loss, plain := ScenarioCapacityLoss(ticks, cfg.TickSeconds), CapacityLoss(ticks, cfg.TickSeconds); math.Abs(loss-plain) > 1e-12 {
+		t.Fatalf("scenario loss %f != plain loss %f without a scenario", loss, plain)
+	}
+}
+
+// TestDiurnalDemandAccounting: the wave shows up in FleetTick.Demand,
+// and warming at the trough hurts the demand-weighted capacity less
+// than the raw capacity fraction suggests.
+func TestDiurnalDemandAccounting(t *testing.T) {
+	const horizon = 1500
+	cfg := scenarioFleetConfig(t, scenario.Diurnal, horizon)
+	cfg.DefectRate = 0
+	// Align the regions' waves: with the default follow-the-sun phase
+	// offsets the three sinusoids cancel and fleet-total demand stays
+	// flat, which is exactly what a global accounting view should show
+	// — but this test wants to see the wave itself.
+	scfg := scenario.DefaultConfig(scenario.Diurnal, cfg.Regions, horizon)
+	scfg.RegionPhase = 0
+	scfg.PhaseJitter = 0
+	eng, err := scenario.New(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scenario = eng
+	f, err := NewFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.StartDeployment()
+	ticks := f.Run(horizon)
+	peak, trough := 0.0, math.Inf(1)
+	diverged := false
+	for _, tk := range ticks {
+		if tk.Demand > peak {
+			peak = tk.Demand
+		}
+		if tk.Demand < trough {
+			trough = tk.Demand
+		}
+		if math.Abs(tk.ScenCapacity-tk.Capacity) > 1e-9 {
+			diverged = true
+		}
+		if tk.RegionsDark != 0 {
+			t.Fatalf("diurnal scenario marked a region dark: %+v", tk)
+		}
+	}
+	amp := scenario.DefaultConfig(scenario.Diurnal, cfg.Regions, horizon).Amplitude
+	if peak < 1+amp/2 || trough > 1-amp/2 {
+		t.Fatalf("demand wave too flat: peak %f trough %f (amplitude %f)", peak, trough, amp)
+	}
+	if !diverged {
+		t.Fatal("demand-weighted capacity never diverged from the raw fraction")
+	}
+	st := f.ScenarioStats()
+	if st.PeakDemand != peak || st.TroughDemand != trough {
+		t.Fatalf("stats peak/trough %f/%f, ticks saw %f/%f",
+			st.PeakDemand, st.TroughDemand, peak, trough)
+	}
+}
+
+// TestFailoverAccounting: a drill marks the region dark, conserves the
+// dumped demand on the survivors, and books failover-absorbed boots.
+func TestFailoverAccounting(t *testing.T) {
+	const horizon = 1500
+	cfg := scenarioFleetConfig(t, scenario.Failover, horizon)
+	f, err := NewFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.StartDeployment()
+	ticks := f.Run(horizon)
+	scen := scenario.DefaultConfig(scenario.Failover, cfg.Regions, horizon)
+	sawDark, sawShortfall := false, false
+	for _, tk := range ticks {
+		down := tk.T >= scen.FailStart && tk.T < scen.FailStart+scen.FailDuration
+		if down != (tk.RegionsDark == 1) {
+			t.Fatalf("t=%g: RegionsDark=%d, drill window says down=%v", tk.T, tk.RegionsDark, down)
+		}
+		if down {
+			sawDark = true
+			// Demand is conserved (the dark region's load moves, it
+			// does not vanish), but the dark region's capacity serves
+			// none of it, so the weighted view must show a shortfall.
+			if math.Abs(tk.Demand-1) > 1e-9 {
+				t.Fatalf("t=%g: drill changed total demand to %f", tk.T, tk.Demand)
+			}
+			if tk.ScenCapacity < tk.Capacity-1e-9 {
+				sawShortfall = true
+			}
+		}
+	}
+	if !sawDark {
+		t.Fatal("drill window never observed")
+	}
+	if !sawShortfall {
+		t.Fatal("dark region's wasted capacity never surfaced in ScenCapacity")
+	}
+	st := f.ScenarioStats()
+	if st.DarkTicks == 0 {
+		t.Fatal("no dark ticks counted")
+	}
+	if st.FailoverBoots == 0 {
+		t.Fatal("no failover-absorbed boots counted (C3 restarts overlap the drill)")
+	}
+}
+
+// TestGeometryMismatchAccounting: with two geometry classes, consumers
+// land on packages seeded by the other class and book mismatch boots;
+// the census covers the whole fleet.
+func TestGeometryMismatchAccounting(t *testing.T) {
+	cfg := scenarioFleetConfig(t, scenario.Diurnal, 1500)
+	cfg.DefectRate = 0
+	f, err := NewFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	census := f.GeometryCensus()
+	if len(census) != 2 {
+		t.Fatalf("census = %v, want two classes", census)
+	}
+	total := 0
+	for class, n := range census {
+		if n == 0 {
+			t.Fatalf("geometry class %d is empty: %v", class, census)
+		}
+		total += n
+	}
+	if total != f.Servers() {
+		t.Fatalf("census covers %d of %d servers", total, f.Servers())
+	}
+	f.StartDeployment()
+	f.Run(1500)
+	if f.ScenarioStats().MismatchBoots == 0 {
+		t.Fatal("two-class fleet booked no cross-geometry boots")
+	}
+
+	// A uniform fleet with the same seed books none.
+	cfg.GeometryClasses = 0
+	u, err := NewFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.GeometryCensus() != nil {
+		t.Fatal("uniform fleet has a geometry census")
+	}
+	u.StartDeployment()
+	u.Run(1500)
+	if u.ScenarioStats().MismatchBoots != 0 {
+		t.Fatal("uniform fleet booked mismatch boots")
+	}
+}

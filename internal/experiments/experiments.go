@@ -144,6 +144,14 @@ type Lab struct {
 	poolRes  PoolResult
 	poolErr  error
 
+	scenarioOnce sync.Once
+	scenarioRes  ScenarioResult
+	scenarioErr  error
+
+	tuneOnce sync.Once
+	tuneRes  TuneResult
+	tuneErr  error
+
 	// Baseline memo: the figures overlap heavily in the raw server runs
 	// they need (Figure 5's no-Jump-Start steady state is Figure 6's
 	// no-Jump-Start cell; Figure 2's long no-Jump-Start warmup contains

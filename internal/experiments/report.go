@@ -10,7 +10,7 @@ import (
 
 // FigureOrder lists every known figure in report order. RunFigures
 // emits its output in this order regardless of scheduling.
-var FigureOrder = []string{"1", "2", "4", "5", "6", "lifespan", "reliability", "fleet", "brownout", "churn", "regions", "warmclass", "pool"}
+var FigureOrder = []string{"1", "2", "4", "5", "6", "lifespan", "reliability", "fleet", "brownout", "churn", "regions", "warmclass", "pool", "scenario"}
 
 // KnownFigure reports whether name is a figure RunFigures can render.
 func KnownFigure(name string) bool {
@@ -75,6 +75,8 @@ func (l *Lab) WriteFigure(w io.Writer, fig string) error {
 		return l.WriteWarmclass(w)
 	case "pool":
 		return l.WritePool(w)
+	case "scenario":
+		return l.WriteScenario(w)
 	}
 	return fmt.Errorf("experiments: unknown figure %q", fig)
 }

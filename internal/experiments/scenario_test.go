@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"jumpstart/internal/scenario"
+)
+
+func TestScenarioFigShape(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.ScenarioFig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Grid) != 2*len(scenarioKinds) {
+		t.Fatalf("%d grid cells, want %d", len(res.Grid), 2*len(scenarioKinds))
+	}
+	byKind := map[string][2]ScenarioCell{} // [js, nojs]
+	for _, c := range res.Grid {
+		e := byKind[c.Kind]
+		if c.JumpStart {
+			e[0] = c
+		} else {
+			e[1] = c
+		}
+		byKind[c.Kind] = e
+		if c.ScenLoss <= 0 || c.ScenLoss >= 1 {
+			t.Fatalf("%s js=%v: demand-weighted loss = %f", c.Kind, c.JumpStart, c.ScenLoss)
+		}
+	}
+	for _, kind := range scenarioKinds {
+		pair, ok := byKind[kind.String()]
+		if !ok {
+			t.Fatalf("kind %s missing from grid", kind)
+		}
+		if pair[0].ScenLoss >= pair[1].ScenLoss {
+			t.Errorf("%s: jumpstart loss %.3f not below no-jumpstart %.3f",
+				kind, pair[0].ScenLoss, pair[1].ScenLoss)
+		}
+	}
+	// Failover cells must actually have gone through a drill.
+	for _, c := range byKind[scenario.Failover.String()] {
+		if c.Stats.DarkTicks == 0 {
+			t.Errorf("failover js=%v: no dark ticks recorded", c.JumpStart)
+		}
+		if c.Stats.FailoverBoots == 0 {
+			t.Errorf("failover js=%v: no boots absorbed failover load", c.JumpStart)
+		}
+	}
+	// Diurnal demand actually oscillates around nominal.
+	for _, c := range byKind[scenario.Diurnal.String()] {
+		if c.Stats.PeakDemand <= c.Stats.TroughDemand {
+			t.Errorf("diurnal js=%v: peak %.3f <= trough %.3f",
+				c.JumpStart, c.Stats.PeakDemand, c.Stats.TroughDemand)
+		}
+	}
+
+	g := res.Geometry
+	if g.SmallSteadyRPS <= 0 {
+		t.Fatalf("small-geometry steady capacity = %f", g.SmallSteadyRPS)
+	}
+	// Halved caches and TLBs must cost warm capacity.
+	if g.CapacityRatio <= 1 {
+		t.Errorf("capacity ratio = %f, want > 1 (big %f, small %f)",
+			g.CapacityRatio, g.BigSteadyRPS, g.SmallSteadyRPS)
+	}
+	// Profiles are execution counts, not timings: a package seeded on
+	// the big geometry must warm the small server identically.
+	if !g.PayloadAgnostic {
+		t.Error("cross-seeded package warmed differently — payload is geometry-sensitive")
+	}
+	if g.MatchedT95 <= 0 || g.MismatchT95 <= g.MatchedT95 {
+		t.Errorf("time-to-95%%: matched %f, mismatch %f — mismatch should be slower",
+			g.MatchedT95, g.MismatchT95)
+	}
+	if g.UniformLoss <= 0 || g.MixedLoss <= g.UniformLoss {
+		t.Errorf("fleet losses: uniform %f, mixed %f — heterogeneity should cost capacity",
+			g.UniformLoss, g.MixedLoss)
+	}
+	if g.MixedStats.MismatchBoots == 0 {
+		t.Error("two-class fleet recorded no cross-geometry boots")
+	}
+	if len(g.Census) != 2 {
+		t.Fatalf("census = %v, want two classes", g.Census)
+	}
+	total := 0
+	for _, n := range g.Census {
+		if n == 0 {
+			t.Errorf("census %v has an empty class", g.Census)
+		}
+		total += n
+	}
+	fc := l.Cfg.FleetCfg
+	if servers := fc.Regions * fc.Buckets * fc.ServersPerBucket; total != servers {
+		t.Errorf("census sums to %d, want %d servers", total, servers)
+	}
+	if res.Report == nil {
+		t.Fatal("no SLO report")
+	}
+	t.Logf("scenario grid: %+v", res.Grid)
+	t.Logf("geometry: matched t95=%.0fs mismatch t95=%.0fs uniform=%.2f%% mixed=%.2f%%",
+		g.MatchedT95, g.MismatchT95, g.UniformLoss*100, g.MixedLoss*100)
+}
+
+func TestWriteScenario(t *testing.T) {
+	l := quickLab(t)
+	var buf bytes.Buffer
+	if err := l.WriteScenario(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"## Scenario:", "diurnal,true,", "failover,false,",
+		"# geometry:", "# overall:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTuneShape(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Tune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranked) != 16 {
+		t.Fatalf("%d ranked candidates, want 16", len(res.Ranked))
+	}
+	best := res.Ranked[0]
+	if best.Budget != 1 {
+		t.Fatalf("winner evaluated at budget %f, want full fidelity", best.Budget)
+	}
+	if best.Knobs != res.Best {
+		t.Fatalf("Best %s != top-ranked %s", res.Best, best.Knobs)
+	}
+	for i := 1; i < len(res.Ranked); i++ {
+		if res.Ranked[i].Rounds > res.Ranked[i-1].Rounds {
+			t.Fatalf("rank %d survived more rounds than rank %d", i, i-1)
+		}
+	}
+
+	// Full-fidelity verification: every scenario kind, both policies.
+	if len(res.Compare) != 2*len(scenarioKinds) {
+		t.Fatalf("%d compare cells, want %d", len(res.Compare), 2*len(scenarioKinds))
+	}
+	defaults := map[string]float64{}
+	for _, c := range res.Compare {
+		if c.Policy == "default" {
+			defaults[c.Scenario] = c.CapLossP99
+		}
+	}
+	beats := 0
+	for _, c := range res.Compare {
+		if c.Policy == "tuned" && c.CapLossP99 < defaults[c.Scenario] {
+			beats++
+		}
+	}
+	// The acceptance bar: the recommendation must beat the default's
+	// p99 capacity loss on at least one scenario.
+	if beats == 0 {
+		t.Errorf("tuned policy %s beats default on 0/%d scenarios: %+v",
+			res.Best, len(scenarioKinds), res.Compare)
+	}
+	t.Logf("recommendation: %s (beats default on %d/%d scenarios)",
+		res.Best, beats, len(scenarioKinds))
+}
+
+func TestWriteTune(t *testing.T) {
+	l := quickLab(t)
+	var a, b bytes.Buffer
+	if err := l.WriteTune(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteTune(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("WriteTune is not deterministic across renders")
+	}
+	out := a.String()
+	for _, want := range []string{
+		"## Tune:", "# recommendation:", "scenario,policy,",
+		"# tuned beats default",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

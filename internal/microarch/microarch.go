@@ -9,6 +9,11 @@
 // I-TLB, D-TLB and branch miss reductions from Jump-Start).
 package microarch
 
+import (
+	"fmt"
+	"strings"
+)
+
 // Config sizes the simulated hierarchy. The defaults approximate the
 // paper's Xeon D-1581 per-core resources, with the LLC scaled down in
 // proportion to the synthetic website's code size (the real machine
@@ -50,6 +55,85 @@ func DefaultConfig() Config {
 		TLBMissPenalty:    30,
 		BranchMissPenalty: 15,
 	}
+}
+
+// Validate reports a descriptive error when the geometry would break
+// the indexing arithmetic: newCache and newTLB extract set and page
+// indexes with shift-and-mask (setMask = sets-1, lineBits =
+// log2(lineSize)), which silently mis-indexes — aliasing lines into a
+// fraction of the sets — unless sets, line size and page size are
+// powers of two. Callers that can surface an error (server.New does)
+// should Validate; New itself rounds offenders up via Normalize so a
+// hierarchy can never be built mis-indexing.
+func (c Config) Validate() error {
+	var bad []string
+	pow2 := func(name string, v int) {
+		if v <= 0 || v&(v-1) != 0 {
+			bad = append(bad, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	pos := func(name string, v int) {
+		if v <= 0 {
+			bad = append(bad, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	pow2("LineSize", c.LineSize)
+	pow2("PageSize", c.PageSize)
+	pow2("L1ISets", c.L1ISets)
+	pow2("L1DSets", c.L1DSets)
+	pow2("LLCSets", c.LLCSets)
+	pos("L1IWays", c.L1IWays)
+	pos("L1DWays", c.L1DWays)
+	pos("LLCWays", c.LLCWays)
+	pos("ITLBEntries", c.ITLBEntries)
+	pos("DTLBEntries", c.DTLBEntries)
+	if c.BPTableBits <= 0 || c.BPTableBits > 30 {
+		bad = append(bad, fmt.Sprintf("BPTableBits=%d", c.BPTableBits))
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	return fmt.Errorf("microarch: invalid config: %s (line/page sizes and cache sets must be positive powers of two, ways and TLB entries positive, BPTableBits in 1..30)",
+		strings.Join(bad, ", "))
+}
+
+// Normalize returns a copy with every offending field rounded up to
+// the nearest legal value (next power of two for the indexed sizes,
+// 1 for the counts, clamped 1..30 for the predictor bits). Normalizing
+// a valid config is the identity.
+func (c Config) Normalize() Config {
+	c.LineSize = nextPow2(c.LineSize)
+	c.PageSize = nextPow2(c.PageSize)
+	c.L1ISets = nextPow2(c.L1ISets)
+	c.L1DSets = nextPow2(c.L1DSets)
+	c.LLCSets = nextPow2(c.LLCSets)
+	c.L1IWays = atLeast1(c.L1IWays)
+	c.L1DWays = atLeast1(c.L1DWays)
+	c.LLCWays = atLeast1(c.LLCWays)
+	c.ITLBEntries = atLeast1(c.ITLBEntries)
+	c.DTLBEntries = atLeast1(c.DTLBEntries)
+	if c.BPTableBits < 1 {
+		c.BPTableBits = 1
+	}
+	if c.BPTableBits > 30 {
+		c.BPTableBits = 30
+	}
+	return c
+}
+
+// nextPow2 rounds n up to the next power of two (minimum 1).
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << log2(n)
+}
+
+func atLeast1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
 }
 
 // Stats accumulates event and miss counts.
@@ -250,8 +334,13 @@ type Hierarchy struct {
 	stats Stats
 }
 
-// New builds a hierarchy from cfg.
+// New builds a hierarchy from cfg. A config that fails Validate is
+// normalized first (sizes rounded up to powers of two, counts raised
+// to 1), so the shift-and-mask indexing below is always sound;
+// callers that want the invalid geometry reported instead of rounded
+// should Validate before calling.
 func New(cfg Config) *Hierarchy {
+	cfg = cfg.Normalize()
 	return &Hierarchy{
 		cfg:  cfg,
 		l1i:  newCache(cfg.L1ISets, cfg.L1IWays, cfg.LineSize),

@@ -112,6 +112,9 @@ type Config struct {
 	// Traffic.
 	OfferedRPS  float64
 	TickSeconds float64
+	// MixShift rotates the endpoint mix by a scenario phase
+	// (workload.Traffic.SetMixShift); 0 is the stationary mix.
+	MixShift float64
 
 	// JIT configuration.
 	JITOpts  jit.Options
@@ -308,6 +311,9 @@ func New(site *workload.Site, cfg Config) (*Server, error) {
 	if cfg.Mode == ModeConsumer && cfg.Package == nil {
 		return nil, errors.New("server: consumer mode requires a package")
 	}
+	if err := cfg.MemCfg.Validate(); err != nil {
+		return nil, err
+	}
 	var layout object.Layout
 	if cfg.Mode == ModeConsumer && cfg.Package != nil {
 		switch {
@@ -332,6 +338,9 @@ func New(site *workload.Site, cfg Config) (*Server, error) {
 		reg:      reg,
 		mem:      microarch.New(cfg.MemCfg),
 		optTrans: map[string]*jit.Translation{},
+	}
+	if cfg.MixShift != 0 {
+		s.traffic.SetMixShift(cfg.MixShift)
 	}
 	if s.cfg.MicroSampleEvery <= 0 {
 		s.cfg.MicroSampleEvery = 1

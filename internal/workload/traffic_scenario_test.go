@@ -1,0 +1,184 @@
+// Traffic under time-varying mix modulation: determinism across
+// worker counts, the region-similarity property at every scenario
+// phase, and the semantic-routing invariants the shift must preserve.
+// External test package: internal/scenario imports workload, so the
+// in-package test file cannot drive the engine without a cycle.
+package workload_test
+
+import (
+	"sync"
+	"testing"
+
+	"jumpstart/internal/scenario"
+	"jumpstart/internal/workload"
+)
+
+func testSite(t *testing.T) *workload.Site {
+	t.Helper()
+	site, err := workload.GenerateSite(workload.DefaultSiteConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return site
+}
+
+// drawSeq collects the endpoint sequence of one stream under a shift.
+func drawSeq(site *workload.Site, region, bucket int, seed uint64, shift float64, n int) []int {
+	tr := site.NewTraffic(region, bucket, seed)
+	tr.SetMixShift(shift)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = tr.Next().Endpoint
+	}
+	return out
+}
+
+func histAt(site *workload.Site, region, bucket int, seed uint64, shift float64) []float64 {
+	h := make([]float64, len(site.Endpoints))
+	const draws = 8000
+	tr := site.NewTraffic(region, bucket, seed)
+	tr.SetMixShift(shift)
+	for i := 0; i < draws; i++ {
+		h[tr.Next().Endpoint]++
+	}
+	for i := range h {
+		h[i] /= draws
+	}
+	return h
+}
+
+func l1(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		if a[i] > b[i] {
+			d += a[i] - b[i]
+		} else {
+			d += b[i] - a[i]
+		}
+	}
+	return d
+}
+
+// TestTrafficMixShiftDeterministicAcrossWorkers pins the parallel
+// contract: shifted streams built and drawn concurrently, at any
+// fan-out width, reproduce the sequential draws exactly.
+func TestTrafficMixShiftDeterministicAcrossWorkers(t *testing.T) {
+	site := testSite(t)
+	type task struct {
+		region, bucket int
+		seed           uint64
+		shift          float64
+	}
+	var tasks []task
+	for r := 0; r < 4; r++ {
+		for b := 0; b < 2; b++ {
+			tasks = append(tasks,
+				task{r, b, uint64(100*r + b), 0},
+				task{r, b, uint64(100*r + b), 0.37})
+		}
+	}
+	ref := make([][]int, len(tasks))
+	for i, tk := range tasks {
+		ref[i] = drawSeq(site, tk.region, tk.bucket, tk.seed, tk.shift, 300)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		got := make([][]int, len(tasks))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(tasks); i += workers {
+					tk := tasks[i]
+					got[i] = drawSeq(site, tk.region, tk.bucket, tk.seed, tk.shift, 300)
+				}
+			}(w)
+		}
+		wg.Wait()
+		for i := range tasks {
+			for j := range ref[i] {
+				if got[i][j] != ref[i][j] {
+					t.Fatalf("workers=%d task=%d draw %d: got endpoint %d, want %d",
+						workers, i, j, got[i][j], ref[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestTrafficMixShiftZeroIsStationary: applying a shift and undoing it
+// restores the stationary mix bit-for-bit, and equal shifts on
+// same-seed streams stay in lockstep.
+func TestTrafficMixShiftZeroIsStationary(t *testing.T) {
+	site := testSite(t)
+	a := site.NewTraffic(1, 2, 7)
+	b := site.NewTraffic(1, 2, 7)
+	a.SetMixShift(0.4)
+	if a.MixShift() != 0.4 {
+		t.Fatal("MixShift accessor")
+	}
+	a.SetMixShift(0)
+	for i := 0; i < 500; i++ {
+		if a.Next().Endpoint != b.Next().Endpoint {
+			t.Fatalf("draw %d: shift 0 does not restore the stationary mix", i)
+		}
+	}
+	c := site.NewTraffic(1, 2, 7)
+	d := site.NewTraffic(1, 2, 7)
+	c.SetMixShift(0.4)
+	d.SetMixShift(0.4)
+	for i := 0; i < 500; i++ {
+		if c.Next().Endpoint != d.Next().Endpoint {
+			t.Fatalf("draw %d: equal shifts diverge on same-seed streams", i)
+		}
+	}
+}
+
+// TestTrafficMixShiftMovesTheMix: a shifted mix is genuinely different
+// from the stationary one — the scenario engine's modulation reaches
+// the draws.
+func TestTrafficMixShiftMovesTheMix(t *testing.T) {
+	site := testSite(t)
+	base := histAt(site, 0, 2, 1, 0)
+	shifted := histAt(site, 0, 2, 1, 0.5)
+	if d := l1(base, shifted); d < 0.05 {
+		t.Fatalf("shift 0.5 barely moved the mix: L1 distance %f", d)
+	}
+}
+
+// TestTrafficDiffersAcrossRegionsSimilarWithinAtEveryPhase sweeps a
+// diurnal scenario through a full period and checks the semantic-
+// routing property at each phase: two servers of the same (region,
+// bucket) see closer mixes than two regions do, and the own-bucket
+// preference (with its spill) survives the rotation.
+func TestTrafficDiffersAcrossRegionsSimilarWithinAtEveryPhase(t *testing.T) {
+	site := testSite(t)
+	cfg := scenario.DefaultConfig(scenario.Diurnal, 6, 1200)
+	eng, err := scenario.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range []float64{0, cfg.Period / 4, cfg.Period / 2, 3 * cfg.Period / 4, cfg.Period} {
+		s0 := eng.MixShift(0, tm)
+		s5 := eng.MixShift(5, tm)
+		sameRB := l1(histAt(site, 0, 2, 1, s0), histAt(site, 0, 2, 999, s0))
+		diffRegion := l1(histAt(site, 0, 2, 1, s0), histAt(site, 5, 2, 1, s5))
+		if sameRB >= diffRegion {
+			t.Fatalf("t=%g: within-pair similarity (%f) should beat cross-region (%f)",
+				tm, sameRB, diffRegion)
+		}
+		tr := site.NewTraffic(0, 3, 42)
+		tr.SetMixShift(s0)
+		inBucket := 0
+		const draws = 5000
+		for i := 0; i < draws; i++ {
+			if site.Endpoints[tr.Next().Endpoint].Partition == 3 {
+				inBucket++
+			}
+		}
+		frac := float64(inBucket) / draws
+		if frac < 0.85 || frac > 0.995 {
+			t.Fatalf("t=%g shift=%g: own-bucket fraction = %.2f, want [0.85, 0.995]", tm, s0, frac)
+		}
+	}
+}
